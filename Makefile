@@ -1,0 +1,24 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench examples table1 all outputs
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done
+
+table1:
+	python -m repro table1
+
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+all: install test bench

@@ -1,0 +1,83 @@
+"""Ablation A1: the packing factor k, isolated.
+
+Fixing the committee (n, t) and sweeping only k — from the no-packing
+protocol (k = 1, the ε = 0 world of prior YOSO MPC) up to the largest k
+the gap admits — shows the online cost dropping ∝ 1/k while the offline
+cost stays flat: the entire benefit of the paper's design choice in one
+table.
+"""
+
+import random
+
+from repro.accounting import format_table
+from repro.circuits import dot_product_circuit
+from repro.core import ProtocolParams, YosoMpc
+
+from conftest import print_banner
+
+N, T = 12, 2
+LENGTH = 12
+CIRCUIT = dot_product_circuit(LENGTH)
+INPUTS = {"alice": list(range(1, LENGTH + 1)), "bob": [3] * LENGTH}
+EXPECTED = [3 * sum(range(1, LENGTH + 1))]
+
+
+def _run(k: int):
+    params = ProtocolParams(n=N, t=T, k=k, epsilon=0.33)
+    return YosoMpc(params, rng=random.Random(20 + k)).run(CIRCUIT, INPUTS)
+
+
+def test_packing_sweep(benchmark):
+    ks = (1, 2, 3, 4)
+
+    def sweep():
+        return {k: _run(k) for k in ks}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    base_online = None
+    for k in ks:
+        res = results[k]
+        assert res.outputs["alice"] == EXPECTED
+        online = res.online_mul_bytes() / LENGTH
+        offline = res.phase_bytes("offline") / LENGTH
+        if base_online is None:
+            base_online = online
+        rows.append(
+            (k, round(online, 1), round(base_online / online, 2),
+             round(offline))
+        )
+    print_banner(f"A1 — packing ablation at fixed n={N}, t={T}")
+    print(format_table(
+        ["k", "online B/gate", "online win vs k=1", "offline B/gate"], rows
+    ))
+
+    # Online drops exactly ∝ 1/k (measured win factors 1.0/2.0/3.0/4.0).
+    online_k1 = results[1].online_mul_bytes()
+    online_k4 = results[4].online_mul_bytes()
+    assert online_k1 / online_k4 > 3.5
+    # Offline benefits only *sublinearly* (just the re-encryption step
+    # scales with the batch count) — the §7 limitation: nowhere near 1/k.
+    offline_k1 = results[1].phase_bytes("offline")
+    offline_k4 = results[4].phase_bytes("offline")
+    assert 0.3 < offline_k4 / offline_k1 < 0.9
+    assert offline_k1 / offline_k4 < online_k1 / online_k4  # k helps online more
+
+
+def test_reconstruction_threshold_grows_with_k(benchmark):
+    """The cost of packing: k eats into the GOD margin (t + 2(k−1) + 1)."""
+
+    def thresholds():
+        return {
+            k: ProtocolParams(n=N, t=T, k=k, epsilon=0.33).reconstruction_threshold
+            for k in (1, 2, 3, 4)
+        }
+
+    th = benchmark(thresholds)
+    print_banner("A1b — reconstruction threshold vs k (the packing tradeoff)")
+    print(format_table(
+        ["k", "shares needed (of n=12)"], sorted(th.items())
+    ))
+    assert th[4] == T + 2 * 3 + 1
+    assert all(th[k] <= N - T for k in th)

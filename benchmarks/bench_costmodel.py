@@ -1,0 +1,76 @@
+"""Experiment E7 (extension): analytic cost model vs measurement, and
+deployment-scale extrapolation.
+
+The model counts every message the protocol posts and sizes it from the
+parameters; cross-validating it against the metered runs pins the
+implementation to the paper's §5.2/§5.3 communication analysis, and the
+extrapolation shows what Table 1's committees would pay per gate at
+production moduli — the regime no simulation can reach.
+"""
+
+from repro.accounting import (
+    CircuitShape,
+    CostModel,
+    extrapolate_online_per_gate,
+    format_table,
+)
+from repro.sortition import analyze
+
+from conftest import SWEEP_NS, print_banner
+
+
+def test_model_vs_measurement(benchmark, ours_sweep, sweep_circuit):
+    def validate():
+        rows = []
+        for n, result in ours_sweep.items():
+            model = CostModel(
+                result.params,
+                CircuitShape.of(sweep_circuit, result.plan),
+                result.setup.proof_params,
+            )
+            for phase, predicted in (
+                ("offline", model.predict_offline().n_bytes),
+                ("online", model.predict_online().n_bytes),
+            ):
+                measured = result.phase_bytes(phase)
+                rows.append((n, phase, predicted, measured,
+                             round(predicted / measured, 3)))
+        return rows
+
+    rows = benchmark(validate)
+    print_banner("E7 — analytic model vs metered bytes")
+    print(format_table(["n", "phase", "predicted", "measured", "ratio"], rows))
+    for _, _, _, _, ratio in rows:
+        assert 0.7 <= ratio <= 1.25
+
+
+def test_extrapolation_to_table1_scales(benchmark):
+    """Per-gate online bytes at the paper's own committee sizes (2048-bit)."""
+
+    def extrapolate():
+        rows = []
+        for c_param, f in ((1000, 0.05), (20000, 0.10), (20000, 0.20)):
+            g = analyze(c_param, f)
+            n = round(g.committee_size)
+            per_gate_ours = extrapolate_online_per_gate(
+                n, g.epsilon, gates_per_batch=g.packing_factor
+            )
+            per_gate_nogap = extrapolate_online_per_gate(
+                n, g.epsilon, gates_per_batch=1
+            )
+            rows.append(
+                (c_param, f, n, g.packing_factor,
+                 round(per_gate_ours), round(per_gate_nogap),
+                 round(per_gate_nogap / per_gate_ours))
+            )
+        return rows
+
+    rows = benchmark(extrapolate)
+    print_banner(
+        "E7b — extrapolated online B/gate at Table 1 scales (2048-bit TE)"
+    )
+    print(format_table(
+        ["C", "f", "n", "k", "ours B/gate", "eps=0 B/gate", "factor"], rows
+    ))
+    for _, _, _, k, _, _, factor in rows:
+        assert factor == k  # the improvement factor IS the packing factor

@@ -1,0 +1,103 @@
+"""Experiment E5: fail-stop tolerance (§5.4).
+
+With the packing factor halved (k ≈ nε/2), the protocol must complete even
+when ⌊nε⌋ *honest* members of a committee crash mid-protocol — and the
+reconstruction threshold t + 2(k−1) + 1 stays ≤ n/2 + 1 as derived in §5.4.
+"""
+
+import random
+
+from repro.accounting import format_table
+from repro.circuits import dot_product_circuit
+from repro.core import ProtocolParams, YosoMpc
+from repro.yoso.adversary import Adversary, CrashSpec
+
+from conftest import print_banner
+
+CIRCUIT = dot_product_circuit(6)
+INPUTS = {"alice": [1, 2, 3, 4, 5, 6], "bob": [2, 2, 2, 2, 2, 2]}
+EXPECTED = [2 * sum(range(1, 7))]
+
+
+def _crash_factory(params, seed):
+    def factory(offline_committees, online_committees):
+        rng = random.Random(seed)
+        mul = next(
+            c for name, c in online_committees.items()
+            if name.startswith("Con-mul")
+        )
+        return Adversary(
+            crash_spec=CrashSpec.random_honest(mul, params.fail_stop_budget, rng)
+        )
+
+    return factory
+
+
+def test_failstop_run_completes(benchmark):
+    params = ProtocolParams.from_gap(8, 0.25, fail_stop=True)
+
+    def run():
+        protocol = YosoMpc(
+            params, rng=random.Random(5),
+            adversary_factory=_crash_factory(params, seed=6),
+        )
+        return protocol.run(CIRCUIT, INPUTS)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.outputs["alice"] == EXPECTED
+
+    print_banner("E5 — fail-stop: params and §5.4 bound")
+    print(format_table(
+        ["n", "t", "k", "crash budget", "t+2(k-1)+1", "n/2+1"],
+        [(params.n, params.t, params.k, params.fail_stop_budget,
+          params.reconstruction_threshold, params.n // 2 + 1)],
+    ))
+    # §5.4's derived bound.
+    assert params.reconstruction_threshold <= params.n // 2 + 1
+
+
+def test_packing_halved_vs_normal_mode(benchmark):
+    benchmark(lambda: None)  # analytic; asserts below
+    normal = ProtocolParams.from_gap(16, 0.25)
+    failstop = ProtocolParams.from_gap(16, 0.25, fail_stop=True)
+    print_banner("E5b — packing factor: normal vs fail-stop mode")
+    print(format_table(
+        ["mode", "k", "crash budget"],
+        [("normal", normal.k, normal.fail_stop_budget),
+         ("fail-stop", failstop.k, failstop.fail_stop_budget)],
+    ))
+    assert failstop.k <= (normal.k + 1) // 2 + 1  # roughly halved
+    assert failstop.fail_stop_budget == int(16 * 0.25)
+
+
+def test_crash_budget_is_tight(benchmark):
+    """One crash beyond the budget may (and here does) break liveness —
+    showing the budget is not slack."""
+    from repro.errors import ProtocolAbortError
+
+    params = ProtocolParams.from_gap(8, 0.25, fail_stop=True)
+
+    def overbudget_factory(offline_committees, online_committees):
+        rng = random.Random(7)
+        mul = next(
+            c for name, c in online_committees.items()
+            if name.startswith("Con-mul")
+        )
+        # Leave one fewer live member than the reconstruction threshold
+        # (no corruption here, so this exceeds budget + t by one).
+        crashes = params.n - params.reconstruction_threshold + 1
+        assert crashes > params.fail_stop_budget + params.t
+        return Adversary(crash_spec=CrashSpec.random_honest(mul, crashes, rng))
+
+    def run():
+        try:
+            YosoMpc(
+                params, rng=random.Random(8),
+                adversary_factory=overbudget_factory,
+            ).run(CIRCUIT, INPUTS)
+        except ProtocolAbortError:
+            return "aborted"
+        return "completed"
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome == "aborted"

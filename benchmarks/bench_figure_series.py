@@ -1,0 +1,57 @@
+"""Experiment: the figure-shaped series behind Table 1.
+
+A full version of the paper would plot (a) the gap ε against the global
+corruption ratio f at fixed committee budget C, and (b) the online
+improvement factor k against C at fixed f.  This bench generates exactly
+those series from the Section 6 analysis and asserts their monotone
+shapes (more corruption ⇒ smaller gap; bigger committees ⇒ bigger savings).
+"""
+
+from repro.accounting import format_table
+from repro.sortition import gap_series, max_tolerable_corruption, packing_series
+
+from conftest import print_banner
+
+
+def test_gap_vs_corruption_series(benchmark):
+    series = benchmark(gap_series, 20000)
+    rows = [
+        (p.f,
+         "⊥" if not p.feasible else round(p.epsilon, 3),
+         "⊥" if not p.feasible else p.packing_factor,
+         "⊥" if not p.feasible else p.committee_size)
+        for p in series
+    ]
+    print_banner("Figure series — gap ε and packing k vs corruption f (C=20000)")
+    print(format_table(["f", "eps", "k", "committee"], rows))
+    feasible = [p for p in series if p.feasible]
+    gaps = [p.epsilon for p in feasible]
+    assert gaps == sorted(gaps, reverse=True)
+    assert not series[-1].feasible  # f = 0.30 is beyond reach at C = 20000
+
+
+def test_packing_vs_committee_series(benchmark):
+    series = benchmark(packing_series, 0.10)
+    rows = [(c, k if k is not None else "⊥") for c, k in series]
+    print_banner("Figure series — packing k vs committee budget C (f=10%)")
+    print(format_table(["C", "k"], rows))
+    ks = [k for _, k in series if k is not None]
+    assert ks == sorted(ks)
+    assert ks[-1] / max(ks[0], 1) > 5  # savings compound with scale
+
+
+def test_max_tolerable_corruption_frontier(benchmark):
+    def frontier():
+        return {
+            c: round(max_tolerable_corruption(c), 3)
+            for c in (1000, 5000, 20000, 40000)
+        }
+
+    values = benchmark.pedantic(frontier, rounds=1, iterations=1)
+    rows = sorted(values.items())
+    print_banner("Figure series — feasibility frontier f_max(C)")
+    print(format_table(["C", "max tolerable f"], rows))
+    ordered = [v for _, v in rows]
+    assert ordered == sorted(ordered)
+    assert 0.05 < values[1000] < 0.10      # Table 1: f=0.05 ok, f=0.10 is ⊥
+    assert 0.20 < values[40000] < 0.30     # f=0.25 is the last feasible row

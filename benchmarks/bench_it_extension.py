@@ -1,0 +1,59 @@
+"""Extension bench: the information-theoretic variant (paper §7).
+
+Measures the IT prototype against the computational protocol at matched
+(n, k): the online *message pattern* is identical (n scalars per batch),
+so per-gate cost is flat in n for both — but the IT variant's messages are
+bare field elements, quantifying what the computational machinery
+(ciphertext-sized shares, proof tokens) costs on top of the core idea.
+"""
+
+import random
+
+from repro.accounting import format_table
+from repro.circuits import dot_product_circuit
+from repro.core import run_mpc
+from repro.extensions import ItYosoMpc
+
+from conftest import print_banner
+
+LENGTH = 8
+CIRCUIT = dot_product_circuit(LENGTH)
+INPUTS = {"alice": [1] * LENGTH, "bob": [2] * LENGTH}
+
+
+def test_it_online_flat_in_n(benchmark):
+    def sweep():
+        out = {}
+        for n, k in ((9, 2), (13, 3), (17, 4)):
+            result = ItYosoMpc(n=n, t=2, k=k, rng=random.Random(1)).run(
+                CIRCUIT, INPUTS
+            )
+            assert result.outputs["alice"] == [2 * LENGTH]
+            out[n] = result.online_mul_bytes() / LENGTH
+        return out
+
+    per_gate = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(n, round(v, 1)) for n, v in sorted(per_gate.items())]
+    print_banner("IT extension — online B/gate vs n (flat, like the main protocol)")
+    print(format_table(["n", "online B/gate"], rows))
+    values = list(per_gate.values())
+    assert max(values) <= min(values) * 1.3
+
+
+def test_it_vs_computational_overhead(benchmark):
+    def compare():
+        it = ItYosoMpc(n=9, t=2, k=2, rng=random.Random(2)).run(CIRCUIT, INPUTS)
+        comp = run_mpc(CIRCUIT, INPUTS, n=9, epsilon=0.25, seed=2)
+        return it, comp
+
+    it, comp = benchmark.pedantic(compare, rounds=1, iterations=1)
+    it_gate = it.online_mul_bytes() / LENGTH
+    comp_gate = comp.online_mul_bytes() / LENGTH
+    print_banner("IT vs computational — online B/gate at n=9")
+    print(format_table(
+        ["variant", "online B/gate", "security"],
+        [("information-theoretic", round(it_gate, 1), "semi-honest, statistical"),
+         ("computational (paper)", round(comp_gate, 1), "active, GOD")],
+    ))
+    # The crypto overhead factor: ciphertext-free shares are much lighter.
+    assert it_gate * 5 < comp_gate

@@ -1,0 +1,50 @@
+"""Experiment E1: online communication per gate is independent of n (§5.3).
+
+Runs the full protocol on a fixed wide circuit while sweeping the committee
+size, measures online multiplication bytes per gate from the bulletin
+meter, and checks the series is flat (the paper's Theorem 1: O(1) per gate)
+— the per-gate cost tracks n/k ≈ 1/ε, not n.
+"""
+
+from repro.accounting import format_table
+
+from conftest import SWEEP_NS, print_banner
+
+
+def test_online_per_gate_flat(benchmark, ours_sweep, sweep_circuit):
+    m = sweep_circuit.n_multiplications
+
+    def series():
+        return {
+            n: res.online_mul_bytes() / m for n, res in ours_sweep.items()
+        }
+
+    per_gate = benchmark(series)
+
+    rows = [
+        (n, ours_sweep[n].params.k, round(per_gate[n], 1),
+         round(n / ours_sweep[n].params.k, 2))
+        for n in SWEEP_NS
+    ]
+    print_banner("E1 — online mul bytes/gate vs n (ours; expect flat ~1/ε)")
+    print(format_table(["n", "k", "online B/gate", "n/k"], rows))
+
+    smallest, largest = per_gate[SWEEP_NS[0]], per_gate[SWEEP_NS[-1]]
+    # Paper claim: independent of n.  Tolerate bounded wobble from k = ⌊nε⌋+1
+    # rounding; growth must be far below linear (n doubles -> cost flat).
+    assert largest < smallest * 1.5, (
+        f"online per-gate cost grew {largest / smallest:.2f}x over the sweep"
+    )
+
+
+def test_online_messages_scale_with_batches_not_n_squared(benchmark, ours_sweep, sweep_circuit):
+    benchmark(lambda: None)  # sweep is cached; this test checks structure
+    # Per depth committee: n messages regardless of gate count in the depth.
+    for n, res in ours_sweep.items():
+        online_posts = [
+            r for r in res.meter.records
+            if r.phase == "online" and r.tag.startswith("Con-mul")
+        ]
+        mul_committees = len(res.setup.mul_depths)
+        senders = {r.sender for r in online_posts}
+        assert len(senders) <= n * mul_committees

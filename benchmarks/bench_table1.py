@@ -1,0 +1,58 @@
+"""Experiment: regenerate the paper's Table 1 (§6) and diff against it.
+
+Paper values are transcribed in :data:`repro.sortition.table1.TABLE1_PAPER`;
+this bench recomputes every cell from Eqs. (2)–(6), prints both side by
+side, asserts the match (t and k exactly, c/c' within rounding), and times
+the analysis kernel.
+"""
+
+from repro.accounting import format_table
+from repro.sortition import TABLE1_PAPER, analyze, generate_table1
+from repro.errors import SortitionError
+
+from conftest import print_banner
+
+
+def test_table1_regeneration(benchmark):
+    ours = benchmark(generate_table1)
+    by_key = {(r.c_param, r.f): r for r in ours}
+
+    rows = []
+    for paper in TABLE1_PAPER:
+        mine = by_key[(paper.c_param, paper.f)]
+        assert mine.feasible == paper.feasible
+        if paper.feasible:
+            assert mine.t == paper.t
+            assert mine.packing_factor == paper.packing_factor
+            assert abs(mine.committee_size - paper.committee_size) <= 6
+            assert abs(mine.committee_size_no_gap - paper.committee_size_no_gap) <= 3
+            rows.append(
+                (paper.c_param, paper.f,
+                 f"{mine.t}/{paper.t}",
+                 f"{mine.committee_size}/{paper.committee_size}",
+                 f"{mine.committee_size_no_gap}/{paper.committee_size_no_gap}",
+                 f"{mine.epsilon}/{paper.epsilon}",
+                 f"{mine.packing_factor}/{paper.packing_factor}")
+            )
+        else:
+            rows.append((paper.c_param, paper.f, "⊥/⊥", "⊥/⊥", "⊥/⊥", "⊥/⊥", "⊥/⊥"))
+
+    print_banner("Table 1 — ours/paper per cell (t, c, c', ε, k)")
+    print(format_table(["C", "f", "t", "c", "c'", "eps", "k"], rows))
+
+
+def test_single_cell_analysis_speed(benchmark):
+    """Microbenchmark: one (C, f) cell of the Section 6 analysis."""
+    result = benchmark(analyze, 20000, 0.1)
+    assert result.packing_factor == 4645  # the published cell
+
+
+def test_infeasible_cell_detection_speed(benchmark):
+    def probe():
+        try:
+            analyze(1000, 0.25)
+        except SortitionError:
+            return True
+        return False
+
+    assert benchmark(probe)

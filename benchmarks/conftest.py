@@ -1,0 +1,61 @@
+"""Shared benchmark helpers.
+
+Protocol executions take seconds, so the expensive sweeps are cached at
+session scope and the ``benchmark`` fixture times either the cheap analytic
+kernels directly or single-round protocol runs via ``pedantic``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import CdnYosoMpc
+from repro.circuits import dot_product_circuit
+from repro.core import run_mpc
+
+#: Committee sizes for the communication sweeps (E1–E3).
+SWEEP_NS = (6, 9, 12)
+SWEEP_EPSILON = 0.25
+SWEEP_LENGTH = 12  # dot-product width -> number of multiplication gates
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+@pytest.fixture(scope="session")
+def sweep_circuit():
+    return dot_product_circuit(SWEEP_LENGTH)
+
+
+@pytest.fixture(scope="session")
+def sweep_inputs():
+    return {
+        "alice": list(range(1, SWEEP_LENGTH + 1)),
+        "bob": list(range(2, SWEEP_LENGTH + 2)),
+    }
+
+
+@pytest.fixture(scope="session")
+def ours_sweep(sweep_circuit, sweep_inputs):
+    """Our protocol at each n of the sweep (cached: these runs are slow)."""
+    return {
+        n: run_mpc(sweep_circuit, sweep_inputs, n=n, epsilon=SWEEP_EPSILON, seed=1)
+        for n in SWEEP_NS
+    }
+
+
+@pytest.fixture(scope="session")
+def cdn_sweep(sweep_circuit, sweep_inputs):
+    """The CDN baseline at each n of the sweep."""
+    return {
+        n: CdnYosoMpc(n=n, t=(n - 1) // 2, rng=random.Random(1)).run(
+            sweep_circuit, sweep_inputs
+        )
+        for n in SWEEP_NS
+    }

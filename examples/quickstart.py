@@ -1,0 +1,52 @@
+"""Quickstart: run the YOSO MPC protocol on a small circuit.
+
+Two clients secret-share a computation to a sequence of anonymous,
+speak-once committees: Alice and Bob learn only the dot product of their
+vectors.  Everything — threshold Paillier, Keys-For-Future, the offline
+preprocessing, and the packed online evaluation — runs underneath this
+one call.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuits import CircuitBuilder
+from repro.core import run_mpc
+
+
+def main() -> None:
+    # Build an arithmetic circuit with the fluent builder.
+    builder = CircuitBuilder()
+    alice_values = builder.inputs("alice", 3)
+    bob_values = builder.inputs("bob", 3)
+    dot = builder.dot(alice_values, bob_values)
+    builder.output(dot, "alice")
+    builder.output(dot, "bob")
+    circuit = builder.build()
+    print(f"circuit: {circuit}")
+
+    # Run the full protocol: setup -> offline preprocessing -> online.
+    result = run_mpc(
+        circuit,
+        inputs={"alice": [2, 3, 5], "bob": [7, 11, 13]},
+        n=6,           # committee size
+        epsilon=0.2,   # the gap: tolerate t < n(1/2 - eps) corruptions
+        seed=42,
+    )
+
+    print(f"parameters: {result.params.describe()}")
+    print(f"outputs:    {result.outputs}")
+    assert result.outputs["alice"] == [2 * 7 + 3 * 11 + 5 * 13]
+
+    # The communication meter recorded every bulletin-board post.
+    print("\ncommunication by phase (bytes):")
+    for phase, total in sorted(result.meter.by_phase().items()):
+        print(f"  {phase:<8} {total:>10,}")
+    print(
+        f"\nonline multiplication cost: "
+        f"{result.online_mul_bytes() / circuit.n_multiplications:,.0f} bytes/gate "
+        f"(independent of n — the paper's headline property)"
+    )
+
+
+if __name__ == "__main__":
+    main()

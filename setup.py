@@ -1,0 +1,6 @@
+"""Setuptools shim: enables `pip install -e .` on environments without the
+`wheel` package (pip falls back to the legacy develop install)."""
+
+from setuptools import setup
+
+setup()

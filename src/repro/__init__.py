@@ -1,0 +1,39 @@
+"""repro — a complete implementation of *Towards Scalable YOSO MPC via
+Packed Secret-Sharing* (Escudero, Masserova, Polychroniadou; PODC 2025).
+
+Quickstart::
+
+    from repro import CircuitBuilder, run_mpc
+
+    b = CircuitBuilder()
+    xs, ys = b.inputs("alice", 3), b.inputs("bob", 3)
+    b.output(b.dot(xs, ys), "alice")
+    result = run_mpc(b.build(), {"alice": [2, 3, 5], "bob": [7, 11, 13]},
+                     n=6, epsilon=0.2)
+    result.outputs                     # {"alice": [112]}
+
+Subpackages: :mod:`repro.core` (the protocol), :mod:`repro.circuits`,
+:mod:`repro.sharing`, :mod:`repro.paillier`, :mod:`repro.nizk`,
+:mod:`repro.yoso`, :mod:`repro.sortition`, :mod:`repro.baselines`,
+:mod:`repro.accounting`, :mod:`repro.extensions`.  See DESIGN.md for the
+architecture and EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.circuits import CircuitBuilder
+from repro.core import MpcResult, ProtocolParams, YosoMpc, run_mpc
+from repro.errors import ReproError
+from repro.sortition import analyze, generate_table1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CircuitBuilder",
+    "MpcResult",
+    "ProtocolParams",
+    "YosoMpc",
+    "run_mpc",
+    "ReproError",
+    "analyze",
+    "generate_table1",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Communication metering and reporting.
+
+Every bulletin-board post is measured here; the benchmark harness reads the
+aggregates to reproduce the paper's communication claims (online O(1) per
+gate, offline O(n) per gate — DESIGN.md experiment rows E1–E3).
+"""
+
+from repro.accounting.comm import CommMeter, MessageRecord, measure_bytes
+from repro.accounting.report import (
+    CommReport,
+    comparison_table,
+    format_table,
+    key_usage_matrix,
+    per_gate_series,
+)
+from repro.accounting.export import (
+    dumps_report,
+    loads_report,
+    report_from_mpc_result,
+    run_report,
+)
+from repro.accounting.costmodel import (
+    CircuitShape,
+    CostModel,
+    PhasePrediction,
+    extrapolate_online_per_gate,
+)
+
+__all__ = [
+    "CommMeter",
+    "MessageRecord",
+    "measure_bytes",
+    "CommReport",
+    "comparison_table",
+    "format_table",
+    "key_usage_matrix",
+    "per_gate_series",
+    "CircuitShape",
+    "CostModel",
+    "PhasePrediction",
+    "extrapolate_online_per_gate",
+    "dumps_report",
+    "loads_report",
+    "report_from_mpc_result",
+    "run_report",
+]

@@ -1,0 +1,116 @@
+"""The communication meter.
+
+YOSO communication is bulletin-board posts (broadcast and point-to-point
+cost the same — paper §3.3), so a single meter on the bulletin captures the
+protocol's entire communication.  Each post is measured in bytes (via a
+recursive structural sizer) and tagged with its phase and sender, enabling
+the per-phase / per-gate breakdowns the benchmarks report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+def measure_bytes(payload: Any) -> int:
+    """Deterministic structural size of a protocol message, in bytes.
+
+    Integers count their minimal two's-complement-ish size; known crypto
+    objects count their serialized group-element sizes; containers recurse.
+    The absolute numbers matter less than their *scaling* — every message
+    of the same shape measures identically, so per-gate series are exact.
+    """
+    if payload is None:
+        return 0
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return (abs(payload).bit_length() + 7) // 8 + 1
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode())
+    if isinstance(payload, float):
+        return 8
+    if isinstance(payload, dict):
+        return sum(measure_bytes(k) + measure_bytes(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(measure_bytes(item) for item in payload)
+    # Crypto objects: prefer a canonical size when the object exposes one.
+    value = getattr(payload, "value", None)
+    public = getattr(payload, "public", None)
+    if value is not None and public is not None and hasattr(public, "ciphertext_bytes"):
+        return public.ciphertext_bytes  # a Paillier ciphertext
+    ring = getattr(payload, "ring", None)
+    if value is not None and ring is not None and hasattr(ring, "modulus"):
+        return (ring.modulus.bit_length() + 7) // 8  # a ring element
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return sum(
+            measure_bytes(getattr(payload, f.name))
+            for f in dataclasses.fields(payload)
+        )
+    raise TypeError(f"cannot measure payload of type {type(payload).__name__}")
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One bulletin post, as seen by the meter."""
+
+    phase: str
+    sender: str
+    tag: str
+    n_bytes: int
+
+
+@dataclass
+class CommMeter:
+    """Accumulates :class:`MessageRecord`s and serves aggregates."""
+
+    records: list[MessageRecord] = field(default_factory=list)
+
+    def record(self, phase: str, sender: str, tag: str, payload: Any) -> int:
+        n = measure_bytes(payload)
+        self.records.append(MessageRecord(phase, sender, tag, n))
+        return n
+
+    # -- aggregates ------------------------------------------------------------
+
+    def total_bytes(self, phase: str | None = None) -> int:
+        return sum(
+            r.n_bytes for r in self.records if phase is None or r.phase == phase
+        )
+
+    def total_messages(self, phase: str | None = None) -> int:
+        return sum(1 for r in self.records if phase is None or r.phase == phase)
+
+    def by_phase(self) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            out[r.phase] += r.n_bytes
+        return dict(out)
+
+    def by_tag(self, phase: str | None = None) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            if phase is None or r.phase == phase:
+                out[r.tag] += r.n_bytes
+        return dict(out)
+
+    def messages_by_tag(self, phase: str | None = None) -> dict[str, int]:
+        out: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            if phase is None or r.phase == phase:
+                out[r.tag] += 1
+        return dict(out)
+
+    def senders(self, phase: str | None = None) -> set[str]:
+        return {r.sender for r in self.records if phase is None or r.phase == phase}
+
+    def merge(self, other: "CommMeter") -> None:
+        self.records.extend(other.records)
+
+    def reset(self) -> None:
+        self.records.clear()

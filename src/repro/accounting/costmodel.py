@@ -1,0 +1,290 @@
+"""Analytic communication model of the protocol.
+
+Predicts, from the protocol parameters and circuit shape alone, how many
+messages of each kind every phase posts and how many bytes they occupy —
+without running anything.  Two uses:
+
+* **cross-validation**: the predictions are checked against the metered
+  bulletin of real runs (tests/benchmarks), pinning the implementation to
+  the paper's communication analysis (§5.2/§5.3);
+* **extrapolation**: per-gate online/offline cost curves at deployment
+  scales (n ≈ 20,000) where simulation is impossible — the regime the
+  paper actually targets.
+
+Counts are exact; byte sizes are derived from the moduli and proof
+parameters (integer responses carry statistical slack, so real runs wobble
+a few percent around the prediction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.layering import BatchPlan
+from repro.errors import ParameterError
+from repro.nizk.params import ProofParams
+
+if TYPE_CHECKING:  # avoid accounting -> core -> yoso -> accounting cycle
+    from repro.core.params import ProtocolParams
+
+
+def _int_bytes(bits: int) -> int:
+    """Structural size of an integer of the given bit length (sign framed)."""
+    return max(bits, 1) // 8 + 1
+
+
+@dataclass(frozen=True)
+class CircuitShape:
+    """The circuit statistics the cost model needs."""
+
+    n_inputs: int
+    n_multiplications: int
+    n_outputs: int
+    n_batches: int
+    n_depths: int
+    n_input_clients: int
+
+    @classmethod
+    def of(cls, circuit: Circuit, plan: BatchPlan) -> "CircuitShape":
+        return cls(
+            n_inputs=circuit.n_inputs,
+            n_multiplications=circuit.n_multiplications,
+            n_outputs=circuit.n_outputs,
+            n_batches=len(plan.mul_batches),
+            n_depths=len({b.depth for b in plan.mul_batches}),
+            n_input_clients=len(circuit.input_clients()),
+        )
+
+
+@dataclass(frozen=True)
+class PhasePrediction:
+    messages: int
+    n_bytes: int
+
+
+class CostModel:
+    """Communication predictor for one protocol configuration."""
+
+    def __init__(
+        self,
+        params: "ProtocolParams",
+        shape: CircuitShape,
+        proof_params: ProofParams | None = None,
+        tsk_share_bits: int | None = None,
+    ):
+        self.params = params
+        self.shape = shape
+        self.proof = (
+            proof_params
+            if proof_params is not None
+            else ProofParams.for_modulus_bits(
+                min(params.te_bits, params.role_key_bits)
+            )
+        )
+        # Epoch-0 tsk shares are ~ (2·te_bits + 40 statistical) bits; each
+        # resharing hop adds ~ statistical_bits + log2(Δ·(t+1)) bits.  A
+        # representative mid-chain epoch (2) captures the average share.
+        if tsk_share_bits is not None:
+            self.tsk_share_bits = tsk_share_bits
+        else:
+            import math
+
+            per_epoch = params.statistical_bits + int(
+                math.log2(params.delta) + (params.t + 1).bit_length()
+            )
+            self.tsk_share_bits = (
+                2 * params.te_bits + params.statistical_bits + 24 + 2 * per_epoch
+            )
+
+    # -- component sizes ----------------------------------------------------
+
+    @property
+    def te_ct(self) -> int:
+        """One threshold-Paillier ciphertext (element of Z_{N²})."""
+        return 2 * self.params.te_bits // 8
+
+    @property
+    def role_ct(self) -> int:
+        """One role-key/KFF Paillier ciphertext."""
+        return 2 * self.params.role_key_bits // 8
+
+    @property
+    def mask_bits(self) -> int:
+        return self.proof.challenge_bits + self.proof.statistical_bits
+
+    @property
+    def popk_bytes(self) -> int:
+        """PlaintextKnowledgeProof: commitment + integer z + unit w."""
+        return (
+            self.te_ct
+            + _int_bytes(self.params.te_bits + self.mask_bits)
+            + _int_bytes(self.params.te_bits)
+        )
+
+    @property
+    def mult_proof_bytes(self) -> int:
+        """MultiplicationProof: two commitments + z + w."""
+        return (
+            2 * self.te_ct
+            + _int_bytes(self.params.te_bits + self.mask_bits)
+            + _int_bytes(self.params.te_bits)
+        )
+
+    @property
+    def pdec_proof_bytes(self) -> int:
+        """PartialDecryptionProof: two commitments + integer response."""
+        return 2 * self.te_ct + _int_bytes(self.tsk_share_bits + self.mask_bits)
+
+    @property
+    def public_partial_bytes(self) -> int:
+        """PublicPartial: the partial (index/value/epoch) + its proof."""
+        return _int_bytes(8) + self.te_ct + _int_bytes(8) + self.pdec_proof_bytes
+
+    @property
+    def chunks_per_partial(self) -> int:
+        """Limbs to carry a Z_{N²} partial under a role/KFF key."""
+        chunk_bits = self.params.role_key_bits - 1
+        return -(-2 * self.params.te_bits // chunk_bits)
+
+    @property
+    def encrypted_partial_bytes(self) -> int:
+        """EncryptedPartial: chunked ciphertexts + partial-dec proof + ids."""
+        return (
+            self.chunks_per_partial * self.role_ct
+            + self.pdec_proof_bytes
+            + 2 * _int_bytes(8)
+        )
+
+    @property
+    def dlog_proof_bytes(self) -> int:
+        """PlaintextDlogEqualityProof on one limb."""
+        return (
+            self.role_ct
+            + self.te_ct
+            + _int_bytes(self.params.role_key_bits + self.mask_bits)
+            + _int_bytes(self.params.role_key_bits)
+        )
+
+    @property
+    def subshare_limbs(self) -> int:
+        """Limbs per encrypted resharing subshare."""
+        chunk_bits = self.params.role_key_bits - 1
+        return -(-(self.tsk_share_bits + 2) // chunk_bits)
+
+    @property
+    def resharing_bytes(self) -> int:
+        """One EncryptedResharing: n verifications + per-recipient limbs."""
+        n = self.params.n
+        per_recipient = self.subshare_limbs * (
+            self.role_ct + self.te_ct + self.dlog_proof_bytes
+        ) + _int_bytes(8)
+        return n * self.te_ct + n * per_recipient + 3 * _int_bytes(16)
+
+    #: Structural framing of one dict entry on the bulletin (key strings
+    #: like "value"/"proof" plus the batch id) — metered by measure_bytes.
+    ENTRY_FRAMING = 13
+
+    @property
+    def mu_share_bytes(self) -> int:
+        """One online μ-share: ring scalar + constant-size proof token."""
+        from repro.core.oracle import PROOF_TOKEN_BYTES
+
+        return (
+            _int_bytes(self.params.te_bits)
+            + PROOF_TOKEN_BYTES
+            + self.ENTRY_FRAMING
+        )
+
+    # -- per-phase predictions ------------------------------------------------
+
+    def predict_offline(self) -> PhasePrediction:
+        n, t = self.params.n, self.params.t
+        s = self.shape
+        contribution = self.te_ct + self.popk_bytes  # one masked value + PoPK
+        per_role = {
+            # Coff-A: a-contribution per mul gate + one resharing.
+            "A": s.n_multiplications * contribution + self.resharing_bytes,
+            # Coff-B: (b ct + c ct + proof) per mul gate.
+            "B": s.n_multiplications * (2 * self.te_ct + self.mult_proof_bytes),
+            # Coff-R: masks for inputs+mul wires, 3t helpers per batch.
+            "R": (s.n_inputs + s.n_multiplications) * contribution
+            + s.n_batches * 3 * t * contribution,
+            # Coff-dec: 2 public partials per mul gate + resharing.
+            "dec": 2 * s.n_multiplications * self.public_partial_bytes
+            + self.resharing_bytes,
+            # Coff-reenc: re-encrypt inputs + 3n packed shares per batch.
+            "reenc": (s.n_inputs + 3 * n * s.n_batches)
+            * self.encrypted_partial_bytes
+            + self.resharing_bytes,
+        }
+        total = n * sum(per_role.values())
+        return PhasePrediction(messages=5 * n, n_bytes=total)
+
+    def predict_online(self) -> PhasePrediction:
+        n = self.params.n
+        s = self.shape
+        # Con-keys: one KFF prime fits few te chunks; each member re-encrypts
+        # every KFF (mul roles + input clients).
+        kff_targets = s.n_depths * n + s.n_input_clients
+        kff_chunks = -(-(self.params.role_key_bits // 2) // (self.params.te_bits - 1))
+        # Each target entry carries its role-tag string plus the chunk list;
+        # Con-keys reshares an epoch-3 share (one hop past the representative
+        # mid-chain size) — account for the extra hop explicitly.
+        tag_framing = 16
+        late_epoch_extra = self.params.n * self.subshare_limbs * 8
+        keys_per_role = (
+            kff_targets
+            * (kff_chunks * self.encrypted_partial_bytes + tag_framing)
+            + self.resharing_bytes
+            + late_epoch_extra
+        )
+        clients_total = s.n_inputs * (
+            _int_bytes(self.params.te_bits) + self.ENTRY_FRAMING
+        )
+        mul_total = s.n_batches * n * self.mu_share_bytes
+        out_per_role = s.n_outputs * (
+            self.encrypted_partial_bytes + self.ENTRY_FRAMING
+        )
+        total = n * keys_per_role + clients_total + mul_total + n * out_per_role
+        messages = n + s.n_input_clients + s.n_depths * n + n
+        return PhasePrediction(messages=messages, n_bytes=total)
+
+    # -- headline quantities ------------------------------------------------
+
+    def online_mul_bytes_per_gate(self) -> float:
+        """The paper's O(1) quantity: μ-share bytes per multiplication."""
+        if self.shape.n_multiplications == 0:
+            return 0.0
+        return (
+            self.shape.n_batches * self.params.n * self.mu_share_bytes
+            / self.shape.n_multiplications
+        )
+
+    def offline_bytes_per_gate(self) -> float:
+        if self.shape.n_multiplications == 0:
+            return 0.0
+        return self.predict_offline().n_bytes / self.shape.n_multiplications
+
+
+def extrapolate_online_per_gate(
+    n: int,
+    epsilon: float,
+    gates_per_batch: int | None = None,
+    te_bits: int = 2048,
+) -> float:
+    """Deployment-scale prediction of online bytes per multiplication gate.
+
+    At committee size ``n`` with gap ``epsilon``, the packing factor is
+    k ≈ nε and a batch of k gates costs n μ-shares: per gate the cost is
+    (n/k)·|share| ≈ |share|/ε — independent of n, which is the claim this
+    function lets you probe at n = 20,000 without simulating anything.
+    """
+    if not 0 < epsilon < 0.5:
+        raise ParameterError(f"epsilon must be in (0, 1/2), got {epsilon}")
+    k = gates_per_batch if gates_per_batch is not None else max(1, int(n * epsilon))
+    from repro.core.oracle import PROOF_TOKEN_BYTES
+
+    share_bytes = te_bits // 8 + PROOF_TOKEN_BYTES
+    return n / k * share_bytes

@@ -1,0 +1,16 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.cdn` — a CDN-style YOSO MPC in the spirit of
+  Gentry et al. [29]/Braun et al. [10]: the circuit is evaluated gate by
+  gate over threshold-encrypted values, each multiplication consuming a
+  Beaver triple via **two threshold decryptions** — Θ(n) online
+  communication per gate, the cost our protocol's packing removes.
+* :mod:`repro.baselines.turbopack` — the plain (non-YOSO, abort-secure)
+  Turbopack evaluation over cleartext packed Shamir with a trusted dealer,
+  used as an algebra reference and a non-YOSO communication baseline.
+"""
+
+from repro.baselines.cdn import CdnResult, CdnYosoMpc
+from repro.baselines.turbopack import TurbopackResult, TurbopackSimulator
+
+__all__ = ["CdnResult", "CdnYosoMpc", "TurbopackResult", "TurbopackSimulator"]

@@ -1,0 +1,448 @@
+"""CDN-style YOSO MPC baseline (Gentry et al. [29] / Braun et al. [10]).
+
+The circuit is evaluated **gate by gate over ciphertexts** under the global
+threshold key: clients broadcast encryptions of their inputs; linear gates
+are free (homomorphic); every multiplication consumes an encrypted Beaver
+triple by *threshold-decrypting* the two masked openings ε = x + a and
+δ = y + b — so every gate costs ~2n partial decryptions **online**, the
+Θ(n)-per-gate bottleneck the paper's packing construction removes (§1, §3).
+
+The triple generation (offline) and the tsk hand-off chain reuse the same
+substrates as the main protocol, so the comparison in
+``benchmarks/bench_vs_cdn.py`` is apples-to-apples: same threshold
+encryption, same proofs, same bulletin metering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.accounting.comm import CommMeter
+from repro.circuits.circuit import Circuit, GateType
+from repro.core.reencrypt import (
+    EncryptedPartial,
+    PublicPartial,
+    combine_public,
+    public_decrypt_contribution,
+    recover_reencrypted,
+    reencrypt_contribution,
+)
+from repro.core.resharing import (
+    EncryptedResharing,
+    build_resharing,
+    next_verifications,
+    receive_share,
+    verified_contributors,
+)
+from repro.errors import ProtocolAbortError
+from repro.fields.ring import Zmod
+from repro.nizk.params import ProofParams
+from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
+from repro.paillier.paillier import PaillierCiphertext
+from repro.paillier.threshold import ThresholdPaillier, teval
+from repro.yoso.assignment import IdealRoleAssignment
+from repro.yoso.network import ProtocolEnvironment
+
+
+@dataclass
+class CdnResult:
+    """Outputs and metering of one CDN baseline run."""
+
+    outputs: dict[str, list[int]]
+    n: int
+    t: int
+    circuit: Circuit
+    meter: CommMeter
+    modulus: int = 0  # the plaintext ring Z_N the outputs live in
+
+    def online_mul_bytes(self) -> int:
+        """Online bytes attributable to multiplication evaluation."""
+        return sum(
+            v for tag, v in self.meter.by_tag("online").items()
+            if tag.startswith("Cdn-eval")
+        )
+
+
+class CdnYosoMpc:
+    """One configured CDN baseline instance (honest execution)."""
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        te_bits: int = 64,
+        role_key_bits: int = 64,
+        rng: random.Random | None = None,
+    ):
+        if t >= n / 2:
+            raise ProtocolAbortError("CDN baseline needs honest majority")
+        self.n = n
+        self.t = t
+        self.te_bits = te_bits
+        self.role_key_bits = role_key_bits
+        self.rng = rng if rng is not None else random.Random()
+
+    def run(
+        self, circuit: Circuit, inputs: Mapping[str, Sequence[int]]
+    ) -> CdnResult:
+        rng = self.rng
+        assignment = IdealRoleAssignment(key_bits=self.role_key_bits, rng=rng)
+        env = ProtocolEnvironment(assignment=assignment, rng=rng)
+        proof_params = ProofParams.for_modulus_bits(
+            min(self.te_bits, self.role_key_bits)
+        )
+
+        env.set_phase("setup")
+        tpk, tsk_shares = ThresholdPaillier.keygen(
+            self.n, self.t, bits=self.te_bits, rng=rng
+        )
+        ring = Zmod(tpk.n, assume_prime=False)
+        verifications = {0: {s.index: s.verification for s in tsk_shares}}
+        env.bulletin.post("setup", "F-setup", "cdn-setup", {"tpk_modulus": tpk.n})
+        env.bulletin.advance_round()
+
+        mul_wires = list(circuit.multiplication_wires)
+        depths = circuit.depths()
+        mul_depths = sorted({depths[w] for w in mul_wires})
+        by_depth = {
+            d: [w for w in mul_wires if depths[w] == d] for d in mul_depths
+        }
+
+        # Committee chain: triple-A (holds tsk) -> eval committees -> out.
+        chain = ["Cdn-triple-A"] + [f"Cdn-eval-{d}" for d in mul_depths] + ["Cdn-out"]
+        committees = {
+            name: env.assignment.sample_committee(name, self.n) for name in chain
+        }
+        committees["Cdn-triple-B"] = env.assignment.sample_committee(
+            "Cdn-triple-B", self.n
+        )
+        for share in tsk_shares:
+            committees[chain[0]].role(share.index).add_gift("tsk_share", share)
+
+        # ---- Offline: Beaver triples (same two-committee protocol) ----------
+
+        env.set_phase("offline")
+        next_pks = committees[chain[1]].public_keys()
+
+        def program_a(view):
+            contributions = {}
+            for wire in mul_wires:
+                value = ring.random(view.rng)
+                randomness = tpk.paillier.random_unit(view.rng)
+                ct = tpk.encrypt(int(value), randomness=randomness)
+                proof = PlaintextKnowledgeProof.prove(
+                    tpk.paillier, ct, int(value), randomness, proof_params,
+                    view.rng, context=f"cdn-a|{wire}|{view.index}",
+                )
+                contributions[wire] = {"ct": ct, "proof": proof}
+            resharing = build_resharing(
+                tpk, view.gift("tsk_share"), next_pks, proof_params, view.rng
+            )
+            view.speak("Cdn-triple-A", {"beaver_a": contributions, "tsk": resharing})
+
+        env.run_committee(committees[chain[0]], program_a)
+        posts_a = env.bulletin.by_sender("Cdn-triple-A")
+
+        beaver_a: dict[int, PaillierCiphertext] = {}
+        for wire in mul_wires:
+            verified = []
+            for role in committees[chain[0]]:
+                payload = posts_a.get(str(role.id))
+                entry = (payload or {}).get("beaver_a", {}).get(wire)
+                if not isinstance(entry, dict):
+                    continue
+                ct, proof = entry.get("ct"), entry.get("proof")
+                if isinstance(ct, PaillierCiphertext) and isinstance(
+                    proof, PlaintextKnowledgeProof
+                ) and proof.verify(
+                    tpk.paillier, ct, proof_params,
+                    context=f"cdn-a|{wire}|{role.id.index}",
+                ):
+                    verified.append(ct)
+            if not verified:
+                raise ProtocolAbortError(f"CDN: no verified a-contribution for {wire}")
+            beaver_a[wire] = teval(tpk, verified, [1] * len(verified))
+
+        resharings = {
+            role.id.index: posts_a[str(role.id)]["tsk"]
+            for role in committees[chain[0]]
+            if isinstance(posts_a.get(str(role.id), {}).get("tsk"), EncryptedResharing)
+        }
+
+        def program_b(view):
+            contributions = {}
+            for wire in mul_wires:
+                b = ring.random(view.rng)
+                randomness = tpk.paillier.random_unit(view.rng)
+                b_ct = tpk.encrypt(int(b), randomness=randomness)
+                c_ct = beaver_a[wire] * int(b)
+                proof = MultiplicationProof.prove(
+                    tpk.paillier, beaver_a[wire], b_ct, c_ct, int(b), randomness,
+                    proof_params, view.rng, context=f"cdn-b|{wire}|{view.index}",
+                )
+                contributions[wire] = {"b_ct": b_ct, "c_ct": c_ct, "proof": proof}
+            view.speak("Cdn-triple-B", {"beaver_b": contributions})
+
+        env.run_committee(committees["Cdn-triple-B"], program_b)
+        posts_b = env.bulletin.by_sender("Cdn-triple-B")
+
+        beaver_b: dict[int, PaillierCiphertext] = {}
+        beaver_c: dict[int, PaillierCiphertext] = {}
+        for wire in mul_wires:
+            verified_b, verified_c = [], []
+            for role in committees["Cdn-triple-B"]:
+                entry = (posts_b.get(str(role.id)) or {}).get("beaver_b", {}).get(wire)
+                if not isinstance(entry, dict):
+                    continue
+                b_ct, c_ct, proof = entry.get("b_ct"), entry.get("c_ct"), entry.get("proof")
+                if (
+                    isinstance(b_ct, PaillierCiphertext)
+                    and isinstance(c_ct, PaillierCiphertext)
+                    and isinstance(proof, MultiplicationProof)
+                    and proof.verify(
+                        tpk.paillier, beaver_a[wire], b_ct, c_ct, proof_params,
+                        context=f"cdn-b|{wire}|{role.id.index}",
+                    )
+                ):
+                    verified_b.append(b_ct)
+                    verified_c.append(c_ct)
+            if not verified_b:
+                raise ProtocolAbortError(f"CDN: no verified b-contribution for {wire}")
+            beaver_b[wire] = teval(tpk, verified_b, [1] * len(verified_b))
+            beaver_c[wire] = teval(tpk, verified_c, [1] * len(verified_c))
+
+        # ---- Online: inputs, per-depth decryption committees, output --------
+
+        env.set_phase("online")
+        wire_cipher: dict[int, PaillierCiphertext] = {}
+
+        # Clients broadcast encrypted inputs with plaintext-knowledge proofs.
+        client_roles = {
+            name: env.assignment.client(f"cdn-client:{name}")
+            for name in circuit.input_clients()
+        }
+        out_client_roles = {
+            name: env.assignment.client(f"cdn-client-out:{name}")
+            for name in circuit.output_clients()
+        }
+        for client in circuit.input_clients():
+            wires = circuit.inputs_of_client(client)
+            supplied = list(inputs.get(client, []))
+            if len(supplied) != len(wires):
+                raise ProtocolAbortError(
+                    f"client {client!r}: supplied {len(supplied)} inputs, "
+                    f"need {len(wires)}"
+                )
+
+            def program_client(view, wires=wires, supplied=supplied, client=client):
+                encs = {}
+                for wire, value in zip(wires, supplied):
+                    randomness = tpk.paillier.random_unit(view.rng)
+                    ct = tpk.encrypt(int(value) % tpk.n, randomness=randomness)
+                    proof = PlaintextKnowledgeProof.prove(
+                        tpk.paillier, ct, int(value) % tpk.n, randomness,
+                        proof_params, view.rng,
+                        context=f"cdn-input|{wire}|{client}",
+                    )
+                    encs[wire] = {"ct": ct, "proof": proof}
+                view.speak(f"cdn-input:{client}", {"inputs": encs})
+
+            env.run_role(client_roles[client], program_client)
+            posts = env.bulletin.payloads(f"cdn-input:{client}")
+            payload = posts[-1] if posts else {}
+            for wire in wires:
+                entry = payload.get("inputs", {}).get(wire)
+                ok = (
+                    isinstance(entry, dict)
+                    and isinstance(entry.get("ct"), PaillierCiphertext)
+                    and isinstance(entry.get("proof"), PlaintextKnowledgeProof)
+                    and entry["proof"].verify(
+                        tpk.paillier, entry["ct"], proof_params,
+                        context=f"cdn-input|{wire}|{client}",
+                    )
+                )
+                # Default input 0 when the proof fails (the F_MPC default rule).
+                wire_cipher[wire] = (
+                    entry["ct"] if ok else tpk.encrypt(0, randomness=1)
+                )
+
+        def propagate_linear() -> None:
+            for w, gate in enumerate(circuit.gates):
+                if w in wire_cipher:
+                    continue
+                if gate.kind is GateType.ADD:
+                    a, b = gate.inputs
+                    if a in wire_cipher and b in wire_cipher:
+                        wire_cipher[w] = teval(
+                            tpk, [wire_cipher[a], wire_cipher[b]], [1, 1]
+                        )
+                elif gate.kind is GateType.SUB:
+                    a, b = gate.inputs
+                    if a in wire_cipher and b in wire_cipher:
+                        wire_cipher[w] = teval(
+                            tpk, [wire_cipher[a], wire_cipher[b]], [1, -1]
+                        )
+                elif gate.kind is GateType.CADD:
+                    (a,) = gate.inputs
+                    if a in wire_cipher:
+                        wire_cipher[w] = wire_cipher[a] + int(gate.constant)
+                elif gate.kind is GateType.CMUL:
+                    (a,) = gate.inputs
+                    if a in wire_cipher:
+                        wire_cipher[w] = wire_cipher[a] * int(gate.constant)
+                elif gate.kind is GateType.OUTPUT:
+                    (a,) = gate.inputs
+                    if a in wire_cipher:
+                        wire_cipher[w] = wire_cipher[a]
+
+        propagate_linear()
+
+        epoch = 0
+        for hop, depth in enumerate(mul_depths):
+            name = f"Cdn-eval-{depth}"
+            committee = committees[name]
+            contributor_set = verified_contributors(
+                tpk, resharings, verifications[epoch],
+                committee.public_keys(), proof_params,
+            )
+            verifications[epoch + 1] = next_verifications(
+                tpk, resharings, contributor_set
+            )
+            gates_here = by_depth[depth]
+            eps_cipher = {
+                w: teval(
+                    tpk,
+                    [wire_cipher[circuit.gates[w].inputs[0]], beaver_a[w]],
+                    [1, 1],
+                )
+                for w in gates_here
+            }
+            delta_cipher = {
+                w: teval(
+                    tpk,
+                    [wire_cipher[circuit.gates[w].inputs[1]], beaver_b[w]],
+                    [1, 1],
+                )
+                for w in gates_here
+            }
+            next_name = chain[chain.index(name) + 1]
+            hop_pks = committees[next_name].public_keys()
+            local_resharings = resharings
+            local_set = contributor_set
+            local_epoch = epoch
+
+            def program_eval(view):
+                share = receive_share(
+                    tpk, view.index, view.secret_key, local_resharings,
+                    local_set, previous_epoch=local_epoch,
+                )
+                partials = {
+                    w: {
+                        "eps": public_decrypt_contribution(
+                            tpk, share, eps_cipher[w], proof_params, view.rng
+                        ),
+                        "delta": public_decrypt_contribution(
+                            tpk, share, delta_cipher[w], proof_params, view.rng
+                        ),
+                    }
+                    for w in gates_here
+                }
+                resharing = build_resharing(
+                    tpk, share, hop_pks, proof_params, view.rng
+                )
+                view.speak(name, {"partials": partials, "tsk": resharing})
+
+            env.run_committee(committee, program_eval)
+            posts = env.bulletin.by_sender(name)
+            resharings = {
+                role.id.index: posts[str(role.id)]["tsk"]
+                for role in committee
+                if isinstance(
+                    posts.get(str(role.id), {}).get("tsk"), EncryptedResharing
+                )
+            }
+            epoch += 1
+
+            for w in gates_here:
+                eps_list = [
+                    p["partials"][w]["eps"]
+                    for p in posts.values()
+                    if isinstance(
+                        p.get("partials", {}).get(w, {}).get("eps"), PublicPartial
+                    )
+                ]
+                delta_list = [
+                    p["partials"][w]["delta"]
+                    for p in posts.values()
+                    if isinstance(
+                        p.get("partials", {}).get(w, {}).get("delta"), PublicPartial
+                    )
+                ]
+                eps = combine_public(
+                    tpk, eps_cipher[w], eps_list, verifications[epoch], proof_params
+                )
+                delta = combine_public(
+                    tpk, delta_cipher[w], delta_list, verifications[epoch],
+                    proof_params,
+                )
+                # z = εδ − ε·b − δ·a + c
+                wire_cipher[w] = teval(
+                    tpk,
+                    [tpk.encrypt(eps * delta % tpk.n, randomness=1),
+                     beaver_b[w], beaver_a[w], beaver_c[w]],
+                    [1, -eps, -delta, 1],
+                )
+            propagate_linear()
+
+        # ---- Output: Re-encrypt* each output ciphertext to its client -------
+
+        out_committee = committees["Cdn-out"]
+        contributor_set = verified_contributors(
+            tpk, resharings, verifications[epoch],
+            out_committee.public_keys(), proof_params,
+        )
+        verifications[epoch + 1] = next_verifications(tpk, resharings, contributor_set)
+        output_wires = list(circuit.output_wires)
+        final_resharings = resharings
+        final_set = contributor_set
+        final_epoch = epoch
+
+        def program_out(view):
+            share = receive_share(
+                tpk, view.index, view.secret_key, final_resharings, final_set,
+                previous_epoch=final_epoch,
+            )
+            bundle = {
+                w: reencrypt_contribution(
+                    tpk, share, wire_cipher[w],
+                    out_client_roles[circuit.gates[w].client].public_key,
+                    proof_params, view.rng,
+                )
+                for w in output_wires
+            }
+            view.speak("Cdn-out", {"output": bundle})
+
+        env.run_committee(out_committee, program_out)
+        posts_out = env.bulletin.by_sender("Cdn-out")
+
+        outputs: dict[str, list[int]] = {}
+        for w in output_wires:
+            client = circuit.gates[w].client
+            contributions = [
+                p["output"][w]
+                for p in posts_out.values()
+                if isinstance(p.get("output", {}).get(w), EncryptedPartial)
+            ]
+            value = recover_reencrypted(
+                tpk, wire_cipher[w], contributions,
+                out_client_roles[client].secret_key,
+                verifications[epoch + 1], proof_params,
+            )
+            outputs.setdefault(client, []).append(value)
+
+        return CdnResult(
+            outputs=outputs, n=self.n, t=self.t, circuit=circuit,
+            meter=env.meter, modulus=tpk.n,
+        )

@@ -1,0 +1,195 @@
+"""Plain (non-YOSO) Turbopack reference evaluator [25].
+
+The construction the paper starts from (§3.1): a trusted dealer performs
+the circuit-dependent preprocessing (wire masks λ, packed sharings of the
+batch masks and of Γ = λ^α * λ^β − λ^γ), and in the online phase the
+parties compute μ = v − λ publicly, batch by batch, with each party sending
+its μ-share *to a single party P1* who reconstructs and broadcasts — the
+trick that gives Turbopack constant online communication but only
+security-with-abort (a single corruption of P1 kills liveness, which is
+why the paper's YOSO version broadcasts instead; §3.3).
+
+Used as (a) the ground-truth reference for the packing algebra, entirely
+free of encryption, and (b) the non-YOSO communication baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.accounting.comm import CommMeter
+from repro.circuits.circuit import Circuit, GateType
+from repro.circuits.layering import BatchPlan, plan_batches
+from repro.errors import ParameterError, ProtocolAbortError
+from repro.fields.ring import Zmod, ZmodElement
+from repro.sharing.packed import PackedShamirScheme, PackedShare
+
+
+@dataclass
+class TurbopackResult:
+    outputs: dict[str, list[int]]
+    n: int
+    t: int
+    k: int
+    meter: CommMeter
+
+    def online_bytes(self) -> int:
+        return self.meter.total_bytes("online")
+
+
+@dataclass
+class _Preprocessing:
+    """What the trusted dealer hands out."""
+
+    lambdas: dict[int, ZmodElement] = field(default_factory=dict)
+    #: (batch, kind) -> packed sharing (one share per party)
+    packed: dict[tuple[int, str], list[PackedShare]] = field(default_factory=dict)
+
+
+class TurbopackSimulator:
+    """Honest-but-curious Turbopack with a trusted dealer, for reference."""
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        k: int,
+        modulus: int = (1 << 61) - 1,
+        rng: random.Random | None = None,
+    ):
+        if t + 2 * (k - 1) >= n:
+            raise ParameterError(
+                f"need n > t + 2(k-1) for degree-{t + 2 * (k - 1)} products"
+            )
+        self.n = n
+        self.t = t
+        self.k = k
+        self.ring = Zmod(modulus)
+        self.rng = rng if rng is not None else random.Random()
+        self.scheme = PackedShamirScheme(self.ring, n, k)
+
+    # -- dealer -------------------------------------------------------------
+
+    def _deal(self, circuit: Circuit, plan: BatchPlan) -> _Preprocessing:
+        prep = _Preprocessing()
+        ring, rng = self.ring, self.rng
+        for w, gate in enumerate(circuit.gates):
+            if gate.kind in (GateType.INPUT, GateType.MUL):
+                prep.lambdas[w] = ring.random(rng)
+            elif gate.kind is GateType.ADD:
+                a, b = gate.inputs
+                prep.lambdas[w] = prep.lambdas[a] + prep.lambdas[b]
+            elif gate.kind is GateType.SUB:
+                a, b = gate.inputs
+                prep.lambdas[w] = prep.lambdas[a] - prep.lambdas[b]
+            elif gate.kind is GateType.CADD:
+                prep.lambdas[w] = prep.lambdas[gate.inputs[0]]
+            elif gate.kind is GateType.CMUL:
+                prep.lambdas[w] = prep.lambdas[gate.inputs[0]] * ring.element(
+                    gate.constant
+                )
+            elif gate.kind is GateType.OUTPUT:
+                prep.lambdas[w] = prep.lambdas[gate.inputs[0]]
+        degree = self.t + self.k - 1
+        for batch in plan.mul_batches:
+            pad = self.k - len(batch.gate_wires)
+            left = [prep.lambdas[w] for w in batch.left_wires] + [ring.zero] * pad
+            right = [prep.lambdas[w] for w in batch.right_wires] + [ring.zero] * pad
+            gamma = [
+                prep.lambdas[a] * prep.lambdas[b] - prep.lambdas[g]
+                for a, b, g in zip(
+                    batch.left_wires, batch.right_wires, batch.gate_wires
+                )
+            ] + [ring.zero] * pad
+            prep.packed[(batch.batch_id, "left")] = self.scheme.share(
+                left, degree=degree, rng=rng
+            )
+            prep.packed[(batch.batch_id, "right")] = self.scheme.share(
+                right, degree=degree, rng=rng
+            )
+            prep.packed[(batch.batch_id, "gamma")] = self.scheme.share(
+                gamma, degree=degree, rng=rng
+            )
+        return prep
+
+    # -- online -------------------------------------------------------------
+
+    def run(
+        self, circuit: Circuit, inputs: Mapping[str, Sequence[int]]
+    ) -> TurbopackResult:
+        plan = plan_batches(circuit, self.k)
+        prep = self._deal(circuit, plan)
+        meter = CommMeter()
+        ring = self.ring
+        mu: dict[int, ZmodElement] = {}
+
+        # Input: each client learns λ (from the dealer) and broadcasts μ.
+        values = circuit.evaluate(ring, inputs).wire_values
+        for w in circuit.input_wires:
+            mu[w] = values[w] - prep.lambdas[w]
+            meter.record("online", f"client:{circuit.gates[w].client}", "input-mu", mu[w])
+
+        def propagate() -> None:
+            for w, gate in enumerate(circuit.gates):
+                if w in mu:
+                    continue
+                if gate.kind is GateType.ADD and all(i in mu for i in gate.inputs):
+                    mu[w] = mu[gate.inputs[0]] + mu[gate.inputs[1]]
+                elif gate.kind is GateType.SUB and all(i in mu for i in gate.inputs):
+                    mu[w] = mu[gate.inputs[0]] - mu[gate.inputs[1]]
+                elif gate.kind is GateType.CADD and gate.inputs[0] in mu:
+                    mu[w] = mu[gate.inputs[0]] + ring.element(gate.constant)
+                elif gate.kind is GateType.CMUL and gate.inputs[0] in mu:
+                    mu[w] = mu[gate.inputs[0]] * ring.element(gate.constant)
+                elif gate.kind is GateType.OUTPUT and gate.inputs[0] in mu:
+                    mu[w] = mu[gate.inputs[0]]
+
+        propagate()
+
+        product_degree = self.t + 2 * (self.k - 1)
+        for depth, batches in sorted(plan.batches_by_depth().items()):
+            for batch in batches:
+                pad = self.k - len(batch.gate_wires)
+                mu_left = [mu[w] for w in batch.left_wires] + [ring.zero] * pad
+                mu_right = [mu[w] for w in batch.right_wires] + [ring.zero] * pad
+                shares = []
+                for i in range(1, self.n + 1):
+                    ml = self.scheme.canonical_share_for(mu_left, i)
+                    mr = self.scheme.canonical_share_for(mu_right, i)
+                    ll = prep.packed[(batch.batch_id, "left")][i - 1]
+                    rr = prep.packed[(batch.batch_id, "right")][i - 1]
+                    gg = prep.packed[(batch.batch_id, "gamma")][i - 1]
+                    value = (
+                        ml.value * mr.value
+                        + ml.value * rr.value
+                        + mr.value * ll.value
+                        + gg.value
+                    )
+                    # Each party sends exactly one share to P1 (the
+                    # Turbopack single-receiver trick).
+                    meter.record("online", f"party{i}", "mu-share-to-p1", value)
+                    shares.append(
+                        PackedShare(i, value, product_degree, self.k)
+                    )
+                reconstructed = self.scheme.reconstruct(
+                    shares[: product_degree + 1], degree=product_degree
+                )
+                # P1 broadcasts the k reconstructed μ values.
+                meter.record("online", "party1", "mu-broadcast", reconstructed)
+                for slot, w in enumerate(batch.gate_wires):
+                    mu[w] = reconstructed[slot]
+            propagate()
+
+        outputs: dict[str, list[int]] = {}
+        for w in circuit.output_wires:
+            client = circuit.gates[w].client
+            if w not in mu:
+                raise ProtocolAbortError(f"μ for output wire {w} never resolved")
+            value = mu[w] + prep.lambdas[w]
+            meter.record("online", "dealer", "output-lambda", prep.lambdas[w])
+            outputs.setdefault(client, []).append(int(value))
+        return TurbopackResult(
+            outputs=outputs, n=self.n, t=self.t, k=self.k, meter=meter
+        )

@@ -1,0 +1,82 @@
+"""Arithmetic circuits: representation, builder DSL, batching, and a library.
+
+The protocol evaluates layered arithmetic circuits over the plaintext ring;
+multiplication gates are *batched* into groups of ``k`` (the packing factor)
+so a whole batch costs what a single gate costs online (paper §3.1).
+"""
+
+from repro.circuits.circuit import (
+    Circuit,
+    Gate,
+    GateType,
+    CircuitEvaluation,
+)
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.layering import BatchPlan, MultiplicationBatch, InputBatch, plan_batches
+from repro.circuits.bitwise import (
+    comparison_circuit,
+    maximum_circuit,
+    second_price_auction_circuit,
+)
+from repro.circuits.optimize import OptimizationResult, optimize
+from repro.circuits.stats import (
+    BatchEfficiency,
+    CircuitStats,
+    batch_efficiency,
+    best_packing_factor,
+    circuit_stats,
+    estimate_phase_bytes,
+)
+from repro.circuits.serialize import (
+    circuit_from_dict,
+    circuit_to_dict,
+    digest,
+    dumps,
+    loads,
+)
+from repro.circuits.library import (
+    dot_product_circuit,
+    inner_product_sum_circuit,
+    linear_model_circuit,
+    masked_membership_circuit,
+    matrix_vector_circuit,
+    polynomial_eval_circuit,
+    statistics_circuit,
+    random_circuit,
+)
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "CircuitEvaluation",
+    "CircuitBuilder",
+    "BatchPlan",
+    "MultiplicationBatch",
+    "InputBatch",
+    "plan_batches",
+    "comparison_circuit",
+    "maximum_circuit",
+    "second_price_auction_circuit",
+    "OptimizationResult",
+    "optimize",
+    "BatchEfficiency",
+    "CircuitStats",
+    "batch_efficiency",
+    "best_packing_factor",
+    "circuit_stats",
+    "estimate_phase_bytes",
+    "circuit_from_dict",
+    "circuit_to_dict",
+    "digest",
+    "dumps",
+    "loads",
+    "dot_product_circuit",
+    "inner_product_sum_circuit",
+    "linear_model_circuit",
+    "masked_membership_circuit",
+    "matrix_vector_circuit",
+    "polynomial_eval_circuit",
+    "statistics_circuit",
+    "random_circuit",
+]

@@ -1,0 +1,208 @@
+"""Bitwise gadgets: equality, comparison, selection over bit-decomposed inputs.
+
+Arithmetic circuits over a large ring cannot compare field elements
+directly; the standard workaround has clients supply their values *as
+bits* and the circuit (a) constrains each bit (``b·(1−b) = 0`` outputs let
+anyone audit bitness) and (b) computes comparisons with polynomial
+identities:
+
+* equality:   ``eq(a, b)   = Π_i (1 − (a_i − b_i)²)``
+* less-than:  ``lt(a, b)   = Σ_i (1−a_i)·b_i·Π_{j>i} eq_j``   (MSB first)
+* selection:  ``mux(c,x,y) = c·x + (1−c)·y``
+
+These make order-dependent workloads (auctions, maximum, thresholds)
+expressible — the multiplication-heavy, wide circuits the paper's packing
+is built for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+
+def bit_not(b: CircuitBuilder, x: int) -> int:
+    """1 − x for a bit wire."""
+    return b.cadd(1, b.cmul(-1, x))
+
+
+def bit_and(b: CircuitBuilder, x: int, y: int) -> int:
+    return b.mul(x, y)
+
+
+def bit_or(b: CircuitBuilder, x: int, y: int) -> int:
+    """x + y − x·y."""
+    return b.sub(b.add(x, y), b.mul(x, y))
+
+
+def bit_xor(b: CircuitBuilder, x: int, y: int) -> int:
+    """x + y − 2·x·y."""
+    return b.sub(b.add(x, y), b.cmul(2, b.mul(x, y)))
+
+
+def bits_equal(b: CircuitBuilder, x: int, y: int) -> int:
+    """1 iff the two bit wires agree: 1 − (x − y)²."""
+    diff = b.sub(x, y)
+    return bit_not(b, b.mul(diff, diff))
+
+
+def equality(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> int:
+    """1 iff the two bit vectors are equal (any common length)."""
+    if len(xs) != len(ys) or not xs:
+        raise CircuitError("equality needs two equal-length non-empty vectors")
+    acc = bits_equal(b, xs[0], ys[0])
+    for x, y in zip(xs[1:], ys[1:]):
+        acc = b.mul(acc, bits_equal(b, x, y))
+    return acc
+
+
+def less_than(b: CircuitBuilder, xs: Sequence[int], ys: Sequence[int]) -> int:
+    """1 iff value(xs) < value(ys); both MSB-first bit vectors."""
+    if len(xs) != len(ys) or not xs:
+        raise CircuitError("less_than needs two equal-length non-empty vectors")
+    result: int | None = None
+    prefix_equal: int | None = None
+    for x, y in zip(xs, ys):
+        here = b.mul(bit_not(b, x), y)  # x=0, y=1 at this position
+        term = here if prefix_equal is None else b.mul(prefix_equal, here)
+        result = term if result is None else b.add(result, term)
+        eq_here = bits_equal(b, x, y)
+        prefix_equal = (
+            eq_here if prefix_equal is None else b.mul(prefix_equal, eq_here)
+        )
+    assert result is not None
+    return result
+
+
+def mux(b: CircuitBuilder, condition: int, if_true: int, if_false: int) -> int:
+    """condition·if_true + (1−condition)·if_false (condition must be a bit)."""
+    return b.add(
+        b.mul(condition, if_true), b.mul(bit_not(b, condition), if_false)
+    )
+
+
+def from_bits(b: CircuitBuilder, bits: Sequence[int]) -> int:
+    """Recompose an MSB-first bit vector into its integer value."""
+    if not bits:
+        raise CircuitError("from_bits needs at least one bit")
+    acc = bits[0]
+    for bit in bits[1:]:
+        acc = b.add(b.cmul(2, acc), bit)
+    return acc
+
+
+def bitness_checks(b: CircuitBuilder, bits: Sequence[int]) -> list[int]:
+    """Wires that are 0 iff each input really is a bit: b·(b−1)."""
+    return [b.mul(x, b.cadd(-1, x)) for x in bits]
+
+
+# ---------------------------------------------------------------------------
+# Ready-made comparison workloads
+# ---------------------------------------------------------------------------
+
+
+def comparison_circuit(
+    bits: int, client_x: str = "alice", client_y: str = "bob",
+    recipient: str | None = None,
+) -> Circuit:
+    """Outputs [x < y, x == y] for two private ``bits``-bit values."""
+    if bits < 1:
+        raise CircuitError("need at least one bit")
+    b = CircuitBuilder()
+    xs = b.inputs(client_x, bits)
+    ys = b.inputs(client_y, bits)
+    target = recipient or client_x
+    b.output(less_than(b, xs, ys), target)
+    b.output(equality(b, xs, ys), target)
+    return b.build()
+
+
+def maximum_circuit(
+    bits: int, clients: Sequence[str], recipient: str = "auctioneer"
+) -> Circuit:
+    """The maximum of each client's private ``bits``-bit value.
+
+    Outputs the maximum value followed by one indicator bit per client
+    ("is this client's value equal to the maximum?") — ties give multiple
+    indicators, resolved by the recipient.
+    """
+    if len(clients) < 2:
+        raise CircuitError("maximum needs at least two clients")
+    b = CircuitBuilder()
+    all_bits = {c: b.inputs(c, bits) for c in clients}
+    values = {c: from_bits(b, all_bits[c]) for c in clients}
+    # Tournament fold over (value, bits) pairs using bitwise comparison.
+    best_bits = all_bits[clients[0]]
+    best_value = values[clients[0]]
+    for c in clients[1:]:
+        is_less = less_than(b, best_bits, all_bits[c])
+        best_value = mux(b, is_less, values[c], best_value)
+        best_bits = [
+            mux(b, is_less, nb, ob) for nb, ob in zip(all_bits[c], best_bits)
+        ]
+    b.output(best_value, recipient)
+    for c in clients:
+        b.output(equality(b, all_bits[c], best_bits), recipient)
+    return b.build()
+
+
+def second_price_auction_circuit(
+    bits: int, bidders: Sequence[str], recipient: str = "auctioneer"
+) -> Circuit:
+    """A sealed-bid second-price (Vickrey) auction.
+
+    Outputs: the price (the highest bid *excluding one winner*), then one
+    winner-indicator bit per bidder.  With tied top bids several indicators
+    are set and the price equals the top bid — the correct Vickrey price.
+
+    Construction: a bitwise maximum fold finds the winning bid; prefix
+    selection picks exactly one winner (the first bidder matching it);
+    that bidder's bits are masked to zero and a second maximum fold over
+    the masked vectors yields the price.
+    """
+    if len(bidders) < 2:
+        raise CircuitError("an auction needs at least two bidders")
+    b = CircuitBuilder()
+    all_bits = {c: b.inputs(c, bits) for c in bidders}
+
+    # Pass 1: the winning bid, bit by bit.
+    best_bits = all_bits[bidders[0]]
+    for c in bidders[1:]:
+        is_less = less_than(b, best_bits, all_bits[c])
+        best_bits = [
+            mux(b, is_less, nb, ob) for nb, ob in zip(all_bits[c], best_bits)
+        ]
+
+    # Winner indicators, and prefix-selection of exactly one winner:
+    # sel_i = flag_i · Π_{j<i} (1 − flag_j).
+    winner_flags = [equality(b, all_bits[c], best_bits) for c in bidders]
+    selections = []
+    none_before: int | None = None
+    for flag in winner_flags:
+        sel = flag if none_before is None else b.mul(none_before, flag)
+        selections.append(sel)
+        not_flag = bit_not(b, flag)
+        none_before = (
+            not_flag if none_before is None else b.mul(none_before, not_flag)
+        )
+
+    # Pass 2: maximum over the bids with the selected winner zeroed out.
+    def masked(c: str, sel: int) -> list[int]:
+        keep = bit_not(b, sel)
+        return [b.mul(keep, bw) for bw in all_bits[c]]
+
+    second_bits = masked(bidders[0], selections[0])
+    for c, sel in zip(bidders[1:], selections[1:]):
+        candidate = masked(c, sel)
+        is_less = less_than(b, second_bits, candidate)
+        second_bits = [
+            mux(b, is_less, cb, sb) for cb, sb in zip(candidate, second_bits)
+        ]
+
+    b.output(from_bits(b, second_bits), recipient)
+    for flag in winner_flags:
+        b.output(flag, recipient)
+    return b.build()

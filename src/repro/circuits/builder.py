@@ -1,0 +1,122 @@
+"""Fluent construction of arithmetic circuits.
+
+Example::
+
+    b = CircuitBuilder()
+    x = b.input("alice")
+    y = b.input("bob")
+    z = b.mul(b.add(x, y), b.cmul(3, x))
+    b.output(z, "alice")
+    circuit = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.circuit import Circuit, Gate, GateType
+from repro.errors import CircuitError
+
+
+class CircuitBuilder:
+    """Accumulates gates; wire handles are plain ints."""
+
+    def __init__(self):
+        self._gates: list[Gate] = []
+
+    def _push(self, gate: Gate) -> int:
+        self._gates.append(gate)
+        return len(self._gates) - 1
+
+    def _check_wire(self, wire: int) -> None:
+        if not 0 <= wire < len(self._gates):
+            raise CircuitError(f"unknown wire {wire}")
+        if self._gates[wire].kind is GateType.OUTPUT:
+            raise CircuitError(f"wire {wire} is an output; cannot be read")
+
+    # -- gate constructors ---------------------------------------------------
+
+    def input(self, client: str) -> int:
+        """A fresh input wire belonging to ``client``."""
+        return self._push(Gate(GateType.INPUT, client=client))
+
+    def inputs(self, client: str, count: int) -> list[int]:
+        return [self.input(client) for _ in range(count)]
+
+    def add(self, a: int, b: int) -> int:
+        self._check_wire(a)
+        self._check_wire(b)
+        return self._push(Gate(GateType.ADD, (a, b)))
+
+    def sub(self, a: int, b: int) -> int:
+        self._check_wire(a)
+        self._check_wire(b)
+        return self._push(Gate(GateType.SUB, (a, b)))
+
+    def cadd(self, constant: int, a: int) -> int:
+        self._check_wire(a)
+        return self._push(Gate(GateType.CADD, (a,), constant=int(constant)))
+
+    def cmul(self, constant: int, a: int) -> int:
+        self._check_wire(a)
+        return self._push(Gate(GateType.CMUL, (a,), constant=int(constant)))
+
+    def mul(self, a: int, b: int) -> int:
+        self._check_wire(a)
+        self._check_wire(b)
+        return self._push(Gate(GateType.MUL, (a, b)))
+
+    def square(self, a: int) -> int:
+        return self.mul(a, a)
+
+    def output(self, wire: int, client: str) -> int:
+        self._check_wire(wire)
+        return self._push(Gate(GateType.OUTPUT, (wire,), client=client))
+
+    # -- composite helpers -------------------------------------------------
+
+    def sum(self, wires: Sequence[int]) -> int:
+        """Balanced addition tree over ``wires``."""
+        if not wires:
+            raise CircuitError("sum of no wires")
+        level = list(wires)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.add(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def dot(self, xs: Sequence[int], ys: Sequence[int]) -> int:
+        """Inner product Σ x_i·y_i."""
+        if len(xs) != len(ys):
+            raise CircuitError(f"dot: length mismatch {len(xs)} vs {len(ys)}")
+        return self.sum([self.mul(x, y) for x, y in zip(xs, ys)])
+
+    def linear_combination(
+        self, coefficients: Sequence[int], wires: Sequence[int]
+    ) -> int:
+        if len(coefficients) != len(wires):
+            raise CircuitError("linear_combination: length mismatch")
+        return self.sum([self.cmul(c, w) for c, w in zip(coefficients, wires)])
+
+    def power(self, wire: int, exponent: int) -> int:
+        """``wire^exponent`` by square-and-multiply (exponent >= 1)."""
+        if exponent < 1:
+            raise CircuitError("power wants exponent >= 1")
+        result: int | None = None
+        base = wire
+        e = exponent
+        while e:
+            if e & 1:
+                result = base if result is None else self.mul(result, base)
+            e >>= 1
+            if e:
+                base = self.square(base)
+        assert result is not None
+        return result
+
+    def build(self) -> Circuit:
+        return Circuit(self._gates)

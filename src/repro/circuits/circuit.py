@@ -1,0 +1,207 @@
+"""Arithmetic-circuit representation and plaintext evaluation.
+
+A :class:`Circuit` is a list of :class:`Gate` records in topological order;
+wire ``w`` is the output of gate ``w`` (single-assignment).  Gate types:
+
+=========  =====================================  ====================
+type       semantics                              mask rule (λ^γ)
+=========  =====================================  ====================
+INPUT      value supplied by ``client``           fresh random
+ADD        ``v_a + v_b``                          ``λ_a + λ_b``
+SUB        ``v_a − v_b``                          ``λ_a − λ_b``
+CADD       ``v_a + constant``                     ``λ_a``
+CMUL       ``v_a · constant``                     ``λ_a · constant``
+MUL        ``v_a · v_b``                          fresh random
+OUTPUT     exposes ``v_a`` to ``client``          (inherits ``λ_a``)
+=========  =====================================  ====================
+
+The "mask rule" column is the Turbopack wire-mask propagation the offline
+phase implements homomorphically (paper §3.1/§5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import CircuitError
+from repro.fields import Zmod, ZmodElement
+
+
+class GateType(enum.Enum):
+    INPUT = "input"
+    ADD = "add"
+    SUB = "sub"
+    CADD = "cadd"
+    CMUL = "cmul"
+    MUL = "mul"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate; its output wire id equals its index in the circuit."""
+
+    kind: GateType
+    inputs: tuple[int, ...] = ()
+    constant: int | None = None
+    client: str | None = None
+
+    def __post_init__(self):
+        arity = {
+            GateType.INPUT: 0,
+            GateType.ADD: 2,
+            GateType.SUB: 2,
+            GateType.CADD: 1,
+            GateType.CMUL: 1,
+            GateType.MUL: 2,
+            GateType.OUTPUT: 1,
+        }[self.kind]
+        if len(self.inputs) != arity:
+            raise CircuitError(
+                f"{self.kind.value} gate needs {arity} inputs, got {len(self.inputs)}"
+            )
+        if self.kind in (GateType.CADD, GateType.CMUL) and self.constant is None:
+            raise CircuitError(f"{self.kind.value} gate needs a constant")
+        if self.kind in (GateType.INPUT, GateType.OUTPUT) and not self.client:
+            raise CircuitError(f"{self.kind.value} gate needs a client id")
+
+
+@dataclass(frozen=True)
+class CircuitEvaluation:
+    """Plaintext evaluation result: every wire value plus per-client outputs."""
+
+    wire_values: tuple[ZmodElement, ...]
+    outputs: Mapping[str, tuple[ZmodElement, ...]]
+
+
+class Circuit:
+    """An immutable arithmetic circuit (build with :class:`CircuitBuilder`)."""
+
+    def __init__(self, gates: Sequence[Gate]):
+        self.gates: tuple[Gate, ...] = tuple(gates)
+        self._validate()
+        self.input_wires: tuple[int, ...] = tuple(
+            w for w, g in enumerate(self.gates) if g.kind is GateType.INPUT
+        )
+        self.output_wires: tuple[int, ...] = tuple(
+            w for w, g in enumerate(self.gates) if g.kind is GateType.OUTPUT
+        )
+        self.multiplication_wires: tuple[int, ...] = tuple(
+            w for w, g in enumerate(self.gates) if g.kind is GateType.MUL
+        )
+
+    def _validate(self) -> None:
+        if not self.gates:
+            raise CircuitError("empty circuit")
+        for w, gate in enumerate(self.gates):
+            for src in gate.inputs:
+                if not 0 <= src < w:
+                    raise CircuitError(
+                        f"gate {w} reads wire {src}, violating topological order"
+                    )
+                if self.gates[src].kind is GateType.OUTPUT:
+                    raise CircuitError(f"gate {w} reads an OUTPUT wire {src}")
+
+    # -- shape queries -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    @property
+    def n_multiplications(self) -> int:
+        return len(self.multiplication_wires)
+
+    @property
+    def n_inputs(self) -> int:
+        return len(self.input_wires)
+
+    @property
+    def n_outputs(self) -> int:
+        return len(self.output_wires)
+
+    def input_clients(self) -> list[str]:
+        """Clients contributing inputs, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for w in self.input_wires:
+            seen.setdefault(self.gates[w].client, None)  # type: ignore[arg-type]
+        return list(seen)
+
+    def output_clients(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for w in self.output_wires:
+            seen.setdefault(self.gates[w].client, None)  # type: ignore[arg-type]
+        return list(seen)
+
+    def inputs_of_client(self, client: str) -> list[int]:
+        return [w for w in self.input_wires if self.gates[w].client == client]
+
+    def outputs_of_client(self, client: str) -> list[int]:
+        return [w for w in self.output_wires if self.gates[w].client == client]
+
+    def depths(self) -> list[int]:
+        """Multiplicative depth of every wire (MUL gates increment)."""
+        depth = [0] * len(self.gates)
+        for w, gate in enumerate(self.gates):
+            src = max((depth[s] for s in gate.inputs), default=0)
+            depth[w] = src + 1 if gate.kind is GateType.MUL else src
+        return depth
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(
+        self, ring: Zmod, inputs: Mapping[str, Sequence[int | ZmodElement]]
+    ) -> CircuitEvaluation:
+        """Reference plaintext evaluation (the MPC's ground truth in tests).
+
+        ``inputs[client]`` lists the client's input values in the order its
+        INPUT gates appear.
+        """
+        cursors = {client: 0 for client in inputs}
+        values: list[ZmodElement] = []
+        outputs: dict[str, list[ZmodElement]] = {}
+        for w, gate in enumerate(self.gates):
+            if gate.kind is GateType.INPUT:
+                client = gate.client or ""
+                if client not in inputs:
+                    raise CircuitError(f"no inputs supplied for client {client!r}")
+                idx = cursors[client]
+                supplied = inputs[client]
+                if idx >= len(supplied):
+                    raise CircuitError(
+                        f"client {client!r} supplied {len(supplied)} inputs, needs more"
+                    )
+                values.append(ring.element(supplied[idx]))
+                cursors[client] = idx + 1
+            elif gate.kind is GateType.ADD:
+                values.append(values[gate.inputs[0]] + values[gate.inputs[1]])
+            elif gate.kind is GateType.SUB:
+                values.append(values[gate.inputs[0]] - values[gate.inputs[1]])
+            elif gate.kind is GateType.CADD:
+                values.append(values[gate.inputs[0]] + ring.element(gate.constant))
+            elif gate.kind is GateType.CMUL:
+                values.append(values[gate.inputs[0]] * ring.element(gate.constant))
+            elif gate.kind is GateType.MUL:
+                values.append(values[gate.inputs[0]] * values[gate.inputs[1]])
+            elif gate.kind is GateType.OUTPUT:
+                value = values[gate.inputs[0]]
+                values.append(value)
+                outputs.setdefault(gate.client or "", []).append(value)
+            else:  # pragma: no cover - enum is exhaustive
+                raise CircuitError(f"unknown gate type {gate.kind}")
+        for client, supplied in inputs.items():
+            if cursors.get(client, 0) != len(supplied):
+                raise CircuitError(
+                    f"client {client!r} supplied {len(supplied)} inputs, "
+                    f"circuit consumed {cursors.get(client, 0)}"
+                )
+        return CircuitEvaluation(
+            tuple(values), {c: tuple(v) for c, v in outputs.items()}
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(gates={len(self.gates)}, inputs={self.n_inputs}, "
+            f"muls={self.n_multiplications}, outputs={self.n_outputs})"
+        )

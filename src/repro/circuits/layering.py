@@ -1,0 +1,107 @@
+"""Batching multiplications and inputs into packed groups of k.
+
+The online phase evaluates multiplication gates in *batches* of up to ``k``
+gates of equal multiplicative depth: one packed sharing per batch carries
+the masks of all k gates, so the whole batch costs one gate's communication
+(paper §3.1).  Inputs are likewise grouped per client.
+
+Batches shorter than ``k`` are padded implicitly: slot count is always
+``k``, and the protocol layers treat missing slots as value-0 wires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.circuits.circuit import Circuit, GateType
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class InputBatch:
+    """Up to k input wires of one client, packed into one sharing."""
+
+    batch_id: int
+    client: str
+    wires: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MultiplicationBatch:
+    """Up to k multiplication gates of equal depth, evaluated together."""
+
+    batch_id: int
+    depth: int
+    gate_wires: tuple[int, ...]
+    left_wires: tuple[int, ...]
+    right_wires: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The complete packing layout of a circuit for a given k."""
+
+    k: int
+    input_batches: tuple[InputBatch, ...]
+    mul_batches: tuple[MultiplicationBatch, ...]
+    #: wire -> (mul batch id, slot)
+    mul_slot_of_wire: Mapping[int, tuple[int, int]]
+    #: wire -> (input batch id, slot)
+    input_slot_of_wire: Mapping[int, tuple[int, int]]
+
+    @property
+    def n_batches(self) -> int:
+        return len(self.input_batches) + len(self.mul_batches)
+
+    def batches_by_depth(self) -> dict[int, list[MultiplicationBatch]]:
+        by_depth: dict[int, list[MultiplicationBatch]] = {}
+        for batch in self.mul_batches:
+            by_depth.setdefault(batch.depth, []).append(batch)
+        return by_depth
+
+
+def plan_batches(circuit: Circuit, k: int) -> BatchPlan:
+    """Compute the packing layout: input batches per client, mul batches per depth."""
+    if k < 1:
+        raise CircuitError(f"packing factor must be >= 1, got {k}")
+    depths = circuit.depths()
+
+    input_batches: list[InputBatch] = []
+    input_slot: dict[int, tuple[int, int]] = {}
+    next_id = 0
+    for client in circuit.input_clients():
+        wires = circuit.inputs_of_client(client)
+        for start in range(0, len(wires), k):
+            chunk = tuple(wires[start : start + k])
+            for slot, w in enumerate(chunk):
+                input_slot[w] = (next_id, slot)
+            input_batches.append(InputBatch(next_id, client, chunk))
+            next_id += 1
+
+    mul_batches: list[MultiplicationBatch] = []
+    mul_slot: dict[int, tuple[int, int]] = {}
+    by_depth: dict[int, list[int]] = {}
+    for w in circuit.multiplication_wires:
+        by_depth.setdefault(depths[w], []).append(w)
+    next_id = 0
+    for depth in sorted(by_depth):
+        wires = by_depth[depth]
+        for start in range(0, len(wires), k):
+            chunk = tuple(wires[start : start + k])
+            left = tuple(circuit.gates[w].inputs[0] for w in chunk)
+            right = tuple(circuit.gates[w].inputs[1] for w in chunk)
+            for slot, w in enumerate(chunk):
+                mul_slot[w] = (next_id, slot)
+            mul_batches.append(
+                MultiplicationBatch(next_id, depth, chunk, left, right)
+            )
+            next_id += 1
+
+    return BatchPlan(
+        k=k,
+        input_batches=tuple(input_batches),
+        mul_batches=tuple(mul_batches),
+        mul_slot_of_wire=mul_slot,
+        input_slot_of_wire=input_slot,
+    )

@@ -1,0 +1,170 @@
+"""A library of ready-made circuits for the example workloads.
+
+These are the kinds of wide, multiplication-rich circuits the paper's
+introduction motivates (large-scale distributed computations on a
+blockchain): inner products, linear-model inference, private statistics,
+masked set membership, and random circuits for differential testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+
+def dot_product_circuit(
+    length: int, client_x: str = "alice", client_y: str = "bob",
+    recipient: str | None = None,
+) -> Circuit:
+    """⟨x, y⟩ with x from one client and y from another."""
+    b = CircuitBuilder()
+    xs = b.inputs(client_x, length)
+    ys = b.inputs(client_y, length)
+    b.output(b.dot(xs, ys), recipient or client_x)
+    return b.build()
+
+
+def inner_product_sum_circuit(
+    n_clients: int, length: int, recipient: str = "aggregator"
+) -> Circuit:
+    """Σ_clients ⟨x_c, w⟩ — federated-style aggregation of per-client scores.
+
+    Client 0 ("model") supplies the weight vector w; every other client
+    supplies a feature vector; the recipient learns the aggregate score.
+    """
+    if n_clients < 2:
+        raise CircuitError("need the model owner plus at least one data client")
+    b = CircuitBuilder()
+    weights = b.inputs("model", length)
+    scores = []
+    for c in range(1, n_clients):
+        xs = b.inputs(f"client{c}", length)
+        scores.append(b.dot(xs, weights))
+    b.output(b.sum(scores), recipient)
+    return b.build()
+
+
+def linear_model_circuit(
+    n_features: int, owner: str = "model", subject: str = "subject"
+) -> Circuit:
+    """Private linear-model inference: w·x + b, weights and input both secret."""
+    b = CircuitBuilder()
+    weights = b.inputs(owner, n_features)
+    bias = b.input(owner)
+    xs = b.inputs(subject, n_features)
+    score = b.add(b.dot(weights, xs), bias)
+    b.output(score, subject)
+    return b.build()
+
+
+def matrix_vector_circuit(
+    rows: int, cols: int, matrix_client: str = "alice", vector_client: str = "bob",
+    recipient: str | None = None,
+) -> Circuit:
+    """M·x with the matrix from one client and the vector from another."""
+    b = CircuitBuilder()
+    matrix = [b.inputs(matrix_client, cols) for _ in range(rows)]
+    vector = b.inputs(vector_client, cols)
+    target = recipient or vector_client
+    for row in matrix:
+        b.output(b.dot(row, vector), target)
+    return b.build()
+
+
+def polynomial_eval_circuit(
+    degree: int, poly_client: str = "alice", point_client: str = "bob",
+) -> Circuit:
+    """Evaluate a secret polynomial at a secret point (Horner form)."""
+    if degree < 1:
+        raise CircuitError("degree must be >= 1")
+    b = CircuitBuilder()
+    coefficients = b.inputs(poly_client, degree + 1)  # c_degree .. c_0
+    x = b.input(point_client)
+    acc = coefficients[0]
+    for c in coefficients[1:]:
+        acc = b.add(b.mul(acc, x), c)
+    b.output(acc, point_client)
+    return b.build()
+
+
+def masked_membership_circuit(
+    set_size: int, holder: str = "alice", prober: str = "bob",
+) -> Circuit:
+    """Masked set membership: output r·Π(q − a_i), zero iff q ∈ {a_i}.
+
+    The set holder additionally supplies the random mask r, so a non-member
+    query yields a uniformly random nonzero-looking value — the standard
+    arithmetic-circuit PSI-membership gadget.
+    """
+    if set_size < 1:
+        raise CircuitError("set must be non-empty")
+    b = CircuitBuilder()
+    elements = b.inputs(holder, set_size)
+    mask = b.input(holder)
+    q = b.input(prober)
+    acc = mask
+    for a in elements:
+        acc = b.mul(acc, b.sub(q, a))
+    b.output(acc, prober)
+    return b.build()
+
+
+def statistics_circuit(
+    n_parties: int, recipient: str = "analyst"
+) -> Circuit:
+    """Private sum and scaled second moment over one value per party.
+
+    Outputs ``S = Σ x_i`` and ``Q = n·Σ x_i²``; the analyst post-processes
+    variance as ``(Q − S²)/n²`` in the clear (division stays outside the
+    circuit, the standard trick for fixed denominators).
+    """
+    if n_parties < 2:
+        raise CircuitError("statistics need at least two parties")
+    b = CircuitBuilder()
+    xs = [b.input(f"party{i}") for i in range(n_parties)]
+    total = b.sum(xs)
+    squares = b.sum([b.square(x) for x in xs])
+    b.output(total, recipient)
+    b.output(b.cmul(n_parties, squares), recipient)
+    return b.build()
+
+
+def random_circuit(
+    rng: random.Random,
+    n_inputs: int = 4,
+    n_gates: int = 20,
+    n_clients: int = 2,
+    value_bound: int = 1000,
+) -> Circuit:
+    """A random well-formed circuit for differential testing.
+
+    Every intermediate value stays reachable; the final wire (plus a couple
+    of random ones) is output to ``client0``.
+    """
+    if n_inputs < 1 or n_gates < 1:
+        raise CircuitError("need at least one input and one gate")
+    b = CircuitBuilder()
+    wires = [
+        b.input(f"client{i % n_clients}") for i in range(n_inputs)
+    ]
+    for _ in range(n_gates):
+        op = rng.choice(["add", "sub", "mul", "mul", "cadd", "cmul"])
+        a = rng.choice(wires)
+        if op == "add":
+            wires.append(b.add(a, rng.choice(wires)))
+        elif op == "sub":
+            wires.append(b.sub(a, rng.choice(wires)))
+        elif op == "mul":
+            wires.append(b.mul(a, rng.choice(wires)))
+        elif op == "cadd":
+            wires.append(b.cadd(rng.randrange(-value_bound, value_bound), a))
+        else:
+            wires.append(b.cmul(rng.randrange(-value_bound, value_bound), a))
+    b.output(wires[-1], "client0")
+    for w in rng.sample(wires, min(2, len(wires))):
+        b.output(w, "client0")
+    return b.build()

@@ -1,0 +1,222 @@
+"""Circuit optimization passes.
+
+Multiplications are the only gates that cost communication, so shrinking
+the circuit before planning batches directly shrinks the protocol's bill.
+Three classic passes, all semantics-preserving over any ring:
+
+* **constant folding** — gates whose operands are compile-time constants
+  (including algebraic identities ``x·0 = 0``, ``x·1 = x``, ``x+0 = x``,
+  ``x−x = 0``) are rewritten to constant chains on existing wires;
+* **common-subexpression elimination** — structurally identical gates are
+  merged (the builder's single-assignment form makes this a dictionary
+  lookup);
+* **dead-gate elimination** — gates no output transitively depends on are
+  dropped.
+
+:func:`optimize` runs them to a fixed point and returns the new circuit
+plus a wire remapping for callers holding old wire ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit, Gate, GateType
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    circuit: Circuit
+    wire_map: dict[int, int]       # old wire id -> new wire id
+    gates_removed: int
+    multiplications_removed: int
+
+
+def optimize(circuit: Circuit) -> OptimizationResult:
+    """Run folding + CSE + dead-code elimination to a fixed point."""
+    gates = list(circuit.gates)
+    wire_map = {w: w for w in range(len(gates))}
+    # Iterate to a structural fixed point: stop when a sweep reproduces the
+    # same gate list (some rewrites re-canonicalize in place, so the
+    # rules' own "changed" flag is not a termination signal).  The sweep
+    # count is bounded anyway: every productive sweep removes a gate.
+    for _ in range(len(gates) + 2):
+        before = [(g.kind, g.inputs, g.constant, g.client) for g in gates]
+        gates2, map2, _ = _fold_and_cse(gates)
+        wire_map = {old: map2[new] for old, new in wire_map.items()}
+        gates = gates2
+        after = [(g.kind, g.inputs, g.constant, g.client) for g in gates]
+        if after == before:
+            break
+    gates, map3 = _eliminate_dead(gates)
+    wire_map = {old: map3[new] for old, new in wire_map.items() if new in map3}
+    optimized = Circuit(gates)
+    return OptimizationResult(
+        circuit=optimized,
+        wire_map=wire_map,
+        gates_removed=len(circuit.gates) - len(gates),
+        multiplications_removed=(
+            circuit.n_multiplications - optimized.n_multiplications
+        ),
+    )
+
+
+# -- pass 1+2: folding and CSE in one sweep ----------------------------------
+
+
+def _fold_and_cse(gates: list[Gate]) -> tuple[list[Gate], dict[int, int], bool]:
+    """One forward sweep; returns (new gates, old->new map, changed?)."""
+    new_gates: list[Gate] = []
+    remap: dict[int, int] = {}
+    #: constant value of a wire, when statically known
+    const: dict[int, int] = {}
+    #: structural signature -> new wire id (CSE)
+    seen: dict[tuple, int] = {}
+    changed = False
+
+    def push(gate: Gate) -> int:
+        signature = (gate.kind, gate.inputs, gate.constant, gate.client)
+        if gate.kind not in (GateType.INPUT, GateType.OUTPUT) and signature in seen:
+            return seen[signature]
+        new_gates.append(gate)
+        wire = len(new_gates) - 1
+        if gate.kind not in (GateType.INPUT, GateType.OUTPUT):
+            seen[signature] = wire
+        return wire
+
+    def make_constant(value: int, anchor: int) -> int:
+        """A wire carrying a known constant: anchor·0 + value."""
+        zero = push(Gate(GateType.CMUL, (anchor,), constant=0))
+        const[zero] = 0
+        wire = push(Gate(GateType.CADD, (zero,), constant=value))
+        const[wire] = value
+        return wire
+
+    for old, gate in enumerate(gates):
+        inputs = tuple(remap[i] for i in gate.inputs)
+        kind = gate.kind
+
+        if kind is GateType.INPUT:
+            remap[old] = push(gate)
+            continue
+        if kind is GateType.OUTPUT:
+            remap[old] = push(Gate(kind, inputs, client=gate.client))
+            continue
+
+        known = [const.get(i) for i in inputs]
+
+        if kind is GateType.ADD:
+            a, b = inputs
+            if known[0] is not None and known[1] is not None:
+                remap[old] = make_constant(known[0] + known[1], a)
+                changed = True
+                continue
+            if known[0] == 0:
+                remap[old] = b
+                changed = True
+                continue
+            if known[1] == 0:
+                remap[old] = a
+                changed = True
+                continue
+            if known[1] is not None:
+                remap[old] = push(Gate(GateType.CADD, (a,), constant=known[1]))
+                changed = True
+                continue
+            if known[0] is not None:
+                remap[old] = push(Gate(GateType.CADD, (b,), constant=known[0]))
+                changed = True
+                continue
+        elif kind is GateType.SUB:
+            a, b = inputs
+            if a == b:
+                remap[old] = make_constant(0, a)
+                changed = True
+                continue
+            if known[0] is not None and known[1] is not None:
+                remap[old] = make_constant(known[0] - known[1], a)
+                changed = True
+                continue
+            if known[1] == 0:
+                remap[old] = a
+                changed = True
+                continue
+            if known[1] is not None:
+                remap[old] = push(Gate(GateType.CADD, (a,), constant=-known[1]))
+                changed = True
+                continue
+        elif kind is GateType.CADD:
+            (a,) = inputs
+            if gate.constant == 0:
+                remap[old] = a
+                changed = True
+                continue
+            if known[0] is not None:
+                remap[old] = make_constant(known[0] + gate.constant, a)
+                changed = True
+                continue
+        elif kind is GateType.CMUL:
+            (a,) = inputs
+            if gate.constant == 1:
+                remap[old] = a
+                changed = True
+                continue
+            if gate.constant == 0:
+                remap[old] = make_constant(0, a)
+                changed = True
+                continue
+            if known[0] is not None:
+                remap[old] = make_constant(known[0] * gate.constant, a)
+                changed = True
+                continue
+        elif kind is GateType.MUL:
+            a, b = inputs
+            if known[0] is not None:
+                remap[old] = push(Gate(GateType.CMUL, (b,), constant=known[0]))
+                changed = True
+                continue
+            if known[1] is not None:
+                remap[old] = push(Gate(GateType.CMUL, (a,), constant=known[1]))
+                changed = True
+                continue
+
+        before = len(new_gates)
+        wire = push(Gate(kind, inputs, constant=gate.constant, client=gate.client))
+        if len(new_gates) == before:  # CSE hit
+            changed = True
+        remap[old] = wire
+
+    return new_gates, remap, changed
+
+
+# -- pass 3: dead-gate elimination -------------------------------------------
+
+
+def _eliminate_dead(gates: list[Gate]) -> tuple[list[Gate], dict[int, int]]:
+    live: set[int] = set()
+    for w in range(len(gates) - 1, -1, -1):
+        gate = gates[w]
+        if gate.kind is GateType.OUTPUT or w in live:
+            live.add(w)
+            live.update(gate.inputs)
+    # Inputs must survive (removing one would change a client's arity).
+    for w, gate in enumerate(gates):
+        if gate.kind is GateType.INPUT:
+            live.add(w)
+    remap: dict[int, int] = {}
+    new_gates: list[Gate] = []
+    for w, gate in enumerate(gates):
+        if w not in live:
+            continue
+        remapped = Gate(
+            gate.kind,
+            tuple(remap[i] for i in gate.inputs),
+            constant=gate.constant,
+            client=gate.client,
+        )
+        new_gates.append(remapped)
+        remap[w] = len(new_gates) - 1
+    if not new_gates:
+        raise CircuitError("optimization removed every gate")
+    return new_gates, remap

@@ -1,0 +1,78 @@
+"""Circuit (de)serialization to a stable JSON-compatible form.
+
+Circuits are deployment artifacts in the YOSO setting — the *circuit-
+dependent* preprocessing (paper §3.1) means every participant must agree on
+the exact circuit long before inputs exist, so a canonical serialized form
+(and a digest of it) is part of the protocol's public parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.circuits.circuit import Circuit, Gate, GateType
+from repro.errors import CircuitError
+
+FORMAT_VERSION = 1
+
+
+def circuit_to_dict(circuit: Circuit) -> dict[str, Any]:
+    """A JSON-ready description of the circuit."""
+    gates = []
+    for gate in circuit.gates:
+        entry: dict[str, Any] = {"kind": gate.kind.value}
+        if gate.inputs:
+            entry["inputs"] = list(gate.inputs)
+        if gate.constant is not None:
+            entry["constant"] = gate.constant
+        if gate.client is not None:
+            entry["client"] = gate.client
+        gates.append(entry)
+    return {"version": FORMAT_VERSION, "gates": gates}
+
+
+def circuit_from_dict(data: dict[str, Any]) -> Circuit:
+    """Rebuild a circuit; validates structure via the Circuit constructor."""
+    if not isinstance(data, dict) or "gates" not in data:
+        raise CircuitError("malformed circuit document: no 'gates'")
+    if data.get("version") != FORMAT_VERSION:
+        raise CircuitError(
+            f"unsupported circuit format version {data.get('version')!r}"
+        )
+    gates = []
+    for i, entry in enumerate(data["gates"]):
+        try:
+            kind = GateType(entry["kind"])
+        except (KeyError, ValueError) as exc:
+            raise CircuitError(f"gate {i}: bad kind {entry.get('kind')!r}") from exc
+        gates.append(
+            Gate(
+                kind,
+                tuple(entry.get("inputs", ())),
+                constant=entry.get("constant"),
+                client=entry.get("client"),
+            )
+        )
+    return Circuit(gates)
+
+
+def dumps(circuit: Circuit) -> str:
+    """Canonical JSON text (sorted keys, no whitespace variance)."""
+    return json.dumps(
+        circuit_to_dict(circuit), sort_keys=True, separators=(",", ":")
+    )
+
+
+def loads(text: str) -> Circuit:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CircuitError(f"invalid circuit JSON: {exc}") from exc
+    return circuit_from_dict(data)
+
+
+def digest(circuit: Circuit) -> str:
+    """SHA-256 of the canonical serialization — the public circuit id."""
+    return hashlib.sha256(dumps(circuit).encode()).hexdigest()

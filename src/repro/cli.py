@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``       regenerate the paper's Table 1 next to the published values
+``plan C f``     committee planning for a deployment (gap, k, sizes)
+``run``          execute the MPC protocol on a serialized circuit
+``demo``         a self-contained dot-product run
+``extrapolate``  deployment-scale online bytes/gate prediction
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.accounting import (
+    dumps_report,
+    extrapolate_online_per_gate,
+    format_table,
+    report_from_mpc_result,
+)
+from repro.errors import ReproError, SortitionError
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.sortition import TABLE1_PAPER, generate_table1
+
+    ours = {(r.c_param, r.f): r for r in generate_table1()}
+    rows = []
+    for paper in TABLE1_PAPER:
+        mine = ours[(paper.c_param, paper.f)]
+        if paper.feasible:
+            rows.append(
+                (paper.c_param, paper.f,
+                 f"{mine.t}/{paper.t}",
+                 f"{mine.committee_size}/{paper.committee_size}",
+                 f"{mine.committee_size_no_gap}/{paper.committee_size_no_gap}",
+                 f"{mine.epsilon}/{paper.epsilon}",
+                 f"{mine.packing_factor}/{paper.packing_factor}")
+            )
+        else:
+            rows.append((paper.c_param, paper.f, "⊥", "⊥", "⊥", "⊥", "⊥"))
+    print("Table 1 — ours/paper per cell")
+    print(format_table(["C", "f", "t", "c", "c'", "eps", "k"], rows))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.sortition import analyze
+
+    try:
+        g = analyze(args.C, args.f, conservative=args.conservative)
+    except SortitionError as exc:
+        print(f"infeasible: {exc}")
+        return 1
+    print(format_table(
+        ["C", "f", "t", "committee c", "c' (eps=0)", "eps", "k (online win)"],
+        [(args.C, args.f, round(g.t), round(g.committee_size),
+          round(g.committee_size_no_gap), round(g.epsilon, 3),
+          g.packing_factor)],
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.circuits import loads as load_circuit
+    from repro.core import run_mpc
+
+    with open(args.circuit) as fh:
+        circuit = load_circuit(fh.read())
+    with open(args.inputs) as fh:
+        inputs = json.load(fh)
+    if not isinstance(inputs, dict):
+        print("inputs file must map client names to value lists")
+        return 1
+    result = run_mpc(
+        circuit, inputs, n=args.n, epsilon=args.epsilon, seed=args.seed,
+        fail_stop=args.fail_stop,
+    )
+    print(json.dumps(result.outputs, indent=2, sort_keys=True))
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(dumps_report(report_from_mpc_result(result)))
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.circuits import dot_product_circuit
+    from repro.core import run_mpc
+
+    circuit = dot_product_circuit(3)
+    result = run_mpc(
+        circuit, {"alice": [2, 3, 5], "bob": [7, 11, 13]},
+        n=args.n, epsilon=args.epsilon, seed=args.seed,
+    )
+    print(f"parameters: {result.params.describe()}")
+    print(f"outputs:    {result.outputs}")
+    print("phase bytes:", dict(sorted(result.meter.by_phase().items())))
+    return 0
+
+
+def _cmd_extrapolate(args: argparse.Namespace) -> int:
+    per_gate = extrapolate_online_per_gate(
+        args.n, args.epsilon, te_bits=args.te_bits
+    )
+    baseline = extrapolate_online_per_gate(
+        args.n, args.epsilon, gates_per_batch=1, te_bits=args.te_bits
+    )
+    print(format_table(
+        ["n", "eps", "te bits", "ours B/gate", "eps=0 B/gate", "factor"],
+        [(args.n, args.epsilon, args.te_bits, round(per_gate),
+          round(baseline), round(baseline / per_gate))],
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scalable YOSO MPC via packed secret-sharing (PODC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="regenerate Table 1").set_defaults(fn=_cmd_table1)
+
+    plan = sub.add_parser("plan", help="committee planning for (C, f)")
+    plan.add_argument("C", type=int, help="expected committee size")
+    plan.add_argument("f", type=float, help="global corruption ratio")
+    plan.add_argument("--conservative", action="store_true",
+                      help="use the validated Chernoff tail bound")
+    plan.set_defaults(fn=_cmd_plan)
+
+    run = sub.add_parser("run", help="run the protocol on a circuit file")
+    run.add_argument("--circuit", required=True, help="circuit JSON path")
+    run.add_argument("--inputs", required=True, help="inputs JSON path")
+    run.add_argument("--n", type=int, default=6, help="committee size")
+    run.add_argument("--epsilon", type=float, default=0.2, help="the gap")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--fail-stop", action="store_true")
+    run.add_argument("--report", help="write a JSON run report here")
+    run.set_defaults(fn=_cmd_run)
+
+    demo = sub.add_parser("demo", help="self-contained dot-product run")
+    demo.add_argument("--n", type=int, default=6)
+    demo.add_argument("--epsilon", type=float, default=0.2)
+    demo.add_argument("--seed", type=int, default=42)
+    demo.set_defaults(fn=_cmd_demo)
+
+    extra = sub.add_parser(
+        "extrapolate", help="deployment-scale online bytes/gate"
+    )
+    extra.add_argument("n", type=int, help="committee size")
+    extra.add_argument("epsilon", type=float, help="the gap")
+    extra.add_argument("--te-bits", type=int, default=2048)
+    extra.set_defaults(fn=_cmd_extrapolate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,128 @@
+"""Post-hoc transcript auditing.
+
+A YOSO execution leaves a public transcript (the bulletin).  The auditor
+re-checks, from the transcript alone, the structural invariants any
+observer could verify:
+
+* **speak-once**: no sender posted twice;
+* **phase ordering**: setup posts precede offline posts precede online;
+* **committee completeness**: every expected committee posted under its
+  tag, with at least ``n − t − crash_budget`` members present;
+* **tsk custody chain**: resharing sections appear exactly where the
+  protocol hands tsk over, and never inside an online multiplication
+  committee's message (the Keys-For-Future property the paper's Figure 1
+  illustrates).
+
+Auditing consumes only :class:`~repro.core.protocol.MpcResult`'s public
+parts (bulletin + parameters); it never touches secrets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.setup import (
+    OFFLINE_A,
+    OFFLINE_B,
+    OFFLINE_DEC,
+    OFFLINE_R,
+    OFFLINE_REENC,
+    ONLINE_KEYS,
+    ONLINE_OUT,
+    mul_committee_name,
+)
+
+_PHASE_ORDER = {"setup": 0, "offline": 1, "online": 2}
+
+
+@dataclass
+class AuditReport:
+    """Findings of one audit; ``ok`` iff no violations."""
+
+    violations: list[str] = field(default_factory=list)
+    checked_posts: int = 0
+    committees_seen: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def flag(self, message: str) -> None:
+        self.violations.append(message)
+
+
+def audit(result) -> AuditReport:
+    """Audit an :class:`~repro.core.protocol.MpcResult`'s transcript."""
+    report = AuditReport()
+    params = result.params
+    posts = list(result.meter.records)
+    report.checked_posts = len(posts)
+
+    # -- speak-once: every sender appears in at most one phase+committee tag,
+    # and (per committee tag) at most once.  Records are per *section*, so
+    # group by (sender, base tag).
+    seen: dict[tuple[str, str], str] = {}
+    max_phase_seen = 0
+    for record in posts:
+        base_tag = record.tag.split(".", 1)[0]
+        key = (record.sender, base_tag)
+        if key in seen and seen[key] != record.phase:
+            report.flag(
+                f"sender {record.sender} posted under {base_tag} in two phases"
+            )
+        seen[key] = record.phase
+        phase_rank = _PHASE_ORDER.get(record.phase)
+        if phase_rank is None:
+            report.flag(f"unknown phase {record.phase!r}")
+            continue
+        if phase_rank < max_phase_seen:
+            report.flag(
+                f"{record.phase} post by {record.sender} after a later phase"
+            )
+        max_phase_seen = max(max_phase_seen, phase_rank)
+
+    senders_per_committee: dict[str, set[str]] = {}
+    for record in posts:
+        base_tag = record.tag.split(".", 1)[0]
+        senders_per_committee.setdefault(base_tag, set()).add(record.sender)
+    report.committees_seen = {
+        tag: len(senders) for tag, senders in senders_per_committee.items()
+    }
+
+    # -- committee completeness ------------------------------------------------
+    minimum = params.n - params.t - params.fail_stop_budget
+    expected = [OFFLINE_A, OFFLINE_B, OFFLINE_R, OFFLINE_DEC, OFFLINE_REENC,
+                ONLINE_KEYS, ONLINE_OUT]
+    expected += [mul_committee_name(d) for d in result.setup.mul_depths]
+    for name in expected:
+        present = len(senders_per_committee.get(name, ()))
+        if present == 0:
+            report.flag(f"committee {name} never posted")
+        elif present < minimum:
+            report.flag(
+                f"committee {name}: only {present} members posted "
+                f"(need >= {minimum})"
+            )
+
+    # -- tsk custody: resharings exactly where expected -------------------------
+    resharing_tags = {
+        record.tag.split(".", 1)[0]
+        for record in posts
+        if record.tag.endswith(".tsk")
+    }
+    allowed = {OFFLINE_A, OFFLINE_DEC, OFFLINE_REENC, ONLINE_KEYS}
+    for tag in resharing_tags - allowed:
+        report.flag(f"unexpected tsk resharing inside {tag}")
+    for tag in allowed - resharing_tags:
+        report.flag(f"missing tsk resharing from {tag}")
+    for depth in result.setup.mul_depths:
+        if any(
+            record.tag.startswith(mul_committee_name(depth))
+            and "tsk" in record.tag
+            for record in posts
+        ):
+            report.flag(
+                f"online mul committee at depth {depth} touched tsk"
+            )
+
+    return report

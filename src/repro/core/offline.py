@@ -1,0 +1,594 @@
+"""Π_YOSO-Offline: circuit-dependent preprocessing (paper §5.2, Protocol 4).
+
+Five steps across four speaking committees plus public local computation:
+
+1. **Beaver triples** — committees Coff-A and Coff-B jointly produce an
+   encrypted triple ``(c^a, c^b, c^c)`` per multiplication gate
+   (Protocol 3), with plaintext-knowledge / multiplication proofs.
+2. **Random wire masks** — committee Coff-R posts encrypted contributions
+   to ``λ^α`` for every input/multiplication output wire, plus the helper
+   randomness used by the packing step; sums over the verified sets give
+   uniformly random masks.
+3. **Dependent wire masks** — public TEval propagation through
+   addition/constant gates, then for each multiplication gate the
+   committee Coff-dec threshold-decrypts ``ε = λ^α + a`` and
+   ``δ = λ^β + b`` (Protocol 2) and everyone computes the encryption of
+   ``Γ^γ = λ^α·λ^β − λ^γ`` homomorphically.
+4. **Packing** — public: for every batch of k gates, homomorphic Lagrange
+   evaluation turns the k per-wire ciphertexts (+ t helpers at points
+   1..t) into n encrypted *packed shares* of degree t+k−1 (§5.2 Step 4).
+5. **Re-encryption to the future** — committee Coff-reenc re-encrypts each
+   packed share to the Key-For-Future of the online role that will consume
+   it, and each input-wire mask to the input client's KFF (Steps 5–6).
+   This is the step that moves the O(n)-per-value cost *offline* so the
+   online phase stays O(1) per gate.
+
+The tsk hand-off chain (Coff-A → Coff-dec → Coff-reenc → Con-keys) rides
+along inside each committee's single message via
+:mod:`repro.core.resharing`.  Coff-reenc is sampled during the offline
+phase but *speaks at the online boundary* — its resharing targets the first
+online committee, whose role keys exist only then (its other outputs target
+KFFs and never needed online identities; that is the whole point of KFF).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.circuits.circuit import Circuit, GateType
+from repro.circuits.layering import BatchPlan, MultiplicationBatch
+from repro.core.params import ProtocolParams
+from repro.core.reencrypt import (
+    EncryptedPartial,
+    PublicPartial,
+    combine_public,
+    public_decrypt_contribution,
+    reencrypt_contribution,
+)
+from repro.core.resharing import (
+    EncryptedResharing,
+    build_resharing,
+    next_verifications,
+    receive_share,
+    verified_contributors,
+)
+from repro.core.setup import (
+    OFFLINE_A,
+    OFFLINE_B,
+    OFFLINE_DEC,
+    OFFLINE_R,
+    OFFLINE_REENC,
+    ONLINE_KEYS,
+    SetupArtifacts,
+    client_tag,
+    mul_committee_name,
+    role_tag,
+    trivial_zero_ciphertext,
+)
+from repro.errors import ProtocolAbortError
+from repro.fields.lagrange import lagrange_basis_rows
+from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
+from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey
+from repro.paillier.threshold import ThresholdPaillier, teval
+from repro.sharing.packed import secret_slots
+from repro.yoso.committees import Committee
+from repro.yoso.network import ProtocolEnvironment
+
+PACK_KINDS = ("left", "right", "gamma")
+
+
+@dataclass
+class OfflineState:
+    """Everything the preprocessing leaves behind for the online phase."""
+
+    committees: dict[str, Committee]
+    wire_cipher: dict[int, PaillierCiphertext] = field(default_factory=dict)
+    gamma_cipher: dict[int, PaillierCiphertext] = field(default_factory=dict)
+    epsilon_delta: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: (batch_id, kind) -> n encrypted packed shares, index order 1..n
+    packed_cipher: dict[tuple[int, str], list[PaillierCiphertext]] = field(
+        default_factory=dict
+    )
+    #: input wire -> Re-encrypt contributions (target: client KFF)
+    input_bundles: dict[int, list[EncryptedPartial]] = field(default_factory=dict)
+    #: (batch_id, member index, kind) -> contributions (target: role KFF)
+    packed_bundles: dict[tuple[int, int, str], list[EncryptedPartial]] = field(
+        default_factory=dict
+    )
+    #: tsk resharings addressed to the first online committee
+    bridge_resharings: dict[int, EncryptedResharing] = field(default_factory=dict)
+    #: verification keys by epoch: 0 Coff-A, 1 Coff-dec, 2 Coff-reenc, 3 Con-keys
+    verifications: dict[int, dict[int, int]] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation helpers (public computations over bulletin posts)
+# ---------------------------------------------------------------------------
+
+
+def _aggregate_encrypted_contributions(
+    setup: SetupArtifacts,
+    posts: Mapping[int, Mapping],
+    key: str,
+    context_prefix: str,
+) -> PaillierCiphertext | None:
+    """Sum contributions with valid plaintext-knowledge proofs (Step 1/2 glue).
+
+    ``posts[sender]`` is the sender's payload section; entry ``key`` must be
+    ``{"ct": ciphertext, "proof": PlaintextKnowledgeProof}``.  Returns the
+    TEval sum over the verified set, or None if nothing verified.
+    """
+    verified: list[PaillierCiphertext] = []
+    for sender, sections in sorted(posts.items()):
+        entry = sections.get(key)
+        if not isinstance(entry, Mapping):
+            continue
+        ct, proof = entry.get("ct"), entry.get("proof")
+        if not isinstance(ct, PaillierCiphertext) or not isinstance(
+            proof, PlaintextKnowledgeProof
+        ):
+            continue
+        if proof.verify(
+            setup.tpk.paillier, ct, setup.proof_params,
+            context=f"{context_prefix}|{sender}",
+        ):
+            verified.append(ct)
+    if not verified:
+        return None
+    return teval(setup.tpk, verified, [1] * len(verified))
+
+
+def _posts_by_index(env: ProtocolEnvironment, committee: Committee) -> dict[int, dict]:
+    """Latest payload of each committee member, keyed by member index."""
+    out: dict[int, dict] = {}
+    tag = committee.name
+    for sender, payload in env.bulletin.by_sender(tag).items():
+        if not isinstance(payload, dict):
+            continue
+        for role in committee:
+            if str(role.id) == sender:
+                out[role.id.index] = payload
+                break
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The offline phase proper
+# ---------------------------------------------------------------------------
+
+
+def sample_offline_committees(
+    env: ProtocolEnvironment, params: ProtocolParams
+) -> dict[str, Committee]:
+    """Sample the five offline committees (keys known within the phase)."""
+    return {
+        name: env.assignment.sample_committee(name, params.n)
+        for name in (OFFLINE_A, OFFLINE_B, OFFLINE_R, OFFLINE_DEC, OFFLINE_REENC)
+    }
+
+
+def run_offline(
+    env: ProtocolEnvironment,
+    setup: SetupArtifacts,
+    circuit: Circuit,
+    plan: BatchPlan,
+    rng: random.Random,
+    committees: dict[str, Committee] | None = None,
+) -> OfflineState:
+    """Execute Steps 1–4 (Beaver, masks, Γ, packing)."""
+    env.set_phase("offline")
+    params = setup.params
+    tpk = setup.tpk
+    proof_params = setup.proof_params
+
+    if committees is None:
+        committees = sample_offline_committees(env, params)
+    state = OfflineState(committees=committees)
+    state.verifications[0] = dict(setup.tsk_verifications)
+
+    # Hand the setup's tsk shares to the first offline committee as gifts.
+    for share in setup.tsk_shares:
+        committees[OFFLINE_A].role(share.index).add_gift("tsk_share", share)
+
+    mul_wires = list(circuit.multiplication_wires)
+    mask_wires = list(circuit.input_wires) + mul_wires
+    dec_pks = committees[OFFLINE_DEC].public_keys()
+    reenc_pks = committees[OFFLINE_REENC].public_keys()
+
+    # -- Step 1a: committee A — Beaver `a` contributions + tsk resharing -----
+
+    def program_a(view) -> None:
+        contributions = {}
+        for wire in mul_wires:
+            value = setup.ring.random(view.rng)
+            randomness = tpk.paillier.random_unit(view.rng)
+            ct = tpk.encrypt(int(value), randomness=randomness)
+            proof = PlaintextKnowledgeProof.prove(
+                tpk.paillier, ct, int(value), randomness, proof_params, view.rng,
+                context=f"beaver-a|{wire}|{view.index}",
+            )
+            contributions[wire] = {"ct": ct, "proof": proof}
+        resharing = build_resharing(
+            tpk, view.gift("tsk_share"), dec_pks, proof_params, view.rng
+        )
+        view.speak(OFFLINE_A, {"beaver_a": contributions, "tsk": resharing})
+
+    env.run_committee(committees[OFFLINE_A], program_a)
+    posts_a = _posts_by_index(env, committees[OFFLINE_A])
+
+    beaver_a: dict[int, PaillierCiphertext] = {}
+    for wire in mul_wires:
+        sections = {
+            i: {"entry": p.get("beaver_a", {}).get(wire)} for i, p in posts_a.items()
+        }
+        ct = _aggregate_encrypted_contributions(
+            setup, sections, "entry", f"beaver-a|{wire}"
+        )
+        if ct is None:
+            raise ProtocolAbortError(f"no verified Beaver-a contribution for {wire}")
+        beaver_a[wire] = ct
+
+    resharings_a = {
+        i: p["tsk"]
+        for i, p in posts_a.items()
+        if isinstance(p.get("tsk"), EncryptedResharing)
+    }
+    set_a = verified_contributors(
+        tpk, resharings_a, state.verifications[0], dec_pks, proof_params
+    )
+    state.verifications[1] = next_verifications(tpk, resharings_a, set_a)
+
+    # -- Step 1b: committee B — Beaver `b`/`c` contributions ------------------
+
+    def program_b(view) -> None:
+        contributions = {}
+        for wire in mul_wires:
+            b = setup.ring.random(view.rng)
+            randomness = tpk.paillier.random_unit(view.rng)
+            b_ct = tpk.encrypt(int(b), randomness=randomness)
+            c_ct = beaver_a[wire] * int(b)
+            proof = MultiplicationProof.prove(
+                tpk.paillier, beaver_a[wire], b_ct, c_ct, int(b), randomness,
+                proof_params, view.rng,
+                context=f"beaver-b|{wire}|{view.index}",
+            )
+            contributions[wire] = {"b_ct": b_ct, "c_ct": c_ct, "proof": proof}
+        view.speak(OFFLINE_B, {"beaver_b": contributions})
+
+    env.run_committee(committees[OFFLINE_B], program_b)
+    posts_b = _posts_by_index(env, committees[OFFLINE_B])
+
+    beaver_b: dict[int, PaillierCiphertext] = {}
+    beaver_c: dict[int, PaillierCiphertext] = {}
+    for wire in mul_wires:
+        verified_b: list[PaillierCiphertext] = []
+        verified_c: list[PaillierCiphertext] = []
+        for sender, payload in sorted(posts_b.items()):
+            entry = payload.get("beaver_b", {}).get(wire)
+            if not isinstance(entry, Mapping):
+                continue
+            b_ct, c_ct, proof = entry.get("b_ct"), entry.get("c_ct"), entry.get("proof")
+            if not (
+                isinstance(b_ct, PaillierCiphertext)
+                and isinstance(c_ct, PaillierCiphertext)
+                and isinstance(proof, MultiplicationProof)
+            ):
+                continue
+            if proof.verify(
+                tpk.paillier, beaver_a[wire], b_ct, c_ct, proof_params,
+                context=f"beaver-b|{wire}|{sender}",
+            ):
+                verified_b.append(b_ct)
+                verified_c.append(c_ct)
+        if not verified_b:
+            raise ProtocolAbortError(f"no verified Beaver-b contribution for {wire}")
+        beaver_b[wire] = teval(tpk, verified_b, [1] * len(verified_b))
+        beaver_c[wire] = teval(tpk, verified_c, [1] * len(verified_c))
+
+    # -- Step 2: committee R — wire masks + packing helpers -------------------
+
+    n_helpers = params.t  # helpers per pack; one pack per kind per batch
+
+    def program_r(view) -> None:
+        masks = {}
+        for wire in mask_wires:
+            value = setup.ring.random(view.rng)
+            randomness = tpk.paillier.random_unit(view.rng)
+            ct = tpk.encrypt(int(value), randomness=randomness)
+            proof = PlaintextKnowledgeProof.prove(
+                tpk.paillier, ct, int(value), randomness, proof_params, view.rng,
+                context=f"mask|{wire}|{view.index}",
+            )
+            masks[wire] = {"ct": ct, "proof": proof}
+        helpers = {}
+        for batch in plan.mul_batches:
+            for kind in PACK_KINDS:
+                for h in range(n_helpers):
+                    value = setup.ring.random(view.rng)
+                    randomness = tpk.paillier.random_unit(view.rng)
+                    ct = tpk.encrypt(int(value), randomness=randomness)
+                    proof = PlaintextKnowledgeProof.prove(
+                        tpk.paillier, ct, int(value), randomness, proof_params,
+                        view.rng,
+                        context=f"helper|{batch.batch_id}|{kind}|{h}|{view.index}",
+                    )
+                    helpers[(batch.batch_id, kind, h)] = {"ct": ct, "proof": proof}
+        view.speak(OFFLINE_R, {"masks": masks, "helpers": helpers})
+
+    env.run_committee(committees[OFFLINE_R], program_r)
+    posts_r = _posts_by_index(env, committees[OFFLINE_R])
+
+    for wire in mask_wires:
+        sections = {
+            i: {"entry": p.get("masks", {}).get(wire)} for i, p in posts_r.items()
+        }
+        ct = _aggregate_encrypted_contributions(setup, sections, "entry", f"mask|{wire}")
+        if ct is None:
+            raise ProtocolAbortError(f"no verified mask contribution for wire {wire}")
+        state.wire_cipher[wire] = ct
+
+    helper_cipher: dict[tuple[int, str, int], PaillierCiphertext] = {}
+    for batch in plan.mul_batches:
+        for kind in PACK_KINDS:
+            for h in range(n_helpers):
+                key = (batch.batch_id, kind, h)
+                sections = {
+                    i: {"entry": p.get("helpers", {}).get(key)}
+                    for i, p in posts_r.items()
+                }
+                ct = _aggregate_encrypted_contributions(
+                    setup, sections, "entry",
+                    f"helper|{batch.batch_id}|{kind}|{h}",
+                )
+                if ct is None:
+                    raise ProtocolAbortError(f"no verified helper for {key}")
+                helper_cipher[key] = ct
+
+    # -- Step 3a: public mask propagation through linear gates ----------------
+
+    _propagate_linear_masks(setup, circuit, state)
+
+    # -- Step 3b: committee dec — open ε, δ for every multiplication ----------
+
+    eps_cipher = {
+        w: teval(tpk, [state.wire_cipher[circuit.gates[w].inputs[0]], beaver_a[w]], [1, 1])
+        for w in mul_wires
+    }
+    delta_cipher = {
+        w: teval(tpk, [state.wire_cipher[circuit.gates[w].inputs[1]], beaver_b[w]], [1, 1])
+        for w in mul_wires
+    }
+
+    def program_dec(view) -> None:
+        share = receive_share(
+            tpk, view.index, view.secret_key, resharings_a, set_a, previous_epoch=0
+        )
+        partials = {}
+        for wire in mul_wires:
+            partials[wire] = {
+                "eps": public_decrypt_contribution(
+                    tpk, share, eps_cipher[wire], proof_params, view.rng
+                ),
+                "delta": public_decrypt_contribution(
+                    tpk, share, delta_cipher[wire], proof_params, view.rng
+                ),
+            }
+        resharing = build_resharing(tpk, share, reenc_pks, proof_params, view.rng)
+        view.speak(OFFLINE_DEC, {"partials": partials, "tsk": resharing})
+
+    env.run_committee(committees[OFFLINE_DEC], program_dec)
+    posts_dec = _posts_by_index(env, committees[OFFLINE_DEC])
+
+    resharings_dec = {
+        i: p["tsk"]
+        for i, p in posts_dec.items()
+        if isinstance(p.get("tsk"), EncryptedResharing)
+    }
+    set_dec = verified_contributors(
+        tpk, resharings_dec, state.verifications[1], reenc_pks, proof_params
+    )
+    state.verifications[2] = next_verifications(tpk, resharings_dec, set_dec)
+
+    for wire in mul_wires:
+        eps_contribs = [
+            p["partials"][wire]["eps"]
+            for p in posts_dec.values()
+            if isinstance(p.get("partials", {}).get(wire, {}).get("eps"), PublicPartial)
+        ]
+        delta_contribs = [
+            p["partials"][wire]["delta"]
+            for p in posts_dec.values()
+            if isinstance(p.get("partials", {}).get(wire, {}).get("delta"), PublicPartial)
+        ]
+        eps = combine_public(
+            tpk, eps_cipher[wire], eps_contribs, state.verifications[1], proof_params
+        )
+        delta = combine_public(
+            tpk, delta_cipher[wire], delta_contribs, state.verifications[1], proof_params
+        )
+        state.epsilon_delta[wire] = (eps, delta)
+        gate = circuit.gates[wire]
+        left, right = gate.inputs
+        # c^Γ = TEval((c^β, c^a, c^c, c^γ), (ε, −δ, 1, −1))
+        state.gamma_cipher[wire] = teval(
+            tpk,
+            [state.wire_cipher[right], beaver_a[wire], beaver_c[wire],
+             state.wire_cipher[wire]],
+            [eps, -delta, 1, -1],
+        )
+
+    # -- Step 4: public packing into encrypted packed shares ------------------
+
+    _pack_batches(setup, circuit, plan, state, helper_cipher)
+
+    return state
+
+
+def run_reencryption_bridge(
+    env: ProtocolEnvironment,
+    setup: SetupArtifacts,
+    state: OfflineState,
+    circuit: Circuit,
+    plan: BatchPlan,
+    online_keys_pks: Sequence[PaillierPublicKey],
+    rng: random.Random,
+) -> None:
+    """Steps 5–6 + tsk hand-off to the online phase (committee Coff-reenc).
+
+    Runs at the offline/online boundary: the re-encryptions target KFFs
+    (chosen at setup), while the tsk resharing targets the first online
+    committee's role keys, which exist only now.
+    """
+    env.set_phase("offline")
+    tpk = setup.tpk
+    proof_params = setup.proof_params
+    committee = state.committees[OFFLINE_REENC]
+    resharings_dec = {
+        i: p["tsk"]
+        for i, p in _posts_by_index(env, state.committees[OFFLINE_DEC]).items()
+        if isinstance(p.get("tsk"), EncryptedResharing)
+    }
+    set_dec = verified_contributors(
+        tpk, resharings_dec, state.verifications[1],
+        committee.public_keys(), proof_params,
+    )
+
+    input_targets = {
+        wire: setup.kff_for(client_tag(circuit.gates[wire].client)).public_key
+        for wire in circuit.input_wires
+    }
+    packed_targets = {}
+    for batch in plan.mul_batches:
+        name = mul_committee_name(batch.depth)
+        for i in range(1, setup.params.n + 1):
+            for kind in PACK_KINDS:
+                packed_targets[(batch.batch_id, i, kind)] = setup.kff_for(
+                    role_tag(name, i)
+                ).public_key
+
+    def program_reenc(view) -> None:
+        share = receive_share(
+            tpk, view.index, view.secret_key, resharings_dec, set_dec,
+            previous_epoch=1,
+        )
+        input_shares = {
+            wire: reencrypt_contribution(
+                tpk, share, state.wire_cipher[wire], pk, proof_params, view.rng
+            )
+            for wire, pk in input_targets.items()
+        }
+        packed_shares = {
+            key: reencrypt_contribution(
+                tpk, share, state.packed_cipher[(key[0], key[2])][key[1] - 1],
+                pk, proof_params, view.rng,
+            )
+            for key, pk in packed_targets.items()
+        }
+        resharing = build_resharing(
+            tpk, share, list(online_keys_pks), proof_params, view.rng
+        )
+        view.speak(
+            OFFLINE_REENC,
+            {
+                "input_shares": input_shares,
+                "packed_shares": packed_shares,
+                "tsk": resharing,
+            },
+        )
+
+    env.run_committee(committee, program_reenc)
+    posts = _posts_by_index(env, committee)
+
+    for wire in circuit.input_wires:
+        state.input_bundles[wire] = [
+            p["input_shares"][wire]
+            for p in posts.values()
+            if isinstance(p.get("input_shares", {}).get(wire), EncryptedPartial)
+        ]
+    for key in packed_targets:
+        state.packed_bundles[key] = [
+            p["packed_shares"][key]
+            for p in posts.values()
+            if isinstance(p.get("packed_shares", {}).get(key), EncryptedPartial)
+        ]
+    state.bridge_resharings = {
+        i: p["tsk"]
+        for i, p in posts.items()
+        if isinstance(p.get("tsk"), EncryptedResharing)
+    }
+    bridge_set = verified_contributors(
+        tpk, state.bridge_resharings, state.verifications[2],
+        list(online_keys_pks), proof_params,
+    )
+    state.verifications[3] = next_verifications(
+        tpk, state.bridge_resharings, bridge_set
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public local computation helpers
+# ---------------------------------------------------------------------------
+
+
+def _propagate_linear_masks(
+    setup: SetupArtifacts, circuit: Circuit, state: OfflineState
+) -> None:
+    """Extend c^λ from input/mul wires to every wire through linear gates."""
+    tpk = setup.tpk
+    for w, gate in enumerate(circuit.gates):
+        if w in state.wire_cipher:
+            continue
+        if gate.kind is GateType.ADD:
+            a, b = gate.inputs
+            state.wire_cipher[w] = teval(
+                tpk, [state.wire_cipher[a], state.wire_cipher[b]], [1, 1]
+            )
+        elif gate.kind is GateType.SUB:
+            a, b = gate.inputs
+            state.wire_cipher[w] = teval(
+                tpk, [state.wire_cipher[a], state.wire_cipher[b]], [1, -1]
+            )
+        elif gate.kind is GateType.CADD:
+            # λ is unchanged by constant addition (the constant lands in μ).
+            state.wire_cipher[w] = state.wire_cipher[gate.inputs[0]]
+        elif gate.kind is GateType.CMUL:
+            state.wire_cipher[w] = teval(
+                tpk, [state.wire_cipher[gate.inputs[0]]], [gate.constant]
+            )
+        elif gate.kind is GateType.OUTPUT:
+            state.wire_cipher[w] = state.wire_cipher[gate.inputs[0]]
+        # INPUT/MUL wires were filled from committee R's contributions.
+
+
+def _pack_batches(
+    setup: SetupArtifacts,
+    circuit: Circuit,
+    plan: BatchPlan,
+    state: OfflineState,
+    helper_cipher: Mapping[tuple[int, str, int], PaillierCiphertext],
+) -> None:
+    """Step 4: homomorphic Lagrange packing of masks and Γ per batch."""
+    params = setup.params
+    tpk = setup.tpk
+    k, t, n = params.k, params.t, params.n
+    points = secret_slots(k) + list(range(1, t + 1))
+    rows = lagrange_basis_rows(setup.ring, points, targets=list(range(1, n + 1)))
+    zero = trivial_zero_ciphertext(tpk)
+
+    for batch in plan.mul_batches:
+        sources = {
+            "left": [state.wire_cipher[w] for w in batch.left_wires],
+            "right": [state.wire_cipher[w] for w in batch.right_wires],
+            "gamma": [state.gamma_cipher[w] for w in batch.gate_wires],
+        }
+        for kind in PACK_KINDS:
+            values = list(sources[kind])
+            values += [zero] * (k - len(values))  # pad short batches
+            values += [
+                helper_cipher[(batch.batch_id, kind, h)] for h in range(t)
+            ]
+            state.packed_cipher[(batch.batch_id, kind)] = [
+                teval(tpk, values, [int(c) for c in row]) for row in rows
+            ]

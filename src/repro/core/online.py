@@ -1,0 +1,441 @@
+"""Π_YOSO-Online: input, evaluation, and output (paper §5.3, Protocol 5).
+
+Per-depth flow once inputs are known:
+
+* **Future key distribution** — the first online committee (Con-keys) uses
+  its tsk shares to re-encrypt every Key-For-Future secret key to the
+  now-known YOSO role key of its owner, and passes tsk on to the output
+  committee.  After this, tsk is never needed for multiplications.
+* **Input** — each client recovers its KFF, decrypts its wire masks
+  ``λ^α``, and broadcasts ``μ^α = v^α − λ^α``.
+* **Addition/linear gates** — public local computation on μ values.
+* **Multiplication** — for each batch of k gates, each member of the
+  depth's committee decrypts its preprocessed packed shares
+  (λ^α, λ^β, Γ^γ), forms its degree-(k−1) canonical shares of the public
+  μ vectors, and broadcasts the single scalar
+  ``μ^γ_i = μ^α_i·μ^β_i + μ^α_i·λ^β_i + μ^β_i·λ^α_i + Γ^γ_i``
+  with a constant-size correctness proof.  Anyone reconstructs μ^γ from
+  any ``t + 2(k−1) + 1`` verified shares — GOD with O(1) amortized
+  communication per gate.
+* **Output** — the last committee re-encrypts each output-wire mask to the
+  receiving client (Re-encrypt*, no further tsk resharing); the client
+  computes ``v = μ + λ``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.circuits.circuit import Circuit, GateType
+from repro.circuits.layering import BatchPlan, MultiplicationBatch
+from repro.core.offline import OfflineState, PACK_KINDS, _posts_by_index
+from repro.core.oracle import MuShareOracle
+from repro.core.reencrypt import (
+    EncryptedPartial,
+    recover_reencrypted,
+    reencrypt_contribution,
+)
+from repro.core.resharing import (
+    EncryptedResharing,
+    build_resharing,
+    next_verifications,
+    receive_share,
+    verified_contributors,
+)
+from repro.core.setup import (
+    ONLINE_KEYS,
+    ONLINE_OUT,
+    SetupArtifacts,
+    client_tag,
+    mul_committee_name,
+    role_tag,
+)
+from repro.errors import ProtocolAbortError
+from repro.fields.ring import ZmodElement
+from repro.paillier.encoding import safe_chunk_bits, unchunk_integer
+from repro.paillier.paillier import PaillierSecretKey
+from repro.sharing.packed import PackedShamirScheme, PackedShare
+from repro.yoso.committees import Committee
+from repro.yoso.roles import Role
+from repro.yoso.network import ProtocolEnvironment
+
+
+class MuTracker:
+    """Public μ bookkeeping: every observer can maintain this identically."""
+
+    def __init__(self, setup: SetupArtifacts, circuit: Circuit):
+        self.ring = setup.ring
+        self.circuit = circuit
+        self.mu: dict[int, ZmodElement] = {}
+
+    def set(self, wire: int, value: int | ZmodElement) -> None:
+        self.mu[wire] = self.ring.element(value)
+
+    def known(self, wire: int) -> bool:
+        return wire in self.mu
+
+    def get(self, wire: int) -> ZmodElement:
+        if wire not in self.mu:
+            raise ProtocolAbortError(f"μ for wire {wire} not yet public")
+        return self.mu[wire]
+
+    def propagate(self) -> None:
+        """Push μ through linear gates as far as currently possible."""
+        gates = self.circuit.gates
+        for w, gate in enumerate(gates):
+            if w in self.mu:
+                continue
+            if gate.kind is GateType.ADD:
+                a, b = gate.inputs
+                if a in self.mu and b in self.mu:
+                    self.mu[w] = self.mu[a] + self.mu[b]
+            elif gate.kind is GateType.SUB:
+                a, b = gate.inputs
+                if a in self.mu and b in self.mu:
+                    self.mu[w] = self.mu[a] - self.mu[b]
+            elif gate.kind is GateType.CADD:
+                (a,) = gate.inputs
+                if a in self.mu:
+                    # v+c − λ = μ + c: constants land in μ, λ is unchanged.
+                    self.mu[w] = self.mu[a] + self.ring.element(gate.constant)
+            elif gate.kind is GateType.CMUL:
+                (a,) = gate.inputs
+                if a in self.mu:
+                    self.mu[w] = self.mu[a] * self.ring.element(gate.constant)
+            elif gate.kind is GateType.OUTPUT:
+                (a,) = gate.inputs
+                if a in self.mu:
+                    self.mu[w] = self.mu[a]
+
+
+@dataclass
+class OnlineState:
+    """Committees and intermediate results of one online execution.
+
+    Input and output client roles are distinct (the paper's Role^In vs
+    Role^Out): an input role erases its state after speaking, so output
+    delivery must target a fresh role of the same machine.
+    """
+
+    committees: dict[str, Committee]
+    client_roles: dict[str, Role]
+    output_client_roles: dict[str, Role]
+    tracker: MuTracker
+    oracle: MuShareOracle
+    kff_bundles: dict[str, list[list[EncryptedPartial]]] = field(default_factory=dict)
+    out_resharings: dict[int, EncryptedResharing] = field(default_factory=dict)
+    verifications_out: dict[int, int] = field(default_factory=dict)
+    outputs: dict[str, list[int]] = field(default_factory=dict)
+
+
+def sample_online_committees(
+    env: ProtocolEnvironment,
+    setup: SetupArtifacts,
+    circuit: Circuit,
+) -> OnlineState:
+    """Sample every online committee and client role (keys now known)."""
+    committees = {ONLINE_KEYS: env.assignment.sample_committee(ONLINE_KEYS, setup.params.n)}
+    for depth in setup.mul_depths:
+        name = mul_committee_name(depth)
+        committees[name] = env.assignment.sample_committee(name, setup.params.n)
+    committees[ONLINE_OUT] = env.assignment.sample_committee(ONLINE_OUT, setup.params.n)
+    clients = {
+        name: env.assignment.client(client_tag(name))
+        for name in circuit.input_clients()
+    }
+    out_clients = {
+        name: env.assignment.client(f"client-out:{name}")
+        for name in circuit.output_clients()
+    }
+    return OnlineState(
+        committees=committees,
+        client_roles=clients,
+        output_client_roles=out_clients,
+        tracker=MuTracker(setup, circuit),
+        oracle=MuShareOracle(),
+    )
+
+
+def run_online(
+    env: ProtocolEnvironment,
+    setup: SetupArtifacts,
+    offline: OfflineState,
+    online: OnlineState,
+    circuit: Circuit,
+    plan: BatchPlan,
+    inputs: Mapping[str, Sequence[int]],
+    rng: random.Random,
+) -> dict[str, list[int]]:
+    """Execute the full online phase; returns outputs per client."""
+    env.set_phase("online")
+    params = setup.params
+    tpk = setup.tpk
+    proof_params = setup.proof_params
+
+    # ---- Future key distribution (committee Con-keys) -----------------------
+
+    keys_committee = online.committees[ONLINE_KEYS]
+    out_pks = online.committees[ONLINE_OUT].public_keys()
+
+    kff_targets: dict[str, object] = {}
+    for depth in setup.mul_depths:
+        name = mul_committee_name(depth)
+        for i in range(1, params.n + 1):
+            kff_targets[role_tag(name, i)] = online.committees[name].role(i).public_key
+    for client in circuit.input_clients():
+        kff_targets[client_tag(client)] = online.client_roles[client].public_key
+
+    bridge_set = verified_contributors(
+        tpk, offline.bridge_resharings, offline.verifications[2],
+        keys_committee.public_keys(), proof_params,
+    )
+
+    def program_keys(view) -> None:
+        share = receive_share(
+            tpk, view.index, view.secret_key, offline.bridge_resharings,
+            bridge_set, previous_epoch=2,
+        )
+        kff = {
+            tag: [
+                reencrypt_contribution(
+                    tpk, share, chunk_ct, target_pk, proof_params, view.rng
+                )
+                for chunk_ct in setup.kff_for(tag).encrypted_prime
+            ]
+            for tag, target_pk in kff_targets.items()
+        }
+        resharing = build_resharing(tpk, share, out_pks, proof_params, view.rng)
+        view.speak(ONLINE_KEYS, {"kff": kff, "tsk": resharing})
+
+    env.run_committee(keys_committee, program_keys)
+    posts_keys = _posts_by_index(env, keys_committee)
+
+    for tag in kff_targets:
+        n_chunks = len(setup.kff_for(tag).encrypted_prime)
+        online.kff_bundles[tag] = [
+            [
+                p["kff"][tag][chunk]
+                for p in posts_keys.values()
+                if isinstance(p.get("kff", {}).get(tag), list)
+                and len(p["kff"][tag]) == n_chunks
+                and isinstance(p["kff"][tag][chunk], EncryptedPartial)
+            ]
+            for chunk in range(n_chunks)
+        ]
+    online.out_resharings = {
+        i: p["tsk"]
+        for i, p in posts_keys.items()
+        if isinstance(p.get("tsk"), EncryptedResharing)
+    }
+    out_set = verified_contributors(
+        tpk, online.out_resharings, offline.verifications[3], out_pks, proof_params
+    )
+    online.verifications_out = next_verifications(
+        tpk, online.out_resharings, out_set
+    )
+
+    # ---- Input step (clients broadcast μ for their wires) --------------------
+
+    def recover_kff_secret(tag: str, sk: PaillierSecretKey) -> PaillierSecretKey:
+        entry = setup.kff_for(tag)
+        chunk_bits = safe_chunk_bits(tpk.n)
+        limbs = [
+            recover_reencrypted(
+                tpk, chunk_ct, online.kff_bundles[tag][idx], sk,
+                offline.verifications[3], proof_params,
+            )
+            for idx, chunk_ct in enumerate(entry.encrypted_prime)
+        ]
+        return entry.recover_secret(unchunk_integer(limbs, chunk_bits))
+
+    for client in circuit.input_clients():
+        wires = circuit.inputs_of_client(client)
+        supplied = list(inputs.get(client, []))
+        if len(supplied) != len(wires):
+            raise ProtocolAbortError(
+                f"client {client!r} supplied {len(supplied)} inputs, "
+                f"circuit needs {len(wires)}"
+            )
+
+        def program_client(view, client=client, wires=wires, supplied=supplied):
+            kff_sk = recover_kff_secret(client_tag(client), view.secret_key)
+            mu = {}
+            for wire, value in zip(wires, supplied):
+                lam = recover_reencrypted(
+                    tpk, offline.wire_cipher[wire], offline.input_bundles[wire],
+                    kff_sk, offline.verifications[2], proof_params,
+                )
+                mu[wire] = (int(value) - lam) % tpk.n
+            view.speak(f"input:{client}", {"mu": mu})
+
+        env.run_role(online.client_roles[client], program_client)
+        posts = env.bulletin.payloads(f"input:{client}")
+        if posts and isinstance(posts[-1], dict):
+            for wire, value in posts[-1].get("mu", {}).items():
+                if wire in wires and isinstance(value, int):
+                    online.tracker.set(wire, value)
+        # A crashed/silent client's inputs default to the ⊥-style default 0:
+        # μ = −λ is unknowable publicly, so the functionality's default-input
+        # rule is approximated by aborting only that client's wires.
+        for wire in wires:
+            if not online.tracker.known(wire):
+                raise ProtocolAbortError(
+                    f"input client {client!r} failed to publish μ for wire {wire}"
+                )
+
+    online.tracker.propagate()
+
+    # ---- Multiplication committees, one per depth -----------------------------
+
+    scheme = PackedShamirScheme(setup.ring, params.n, params.k)
+    batches_by_depth = plan.batches_by_depth()
+
+    for depth in setup.mul_depths:
+        name = mul_committee_name(depth)
+        committee = online.committees[name]
+        batches = batches_by_depth[depth]
+
+        def program_mul(view, name=name, batches=batches):
+            kff_sk = recover_kff_secret(
+                role_tag(name, view.index), view.secret_key
+            )
+            shares = {}
+            for batch in batches:
+                lam = {}
+                for kind in PACK_KINDS:
+                    key = (batch.batch_id, view.index, kind)
+                    ciphertext = offline.packed_cipher[(batch.batch_id, kind)][
+                        view.index - 1
+                    ]
+                    lam[kind] = setup.ring.element(
+                        recover_reencrypted(
+                            tpk, ciphertext, offline.packed_bundles[key], kff_sk,
+                            offline.verifications[2], proof_params,
+                        )
+                    )
+                mu_left = _padded_mu(online.tracker, batch.left_wires, params.k)
+                mu_right = _padded_mu(online.tracker, batch.right_wires, params.k)
+                mu_l_i = scheme.canonical_share_for(mu_left, view.index).value
+                mu_r_i = scheme.canonical_share_for(mu_right, view.index).value
+                value = (
+                    mu_l_i * mu_r_i
+                    + mu_l_i * lam["right"]
+                    + mu_r_i * lam["left"]
+                    + lam["gamma"]
+                )
+                if params.robust_reconstruction:
+                    # Proof-free mode: bad shares are *corrected*, not
+                    # excluded, so no token rides along.
+                    shares[batch.batch_id] = {"value": int(value)}
+                else:
+                    token = online.oracle.attest(
+                        batch.batch_id, view.index, int(value)
+                    )
+                    shares[batch.batch_id] = {"value": int(value), "proof": token}
+            view.speak(name, {"mu_shares": shares})
+
+        env.run_committee(committee, program_mul)
+        posts = _posts_by_index(env, committee)
+
+        for batch in batches:
+            collected: list[PackedShare] = []
+            for sender, payload in sorted(posts.items()):
+                entry = payload.get("mu_shares", {}).get(batch.batch_id)
+                if not isinstance(entry, Mapping):
+                    continue
+                value = entry.get("value")
+                if not isinstance(value, int):
+                    continue
+                if params.robust_reconstruction:
+                    collected.append(
+                        PackedShare(
+                            sender, setup.ring.element(value),
+                            params.product_degree, params.k,
+                        )
+                    )
+                elif online.oracle.verify(
+                    batch.batch_id, sender, value, entry.get("proof")
+                ):
+                    collected.append(
+                        PackedShare(
+                            sender, setup.ring.element(value),
+                            params.product_degree, params.k,
+                        )
+                    )
+            if params.robust_reconstruction:
+                if len(collected) < params.reconstruction_threshold + 2 * params.t:
+                    raise ProtocolAbortError(
+                        f"batch {batch.batch_id}: {len(collected)} shares "
+                        f"cannot correct {params.t} errors at degree "
+                        f"{params.product_degree}"
+                    )
+                mu_gamma = scheme.robust_reconstruct(
+                    collected, degree=params.product_degree,
+                    max_errors=params.t,
+                )
+            else:
+                if len(collected) < params.reconstruction_threshold:
+                    raise ProtocolAbortError(
+                        f"batch {batch.batch_id}: only {len(collected)} "
+                        f"verified μ shares, need "
+                        f"{params.reconstruction_threshold}"
+                    )
+                mu_gamma = scheme.reconstruct(
+                    collected[: params.reconstruction_threshold],
+                    degree=params.product_degree,
+                )
+            for slot, wire in enumerate(batch.gate_wires):
+                online.tracker.set(wire, mu_gamma[slot])
+        online.tracker.propagate()
+
+    # ---- Output step -----------------------------------------------------------
+
+    out_committee = online.committees[ONLINE_OUT]
+    output_wires = list(circuit.output_wires)
+
+    def program_out(view) -> None:
+        share = receive_share(
+            tpk, view.index, view.secret_key, online.out_resharings,
+            out_set, previous_epoch=3,
+        )
+        bundle = {}
+        for wire in output_wires:
+            client = circuit.gates[wire].client
+            target_pk = online.output_client_roles[client].public_key
+            bundle[wire] = reencrypt_contribution(
+                tpk, share, offline.wire_cipher[wire], target_pk,
+                proof_params, view.rng,
+            )
+        view.speak(ONLINE_OUT, {"output": bundle})
+
+    env.run_committee(out_committee, program_out)
+    posts_out = _posts_by_index(env, out_committee)
+
+    outputs: dict[str, list[int]] = {}
+    for wire in output_wires:
+        client = circuit.gates[wire].client
+        contributions = [
+            p["output"][wire]
+            for p in posts_out.values()
+            if isinstance(p.get("output", {}).get(wire), EncryptedPartial)
+        ]
+        lam = recover_reencrypted(
+            tpk, offline.wire_cipher[wire], contributions,
+            online.output_client_roles[client].secret_key,
+            online.verifications_out, proof_params,
+        )
+        value = (int(online.tracker.get(wire)) + lam) % tpk.n
+        outputs.setdefault(client, []).append(value)
+    online.outputs = outputs
+    return outputs
+
+
+def _padded_mu(
+    tracker: MuTracker, wires: Sequence[int], k: int
+) -> list[ZmodElement]:
+    """Public μ vector of a batch, zero-padded to the packing width."""
+    values = [tracker.get(w) for w in wires]
+    values += [tracker.ring.zero] * (k - len(values))
+    return values

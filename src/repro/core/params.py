@@ -1,0 +1,143 @@
+"""Protocol parameters: committee size, gap, corruption bound, packing factor.
+
+The constraints tie together exactly as in the paper:
+
+* corruption bound: ``t < n(1/2 − ε)``  (Theorem 1's threshold);
+* GOD reconstruction: the online phase posts degree ``t + 2(k−1)`` packed
+  shares, so it needs ``t + 2(k−1) + 1`` honest contributions, i.e.
+  ``n − t ≥ t + 2(k−1) + 1`` ⟺ ``k − 1 ≤ nε``  (§5.4);
+* fail-stop mode halves the packing budget: ``k − 1 ≤ nε/2``, buying
+  tolerance of ``⌊nε⌋`` crashed honest parties (§5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """All sizing knobs of one protocol instance."""
+
+    n: int                       # committee size
+    t: int                       # corruptions tolerated per committee
+    k: int                       # packing factor
+    epsilon: float               # the gap: t < n(1/2 − ε)
+    te_bits: int = 64            # threshold-Paillier modulus size
+    role_key_bits: int = 64      # role/KFF Paillier modulus size
+    fail_stop_budget: int = 0    # honest crashes tolerated (fail-stop mode)
+    statistical_bits: int = 40
+    #: Reconstruct online μ values by Reed–Solomon error correction instead
+    #: of proof-verified share selection: no per-share proof tokens, but a
+    #: stronger committee requirement n ≥ t + 2(k−1) + 1 + 2t (+ crashes).
+    robust_reconstruction: bool = False
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ParameterError(f"need n >= 2 committee members, got {self.n}")
+        if self.t < 0:
+            raise ParameterError(f"t must be >= 0, got {self.t}")
+        if not 0 <= self.epsilon < 0.5:
+            raise ParameterError(f"epsilon must be in [0, 1/2), got {self.epsilon}")
+        if self.t >= self.n * (0.5 - self.epsilon):
+            raise ParameterError(
+                f"corruption bound violated: t={self.t} >= n(1/2-eps)="
+                f"{self.n * (0.5 - self.epsilon):.2f}"
+            )
+        if self.k < 1:
+            raise ParameterError(f"packing factor must be >= 1, got {self.k}")
+        if self.reconstruction_threshold + self.fail_stop_budget > self.n - self.t:
+            raise ParameterError(
+                f"GOD violated: need t+2(k-1)+1={self.reconstruction_threshold} "
+                f"(+{self.fail_stop_budget} crash budget) honest shares, but only "
+                f"{self.n - self.t} honest members"
+            )
+        if self.te_bits < 24 or self.role_key_bits < 24:
+            raise ParameterError("moduli below 24 bits cannot carry the protocol")
+        if self.robust_reconstruction:
+            needed = self.reconstruction_threshold + 2 * self.t
+            if needed + self.fail_stop_budget > self.n:
+                raise ParameterError(
+                    f"robust reconstruction needs n >= t+2(k-1)+1+2t="
+                    f"{needed} (+{self.fail_stop_budget} crash budget), "
+                    f"got n={self.n}"
+                )
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def sharing_degree(self) -> int:
+        """Degree of the preprocessed packed sharings: t + k − 1."""
+        return self.t + self.k - 1
+
+    @property
+    def product_degree(self) -> int:
+        """Degree of the online μ-share polynomial: t + 2(k − 1)."""
+        return self.t + 2 * (self.k - 1)
+
+    @property
+    def reconstruction_threshold(self) -> int:
+        """Shares needed to reconstruct μ^γ online: t + 2(k−1) + 1."""
+        return self.product_degree + 1
+
+    @property
+    def decryption_threshold(self) -> int:
+        """Partial decryptions needed by TDec: t + 1."""
+        return self.t + 1
+
+    @property
+    def delta(self) -> int:
+        return math.factorial(self.n)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_gap(
+        cls,
+        n: int,
+        epsilon: float,
+        fail_stop: bool = False,
+        te_bits: int = 64,
+        role_key_bits: int = 64,
+    ) -> "ProtocolParams":
+        """Derive (t, k) from (n, ε) the way the paper sizes them.
+
+        ``t`` is the largest integer below ``n(1/2 − ε)``; the packing
+        factor is ``k = ⌊nε⌋ + 1`` (so ``k − 1 ≤ nε``), halved in
+        fail-stop mode (§5.4) to buy a crash budget of ``⌊nε⌋``.
+        """
+        bound = n * (0.5 - epsilon)
+        t = max(0, math.ceil(bound) - 1)
+        if t >= bound:  # ceil(bound)-1 == bound when bound is integral
+            t -= 1
+        if t < 0:
+            raise ParameterError(f"no valid t for n={n}, epsilon={epsilon}")
+        budget = int(n * epsilon) if fail_stop else 0
+        k_slack = n * epsilon / 2 if fail_stop else n * epsilon
+        k = int(k_slack) + 1
+        # Shrink k until GOD headroom accommodates the crash budget.
+        while k > 1 and t + 2 * (k - 1) + 1 + budget > n - t:
+            k -= 1
+        return cls(
+            n=n, t=t, k=k, epsilon=epsilon,
+            te_bits=te_bits, role_key_bits=role_key_bits,
+            fail_stop_budget=budget,
+        )
+
+    def with_fail_stop(self) -> "ProtocolParams":
+        """The §5.4 variant of these parameters (half packing, crash budget)."""
+        return ProtocolParams.from_gap(
+            self.n, self.epsilon, fail_stop=True,
+            te_bits=self.te_bits, role_key_bits=self.role_key_bits,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"n={self.n}, t={self.t}, eps={self.epsilon:.3f}, k={self.k}, "
+            f"sharing deg={self.sharing_degree}, reconstruction "
+            f"threshold={self.reconstruction_threshold}, "
+            f"fail-stop budget={self.fail_stop_budget}"
+        )

@@ -1,0 +1,154 @@
+"""Top-level protocol driver: the library's main entry point.
+
+:class:`YosoMpc` wires the phases together:
+
+    params   = ProtocolParams.from_gap(n=8, epsilon=0.2)
+    protocol = YosoMpc(params, rng=random.Random(0))
+    result   = protocol.run(circuit, {"alice": [3, 5], "bob": [7]})
+    result.outputs      # {"alice": [...]}
+    result.report()     # per-phase communication
+
+Corruption is configured through ``adversary_factory``, which receives the
+sampled committees (so tests can corrupt specific roles) and returns the
+:class:`~repro.yoso.adversary.Adversary` driving the run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.accounting.comm import CommMeter
+from repro.accounting.report import CommReport
+from repro.circuits.circuit import Circuit
+from repro.circuits.layering import BatchPlan, plan_batches
+from repro.core.offline import (
+    OfflineState,
+    run_offline,
+    run_reencryption_bridge,
+    sample_offline_committees,
+)
+from repro.core.online import OnlineState, run_online, sample_online_committees
+from repro.core.params import ProtocolParams
+from repro.core.setup import ONLINE_KEYS, SetupArtifacts, run_setup
+from repro.errors import ParameterError
+from repro.yoso.adversary import Adversary, honest_adversary
+from repro.yoso.assignment import IdealRoleAssignment
+from repro.yoso.committees import Committee
+from repro.yoso.network import ProtocolEnvironment
+
+#: Hook: receives (offline committees, online committees) after sampling and
+#: returns the adversary for the run (None = honest execution).
+AdversaryFactory = Callable[
+    [Mapping[str, Committee], Mapping[str, Committee]], Adversary
+]
+
+
+@dataclass
+class MpcResult:
+    """Outputs plus everything needed to analyse the run."""
+
+    outputs: dict[str, list[int]]
+    params: ProtocolParams
+    circuit: Circuit
+    plan: BatchPlan
+    meter: CommMeter
+    setup: SetupArtifacts
+    offline: OfflineState
+    online: OnlineState
+
+    def report(self, label: str = "yoso-mpc") -> CommReport:
+        return CommReport.from_meter(
+            label, self.params.n, len(self.circuit.gates), self.meter
+        )
+
+    def phase_bytes(self, phase: str) -> int:
+        return self.meter.total_bytes(phase)
+
+    def online_mul_bytes(self) -> int:
+        """Online bytes attributable to multiplication batches (μ shares).
+
+        This is the quantity the paper's O(1)-per-gate claim concerns; key
+        distribution and output delivery are one-time / per-output costs
+        (§5.3's communication analysis).
+        """
+        return sum(
+            n for tag, n in self.meter.by_tag("online").items()
+            if tag.startswith("Con-mul")
+        )
+
+
+class YosoMpc:
+    """One configured instance of the paper's protocol."""
+
+    def __init__(
+        self,
+        params: ProtocolParams,
+        rng: random.Random | None = None,
+        adversary_factory: AdversaryFactory | None = None,
+    ):
+        self.params = params
+        self.rng = rng if rng is not None else random.Random()
+        self.adversary_factory = adversary_factory
+
+    def run(
+        self,
+        circuit: Circuit,
+        inputs: Mapping[str, Sequence[int]],
+    ) -> MpcResult:
+        """Execute setup + offline + online on ``circuit`` with ``inputs``."""
+        plan = plan_batches(circuit, self.params.k)
+        assignment = IdealRoleAssignment(
+            key_bits=self.params.role_key_bits, rng=self.rng
+        )
+        env = ProtocolEnvironment(assignment=assignment, rng=self.rng)
+
+        setup = run_setup(env, self.params, circuit, plan, self.rng)
+        offline_committees = sample_offline_committees(env, self.params)
+        online = sample_online_committees(env, setup, circuit)
+
+        if self.adversary_factory is not None:
+            env.adversary = self.adversary_factory(
+                offline_committees, online.committees
+            )
+
+        offline = run_offline(
+            env, setup, circuit, plan, self.rng, committees=offline_committees
+        )
+        run_reencryption_bridge(
+            env, setup, offline, circuit, plan,
+            online.committees[ONLINE_KEYS].public_keys(), self.rng,
+        )
+        outputs = run_online(
+            env, setup, offline, online, circuit, plan, inputs, self.rng
+        )
+        return MpcResult(
+            outputs=outputs,
+            params=self.params,
+            circuit=circuit,
+            plan=plan,
+            meter=env.meter,
+            setup=setup,
+            offline=offline,
+            online=online,
+        )
+
+
+def run_mpc(
+    circuit: Circuit,
+    inputs: Mapping[str, Sequence[int]],
+    n: int = 8,
+    epsilon: float = 0.2,
+    seed: int | None = None,
+    fail_stop: bool = False,
+    te_bits: int = 64,
+    role_key_bits: int = 64,
+) -> MpcResult:
+    """One-call convenience wrapper (the quickstart entry point)."""
+    params = ProtocolParams.from_gap(
+        n, epsilon, fail_stop=fail_stop,
+        te_bits=te_bits, role_key_bits=role_key_bits,
+    )
+    rng = random.Random(seed)
+    return YosoMpc(params, rng=rng).run(circuit, inputs)

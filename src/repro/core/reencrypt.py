@@ -1,0 +1,160 @@
+"""Protocols 1 & 2: Re-encrypt and Decrypt (the CDN-style helpers).
+
+``Re-encrypt_{C_l}(pk, c)`` lets the committee holding tsk hand the
+*plaintext* of a tpk-ciphertext to whoever holds ``sk``: each member posts
+its partial decryption of ``c`` encrypted under ``pk`` (chunked — partials
+live in Z_{N²}, larger than one plaintext) plus a partial-decryption proof;
+the recipient decrypts, verifies each contribution against the sender's
+public verification value, and combines any t+1 verified partials.
+
+``Decrypt_{C_l}(c)`` is the same with partials posted in clear, verified
+publicly by everyone.
+
+The tsk resharing that accompanies both in the paper's Protocols 1–2 is
+factored out into :mod:`repro.core.resharing` (it happens once per
+committee, not once per re-encrypted value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolAbortError
+from repro.nizk.params import ProofParams
+from repro.nizk.sigma import PartialDecryptionProof
+from repro.paillier.encoding import (
+    chunk_integer,
+    safe_chunk_bits,
+    unchunk_integer,
+)
+from repro.paillier.paillier import (
+    PaillierCiphertext,
+    PaillierPublicKey,
+    PaillierSecretKey,
+)
+from repro.paillier.threshold import (
+    PartialDecryption,
+    ThresholdKeyShare,
+    ThresholdPaillier,
+    ThresholdPublicKey,
+)
+
+
+@dataclass(frozen=True)
+class EncryptedPartial:
+    """One committee member's Re-encrypt contribution for one target value.
+
+    The partial decryption (an element of Z_{N²}) is chunked and encrypted
+    under the recipient key; the proof binds it to the sender's public
+    verification value and is checkable only by the recipient (who alone
+    sees the partial) — exactly the designated-verifier flavour the
+    bulletin-board model gives us.
+    """
+
+    sender_index: int
+    epoch: int
+    chunks: tuple[PaillierCiphertext, ...]
+    proof: PartialDecryptionProof
+
+
+@dataclass(frozen=True)
+class PublicPartial:
+    """One member's Decrypt contribution: partial in clear + public proof."""
+
+    partial: PartialDecryption
+    proof: PartialDecryptionProof
+
+
+def reencrypt_contribution(
+    tpk: ThresholdPublicKey,
+    share: ThresholdKeyShare,
+    ciphertext: PaillierCiphertext,
+    recipient_pk: PaillierPublicKey,
+    params: ProofParams,
+    rng=None,
+) -> EncryptedPartial:
+    """What one role computes in Re-encrypt for one target ciphertext."""
+    partial = ThresholdPaillier.partial_decrypt(tpk, share, ciphertext)
+    proof = PartialDecryptionProof.prove(tpk, ciphertext, partial, share, params, rng)
+    chunk_bits = safe_chunk_bits(recipient_pk.n)
+    chunks = tuple(
+        recipient_pk.encrypt(limb, rng=rng)
+        for limb in chunk_integer(partial.value, chunk_bits)
+    )
+    return EncryptedPartial(share.index, share.epoch, chunks, proof)
+
+
+def recover_reencrypted(
+    tpk: ThresholdPublicKey,
+    ciphertext: PaillierCiphertext,
+    contributions: list[EncryptedPartial],
+    recipient_sk: PaillierSecretKey,
+    sender_verifications: dict[int, int],
+    params: ProofParams,
+) -> int:
+    """Recipient side of Re-encrypt: decrypt, verify, combine -> plaintext.
+
+    Contributions failing proof verification (or claiming unknown senders)
+    are silently dropped; with an honest majority at least t+1 survive.
+    Raises :class:`ProtocolAbortError` only if fewer than t+1 verify —
+    which the corruption bound rules out.
+    """
+    chunk_bits = safe_chunk_bits(recipient_sk.public.n)
+    verified: list[PartialDecryption] = []
+    for contribution in contributions:
+        verification = sender_verifications.get(contribution.sender_index)
+        if verification is None:
+            continue
+        limbs = [recipient_sk.decrypt(c) for c in contribution.chunks]
+        value = unchunk_integer(limbs, chunk_bits)
+        if value >= tpk.n_squared or value <= 0:
+            continue
+        partial = PartialDecryption(
+            contribution.sender_index, value, contribution.epoch
+        )
+        if contribution.proof.verify(tpk, ciphertext, partial, verification, params):
+            verified.append(partial)
+    if len(verified) < tpk.threshold + 1:
+        raise ProtocolAbortError(
+            f"only {len(verified)} of the required {tpk.threshold + 1} "
+            "re-encryption partials verified — corruption bound exceeded?"
+        )
+    return ThresholdPaillier.combine(tpk, verified)
+
+
+def public_decrypt_contribution(
+    tpk: ThresholdPublicKey,
+    share: ThresholdKeyShare,
+    ciphertext: PaillierCiphertext,
+    params: ProofParams,
+    rng=None,
+) -> PublicPartial:
+    """What one role computes in Decrypt for one target ciphertext."""
+    partial = ThresholdPaillier.partial_decrypt(tpk, share, ciphertext)
+    proof = PartialDecryptionProof.prove(tpk, ciphertext, partial, share, params, rng)
+    return PublicPartial(partial, proof)
+
+
+def combine_public(
+    tpk: ThresholdPublicKey,
+    ciphertext: PaillierCiphertext,
+    contributions: list[PublicPartial],
+    sender_verifications: dict[int, int],
+    params: ProofParams,
+) -> int:
+    """Anyone's side of Decrypt: verify proofs publicly, combine -> plaintext."""
+    verified = [
+        c.partial
+        for c in contributions
+        if c.partial.index in sender_verifications
+        and c.proof.verify(
+            tpk, ciphertext, c.partial,
+            sender_verifications[c.partial.index], params,
+        )
+    ]
+    if len(verified) < tpk.threshold + 1:
+        raise ProtocolAbortError(
+            f"only {len(verified)} of the required {tpk.threshold + 1} "
+            "public partials verified — corruption bound exceeded?"
+        )
+    return ThresholdPaillier.combine(tpk, verified)

@@ -1,0 +1,228 @@
+"""Publicly verifiable, encrypted hand-off of tsk between committees.
+
+Each holder of a key share deals an integer sub-sharing of it to the next
+committee (``TKRes``); the protocol transmits the subshares encrypted under
+the recipients' public keys and makes the whole resharing *publicly
+verifiable* through a chain of checks (DESIGN.md §5):
+
+1. encrypted limb  ↔  limb verification value ``(v^Δ)^limb``
+   (:class:`~repro.nizk.sigma.PlaintextDlogEqualityProof`, per limb);
+2. limb verifications  ↔  subshare verification ``v_{i,j} = (v^Δ)^{s_{i,j}}``
+   (public product check with the published offset);
+3. subshare verifications lie on a degree-t exponent polynomial whose
+   constant term is the sender's committed share
+   (:func:`~repro.nizk.composite.verify_exponent_polynomial` /
+   :func:`~repro.nizk.composite.verify_exponent_interpolates_share`).
+
+Everyone therefore agrees on the verified contributor set S, so all
+receivers recombine over the *same* set — the agreement the threshold layer
+requires (``TKRec``).
+
+Subshares at later epochs may be negative; a per-message public
+``offset_bits`` shifts them into chunkable non-negative range (the shift is
+undone in the exponent during verification and after decryption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolAbortError
+from repro.nizk.composite import (
+    verify_exponent_interpolates_share,
+    verify_exponent_polynomial,
+)
+from repro.nizk.params import ProofParams
+from repro.nizk.sigma import PlaintextDlogEqualityProof
+from repro.paillier.encoding import chunk_integer, safe_chunk_bits, unchunk_integer
+from repro.paillier.paillier import (
+    PaillierCiphertext,
+    PaillierPublicKey,
+    PaillierSecretKey,
+)
+from repro.paillier.threshold import (
+    ThresholdKeyShare,
+    ThresholdPaillier,
+    ThresholdPublicKey,
+    recombine_with_epoch,
+)
+
+
+@dataclass(frozen=True)
+class EncryptedSubshare:
+    """One recipient's encrypted subshare with its limb-level evidence."""
+
+    recipient_index: int
+    limbs: tuple[PaillierCiphertext, ...]
+    limb_verifications: tuple[int, ...]
+    limb_proofs: tuple[PlaintextDlogEqualityProof, ...]
+
+
+@dataclass(frozen=True)
+class EncryptedResharing:
+    """A sender's complete (encrypted, provable) TKRes message."""
+
+    sender_index: int
+    epoch: int
+    offset_bits: int
+    verifications: tuple[int, ...]          # v^(Δ·s_{i,j}) per recipient j
+    subshares: tuple[EncryptedSubshare, ...]
+
+
+def dlog_base(tpk: ThresholdPublicKey) -> int:
+    """The exponent-check base ``v^Δ mod N²`` shared by all checks."""
+    return pow(tpk.verification_base, tpk.delta, tpk.n_squared)
+
+
+def build_resharing(
+    tpk: ThresholdPublicKey,
+    share: ThresholdKeyShare,
+    recipient_pks: list[PaillierPublicKey],
+    params: ProofParams,
+    rng=None,
+) -> EncryptedResharing:
+    """One role's resharing message: deal, encrypt, and prove."""
+    if len(recipient_pks) != tpk.n_parties:
+        raise ProtocolAbortError(
+            f"resharing needs {tpk.n_parties} recipient keys, got {len(recipient_pks)}"
+        )
+    raw = ThresholdPaillier.reshare(tpk, share, rng=rng)
+    offset_bits = max(abs(s).bit_length() for s in raw.subshares) + 1
+    offset = 1 << offset_bits
+    base = dlog_base(tpk)
+    n2 = tpk.n_squared
+    encrypted: list[EncryptedSubshare] = []
+    for j, (subshare, pk) in enumerate(zip(raw.subshares, recipient_pks), start=1):
+        shifted = subshare + offset
+        chunk_bits = safe_chunk_bits(pk.n)
+        limbs_int = chunk_integer(shifted, chunk_bits)
+        limbs, limb_verifs, limb_proofs = [], [], []
+        for limb in limbs_int:
+            randomness = pk.random_unit(rng)
+            ciphertext = pk.encrypt(limb, randomness=randomness)
+            verification = pow(base, limb, n2)
+            proof = PlaintextDlogEqualityProof.prove(
+                pk, ciphertext, base, n2, verification, limb, randomness,
+                params, rng,
+            )
+            limbs.append(ciphertext)
+            limb_verifs.append(verification)
+            limb_proofs.append(proof)
+        encrypted.append(
+            EncryptedSubshare(j, tuple(limbs), tuple(limb_verifs), tuple(limb_proofs))
+        )
+    return EncryptedResharing(
+        sender_index=share.index,
+        epoch=share.epoch,
+        offset_bits=offset_bits,
+        verifications=raw.verifications,
+        subshares=tuple(encrypted),
+    )
+
+
+def verify_resharing(
+    tpk: ThresholdPublicKey,
+    resharing: EncryptedResharing,
+    sender_verification: int,
+    recipient_pks: list[PaillierPublicKey],
+    params: ProofParams,
+) -> bool:
+    """Public verification of one sender's resharing (anyone can run this)."""
+    if len(resharing.subshares) != tpk.n_parties:
+        return False
+    if not verify_exponent_polynomial(tpk, resharing.verifications):
+        return False
+    if not verify_exponent_interpolates_share(
+        tpk, resharing.verifications, sender_verification
+    ):
+        return False
+    base = dlog_base(tpk)
+    n2 = tpk.n_squared
+    offset_term = pow(base, 1 << resharing.offset_bits, n2)
+    for sub in resharing.subshares:
+        if not 1 <= sub.recipient_index <= tpk.n_parties:
+            return False
+        pk = recipient_pks[sub.recipient_index - 1]
+        chunk_bits = safe_chunk_bits(pk.n)
+        if not (len(sub.limbs) == len(sub.limb_verifications) == len(sub.limb_proofs)):
+            return False
+        # Limb combination must equal shifted subshare in the exponent.
+        combined = 1
+        for m, verification in enumerate(sub.limb_verifications):
+            combined = combined * pow(verification, 1 << (m * chunk_bits), n2) % n2
+        expected = (
+            resharing.verifications[sub.recipient_index - 1] * offset_term % n2
+        )
+        if combined != expected:
+            return False
+        for ciphertext, verification, proof in zip(
+            sub.limbs, sub.limb_verifications, sub.limb_proofs
+        ):
+            if not proof.verify(pk, ciphertext, base, n2, verification, params):
+                return False
+    return True
+
+
+def verified_contributors(
+    tpk: ThresholdPublicKey,
+    resharings: dict[int, EncryptedResharing],
+    sender_verifications: dict[int, int],
+    recipient_pks: list[PaillierPublicKey],
+    params: ProofParams,
+) -> list[int]:
+    """The publicly agreed contributor set S (sorted sender indices)."""
+    good = [
+        sender
+        for sender, resharing in sorted(resharings.items())
+        if sender in sender_verifications
+        and resharing.sender_index == sender
+        and verify_resharing(
+            tpk, resharing, sender_verifications[sender], recipient_pks, params
+        )
+    ]
+    if len(good) < tpk.threshold + 1:
+        raise ProtocolAbortError(
+            f"only {len(good)} resharings verified, need {tpk.threshold + 1}"
+        )
+    return good
+
+
+def receive_share(
+    tpk: ThresholdPublicKey,
+    receiver_index: int,
+    receiver_sk: PaillierSecretKey,
+    resharings: dict[int, EncryptedResharing],
+    contributor_set: list[int],
+    previous_epoch: int,
+) -> ThresholdKeyShare:
+    """Recipient side: decrypt its subshares and recombine the next share."""
+    contributions: dict[int, int] = {}
+    for sender in contributor_set:
+        resharing = resharings[sender]
+        sub = resharing.subshares[receiver_index - 1]
+        chunk_bits = safe_chunk_bits(receiver_sk.public.n)
+        limbs = [receiver_sk.decrypt(c) for c in sub.limbs]
+        shifted = unchunk_integer(limbs, chunk_bits)
+        contributions[sender] = shifted - (1 << resharing.offset_bits)
+    return recombine_with_epoch(
+        tpk, receiver_index, contributions, previous_epoch, contributor_set
+    )
+
+
+def next_verifications(
+    tpk: ThresholdPublicKey,
+    resharings: dict[int, EncryptedResharing],
+    contributor_set: list[int],
+) -> dict[int, int]:
+    """Publicly derive every next-epoch verification key ``v'_j``."""
+    from repro.fields.lagrange import integer_lagrange_scaled
+
+    scaled, _ = integer_lagrange_scaled(sorted(contributor_set), at=0, delta=tpk.delta)
+    n2 = tpk.n_squared
+    out: dict[int, int] = {}
+    for j in range(1, tpk.n_parties + 1):
+        acc = 1
+        for sender, lam in zip(sorted(contributor_set), scaled):
+            acc = acc * pow(resharings[sender].verifications[j - 1], lam, n2) % n2
+        out[j] = acc
+    return out

@@ -1,0 +1,182 @@
+"""Π_YOSO-Setup: threshold key generation, Keys-For-Future, proof CRS.
+
+The paper assumes a trusted setup (§5.1); here a setup functionality
+
+1. runs ``TKGen`` and earmarks the shares ``tsk_i`` for the first offline
+   committee (delivered as role *gifts* when that committee is sampled);
+2. generates a **Key-For-Future** (KFF) Paillier keypair for every future
+   online-committee role and every input client, publishes the public keys,
+   and posts the secret keys *encrypted under tpk* (the prime ``p`` of the
+   KFF modulus, chunked — ``q = N/p`` is recomputed by the recipient);
+3. fixes the Fiat–Shamir proof parameters (our CRS substitute).
+
+Everything public is posted to the bulletin in the ``setup`` phase so the
+meter sees the (one-time) setup communication too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.layering import BatchPlan
+from repro.core.params import ProtocolParams
+from repro.errors import ParameterError
+from repro.fields.ring import Zmod
+from repro.nizk.params import ProofParams
+from repro.paillier.encoding import chunk_integer, safe_chunk_bits
+from repro.paillier.paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierPublicKey,
+    PaillierSecretKey,
+    _keypair_from_primes,
+)
+from repro.paillier.primes import random_prime
+from repro.paillier.threshold import (
+    ThresholdKeyShare,
+    ThresholdPaillier,
+    ThresholdPublicKey,
+)
+from repro.yoso.network import ProtocolEnvironment
+
+#: Committee naming scheme shared by the offline/online orchestrators.
+OFFLINE_A = "Coff-A"
+OFFLINE_B = "Coff-B"
+OFFLINE_R = "Coff-R"
+OFFLINE_DEC = "Coff-dec"
+OFFLINE_REENC = "Coff-reenc"
+ONLINE_KEYS = "Con-keys"
+ONLINE_OUT = "Con-out"
+
+
+def mul_committee_name(depth: int) -> str:
+    return f"Con-mul-{depth}"
+
+
+def role_tag(committee: str, index: int) -> str:
+    """The KFF registry key for a future role."""
+    return f"{committee}[{index}]"
+
+
+def client_tag(client: str) -> str:
+    return f"client:{client}"
+
+
+@dataclass(frozen=True)
+class KffEntry:
+    """One future role's Key-For-Future."""
+
+    public_key: PaillierPublicKey
+    encrypted_prime: tuple[PaillierCiphertext, ...]  # p chunked under tpk
+
+    def recover_secret(self, prime: int) -> PaillierSecretKey:
+        """Rebuild the KFF secret key from the decrypted prime."""
+        n = self.public_key.n
+        if prime <= 1 or n % prime != 0:
+            raise ParameterError("recovered KFF prime does not divide the modulus")
+        return PaillierSecretKey(self.public_key, prime, n // prime)
+
+
+@dataclass
+class SetupArtifacts:
+    """Everything Π_YOSO-Setup produces."""
+
+    params: ProtocolParams
+    proof_params: ProofParams
+    tpk: ThresholdPublicKey
+    ring: Zmod                                   # the plaintext ring Z_N
+    kff: dict[str, KffEntry]                      # role tag -> KFF
+    tsk_shares: list[ThresholdKeyShare]           # gifts for Coff-A
+    tsk_verifications: dict[int, int]             # epoch-0 verification keys
+    mul_depths: tuple[int, ...]                   # online committee schedule
+
+    def kff_for(self, tag: str) -> KffEntry:
+        if tag not in self.kff:
+            raise ParameterError(f"no KFF registered for {tag!r}")
+        return self.kff[tag]
+
+
+def run_setup(
+    env: ProtocolEnvironment,
+    params: ProtocolParams,
+    circuit: Circuit,
+    plan: BatchPlan,
+    rng: random.Random,
+) -> SetupArtifacts:
+    """Execute the setup functionality and publish its outputs."""
+    env.set_phase("setup")
+    proof_params = ProofParams.for_modulus_bits(
+        min(params.te_bits, params.role_key_bits)
+    )
+    tpk, tsk_shares = ThresholdPaillier.keygen(
+        params.n, params.t, bits=params.te_bits, rng=rng
+    )
+    ring = Zmod(tpk.n, assume_prime=False)
+    chunk_bits = safe_chunk_bits(tpk.n)
+
+    depths = tuple(sorted({b.depth for b in plan.mul_batches}))
+    kff: dict[str, KffEntry] = {}
+
+    def make_kff(tag: str) -> None:
+        keypair = _fresh_keypair(params.role_key_bits, rng)
+        encrypted = tuple(
+            tpk.encrypt(limb, rng=rng)
+            for limb in chunk_integer(keypair.secret.p, chunk_bits)
+        )
+        kff[tag] = KffEntry(keypair.public, encrypted)
+
+    for depth in depths:
+        for i in range(1, params.n + 1):
+            make_kff(role_tag(mul_committee_name(depth), i))
+    for client in circuit.input_clients():
+        make_kff(client_tag(client))
+
+    # Publish: tpk, verification keys, and the KFF registry (public parts +
+    # tpk-encrypted secrets).  Posted by the setup functionality itself.
+    env.bulletin.post(
+        "setup", "F-setup", "setup-keys",
+        {
+            "tpk_modulus": tpk.n,
+            "verification_base": tpk.verification_base,
+            "tsk_verifications": {s.index: s.verification for s in tsk_shares},
+            "kff": {
+                tag: {
+                    "public_modulus": entry.public_key.n,
+                    "encrypted_prime": list(entry.encrypted_prime),
+                }
+                for tag, entry in kff.items()
+            },
+        },
+    )
+    env.bulletin.advance_round()
+
+    return SetupArtifacts(
+        params=params,
+        proof_params=proof_params,
+        tpk=tpk,
+        ring=ring,
+        kff=kff,
+        tsk_shares=tsk_shares,
+        tsk_verifications={s.index: s.verification for s in tsk_shares},
+        mul_depths=depths,
+    )
+
+
+def trivial_zero_ciphertext(tpk: ThresholdPublicKey) -> PaillierCiphertext:
+    """The deterministic encryption of 0 with randomness 1 (value 1 in Z_{N²}).
+
+    Used for padding slots of under-full batches: everyone can derive it, so
+    it carries no communication and no secrets.
+    """
+    return PaillierCiphertext(tpk.paillier, 1)
+
+
+def _fresh_keypair(bits: int, rng: random.Random) -> PaillierKeyPair:
+    p = random_prime(bits // 2, rng=rng)
+    q = random_prime(bits // 2, rng=rng)
+    while q == p:
+        q = random_prime(bits // 2, rng=rng)
+    return _keypair_from_primes(p, q)

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.  Subsystems define
+narrower subclasses here (rather than locally) so that cross-module error
+handling does not create import cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A protocol or scheme parameter is out of its valid range."""
+
+
+class NonInvertibleError(ReproError, ArithmeticError):
+    """An element has no multiplicative inverse in the ambient ring.
+
+    For the ring Z_N with N an RSA modulus this reveals a factor of N; the
+    ``gcd`` attribute carries the offending common divisor for diagnostics.
+    """
+
+    def __init__(self, value: int, modulus: int, gcd: int):
+        super().__init__(
+            f"value {value} is not invertible modulo {modulus} (gcd={gcd})"
+        )
+        self.value = value
+        self.modulus = modulus
+        self.gcd = gcd
+
+
+class RingMismatchError(ReproError, ValueError):
+    """Two operands belong to different rings/fields."""
+
+
+class InterpolationError(ReproError, ValueError):
+    """Polynomial interpolation received inconsistent or repeated points."""
+
+
+class SharingError(ReproError):
+    """Secret-sharing invariant violated (bad degree, too few shares...)."""
+
+
+class ReconstructionError(SharingError):
+    """Not enough (or inconsistent) shares to reconstruct a secret."""
+
+
+class EncryptionError(ReproError):
+    """A Paillier/threshold-encryption operation failed."""
+
+
+class ProofError(ReproError):
+    """A zero-knowledge proof failed to verify."""
+
+
+class CircuitError(ReproError, ValueError):
+    """Arithmetic-circuit construction or evaluation error."""
+
+
+class YosoError(ReproError):
+    """YOSO runtime invariant violated."""
+
+
+class RoleAlreadySpokeError(YosoError):
+    """A YOSO role attempted to speak (post to the bulletin) twice."""
+
+
+class ProtocolAbortError(ReproError):
+    """A protocol could not complete (should never happen under GOD)."""
+
+
+class SortitionError(ReproError, ValueError):
+    """The requested sortition parameters are infeasible (the ⊥ rows)."""

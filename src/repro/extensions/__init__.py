@@ -1,0 +1,11 @@
+"""Extensions beyond the paper's core protocol (its §7 future-work list).
+
+* :mod:`repro.extensions.it_yoso` — a feasibility prototype for the
+  *information-theoretic* gap setting (§7, third bullet): a statistically
+  secure, semi-honest YOSO MPC with packed secret-sharing and no
+  computational assumptions, built on cross-committee share transfer.
+"""
+
+from repro.extensions.it_yoso import ItYosoMpc, ItYosoResult
+
+__all__ = ["ItYosoMpc", "ItYosoResult"]

@@ -1,0 +1,374 @@
+"""Information-theoretic YOSO MPC with packed sharing (paper §7, bullet 3).
+
+The paper leaves open "what the impact of the gap is in the context of
+information-theoretic security".  This module is that feasibility
+prototype: a *statistically secure, semi-honest* YOSO protocol with the
+same packed-sharing online phase as the main construction, but **no
+computational assumptions at the protocol level** — no encryption, no
+proofs.  Corrupted roles follow the protocol; privacy holds against any t
+of them per committee with the same gap arithmetic (degree d = t+k−1,
+online reconstruction from t+2(k−1)+1 shares, n > 2(t+k−1)).
+
+Structure (each committee speaks once):
+
+* **P1 (contribution committee).**  Every member picks an additive
+  contribution ``m_i^w`` to the mask of each input/multiplication wire and
+  *locally* propagates its contributions through linear gates (mask rules
+  are linear, so λ^w = Σ_i m_i^w holds on every wire).  It then deals, to
+  P2, degree-d packed sharings of its contribution vectors for each batch
+  (left, right, output masks at degrees d and 2d) — and sends its raw
+  contributions for input/output wires privately to the owning clients.
+* **P2 (multiplication committee).**  Summing the received deals gives P2
+  packed sharings of the true batch masks.  Each member locally computes
+  its degree-2d share of ``Γ = λ^α*λ^β − λ^γ`` and *transfers* the
+  sharings to the online committees with the Lagrange-recombination trick:
+  a member holding share σ_i of a degree-D sharing deals a fresh degree-d
+  packed sharing of the public-vector multiple ``σ_i·L_i`` (L_i = the
+  Lagrange basis row evaluating point i at the secret slots); the
+  receiving committee sums any D+1 such deals and holds a fresh degree-d
+  sharing of the same secrets.  One message, degree reduction included —
+  the IT analogue of "re-encrypt to the future".
+* **Online committees** (one per multiplicative depth) and clients run the
+  identical μ machinery as the main protocol: one broadcast scalar per
+  member per batch of k gates — O(1) communication per gate, so the gap's
+  online benefit carries over to the IT setting unchanged.
+
+Fail-stop tolerance carries over too (reconstruction needs t+2(k−1)+1 of
+the n posted shares).  Active security would additionally need
+error-corrected reconstruction — exactly the open question the paper
+points at; see ``tests/test_it_yoso.py`` for the boundary.
+
+Private point-to-point messages are modelled as bulletin posts addressed
+to a recipient (the YOSO P2P functionality); the meter counts their field
+elements like everything else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.accounting.comm import CommMeter
+from repro.circuits.circuit import Circuit, GateType
+from repro.circuits.layering import BatchPlan, MultiplicationBatch, plan_batches
+from repro.errors import ParameterError, ProtocolAbortError
+from repro.fields.lagrange import lagrange_coefficients
+from repro.fields.ring import Zmod, ZmodElement
+from repro.sharing.packed import PackedShamirScheme, PackedShare, secret_slots
+from repro.yoso.adversary import Adversary, honest_adversary
+from repro.yoso.assignment import IdealRoleAssignment
+from repro.yoso.bulletin import BulletinBoard
+from repro.yoso.committees import Committee
+from repro.yoso.network import ProtocolEnvironment
+
+@dataclass
+class ItYosoResult:
+    outputs: dict[str, list[int]]
+    n: int
+    t: int
+    k: int
+    meter: CommMeter
+
+    def online_mul_bytes(self) -> int:
+        return sum(
+            v for tag, v in self.meter.by_tag("online").items()
+            if tag.startswith("It-mul")
+        )
+
+
+class ItYosoMpc:
+    """Semi-honest, statistically secure YOSO MPC over a prime field."""
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        k: int,
+        modulus: int = (1 << 61) - 1,
+        rng: random.Random | None = None,
+        adversary: Adversary | None = None,
+    ):
+        if 2 * (t + k - 1) >= n:
+            raise ParameterError(
+                f"need n > 2(t+k-1) for the degree-2d products, got "
+                f"n={n}, t={t}, k={k}"
+            )
+        self.n = n
+        self.t = t
+        self.k = k
+        self.d = t + k - 1
+        self.ring = Zmod(modulus)
+        self.rng = rng if rng is not None else random.Random()
+        self.adversary = adversary if adversary is not None else honest_adversary()
+        self.scheme = PackedShamirScheme(self.ring, n, k)
+
+    # -- share-transfer helper (the IT re-encrypt-to-the-future) -----------
+
+    def _transfer_row(self, source_degree: int, index: int) -> list[ZmodElement]:
+        """L_i: the public vector a share at ``index`` contributes per slot.
+
+        For a degree-``source_degree`` sharing known at points 1..D+1, the
+        secret at slot s is Σ_i λ_i(s)·σ_i; member ``index`` contributes
+        σ_i·(λ_i(slot_0), ..., λ_i(slot_{k-1})).
+        """
+        points = list(range(1, source_degree + 2))
+        return [
+            lagrange_coefficients(self.ring, points, at=slot)[index - 1]
+            for slot in secret_slots(self.k)
+        ]
+
+    # -- main entry ----------------------------------------------------------
+
+    def run(
+        self, circuit: Circuit, inputs: Mapping[str, Sequence[int]]
+    ) -> ItYosoResult:
+        plan = plan_batches(circuit, self.k)
+        env = ProtocolEnvironment(
+            assignment=IdealRoleAssignment(key_bits=32, rng=self.rng),
+            adversary=self.adversary,
+            rng=self.rng,
+        )
+        ring, scheme, n, k, d = self.ring, self.scheme, self.n, self.k, self.d
+        batches = list(plan.mul_batches)
+        depths = sorted({b.depth for b in batches})
+
+        p1 = env.assignment.sample_committee("It-P1", n)
+        p2 = env.assignment.sample_committee("It-P2", n)
+        mul_committees = {
+            depth: env.assignment.sample_committee(f"It-mul-{depth}", n)
+            for depth in depths
+        }
+
+        # ---- P1: mask contributions ------------------------------------------
+
+        env.set_phase("offline")
+        mask_wires = list(circuit.input_wires) + list(circuit.multiplication_wires)
+
+        def propagate_contribution(contrib: dict[int, ZmodElement]) -> None:
+            """Extend one member's mask contributions through linear gates."""
+            for w, gate in enumerate(circuit.gates):
+                if w in contrib:
+                    continue
+                if gate.kind is GateType.ADD:
+                    contrib[w] = contrib[gate.inputs[0]] + contrib[gate.inputs[1]]
+                elif gate.kind is GateType.SUB:
+                    contrib[w] = contrib[gate.inputs[0]] - contrib[gate.inputs[1]]
+                elif gate.kind is GateType.CADD:
+                    contrib[w] = contrib[gate.inputs[0]]
+                elif gate.kind is GateType.CMUL:
+                    contrib[w] = contrib[gate.inputs[0]] * ring.element(gate.constant)
+                elif gate.kind is GateType.OUTPUT:
+                    contrib[w] = contrib[gate.inputs[0]]
+
+        def pad(values: list[ZmodElement]) -> list[ZmodElement]:
+            return values + [ring.zero] * (k - len(values))
+
+        def program_p1(view) -> None:
+            contrib: dict[int, ZmodElement] = {
+                w: ring.random(view.rng) for w in mask_wires
+            }
+            propagate_contribution(contrib)
+            deals: dict[tuple[int, str], list[int]] = {}
+            for batch in batches:
+                vectors = {
+                    "left": pad([contrib[w] for w in batch.left_wires]),
+                    "right": pad([contrib[w] for w in batch.right_wires]),
+                    "out_2d": pad([contrib[w] for w in batch.gate_wires]),
+                }
+                for kind, vector in vectors.items():
+                    degree = 2 * d if kind == "out_2d" else d
+                    sharing = scheme.share(vector, degree=degree, rng=view.rng)
+                    deals[(batch.batch_id, kind)] = [
+                        int(s.value) for s in sharing
+                    ]
+            client_masks = {
+                w: int(contrib[w])
+                for w in list(circuit.input_wires) + list(circuit.output_wires)
+            }
+            view.speak("It-P1", {"deals": deals, "client_masks": client_masks})
+
+        env.run_committee(p1, program_p1)
+        posts_p1 = env.bulletin.by_sender("It-P1")
+        p1_payloads = [
+            posts_p1[str(role.id)] for role in p1 if str(role.id) in posts_p1
+        ]
+        if len(p1_payloads) < n:
+            raise ProtocolAbortError("semi-honest IT protocol lost a P1 message")
+
+        # λ^w for client-facing wires (the functionality delivers privately).
+        client_lambda = {
+            w: sum(
+                (ring.element(p["client_masks"][w]) for p in p1_payloads),
+                ring.zero,
+            )
+            for w in list(circuit.input_wires) + list(circuit.output_wires)
+        }
+
+        # P2 member shares of each batch sharing: sums of the P1 deals.
+        def p2_share(batch_id: int, kind: str, index: int) -> ZmodElement:
+            return sum(
+                (
+                    ring.element(p["deals"][(batch_id, kind)][index - 1])
+                    for p in p1_payloads
+                ),
+                ring.zero,
+            )
+
+        # ---- P2: multiply and transfer to the online committees ---------------
+
+        def program_p2(view) -> None:
+            i = view.index
+            transfers: dict[tuple[int, str], list[int]] = {}
+            for batch in batches:
+                left = p2_share(batch.batch_id, "left", i)
+                right = p2_share(batch.batch_id, "right", i)
+                out2d = p2_share(batch.batch_id, "out_2d", i)
+                gamma_share = left * right - out2d  # degree-2d share of Γ
+                for kind, sigma, source_degree in (
+                    ("left", left, d),
+                    ("right", right, d),
+                    ("gamma", gamma_share, 2 * d),
+                ):
+                    if i > source_degree + 1:
+                        continue  # only D+1 contributors are needed
+                    row = self._transfer_row(source_degree, i)
+                    vector = [sigma * c for c in row]
+                    sharing = scheme.share(vector, degree=d, rng=view.rng)
+                    transfers[(batch.batch_id, kind)] = [
+                        int(s.value) for s in sharing
+                    ]
+            view.speak("It-P2", {"transfers": transfers})
+
+        env.run_committee(p2, program_p2)
+        posts_p2 = env.bulletin.by_sender("It-P2")
+        p2_payloads = {
+            role.id.index: posts_p2[str(role.id)]
+            for role in p2
+            if str(role.id) in posts_p2
+        }
+
+        def online_share(batch_id: int, kind: str, index: int) -> ZmodElement:
+            source_degree = 2 * d if kind == "gamma" else d
+            contributors = range(1, source_degree + 2)
+            total = ring.zero
+            for i in contributors:
+                payload = p2_payloads.get(i)
+                if payload is None:
+                    raise ProtocolAbortError(
+                        "semi-honest IT protocol lost a P2 transfer"
+                    )
+                total = total + ring.element(
+                    payload["transfers"][(batch_id, kind)][index - 1]
+                )
+            return total
+
+        # ---- Online: inputs, μ evaluation, outputs ---------------------------
+
+        env.set_phase("online")
+        mu: dict[int, ZmodElement] = {}
+
+        def propagate_mu() -> None:
+            for w, gate in enumerate(circuit.gates):
+                if w in mu:
+                    continue
+                if gate.kind is GateType.ADD and all(x in mu for x in gate.inputs):
+                    mu[w] = mu[gate.inputs[0]] + mu[gate.inputs[1]]
+                elif gate.kind is GateType.SUB and all(x in mu for x in gate.inputs):
+                    mu[w] = mu[gate.inputs[0]] - mu[gate.inputs[1]]
+                elif gate.kind is GateType.CADD and gate.inputs[0] in mu:
+                    mu[w] = mu[gate.inputs[0]] + ring.element(gate.constant)
+                elif gate.kind is GateType.CMUL and gate.inputs[0] in mu:
+                    mu[w] = mu[gate.inputs[0]] * ring.element(gate.constant)
+                elif gate.kind is GateType.OUTPUT and gate.inputs[0] in mu:
+                    mu[w] = mu[gate.inputs[0]]
+
+        for client in circuit.input_clients():
+            wires = circuit.inputs_of_client(client)
+            supplied = list(inputs.get(client, []))
+            if len(supplied) != len(wires):
+                raise ProtocolAbortError(
+                    f"client {client!r} supplied {len(supplied)} inputs, "
+                    f"needs {len(wires)}"
+                )
+            role = env.assignment.client(f"it-client:{client}")
+
+            def program_client(view, wires=wires, supplied=supplied):
+                view.speak(
+                    "It-input",
+                    {
+                        "mu": {
+                            w: int(ring.element(v) - client_lambda[w])
+                            for w, v in zip(wires, supplied)
+                        }
+                    },
+                )
+
+            env.run_role(role, program_client)
+            payload = env.bulletin.payloads("It-input")[-1]
+            for w, value in payload["mu"].items():
+                mu[w] = ring.element(value)
+        propagate_mu()
+
+        product_degree = self.t + 2 * (self.k - 1)
+        by_depth: dict[int, list[MultiplicationBatch]] = {}
+        for batch in batches:
+            by_depth.setdefault(batch.depth, []).append(batch)
+
+        for depth in depths:
+            committee = mul_committees[depth]
+
+            def program_mul(view, depth=depth) -> None:
+                i = view.index
+                shares_out = {}
+                for batch in by_depth[depth]:
+                    mu_left = pad([mu[w] for w in batch.left_wires])
+                    mu_right = pad([mu[w] for w in batch.right_wires])
+                    ml = scheme.canonical_share_for(mu_left, i).value
+                    mr = scheme.canonical_share_for(mu_right, i).value
+                    ll = online_share(batch.batch_id, "left", i)
+                    rr = online_share(batch.batch_id, "right", i)
+                    gg = online_share(batch.batch_id, "gamma", i)
+                    shares_out[batch.batch_id] = int(
+                        ml * mr + ml * rr + mr * ll + gg
+                    )
+                view.speak(committee.name, {"mu_shares": shares_out})
+
+            env.run_committee(committee, program_mul)
+            posts = env.bulletin.by_sender(committee.name)
+            for batch in by_depth[depth]:
+                collected = []
+                for role in committee:
+                    payload = posts.get(str(role.id))
+                    if payload is None:
+                        continue
+                    value = payload["mu_shares"].get(batch.batch_id)
+                    if isinstance(value, int):
+                        collected.append(
+                            PackedShare(
+                                role.id.index, ring.element(value),
+                                product_degree, k,
+                            )
+                        )
+                if len(collected) < product_degree + 1:
+                    raise ProtocolAbortError(
+                        f"batch {batch.batch_id}: {len(collected)} shares < "
+                        f"{product_degree + 1}"
+                    )
+                reconstructed = scheme.reconstruct(
+                    collected[: product_degree + 1], degree=product_degree
+                )
+                for slot, w in enumerate(batch.gate_wires):
+                    mu[w] = reconstructed[slot]
+            propagate_mu()
+
+        outputs: dict[str, list[int]] = {}
+        for w in circuit.output_wires:
+            client = circuit.gates[w].client
+            if w not in mu:
+                raise ProtocolAbortError(f"μ unresolved for output wire {w}")
+            outputs.setdefault(client, []).append(int(mu[w] + client_lambda[w]))
+
+        return ItYosoResult(
+            outputs=outputs, n=n, t=self.t, k=k, meter=env.meter
+        )

@@ -1,0 +1,28 @@
+"""Modular-arithmetic substrate: rings Z_m, polynomials, Lagrange machinery.
+
+The MPC layers operate either over a prime field GF(p) or over the Paillier
+plaintext ring Z_N (N an RSA modulus).  Both are served by :class:`Zmod`,
+which exposes field-like operations and raises
+:class:`~repro.errors.NonInvertibleError` when a division is impossible
+(this never happens for the small evaluation-point differences used by the
+sharing layer; see DESIGN.md §5).
+"""
+
+from repro.fields.ring import Zmod, ZmodElement
+from repro.fields.polynomial import Polynomial, interpolate, random_polynomial
+from repro.fields.lagrange import (
+    lagrange_coefficients,
+    integer_lagrange_scaled,
+    falling_factorial_delta,
+)
+
+__all__ = [
+    "Zmod",
+    "ZmodElement",
+    "Polynomial",
+    "interpolate",
+    "random_polynomial",
+    "lagrange_coefficients",
+    "integer_lagrange_scaled",
+    "falling_factorial_delta",
+]

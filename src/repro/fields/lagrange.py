@@ -1,0 +1,98 @@
+"""Lagrange interpolation coefficients, modular and integer-scaled variants.
+
+Two flavours are needed:
+
+* :func:`lagrange_coefficients` — ordinary coefficients in a ring Z_m, used
+  by the sharing layer (all evaluation-point differences are tiny integers,
+  so they are invertible even when m is an RSA modulus).
+
+* :func:`integer_lagrange_scaled` — *integer* coefficients ``Δ·λ_i`` with
+  the Δ = n! clearing trick, used by the threshold-Paillier key layer where
+  recombination happens in the exponent of an unknown-order group and no
+  modular inverse of the denominators is available.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import InterpolationError
+from repro.fields.ring import Zmod, ZmodElement
+
+
+def _check_distinct(xs: Sequence[int]) -> None:
+    if len(set(xs)) != len(xs):
+        raise InterpolationError(f"evaluation points must be distinct: {list(xs)}")
+    if not xs:
+        raise InterpolationError("need at least one evaluation point")
+
+
+def lagrange_coefficients(
+    ring: Zmod, xs: Sequence[int], at: int = 0
+) -> list[ZmodElement]:
+    """Coefficients ``λ_i`` such that ``f(at) = Σ λ_i · f(x_i)``.
+
+    ``xs`` are integer evaluation points (they may be negative; they are
+    interpreted as integers, not ring elements, so differences stay small and
+    invertible).  Runs in O(len(xs)^2).
+    """
+    _check_distinct(xs)
+    coeffs: list[ZmodElement] = []
+    for i, xi in enumerate(xs):
+        num = 1
+        den = 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            num *= at - xj
+            den *= xi - xj
+        coeffs.append(ring.element(num) / ring.element(den))
+    return coeffs
+
+
+def lagrange_basis_rows(
+    ring: Zmod, xs: Sequence[int], targets: Sequence[int]
+) -> list[list[ZmodElement]]:
+    """Matrix ``M[r][i] = λ_i`` evaluating interpolant of ``xs`` at ``targets[r]``.
+
+    Used to re-evaluate a polynomial known at points ``xs`` onto many new
+    points at once (the homomorphic packing step of the offline phase).
+    """
+    return [lagrange_coefficients(ring, xs, at=target) for target in targets]
+
+
+def falling_factorial_delta(n: int) -> int:
+    """Δ = n!, the universal denominator-clearing factor for points 1..n."""
+    return math.factorial(n)
+
+
+def integer_lagrange_scaled(
+    xs: Sequence[int], at: int = 0, delta: int | None = None
+) -> tuple[list[int], int]:
+    """Integer coefficients ``(Δ·λ_i, Δ)`` for interpolation at ``at``.
+
+    The λ_i are rationals; scaling by Δ = max(|x|)! (or a caller-provided Δ)
+    makes every ``Δ·λ_i`` an integer whenever the points are distinct
+    integers whose pairwise differences divide Δ.  Raises
+    :class:`InterpolationError` if the provided Δ does not clear all
+    denominators.
+    """
+    _check_distinct(xs)
+    if delta is None:
+        delta = falling_factorial_delta(max(abs(x) for x in xs) or 1)
+    scaled: list[int] = []
+    for i, xi in enumerate(xs):
+        lam = Fraction(1)
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            lam *= Fraction(at - xj, xi - xj)
+        value = lam * delta
+        if value.denominator != 1:
+            raise InterpolationError(
+                f"delta={delta} does not clear denominator of lambda_{i}={lam}"
+            )
+        scaled.append(int(value))
+    return scaled, delta

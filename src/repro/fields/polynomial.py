@@ -1,0 +1,224 @@
+"""Dense univariate polynomials over a :class:`~repro.fields.ring.Zmod`.
+
+The sharing layer needs three things from polynomials: evaluation, exact
+interpolation, and *constrained random sampling* (a uniformly random
+polynomial of degree d passing through a prescribed set of points — the
+heart of both standard and packed Shamir sharing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import InterpolationError, ParameterError, RingMismatchError
+from repro.fields.lagrange import lagrange_coefficients
+from repro.fields.ring import Zmod, ZmodElement
+
+
+class Polynomial:
+    """An immutable polynomial ``c_0 + c_1 x + ... + c_d x^d`` over a ring.
+
+    The coefficient list never has trailing zeros (the zero polynomial has
+    an empty list and degree -1 by convention).
+    """
+
+    __slots__ = ("ring", "coefficients")
+
+    def __init__(self, ring: Zmod, coefficients: Sequence[int | ZmodElement]):
+        coeffs = [ring.element(c) for c in coefficients]
+        while coeffs and coeffs[-1].is_zero():
+            coeffs.pop()
+        object.__setattr__(self, "ring", ring)
+        object.__setattr__(self, "coefficients", tuple(coeffs))
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard rail
+        raise AttributeError("Polynomial is immutable")
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; -1 for the zero polynomial."""
+        return len(self.coefficients) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coefficients
+
+    def __call__(self, x: int | ZmodElement) -> ZmodElement:
+        """Evaluate via Horner's rule."""
+        xe = self.ring.element(x)
+        acc = self.ring.zero
+        for c in reversed(self.coefficients):
+            acc = acc * xe + c
+        return acc
+
+    def evaluate_many(self, xs: Sequence[int | ZmodElement]) -> list[ZmodElement]:
+        return [self(x) for x in xs]
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def _require_same_ring(self, other: "Polynomial") -> None:
+        if other.ring != self.ring:
+            raise RingMismatchError("polynomials over different rings")
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        self._require_same_ring(other)
+        n = max(len(self.coefficients), len(other.coefficients))
+        coeffs = []
+        for i in range(n):
+            a = self.coefficients[i] if i < len(self.coefficients) else self.ring.zero
+            b = other.coefficients[i] if i < len(other.coefficients) else self.ring.zero
+            coeffs.append(a + b)
+        return Polynomial(self.ring, coeffs)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(self.ring, [-c for c in self.coefficients])
+
+    def __sub__(self, other: "Polynomial") -> "Polynomial":
+        return self + (-other)
+
+    def __mul__(self, other):
+        if isinstance(other, (int, ZmodElement)):
+            scalar = self.ring.element(other)
+            return Polynomial(self.ring, [c * scalar for c in self.coefficients])
+        self._require_same_ring(other)
+        if self.is_zero() or other.is_zero():
+            return Polynomial(self.ring, [])
+        out = [self.ring.zero] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            for j, b in enumerate(other.coefficients):
+                out[i + j] = out[i + j] + a * b
+        return Polynomial(self.ring, out)
+
+    __rmul__ = __mul__
+
+    def divmod(self, divisor: "Polynomial") -> tuple["Polynomial", "Polynomial"]:
+        """Quotient and remainder; requires an invertible leading coefficient.
+
+        Used by Berlekamp–Welch decoding (the divisor there is monic, so
+        the inversion is always possible even over Z_N).
+        """
+        self._require_same_ring(divisor)
+        if divisor.is_zero():
+            raise ParameterError("polynomial division by zero")
+        lead_inv = self.ring.inverse(divisor.coefficients[-1])
+        remainder = list(self.coefficients)
+        quotient = [self.ring.zero] * max(len(remainder) - divisor.degree, 1)
+        for i in range(len(remainder) - divisor.degree - 1, -1, -1):
+            factor = remainder[i + divisor.degree] * lead_inv
+            quotient[i] = factor
+            if factor.is_zero():
+                continue
+            for j, c in enumerate(divisor.coefficients):
+                remainder[i + j] = remainder[i + j] - factor * c
+        return Polynomial(self.ring, quotient), Polynomial(self.ring, remainder)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Polynomial)
+            and other.ring == self.ring
+            and other.coefficients == self.coefficients
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ring.modulus, self.coefficients))
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "Polynomial(0)"
+        terms = " + ".join(
+            f"{int(c)}x^{i}" if i else f"{int(c)}"
+            for i, c in enumerate(self.coefficients)
+            if not c.is_zero()
+        )
+        return f"Polynomial({terms})"
+
+
+def interpolate(
+    ring: Zmod, points: Sequence[tuple[int, int | ZmodElement]]
+) -> Polynomial:
+    """The unique polynomial of degree < len(points) through ``points``.
+
+    ``points`` is a sequence of ``(x, y)`` with distinct integer x.  Uses the
+    Newton form for O(n^2) construction.
+    """
+    xs = [x for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise InterpolationError(f"repeated x coordinates in {xs}")
+    if not points:
+        raise InterpolationError("cannot interpolate zero points")
+    ys = [ring.element(y) for _, y in points]
+
+    # Newton divided differences.
+    divided = list(ys)
+    for level in range(1, len(points)):
+        for i in range(len(points) - 1, level - 1, -1):
+            dx = ring.element(xs[i] - xs[i - level])
+            divided[i] = (divided[i] - divided[i - 1]) / dx
+    # Expand Newton form into monomial coefficients.
+    poly = Polynomial(ring, [])
+    basis = Polynomial(ring, [1])
+    for i, coeff in enumerate(divided):
+        poly = poly + basis * coeff
+        basis = basis * Polynomial(ring, [-xs[i], 1])
+    return poly
+
+
+def evaluate_from_points(
+    ring: Zmod,
+    points: Sequence[tuple[int, int | ZmodElement]],
+    at: int,
+) -> ZmodElement:
+    """Evaluate the interpolant of ``points`` at ``at`` without expanding it."""
+    xs = [x for x, _ in points]
+    coeffs = lagrange_coefficients(ring, xs, at=at)
+    acc = ring.zero
+    for lam, (_, y) in zip(coeffs, points):
+        acc = acc + lam * ring.element(y)
+    return acc
+
+
+def random_polynomial(
+    ring: Zmod,
+    degree: int,
+    constraints: Sequence[tuple[int, int | ZmodElement]] = (),
+    rng=None,
+) -> Polynomial:
+    """A random polynomial of exactly the given degree bound with constraints.
+
+    Returns a polynomial of degree <= ``degree`` that is uniformly random
+    among those satisfying ``f(x) = y`` for every ``(x, y)`` constraint.
+    Requires ``len(constraints) <= degree + 1``; with equality the polynomial
+    is fully determined (no randomness left).
+
+    This is the sharing primitive: Shamir shares a secret ``s`` with
+    ``random_polynomial(ring, t, [(0, s)])``; packed Shamir shares a vector
+    with one constraint per packed slot.
+    """
+    if degree < -1:
+        raise ParameterError(f"degree must be >= -1, got {degree}")
+    n_constraints = len(constraints)
+    xs = [x for x, _ in constraints]
+    if len(set(xs)) != len(xs):
+        raise InterpolationError(f"repeated constraint points: {xs}")
+    if n_constraints > degree + 1:
+        raise ParameterError(
+            f"{n_constraints} constraints over-determine a degree-{degree} polynomial"
+        )
+    free = degree + 1 - n_constraints
+    # Choose `free` extra points at fresh x coordinates with random values;
+    # the interpolant through constraints+extras is then uniform among
+    # degree-<=degree polynomials meeting the constraints.
+    used = set(xs)
+    extra_x: list[int] = []
+    candidate = 1
+    while len(extra_x) < free:
+        while candidate in used or -candidate in used:
+            candidate += 1
+        extra_x.append(candidate)
+        used.add(candidate)
+        candidate += 1
+    points = list(constraints) + [(x, ring.random(rng)) for x in extra_x]
+    if not points:
+        return Polynomial(ring, [])
+    return interpolate(ring, points)

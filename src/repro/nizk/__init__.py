@@ -1,0 +1,53 @@
+"""Non-interactive zero-knowledge proofs (Fiat–Shamir Σ-protocols).
+
+The paper assumes a simulation-extractable NIZKAoK (instantiated with
+SNARKs, §4.2) for monolithic relations.  This reproduction substitutes
+Fiat–Shamir-compiled Σ-protocols for the concrete algebraic statements the
+protocol actually needs (see DESIGN.md's substitution table):
+
+* :class:`PlaintextKnowledgeProof` — knowledge of (m, r) in a Paillier
+  ciphertext (used for every broadcast encryption of a random contribution);
+* :class:`MultiplicationProof` — a Beaver-triple contribution
+  ``c^b = Enc(b)``, ``c^c = (c^a)^b`` used consistent values of ``b``;
+* :class:`PartialDecryptionProof` — Shoup-style Chaum–Pedersen in the
+  unknown-order group binding a partial decryption to the public
+  verification key;
+* :class:`PlaintextDlogEqualityProof` — an encrypted resharing subshare
+  matches its public verification value (cross-group equality);
+* :func:`verify_exponent_polynomial` /
+  :func:`verify_exponent_interpolates_share` — public checks that broadcast
+  verification values form a consistent degree-t sub-sharing of the
+  sender's key share;
+* :class:`CompositeProof` — an ordered bundle of labelled component proofs
+  standing in for the paper's single SNARK over relation R.
+
+All responses are over the integers (no reduction modulo the unknown group
+order), giving statistical honest-verifier zero-knowledge and soundness for
+challenges below the smallest prime factor of the moduli involved.
+"""
+
+from repro.nizk.params import ProofParams
+from repro.nizk.transcript import FiatShamirTranscript
+from repro.nizk.sigma import (
+    MultiplicationProof,
+    PartialDecryptionProof,
+    PlaintextDlogEqualityProof,
+    PlaintextKnowledgeProof,
+)
+from repro.nizk.composite import (
+    CompositeProof,
+    verify_exponent_polynomial,
+    verify_exponent_interpolates_share,
+)
+
+__all__ = [
+    "ProofParams",
+    "FiatShamirTranscript",
+    "PlaintextKnowledgeProof",
+    "MultiplicationProof",
+    "PartialDecryptionProof",
+    "PlaintextDlogEqualityProof",
+    "CompositeProof",
+    "verify_exponent_polynomial",
+    "verify_exponent_interpolates_share",
+]

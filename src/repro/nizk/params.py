@@ -1,0 +1,45 @@
+"""Proof-system parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class ProofParams:
+    """Sizes governing soundness and zero-knowledge quality.
+
+    ``challenge_bits``
+        Fiat–Shamir challenge length.  Soundness error is 2^-challenge_bits;
+        for composite moduli the challenge must stay below the smallest
+        prime factor, so small test moduli imply small challenges (the
+        *structure* of the proofs is unchanged — production parameters just
+        raise the numbers).
+    ``statistical_bits``
+        Masking slack for integer responses (statistical ZK distance
+        2^-statistical_bits).
+    """
+
+    challenge_bits: int = 30
+    statistical_bits: int = 40
+
+    def __post_init__(self):
+        if self.challenge_bits < 1:
+            raise ParameterError("challenge_bits must be positive")
+        if self.statistical_bits < 1:
+            raise ParameterError("statistical_bits must be positive")
+
+    @classmethod
+    def for_modulus_bits(cls, modulus_bits: int) -> "ProofParams":
+        """Parameters safe for an N of ``modulus_bits`` bits.
+
+        Challenges must be smaller than the ~(modulus_bits/2)-bit prime
+        factors; we leave a 2-bit margin.
+        """
+        challenge = max(8, min(128, modulus_bits // 2 - 2))
+        return cls(challenge_bits=challenge)
+
+
+DEFAULT_PARAMS = ProofParams()

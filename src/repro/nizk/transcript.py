@@ -1,0 +1,64 @@
+"""Fiat–Shamir transcripts.
+
+A :class:`FiatShamirTranscript` absorbs a domain-separation label and a
+sequence of integers/bytes/strings in order, and squeezes challenges as
+SHA-256 outputs truncated to the requested bit length.  Determinism is the
+point: prover and verifier rebuild the same transcript from the statement
+and commitments, so a proof is a bare (commitments, responses) tuple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ParameterError
+
+
+def _encode_int(value: int) -> bytes:
+    # Sign byte + big-endian magnitude, length-prefixed: unambiguous.
+    sign = b"-" if value < 0 else b"+"
+    magnitude = abs(value)
+    payload = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+    return sign + len(payload).to_bytes(4, "big") + payload
+
+
+class FiatShamirTranscript:
+    """An order-sensitive hash absorbing protocol messages."""
+
+    def __init__(self, label: str):
+        self._hash = hashlib.sha256()
+        self._hash.update(b"repro-fs-v1|")
+        self._hash.update(label.encode())
+        self._count = 0
+
+    def absorb(self, *values: int | bytes | str) -> "FiatShamirTranscript":
+        """Absorb values; ints, bytes and strings are all canonically framed."""
+        for value in values:
+            if isinstance(value, bool):
+                raise ParameterError("refusing ambiguous bool in transcript")
+            if isinstance(value, int):
+                framed = b"i" + _encode_int(value)
+            elif isinstance(value, bytes):
+                framed = b"b" + len(value).to_bytes(4, "big") + value
+            elif isinstance(value, str):
+                raw = value.encode()
+                framed = b"s" + len(raw).to_bytes(4, "big") + raw
+            else:
+                raise ParameterError(f"cannot absorb {type(value).__name__}")
+            self._hash.update(framed)
+        return self
+
+    def challenge(self, bits: int) -> int:
+        """Squeeze a challenge in ``[0, 2^bits)``; advances the transcript."""
+        if bits < 1:
+            raise ParameterError("challenge must be at least one bit")
+        out = b""
+        counter = 0
+        while len(out) * 8 < bits:
+            h = self._hash.copy()
+            h.update(b"sq" + counter.to_bytes(4, "big"))
+            out += h.digest()
+            counter += 1
+        self._hash.update(b"squeezed" + counter.to_bytes(4, "big"))
+        self._count += 1
+        return int.from_bytes(out, "big") % (1 << bits)

@@ -1,0 +1,60 @@
+"""Paillier encryption: plain PKE, and the linearly homomorphic
+key-rerandomizable *threshold* encryption (TE) scheme of the paper (§4.1).
+
+The threshold scheme follows the Damgård–Jurik/CDN construction: the
+decryption exponent ``d`` (``d ≡ 1 mod N``, ``d ≡ 0 mod m``) is Shamir-shared
+over the integers with Δ = n!-scaled Lagrange recombination in the exponent,
+and proactive resharing (``TKRes``/``TKRec``) multiplies the implicit secret
+by Δ each epoch — a public, epoch-tracked correction factor undoes this at
+decryption (DESIGN.md §5).
+"""
+
+from repro.paillier.paillier import (
+    PaillierCiphertext,
+    PaillierKeyPair,
+    PaillierPublicKey,
+    PaillierSecretKey,
+    generate_keypair,
+)
+from repro.paillier.threshold import (
+    PartialDecryption,
+    ThresholdCiphertext,
+    ThresholdKeyShare,
+    ThresholdPaillier,
+    ThresholdPublicKey,
+    ResharingMessage,
+)
+from repro.paillier.primes import (
+    is_probable_prime,
+    random_prime,
+    random_safe_prime,
+    fixture_safe_prime_pair,
+)
+from repro.paillier.encoding import (
+    chunk_integer,
+    unchunk_integer,
+    encrypt_integer_chunked,
+    decrypt_integer_chunked,
+)
+
+__all__ = [
+    "PaillierCiphertext",
+    "PaillierKeyPair",
+    "PaillierPublicKey",
+    "PaillierSecretKey",
+    "generate_keypair",
+    "PartialDecryption",
+    "ThresholdCiphertext",
+    "ThresholdKeyShare",
+    "ThresholdPaillier",
+    "ThresholdPublicKey",
+    "ResharingMessage",
+    "is_probable_prime",
+    "random_prime",
+    "random_safe_prime",
+    "fixture_safe_prime_pair",
+    "chunk_integer",
+    "unchunk_integer",
+    "encrypt_integer_chunked",
+    "decrypt_integer_chunked",
+]

@@ -1,0 +1,71 @@
+"""Chunked encryption of large integers.
+
+Paillier plaintexts live in Z_N, but the protocol must encrypt values larger
+than one plaintext — e.g. a Key-For-Future *secret key* (a factorization of
+a larger modulus) encrypted under the threshold key, or a partial
+decryption (an element of Z_{N²}) re-encrypted under a role key.  We encode
+such an integer in base ``B = 2^chunk_bits`` with ``chunk_bits`` chosen
+safely below the plaintext modulus and encrypt limb-by-limb — the standard
+hybrid workaround, preserving message *counts* up to a public constant
+factor (documented in DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.errors import ParameterError
+
+
+def safe_chunk_bits(plaintext_modulus: int) -> int:
+    """Largest limb size (in bits) that always fits the plaintext space."""
+    bits = plaintext_modulus.bit_length() - 1
+    if bits < 8:
+        raise ParameterError("plaintext modulus too small for chunked encoding")
+    return bits
+
+
+def chunk_integer(value: int, chunk_bits: int) -> list[int]:
+    """Little-endian base-2^chunk_bits limbs of a non-negative integer.
+
+    Always returns at least one limb (zero encodes as ``[0]``).
+    """
+    if value < 0:
+        raise ParameterError("chunked encoding is for non-negative integers")
+    if chunk_bits < 1:
+        raise ParameterError(f"chunk_bits must be >= 1, got {chunk_bits}")
+    mask = (1 << chunk_bits) - 1
+    limbs = []
+    while True:
+        limbs.append(value & mask)
+        value >>= chunk_bits
+        if value == 0:
+            return limbs
+
+
+def unchunk_integer(limbs: Sequence[int], chunk_bits: int) -> int:
+    """Inverse of :func:`chunk_integer`."""
+    value = 0
+    for limb in reversed(limbs):
+        if limb < 0 or limb >> chunk_bits:
+            raise ParameterError(f"limb {limb} out of range for {chunk_bits} bits")
+        value = (value << chunk_bits) | limb
+    return value
+
+
+def encrypt_integer_chunked(
+    encrypt: Callable[[int], object],
+    value: int,
+    chunk_bits: int,
+) -> list[object]:
+    """Encrypt ``value`` limb-wise with any single-plaintext ``encrypt``."""
+    return [encrypt(limb) for limb in chunk_integer(value, chunk_bits)]
+
+
+def decrypt_integer_chunked(
+    decrypt: Callable[[object], int],
+    ciphertexts: Sequence[object],
+    chunk_bits: int,
+) -> int:
+    """Decrypt limb ciphertexts and reassemble the integer."""
+    return unchunk_integer([decrypt(c) for c in ciphertexts], chunk_bits)

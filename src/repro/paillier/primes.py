@@ -1,0 +1,108 @@
+"""Prime generation for Paillier moduli.
+
+Miller–Rabin with 40 rounds (error < 2^-80 per composite) plus small-prime
+trial division.  Safe primes (p = 2p' + 1 with p' prime) are required by the
+threshold scheme so that the order structure of Z*_{N²} cooperates with
+exponent-space key sharing.
+
+Generating safe primes is slow, so :data:`SAFE_PRIME_FIXTURES` embeds
+pre-generated safe primes at several sizes; :func:`fixture_safe_prime_pair`
+hands out deterministic distinct pairs for unit tests while
+:func:`random_safe_prime` generates fresh ones for realistic key sizes.
+"""
+
+from __future__ import annotations
+
+import random
+import secrets
+
+from repro.errors import ParameterError
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113,
+)
+
+#: Pre-generated safe primes (p and (p-1)/2 both pass 40-round Miller–Rabin).
+SAFE_PRIME_FIXTURES: dict[int, tuple[int, ...]] = {
+    24: (11962943, 15856367, 14197343, 13313087, 14758343, 12253679,
+         10092107, 12260603),
+    32: (2963424383, 3121970759, 2687081807, 3917164919, 4153414439,
+         3407292479, 2485068359, 3481276307),
+    48: (203493106137947, 259499358141659, 171970552157147, 227680611356267,
+         194952629350307, 201642194770859, 218081041076747, 214832885919167),
+    64: (12368480899045270283, 16425326834340672407, 14852348927371266287,
+         15014598541923981863, 11167960381344951179, 15123106359934485863,
+         9975978702489673943, 15961649182074636323),
+    96: (42566374597122359093850895439, 47783431313978505451610922599,
+         74197210265936902755791476259, 53671222774050858110585157899,
+         41843082314991757526091853487, 65078148881050117491385163147,
+         56396115855766875408145648187, 77578277436666151873702979903),
+}
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng=None) -> bool:
+    """Miller–Rabin primality test with trial division pre-filter."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    randrange = rng.randrange if rng is not None else secrets.SystemRandom().randrange
+    for _ in range(rounds):
+        a = randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def random_prime(bits: int, rng=None) -> int:
+    """A random prime of exactly ``bits`` bits."""
+    if bits < 3:
+        raise ParameterError(f"need at least 3 bits, got {bits}")
+    getrandbits = rng.getrandbits if rng is not None else secrets.randbits
+    while True:
+        candidate = getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng=None) -> int:
+    """A random safe prime p = 2p'+1 of exactly ``bits`` bits (slow)."""
+    if bits < 4:
+        raise ParameterError(f"need at least 4 bits, got {bits}")
+    getrandbits = rng.getrandbits if rng is not None else secrets.randbits
+    while True:
+        q = getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        if not is_probable_prime(q, rng=rng):
+            continue
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p, rng=rng):
+            return p
+
+
+def fixture_safe_prime_pair(bits: int = 32, which: int = 0) -> tuple[int, int]:
+    """A deterministic pair of distinct safe primes from the fixtures.
+
+    ``which`` selects among the fixture combinations so different tests can
+    use independent moduli without regeneration cost.
+    """
+    if bits not in SAFE_PRIME_FIXTURES:
+        raise ParameterError(
+            f"no fixtures at {bits} bits; available: {sorted(SAFE_PRIME_FIXTURES)}"
+        )
+    pool = SAFE_PRIME_FIXTURES[bits]
+    pairs = [(a, b) for i, a in enumerate(pool) for b in pool[i + 1 :]]
+    rng = random.Random(which)
+    return pairs[which % len(pairs)] if which >= 0 else rng.choice(pairs)

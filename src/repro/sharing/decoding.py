@@ -1,0 +1,160 @@
+"""Reed–Solomon (Berlekamp–Welch) decoding for Shamir sharings.
+
+Shamir shares are a Reed–Solomon codeword, so up to ``e`` *wrong* shares
+can be corrected outright — no proofs needed — whenever
+``m ≥ degree + 1 + 2e`` shares are available.  This gives the protocol a
+second, proof-free road to guaranteed output delivery (the classic
+honest-majority-MPC route), exposed as
+:meth:`~repro.sharing.packed.PackedShamirScheme` ``.robust_reconstruct``
+and as the ``robust_reconstruction`` protocol option; it also answers the
+active-security half of the paper's §7 information-theoretic question.
+
+The Berlekamp–Welch system: find an error locator ``E`` (monic, degree e)
+and ``Q`` (degree ≤ d+e) with ``Q(x_i) = y_i·E(x_i)`` for every received
+point; then the codeword polynomial is ``Q / E`` exactly.  Everything runs
+over :class:`~repro.fields.ring.Zmod` with invertible-pivot Gaussian
+elimination, so it works over prime fields and (with overwhelming
+probability) over the protocol's RSA ring.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NonInvertibleError, ParameterError, ReconstructionError
+from repro.fields.polynomial import Polynomial
+from repro.fields.ring import Zmod, ZmodElement
+
+
+def gaussian_solve(
+    ring: Zmod,
+    matrix: list[list[ZmodElement]],
+    rhs: list[ZmodElement],
+) -> list[ZmodElement] | None:
+    """Solve ``A·x = b`` over the ring; None if singular.
+
+    Partial pivoting searches for an *invertible* pivot (over Z_N a nonzero
+    non-unit would factor N; treated as singular).  The matrix is consumed.
+    """
+    rows, cols = len(matrix), len(matrix[0]) if matrix else 0
+    if len(rhs) != rows:
+        raise ParameterError("matrix/vector shape mismatch")
+    augmented = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    pivot_cols: list[int] = []
+    r = 0
+    for c in range(cols):
+        pivot_row = None
+        for candidate in range(r, rows):
+            entry = augmented[candidate][c]
+            if entry.is_zero():
+                continue
+            try:
+                ring.inverse(entry)
+            except NonInvertibleError:
+                continue
+            pivot_row = candidate
+            break
+        if pivot_row is None:
+            continue
+        augmented[r], augmented[pivot_row] = augmented[pivot_row], augmented[r]
+        inv = ring.inverse(augmented[r][c])
+        augmented[r] = [v * inv for v in augmented[r]]
+        for other in range(rows):
+            if other != r and not augmented[other][c].is_zero():
+                factor = augmented[other][c]
+                augmented[other] = [
+                    a - factor * b for a, b in zip(augmented[other], augmented[r])
+                ]
+        pivot_cols.append(c)
+        r += 1
+        if r == rows:
+            break
+    # Inconsistent system?
+    for row in augmented[r:]:
+        if all(v.is_zero() for v in row[:-1]) and not row[-1].is_zero():
+            return None
+    solution = [ring.zero] * cols
+    for row_idx, c in enumerate(pivot_cols):
+        solution[c] = augmented[row_idx][-1]
+    return solution
+
+
+def berlekamp_welch(
+    ring: Zmod,
+    points: Sequence[tuple[int, ZmodElement]],
+    degree: int,
+    max_errors: int,
+) -> Polynomial:
+    """Decode the unique degree-``degree`` polynomial through ``points``
+    assuming at most ``max_errors`` of them are wrong.
+
+    Raises :class:`ReconstructionError` when decoding fails (more errors
+    than promised, or too few points: need ``len(points) >= degree+1+2e``).
+    """
+    m = len(points)
+    if len({x for x, _ in points}) != m:
+        raise ReconstructionError("repeated x coordinates")
+    if max_errors < 0:
+        raise ParameterError("max_errors must be >= 0")
+    for e in range(min(max_errors, (m - degree - 1) // 2), -1, -1):
+        if m < degree + 1 + 2 * e:
+            continue
+        candidate = _try_decode(ring, points, degree, e)
+        if candidate is not None:
+            # Accept only if consistent with all but <= max_errors points.
+            wrong = sum(
+                1 for x, y in points if candidate(x) != y
+            )
+            if wrong <= max_errors:
+                return candidate
+    raise ReconstructionError(
+        f"Berlekamp–Welch failed: degree={degree}, points={m}, "
+        f"max_errors={max_errors}"
+    )
+
+
+def _try_decode(
+    ring: Zmod,
+    points: Sequence[tuple[int, ZmodElement]],
+    degree: int,
+    e: int,
+) -> Polynomial | None:
+    """One BW attempt at a fixed error budget e."""
+    if e == 0:
+        from repro.fields.polynomial import interpolate
+
+        try:
+            poly = interpolate(ring, list(points[: degree + 1]))
+        except Exception:
+            return None
+        return poly if poly.degree <= degree else None
+    # Unknowns: Q coefficients (degree+e+1 of them), E coefficients (e of
+    # them; E is monic with leading coefficient 1).
+    n_q = degree + e + 1
+    matrix: list[list[ZmodElement]] = []
+    rhs: list[ZmodElement] = []
+    for x, y in points:
+        xe = ring.element(x)
+        row: list[ZmodElement] = []
+        power = ring.one
+        for _ in range(n_q):          # +Q(x) terms
+            row.append(power)
+            power = power * xe
+        power = ring.one
+        for _ in range(e):            # −y·E_low(x) terms
+            row.append(-(y * power))
+            power = power * xe
+        matrix.append(row)
+        rhs.append(y * power)         # y·x^e (the monic term, moved right)
+    solution = gaussian_solve(ring, matrix, rhs)
+    if solution is None:
+        return None
+    q = Polynomial(ring, solution[:n_q])
+    e_poly = Polynomial(ring, solution[n_q:] + [ring.one])
+    try:
+        quotient, remainder = q.divmod(e_poly)
+    except Exception:
+        return None
+    if not remainder.is_zero() or quotient.degree > degree:
+        return None
+    return quotient

@@ -1,0 +1,302 @@
+"""Packed Shamir secret sharing (Franklin–Yung), as used by the paper.
+
+A degree-``d`` packed sharing ``[[x]]_d`` of a vector ``x ∈ R^k`` is a
+polynomial ``f`` with ``f(-(j)) = x_j`` for slot ``j ∈ 0..k-1`` and shares
+``f(i)`` for parties ``i ∈ 1..n``, where ``k-1 <= d <= n-1``:
+
+* ``d+1`` shares reconstruct the whole sharing;
+* any ``d-k+1`` shares are independent of the secrets;
+* sharings are linear: ``[[x+y]]_d = [[x]]_d + [[y]]_d``;
+* share-wise products multiply secrets slot-wise and add degrees:
+  ``[[x*y]]_{d1+d2} = [[x]]_{d1} * [[y]]_{d2}`` for ``d1+d2 < n``;
+* *multiplication-friendliness*: a public vector ``c`` can be multiplied in
+  locally via the canonical degree-(k-1) sharing of ``c``
+  (:meth:`PackedShamirScheme.public_product`).
+
+The packing factor ``k ≈ nε`` is exactly the online-communication saving the
+paper claims (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError, ReconstructionError, SharingError
+from repro.fields import Polynomial, Zmod, ZmodElement, random_polynomial
+from repro.fields.polynomial import evaluate_from_points, interpolate
+
+
+def secret_slots(k: int) -> list[int]:
+    """Evaluation points ``0, -1, ..., -(k-1)`` holding the k packed secrets."""
+    if k < 1:
+        raise ParameterError(f"packing factor must be >= 1, got {k}")
+    return [-j for j in range(k)]
+
+
+@dataclass(frozen=True)
+class PackedShare:
+    """Party ``index``'s share of a packed sharing, tagged with its degree.
+
+    Tagging shares with ``(degree, k)`` lets the scheme enforce the degree
+    discipline (``d1 + d2 < n`` for products) at the type level instead of
+    silently producing garbage.
+    """
+
+    index: int
+    value: ZmodElement
+    degree: int
+    k: int
+
+    def __post_init__(self):
+        if self.index < 1:
+            raise ParameterError(f"share index must be >= 1, got {self.index}")
+        if self.degree < self.k - 1:
+            raise ParameterError(
+                f"degree {self.degree} below minimum {self.k - 1} for k={self.k}"
+            )
+
+    def _require_compatible(self, other: "PackedShare") -> None:
+        if other.index != self.index:
+            raise SharingError(
+                f"shares of different parties: {self.index} vs {other.index}"
+            )
+        if other.k != self.k:
+            raise SharingError(f"packing mismatch: k={self.k} vs k={other.k}")
+
+    def __add__(self, other: "PackedShare") -> "PackedShare":
+        if not isinstance(other, PackedShare):
+            return NotImplemented
+        self._require_compatible(other)
+        if other.degree != self.degree:
+            raise SharingError(
+                f"cannot add sharings of degree {self.degree} and {other.degree}"
+            )
+        return PackedShare(self.index, self.value + other.value, self.degree, self.k)
+
+    def __sub__(self, other: "PackedShare") -> "PackedShare":
+        if not isinstance(other, PackedShare):
+            return NotImplemented
+        self._require_compatible(other)
+        if other.degree != self.degree:
+            raise SharingError(
+                f"cannot subtract sharings of degree {self.degree} and {other.degree}"
+            )
+        return PackedShare(self.index, self.value - other.value, self.degree, self.k)
+
+    def __mul__(self, other: "PackedShare") -> "PackedShare":
+        """Share-wise product; degrees add (caller must keep d1+d2 < n)."""
+        if not isinstance(other, PackedShare):
+            return NotImplemented
+        self._require_compatible(other)
+        return PackedShare(
+            self.index, self.value * other.value, self.degree + other.degree, self.k
+        )
+
+    def scale(self, scalar: int | ZmodElement) -> "PackedShare":
+        return PackedShare(self.index, self.value * scalar, self.degree, self.k)
+
+
+PackedSharing = list[PackedShare]
+
+
+class PackedShamirScheme:
+    """Packed Shamir sharing for ``n`` parties, packing factor ``k``.
+
+    ``default_degree`` is the degree used by :meth:`share` when none is
+    given; the paper's protocol uses ``d = t + k - 1`` for preprocessing
+    sharings (``t`` privacy against ``t`` corruptions) and ``k - 1`` for
+    canonical public-vector sharings.
+    """
+
+    def __init__(self, ring: Zmod, n: int, k: int, default_degree: int | None = None):
+        if k < 1:
+            raise ParameterError(f"packing factor must be >= 1, got {k}")
+        if n < k:
+            raise ParameterError(f"need n >= k, got n={n}, k={k}")
+        if n + k >= ring.modulus:
+            raise ParameterError("modulus too small for n+k distinct points")
+        self.ring = ring
+        self.n = n
+        self.k = k
+        # Default to the largest multiplication-friendly degree (n−k), but
+        # never below the minimum valid degree k−1 (possible when n < 2k−1).
+        self.default_degree = (
+            default_degree if default_degree is not None else max(n - k, k - 1)
+        )
+        if not (k - 1 <= self.default_degree <= n - 1):
+            raise ParameterError(
+                f"default degree {self.default_degree} outside [{k-1}, {n-1}]"
+            )
+
+    # -- dealing --------------------------------------------------------------
+
+    def share(
+        self,
+        secrets: Sequence[int | ZmodElement],
+        degree: int | None = None,
+        rng=None,
+    ) -> PackedSharing:
+        """Deal a fresh degree-``degree`` packed sharing of ``secrets``."""
+        d = self.default_degree if degree is None else degree
+        self._check_degree(d)
+        vec = self._check_secrets(secrets)
+        constraints = list(zip(secret_slots(self.k), vec))
+        poly = random_polynomial(self.ring, d, constraints, rng=rng)
+        return [PackedShare(i, poly(i), d, self.k) for i in range(1, self.n + 1)]
+
+    def canonical_sharing(self, secrets: Sequence[int | ZmodElement]) -> PackedSharing:
+        """The unique degree-(k-1) sharing of ``secrets`` (no randomness).
+
+        Every share is a deterministic public function of the secrets; this
+        is the "all shares are determined by the secrets" sharing used for
+        multiplying in public vectors (paper §3.2).
+        """
+        vec = self._check_secrets(secrets)
+        points = list(zip(secret_slots(self.k), vec))
+        poly = interpolate(self.ring, points)
+        return [PackedShare(i, poly(i), self.k - 1, self.k) for i in range(1, self.n + 1)]
+
+    def canonical_share_for(
+        self, secrets: Sequence[int | ZmodElement], index: int
+    ) -> PackedShare:
+        """A single party's canonical degree-(k-1) share (local computation)."""
+        vec = self._check_secrets(secrets)
+        points = list(zip(secret_slots(self.k), vec))
+        value = evaluate_from_points(self.ring, points, at=index)
+        return PackedShare(index, value, self.k - 1, self.k)
+
+    # -- reconstruction ---------------------------------------------------------
+
+    def reconstruct(
+        self, shares: Iterable[PackedShare], degree: int | None = None
+    ) -> list[ZmodElement]:
+        """Recover the packed secret vector from ``degree+1`` shares.
+
+        With more shares than needed, the extras are checked against the
+        interpolant (error detection).  The shares' own degree tags must
+        agree; ``degree`` overrides for callers reconstructing raw points.
+        """
+        share_list = _dedupe(shares)
+        if not share_list:
+            raise ReconstructionError("no shares supplied")
+        d = degree if degree is not None else share_list[0].degree
+        for s in share_list:
+            if s.degree != d:
+                raise ReconstructionError(
+                    f"mixed degrees in reconstruction: {s.degree} vs {d}"
+                )
+            if s.k != self.k:
+                raise ReconstructionError(f"share with k={s.k} in k={self.k} scheme")
+        if len(share_list) < d + 1:
+            raise ReconstructionError(
+                f"need {d + 1} shares for degree {d}, got {len(share_list)}"
+            )
+        base = share_list[: d + 1]
+        points = [(s.index, s.value) for s in base]
+        if len(share_list) > d + 1:
+            poly = interpolate(self.ring, points)
+            for s in share_list[d + 1 :]:
+                if poly(s.index) != s.value:
+                    raise ReconstructionError(
+                        f"share of party {s.index} inconsistent with the others"
+                    )
+        return [
+            evaluate_from_points(self.ring, points, at=slot)
+            for slot in secret_slots(self.k)
+        ]
+
+    def robust_reconstruct(
+        self,
+        shares: Iterable[PackedShare],
+        degree: int | None = None,
+        max_errors: int = 0,
+    ) -> list[ZmodElement]:
+        """Error-corrected reconstruction: tolerates ``max_errors`` *wrong*
+        shares outright (Berlekamp–Welch), given
+        ``len(shares) >= degree + 1 + 2·max_errors``.
+
+        This is the proof-free route to robustness: no verification of who
+        lied is needed, the code corrects them silently.
+        """
+        from repro.sharing.decoding import berlekamp_welch
+
+        share_list = _dedupe(shares)
+        if not share_list:
+            raise ReconstructionError("no shares supplied")
+        d = degree if degree is not None else share_list[0].degree
+        points = [(s.index, s.value) for s in share_list]
+        poly = berlekamp_welch(self.ring, points, d, max_errors)
+        return [poly(slot) for slot in secret_slots(self.k)]
+
+    # -- local operations ----------------------------------------------------
+
+    def add(self, a: PackedSharing, b: PackedSharing) -> PackedSharing:
+        return [x + y for x, y in _zip_by_index(a, b)]
+
+    def sub(self, a: PackedSharing, b: PackedSharing) -> PackedSharing:
+        return [x - y for x, y in _zip_by_index(a, b)]
+
+    def multiply(self, a: PackedSharing, b: PackedSharing) -> PackedSharing:
+        """Share-wise product ``[[x*y]]_{d1+d2}``; requires ``d1+d2 < n``."""
+        out = [x * y for x, y in _zip_by_index(a, b)]
+        if out and out[0].degree >= self.n:
+            raise SharingError(
+                f"product degree {out[0].degree} >= n={self.n}: unreconstructable"
+            )
+        return out
+
+    def public_product(
+        self, public: Sequence[int | ZmodElement], sharing: PackedSharing
+    ) -> PackedSharing:
+        """Multiplication-friendly product ``c * [[x]]_d -> [[c*x]]_{d+k-1}``.
+
+        Each party locally multiplies its share by its canonical share of
+        the public vector ``c`` (paper §3.2: requires ``d <= n-k``).
+        """
+        if not sharing:
+            raise SharingError("empty sharing")
+        if sharing[0].degree > self.n - self.k:
+            raise SharingError(
+                f"public_product needs degree <= n-k={self.n - self.k}, "
+                f"got {sharing[0].degree}"
+            )
+        return [
+            self.canonical_share_for(public, s.index) * s
+            for s in sharing
+        ]
+
+    def scale(self, sharing: PackedSharing, scalar) -> PackedSharing:
+        return [s.scale(scalar) for s in sharing]
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_degree(self, d: int) -> None:
+        if not (self.k - 1 <= d <= self.n - 1):
+            raise ParameterError(
+                f"degree {d} outside valid range [{self.k - 1}, {self.n - 1}]"
+            )
+
+    def _check_secrets(self, secrets: Sequence[int | ZmodElement]) -> list[ZmodElement]:
+        if len(secrets) != self.k:
+            raise ParameterError(
+                f"expected {self.k} packed secrets, got {len(secrets)}"
+            )
+        return [self.ring.element(s) for s in secrets]
+
+
+def _dedupe(shares: Iterable[PackedShare]) -> list[PackedShare]:
+    seen: dict[int, PackedShare] = {}
+    for s in shares:
+        if s.index in seen and seen[s.index].value != s.value:
+            raise ReconstructionError(f"conflicting shares for party {s.index}")
+        seen[s.index] = s
+    return list(seen.values())
+
+
+def _zip_by_index(a: PackedSharing, b: PackedSharing):
+    bmap = {s.index: s for s in b}
+    for s in a:
+        if s.index not in bmap:
+            raise SharingError(f"missing counterpart share for party {s.index}")
+        yield s, bmap[s.index]

@@ -1,0 +1,144 @@
+"""Standard (k = 1) Shamir secret sharing.
+
+A degree-``t`` sharing of ``s`` is a random polynomial ``f`` with
+``f(0) = s``; party ``i`` holds the share ``f(i)`` for ``i ∈ 1..n``.  Any
+``t+1`` shares reconstruct; any ``t`` shares are independent of ``s``.
+
+Reconstruction supports *error detection*: when more than ``t+1`` shares are
+supplied, every share is checked against the interpolant of the first
+``t+1`` and an inconsistency raises
+:class:`~repro.errors.ReconstructionError`.  (Error *correction* is not
+needed by the protocol — bad contributions are excluded upstream via NIZK
+verification — but detection guards the honest path in tests.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ParameterError, ReconstructionError, SharingError
+from repro.fields import Polynomial, Zmod, ZmodElement, random_polynomial
+from repro.fields.polynomial import evaluate_from_points, interpolate
+
+
+@dataclass(frozen=True)
+class Share:
+    """Party ``index``'s evaluation of the sharing polynomial."""
+
+    index: int
+    value: ZmodElement
+
+    def __post_init__(self):
+        if self.index < 1:
+            raise ParameterError(f"share index must be >= 1, got {self.index}")
+
+    def __add__(self, other: "Share") -> "Share":
+        if not isinstance(other, Share):
+            return NotImplemented
+        if other.index != self.index:
+            raise SharingError(
+                f"cannot add shares of different parties ({self.index} vs {other.index})"
+            )
+        return Share(self.index, self.value + other.value)
+
+    def __sub__(self, other: "Share") -> "Share":
+        if not isinstance(other, Share):
+            return NotImplemented
+        if other.index != self.index:
+            raise SharingError(
+                f"cannot subtract shares of different parties ({self.index} vs {other.index})"
+            )
+        return Share(self.index, self.value - other.value)
+
+    def scale(self, scalar: int | ZmodElement) -> "Share":
+        return Share(self.index, self.value * scalar)
+
+
+class ShamirScheme:
+    """Shamir sharing context for ``n`` parties with threshold ``t``.
+
+    ``t`` is the polynomial degree: ``t+1`` shares reconstruct, ``t`` leak
+    nothing.  Honest-majority protocols use ``t < n/2``.
+    """
+
+    def __init__(self, ring: Zmod, n: int, t: int):
+        if n < 1:
+            raise ParameterError(f"need at least one party, got n={n}")
+        if not 0 <= t < n:
+            raise ParameterError(f"threshold t={t} out of range for n={n}")
+        if n >= ring.modulus:
+            raise ParameterError(
+                f"n={n} parties need n distinct nonzero points; modulus too small"
+            )
+        self.ring = ring
+        self.n = n
+        self.t = t
+
+    # -- dealing -----------------------------------------------------------
+
+    def share(self, secret: int | ZmodElement, rng=None) -> list[Share]:
+        """Deal a fresh degree-``t`` sharing of ``secret`` to parties 1..n."""
+        poly = random_polynomial(
+            self.ring, self.t, [(0, self.ring.element(secret))], rng=rng
+        )
+        return self.shares_of_polynomial(poly)
+
+    def shares_of_polynomial(self, poly: Polynomial) -> list[Share]:
+        """Shares induced by a caller-supplied polynomial (degree <= t)."""
+        if poly.degree > self.t:
+            raise SharingError(
+                f"polynomial degree {poly.degree} exceeds threshold {self.t}"
+            )
+        return [Share(i, poly(i)) for i in range(1, self.n + 1)]
+
+    # -- reconstruction ------------------------------------------------------
+
+    def reconstruct(self, shares: Iterable[Share]) -> ZmodElement:
+        """Recover the secret; detects inconsistent shares when redundant."""
+        share_list = _dedupe(shares)
+        if len(share_list) < self.t + 1:
+            raise ReconstructionError(
+                f"need {self.t + 1} shares to reconstruct, got {len(share_list)}"
+            )
+        base = share_list[: self.t + 1]
+        points = [(s.index, s.value) for s in base]
+        secret = evaluate_from_points(self.ring, points, at=0)
+        if len(share_list) > self.t + 1:
+            poly = interpolate(self.ring, points)
+            for s in share_list[self.t + 1 :]:
+                if poly(s.index) != s.value:
+                    raise ReconstructionError(
+                        f"share of party {s.index} is inconsistent with the others"
+                    )
+        return secret
+
+    # -- local linear algebra -------------------------------------------------
+
+    @staticmethod
+    def add(a: Sequence[Share], b: Sequence[Share]) -> list[Share]:
+        """Local share-wise addition (linearity of Shamir sharing)."""
+        return [x + y for x, y in _zip_by_index(a, b)]
+
+    @staticmethod
+    def scale(shares: Sequence[Share], scalar) -> list[Share]:
+        return [s.scale(scalar) for s in shares]
+
+
+def _dedupe(shares: Iterable[Share]) -> list[Share]:
+    seen: dict[int, Share] = {}
+    for s in shares:
+        if s.index in seen and seen[s.index].value != s.value:
+            raise ReconstructionError(
+                f"conflicting shares supplied for party {s.index}"
+            )
+        seen[s.index] = s
+    return list(seen.values())
+
+
+def _zip_by_index(a: Sequence[Share], b: Sequence[Share]):
+    bmap = {s.index: s for s in b}
+    for s in a:
+        if s.index not in bmap:
+            raise SharingError(f"missing counterpart share for party {s.index}")
+        yield s, bmap[s.index]

@@ -1,0 +1,205 @@
+"""Section 6: committee-size analysis for role assignment with a gap.
+
+Reproduces the paper's generalization of Benhamouda et al.'s tail analysis.
+Given the sortition parameter ``C`` (expected committee size) and global
+corruption ratio ``f``:
+
+* Eq. (4)/(5) give the smallest slack factors ε₁, ε₂ making the corruption
+  bound ``t = f·C(1+ε₁) + f(1−f)·C(1+ε₂) + 1`` hold except with
+  probability 2^−k₂ (adversarial grinding budget 2^k₁ included for ε₁);
+* Eq. (6) bounds ε₃ (the honest-count tail) from below, and bounds the gap
+  blow-up factor ``δ = (1/2+ε)/(1/2−ε)`` from above;
+* the largest feasible δ yields the gap ε, the committee-size lower bound
+  ``c = t/(1/2−ε)``, the ε=0 baseline ``c' = 2t``, and the packing factor
+  ``k ≈ c·ε`` — the online-communication improvement over [6]+[29].
+
+Infeasible combinations (the table's ⊥ cells) raise
+:class:`~repro.errors.SortitionError` from :func:`analyze`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, SortitionError
+
+LN2 = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class SecurityParameters:
+    """The three analysis security parameters (paper fixes 64/128/128).
+
+    ``k1``: adversary may grind the sortition at most 2^k1 times.
+    ``k2``: corruption bound t fails with probability <= 2^-k2.
+    ``k3``: committee-size (honest-count) bound fails with prob <= 2^-k3.
+    """
+
+    k1: int = 64
+    k2: int = 128
+    k3: int = 128
+
+    def __post_init__(self):
+        if min(self.k1, self.k2, self.k3) < 1:
+            raise ParameterError("security parameters must be positive")
+
+
+DEFAULT_SECURITY = SecurityParameters()
+
+
+def epsilon_one(c_param: float, f: float, sec: SecurityParameters = DEFAULT_SECURITY) -> float:
+    """Smallest ε₁ satisfying Eq. (2)'s first branch (paper Eq. 4).
+
+    Solves ``C = (k1+k2+1)(2+ε₁)·ln2 / (f·ε₁²)`` for ε₁ (positive root).
+    """
+    _check_cf(c_param, f)
+    a = (sec.k1 + sec.k2 + 1) * LN2
+    cf = c_param * f
+    # cf·ε² − a·ε − 2a = 0
+    return (a + math.sqrt(a * a + 8 * a * cf)) / (2 * cf)
+
+
+def epsilon_two(c_param: float, f: float, sec: SecurityParameters = DEFAULT_SECURITY) -> float:
+    """Smallest ε₂ satisfying Eq. (2)'s second branch (paper Eq. 5)."""
+    _check_cf(c_param, f)
+    a = (sec.k2 + 1) * LN2
+    cff = c_param * f * (1.0 - f)
+    return (a + math.sqrt(a * a + 8 * a * cff)) / (2 * cff)
+
+
+def corruption_threshold(
+    c_param: float, f: float, sec: SecurityParameters = DEFAULT_SECURITY
+) -> float:
+    """t = B₁ + B₂ + 1 with B₁ = fC(1+ε₁), B₂ = f(1−f)C(1+ε₂)."""
+    e1 = epsilon_one(c_param, f, sec)
+    e2 = epsilon_two(c_param, f, sec)
+    return f * c_param * (1 + e1) + f * (1 - f) * c_param * (1 + e2) + 1
+
+
+def epsilon_three_bounds(
+    c_param: float, f: float, delta: float, sec: SecurityParameters = DEFAULT_SECURITY
+) -> tuple[float, float]:
+    """The (lower, upper) interval for ε₃ at gap blow-up δ (paper Eq. 6)."""
+    _check_cf(c_param, f)
+    lower = math.sqrt(2 * sec.k3 * LN2 / (c_param * (1 - f) ** 2))
+    e1 = epsilon_one(c_param, f, sec)
+    e2 = epsilon_two(c_param, f, sec)
+    numerator = f * c_param * (1 + e1) + f * (1 - f) * c_param * (1 + e2)
+    upper = 1.0 - delta * numerator / ((1 - f) ** 2 * c_param)
+    return lower, upper
+
+
+def max_gap(
+    c_param: float,
+    f: float,
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+) -> float:
+    """The largest feasible gap ε > 0, or raise SortitionError (⊥).
+
+    ``conservative=False`` (default) follows the paper's Eq. (6) verbatim:
+    ε₃ at its lower bound, then δ pushed to
+    ``δ_max = (1−ε₃)·(1−f)²·C / (B₁+B₂)``.  Feasible iff δ_max > 1
+    (δ = 1 is exactly the ε = 0 analysis of [6]).  This reproduces Table 1
+    cell-for-cell.
+
+    ``conservative=True`` derives δ from the direct Chernoff argument on
+    the committee size instead: ``c ≥ (1−ε₃')·C`` except with probability
+    2^−k₃ for ``ε₃' = sqrt(2k₃ln2 / C)`` (lower Chernoff tail of
+    Binomial(N, C/N)), and the gap condition ``t ≤ c(1/2−ε)`` needs
+    ``c ≥ (1+δ)t``, giving ``δ_max = (1−ε₃')·C/t − 1``.  Our Monte-Carlo
+    validation (tests/test_sortition.py, EXPERIMENTS.md) shows the paper's
+    Eq. (6) is optimistic under this sortition model — the conservative
+    variant is what actually meets the stated failure probability, at the
+    cost of a smaller gap (e.g. 0.24 vs 0.25 at C=2000, f=0.1), and it
+    marks some of the paper's most aggressive cells (e.g. C=20000, f=0.2)
+    infeasible outright: their claimed committee lower bound c = t/(1/2−ε)
+    exceeds the *mean* committee size C.
+    """
+    e1 = epsilon_one(c_param, f, sec)
+    e2 = epsilon_two(c_param, f, sec)
+    numerator = f * c_param * (1 + e1) + f * (1 - f) * c_param * (1 + e2)
+    if conservative:
+        e3 = math.sqrt(2 * sec.k3 * LN2 / c_param)
+        if e3 >= 1.0:
+            raise SortitionError(
+                f"infeasible: committee-size tail too wide at C={c_param}, f={f}"
+            )
+        t = numerator + 1
+        delta_max = (1.0 - e3) * c_param / t - 1.0
+    else:
+        lower, _ = epsilon_three_bounds(c_param, f, delta=1.0, sec=sec)
+        if lower >= 1.0:
+            raise SortitionError(
+                f"infeasible: honest-count tail needs epsilon_3 >= 1 "
+                f"at C={c_param}, f={f}"
+            )
+        delta_max = (1.0 - lower) * (1 - f) ** 2 * c_param / numerator
+    if delta_max <= 1.0:
+        raise SortitionError(
+            f"infeasible: delta_max={delta_max:.4f} <= 1 at C={c_param}, f={f}"
+        )
+    return (delta_max - 1.0) / (2.0 * (delta_max + 1.0))
+
+
+@dataclass(frozen=True)
+class GapParameters:
+    """Everything the analysis yields for one (C, f) cell of Table 1."""
+
+    c_param: float          # sortition parameter C (expected committee size)
+    f: float                # global corruption ratio
+    epsilon1: float
+    epsilon2: float
+    epsilon3: float
+    t: float                # corruption threshold (t-1 bounds corruptions w.h.p.)
+    epsilon: float          # the gap
+    committee_size: float   # c = t / (1/2 - ε), w.h.p. lower bound
+    committee_size_no_gap: float  # c' = 2t, the [6] baseline
+    packing_factor: int     # k ≈ c·ε — the online improvement factor
+
+    @property
+    def improvement_factor(self) -> int:
+        """Online-communication improvement over the ε=0 protocol (= k)."""
+        return self.packing_factor
+
+    @property
+    def committee_growth(self) -> float:
+        """Relative committee-size increase paid for the gap (c/c')."""
+        return self.committee_size / self.committee_size_no_gap
+
+
+def analyze(
+    c_param: float,
+    f: float,
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+) -> GapParameters:
+    """Full Section 6 analysis for one (C, f); raises SortitionError on ⊥."""
+    epsilon = max_gap(c_param, f, sec, conservative=conservative)
+    e1 = epsilon_one(c_param, f, sec)
+    e2 = epsilon_two(c_param, f, sec)
+    e3_lower, _ = epsilon_three_bounds(c_param, f, delta=1.0, sec=sec)
+    t = f * c_param * (1 + e1) + f * (1 - f) * c_param * (1 + e2) + 1
+    committee = t / (0.5 - epsilon)
+    no_gap = 2.0 * t
+    k = int(committee * epsilon)
+    return GapParameters(
+        c_param=c_param,
+        f=f,
+        epsilon1=e1,
+        epsilon2=e2,
+        epsilon3=e3_lower,
+        t=t,
+        epsilon=epsilon,
+        committee_size=committee,
+        committee_size_no_gap=no_gap,
+        packing_factor=max(k, 1),
+    )
+
+
+def _check_cf(c_param: float, f: float) -> None:
+    if c_param <= 0:
+        raise ParameterError(f"C must be positive, got {c_param}")
+    if not 0 < f < 1:
+        raise ParameterError(f"f must be in (0, 1), got {f}")

@@ -1,0 +1,184 @@
+"""Deployment planning on top of the Section 6 analysis.
+
+The paper's Table 1 answers "given C and f, what gap do I get?".  Deployers
+usually ask the inverse questions:
+
+* :func:`min_committee_for_gap` — the smallest sortition parameter C whose
+  analysis yields at least a target gap ε (and hence packing factor);
+* :func:`min_committee_for_packing` — the smallest C achieving a target
+  online improvement factor k;
+* :func:`gap_series` / :func:`packing_series` — the (f → ε) and (f → k)
+  curves at fixed C, the data behind a "Figure 2" the full paper would
+  plot;
+* :func:`feasible_region` — the (C, f) cells where any positive gap exists.
+
+All searches are monotone bisection over the closed-form analysis, so they
+are exact to the requested resolution and fast enough for interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, SortitionError
+from repro.sortition.analysis import (
+    DEFAULT_SECURITY,
+    GapParameters,
+    SecurityParameters,
+    analyze,
+    max_gap,
+)
+
+
+def _gap_or_zero(c_param: float, f: float, sec: SecurityParameters,
+                 conservative: bool) -> float:
+    try:
+        return max_gap(c_param, f, sec, conservative=conservative)
+    except SortitionError:
+        return 0.0
+
+
+def min_committee_for_gap(
+    f: float,
+    target_epsilon: float,
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+    c_max: int = 10_000_000,
+    resolution: int = 8,
+) -> GapParameters:
+    """Smallest C (to within ``resolution``) achieving gap >= target.
+
+    Raises :class:`SortitionError` if even ``c_max`` cannot reach it.
+    The gap is monotone non-decreasing in C (larger committees concentrate
+    the tails), so bisection applies.
+    """
+    if not 0 < target_epsilon < 0.5:
+        raise ParameterError(
+            f"target gap must be in (0, 1/2), got {target_epsilon}"
+        )
+    if _gap_or_zero(c_max, f, sec, conservative) < target_epsilon:
+        raise SortitionError(
+            f"gap {target_epsilon} unreachable for f={f} below C={c_max}"
+        )
+    lo, hi = 1.0, float(c_max)
+    while hi - lo > resolution:
+        mid = (lo + hi) / 2
+        if _gap_or_zero(mid, f, sec, conservative) >= target_epsilon:
+            hi = mid
+        else:
+            lo = mid
+    return analyze(hi, f, sec, conservative=conservative)
+
+
+def min_committee_for_packing(
+    f: float,
+    target_k: int,
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+    c_max: int = 10_000_000,
+    resolution: int = 8,
+) -> GapParameters:
+    """Smallest C whose packing factor k = ⌊c·ε⌋ reaches ``target_k``."""
+    if target_k < 1:
+        raise ParameterError(f"target packing factor must be >= 1, got {target_k}")
+
+    def k_at(c_param: float) -> int:
+        try:
+            return analyze(c_param, f, sec, conservative=conservative).packing_factor
+        except SortitionError:
+            return 0
+
+    if k_at(c_max) < target_k:
+        raise SortitionError(
+            f"packing factor {target_k} unreachable for f={f} below C={c_max}"
+        )
+    lo, hi = 1.0, float(c_max)
+    while hi - lo > resolution:
+        mid = (lo + hi) / 2
+        if k_at(mid) >= target_k:
+            hi = mid
+        else:
+            lo = mid
+    return analyze(hi, f, sec, conservative=conservative)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    f: float
+    epsilon: float | None
+    packing_factor: int | None
+    committee_size: int | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.epsilon is not None
+
+
+def gap_series(
+    c_param: float,
+    f_values: tuple[float, ...] = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30),
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+) -> list[SeriesPoint]:
+    """The ε(f) curve at fixed C — gap vs corruption ratio."""
+    points = []
+    for f in f_values:
+        try:
+            g = analyze(c_param, f, sec, conservative=conservative)
+            points.append(
+                SeriesPoint(f, g.epsilon, g.packing_factor,
+                            round(g.committee_size))
+            )
+        except SortitionError:
+            points.append(SeriesPoint(f, None, None, None))
+    return points
+
+
+def packing_series(
+    f: float,
+    c_values: tuple[int, ...] = (1000, 2000, 5000, 10000, 20000, 40000),
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+) -> list[tuple[int, int | None]]:
+    """The k(C) curve at fixed f — improvement factor vs committee budget."""
+    out: list[tuple[int, int | None]] = []
+    for c_param in c_values:
+        try:
+            g = analyze(c_param, f, sec, conservative=conservative)
+            out.append((c_param, g.packing_factor))
+        except SortitionError:
+            out.append((c_param, None))
+    return out
+
+
+def feasible_region(
+    c_values: tuple[int, ...],
+    f_values: tuple[float, ...],
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+) -> dict[tuple[int, float], bool]:
+    """Which (C, f) cells admit any positive gap (the non-⊥ region)."""
+    return {
+        (c, f): _gap_or_zero(c, f, sec, conservative) > 0
+        for c in c_values
+        for f in f_values
+    }
+
+
+def max_tolerable_corruption(
+    c_param: float,
+    sec: SecurityParameters = DEFAULT_SECURITY,
+    conservative: bool = False,
+    resolution: float = 1e-4,
+) -> float:
+    """The largest f for which any positive gap is feasible at this C."""
+    lo, hi = 0.001, 0.4999
+    if _gap_or_zero(c_param, lo, sec, conservative) <= 0:
+        raise SortitionError(f"no feasible corruption ratio at C={c_param}")
+    while hi - lo > resolution:
+        mid = (lo + hi) / 2
+        if _gap_or_zero(c_param, mid, sec, conservative) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return lo

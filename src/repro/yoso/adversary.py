@@ -1,0 +1,106 @@
+"""Adversary models for the simulated YOSO execution.
+
+The paper's threat model (§2 + Remark 1) distinguishes:
+
+* **passive / semi-honest** — corrupted roles follow the protocol but leak
+  their entire view to the adversary;
+* **active / malicious** — corrupted roles may post arbitrary garbage (or
+  nothing); the runtime lets a ``transform`` hook rewrite their messages;
+* **fail-stop** — *honest* roles that crash and never post (§5.4); these
+  are scheduled by a :class:`CrashSpec` independent of corruption.
+
+The runtime is rushing-adversary-faithful: honest roles of a committee
+speak first, corrupted ones last, so transforms may read the honest
+messages from the bulletin before choosing their own.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.yoso.committees import Committee
+from repro.yoso.roles import Role, RoleId
+
+#: (role, phase, tag, payload) -> replacement payload, or None to withhold.
+TransformFn = Callable[[RoleId, str, str, Any], Any]
+
+
+def _identity_transform(role_id: RoleId, phase: str, tag: str, payload: Any) -> Any:
+    return payload
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Which roles fail-stop, and during which phase ('' = any phase)."""
+
+    roles: frozenset[RoleId] = frozenset()
+    phase: str = ""
+
+    def crashes(self, role_id: RoleId, phase: str) -> bool:
+        return role_id in self.roles and (not self.phase or self.phase == phase)
+
+    @classmethod
+    def random_honest(
+        cls, committee: Committee, count: int, rng: random.Random, phase: str = ""
+    ) -> "CrashSpec":
+        """Crash ``count`` random *honest* members — the §5.4 scenario."""
+        honest = [r.id for r in committee if not r.corrupted]
+        if count > len(honest):
+            raise ValueError(f"only {len(honest)} honest members to crash")
+        return cls(frozenset(rng.sample(honest, count)), phase)
+
+
+@dataclass
+class Adversary:
+    """Corruption behaviour plus the accumulated corrupted-role view."""
+
+    transform: TransformFn = _identity_transform
+    crash_spec: CrashSpec = field(default_factory=CrashSpec)
+    leaked_views: list[tuple[RoleId, Mapping[str, Any]]] = field(default_factory=list)
+
+    def observe(self, role: Role) -> None:
+        """Record what corrupting this role's machine reveals (its view)."""
+        self.leaked_views.append((role.id, role.exposed_state()))
+
+    def crashes(self, role_id: RoleId, phase: str) -> bool:
+        return self.crash_spec.crashes(role_id, phase)
+
+    def apply(
+        self, role_id: RoleId, phase: str, tag: str, payload: Any
+    ) -> Any:
+        return self.transform(role_id, phase, tag, payload)
+
+
+def honest_adversary() -> Adversary:
+    """No corruption behaviour at all (every role follows the protocol)."""
+    return Adversary()
+
+
+def random_corruptions(
+    committees: list[Committee], t: int, rng: random.Random
+) -> list[RoleId]:
+    """Flag ``t`` uniformly random members of each committee as corrupted.
+
+    Returns all corrupted role ids.  (YOSO computation roles are corrupted
+    at random because the adversary cannot see the role→machine mapping.)
+    """
+    corrupted: list[RoleId] = []
+    for committee in committees:
+        for index in sorted(rng.sample(range(1, committee.size + 1), t)):
+            role = committee.role(index)
+            role.corrupted = True
+            corrupted.append(role.id)
+    return corrupted
+
+
+def withholding_transform(tags_to_drop: set[str]) -> TransformFn:
+    """An active behaviour: silently drop messages with the given tags."""
+
+    def transform(role_id: RoleId, phase: str, tag: str, payload: Any) -> Any:
+        if tag in tags_to_drop:
+            return None
+        return payload
+
+    return transform

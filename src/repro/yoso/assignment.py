@@ -1,0 +1,114 @@
+"""The ideal role-assignment functionality.
+
+Abstract-YOSO protocols are designed against an idealized role assignment
+(paper §2): it maps roles to machines, equips each role with a keypair
+(public part on the bulletin, secret part known only to the machine), and —
+because the adversary cannot see the mapping — corruption of computation
+roles is *random*.  :class:`IdealRoleAssignment` implements exactly that
+contract for the simulated network; the probabilistic analysis of
+*realizing* it via cryptographic sortition lives in :mod:`repro.sortition`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ParameterError
+from repro.paillier.paillier import PaillierKeyPair, generate_keypair, _keypair_from_primes
+from repro.paillier.primes import random_prime
+from repro.yoso.committees import Committee
+from repro.yoso.roles import Role, RoleId
+
+
+class IdealRoleAssignment:
+    """Samples committees and equips each role with a fresh role keypair.
+
+    ``key_bits`` sizes the role-key moduli.  Role keys must be able to carry
+    (chunked) values from the threshold-encryption world, so callers pick
+    ``key_bits`` >= the TE modulus size; chunking handles the rest.
+    """
+
+    def __init__(self, key_bits: int = 64, rng: random.Random | None = None):
+        if key_bits < 16:
+            raise ParameterError("role keys need at least 16-bit moduli")
+        self.key_bits = key_bits
+        self.rng = rng if rng is not None else random.Random()
+
+    def _fresh_keypair(self) -> PaillierKeyPair:
+        half = self.key_bits // 2
+        p = random_prime(half, rng=self.rng)
+        q = random_prime(half, rng=self.rng)
+        while q == p:
+            q = random_prime(half, rng=self.rng)
+        return _keypair_from_primes(p, q)
+
+    def sample_committee(self, name: str, size: int) -> Committee:
+        """Create a committee of ``size`` fresh roles with role keys."""
+        roles = [
+            Role(RoleId(name, i), self._fresh_keypair())
+            for i in range(1, size + 1)
+        ]
+        return Committee(name, roles)
+
+    def corrupt_randomly(self, committee: Committee, t: int) -> list[int]:
+        """Mark ``t`` uniformly random members corrupted (YOSO's random
+        corruption of computation roles); returns the corrupted indices."""
+        if t > committee.size:
+            raise ParameterError(
+                f"cannot corrupt {t} of {committee.size} members"
+            )
+        chosen = sorted(self.rng.sample(range(1, committee.size + 1), t))
+        for index in chosen:
+            committee.role(index).corrupted = True
+        return chosen
+
+    def client(self, name: str) -> Role:
+        """A known (non-anonymous) input/output machine with a keypair."""
+        return Role(RoleId(name, 1), self._fresh_keypair())
+
+    def sample_by_sortition(
+        self,
+        name: str,
+        n_total: int,
+        corruption_ratio: float,
+        c_param: float,
+    ) -> Committee:
+        """Sample a committee the way the §6 analysis models it.
+
+        Each of ``n_total`` machines joins independently with probability
+        ``C/N``; a ``corruption_ratio`` fraction of machines is corrupt, so
+        corrupted membership is Binomial too (the adversary cannot bias
+        *which* roles land on its machines — the random-corruption property
+        of the role assignment).  Committee size is therefore random;
+        callers take the realized ``committee.size`` and
+        ``len(committee.corrupted_indices())`` to instantiate protocol
+        parameters, exactly as a deployment would.
+
+        Intended for simulation-scale C (role keys are generated per
+        member); the pure counting analysis for large C lives in
+        :mod:`repro.sortition`.
+        """
+        if not 0 < c_param <= n_total:
+            raise ParameterError(f"need 0 < C <= N, got C={c_param}, N={n_total}")
+        if not 0 <= corruption_ratio < 1:
+            raise ParameterError(f"bad corruption ratio {corruption_ratio}")
+        p = c_param / n_total
+        n_corrupt_machines = int(corruption_ratio * n_total)
+        members: list[bool] = []  # corrupted flag per selected member
+        for machine in range(n_total):
+            if self.rng.random() < p:
+                members.append(machine < n_corrupt_machines)
+        if len(members) < 2:
+            raise ParameterError(
+                f"sortition produced a degenerate committee of {len(members)}"
+            )
+        self.rng.shuffle(members)  # anonymize machine order
+        roles = [
+            Role(RoleId(name, i), self._fresh_keypair())
+            for i in range(1, len(members) + 1)
+        ]
+        committee = Committee(name, roles)
+        for role, corrupted in zip(roles, members):
+            role.corrupted = corrupted
+        return committee

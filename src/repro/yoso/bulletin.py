@@ -1,0 +1,93 @@
+"""The public bulletin board.
+
+All YOSO communication is posting to (and reading from) a public
+append-only board: broadcast and point-to-point messages cost the same
+(paper §3.3), point-to-point privacy comes from encrypting to the
+recipient's role key.  Every post is metered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.accounting.comm import CommMeter
+from repro.errors import YosoError
+
+
+@dataclass(frozen=True)
+class Post:
+    """One append-only board entry."""
+
+    seq: int
+    round: int
+    phase: str
+    sender: str
+    tag: str
+    payload: Any
+
+
+class BulletinBoard:
+    """Append-only, publicly readable message board with metering."""
+
+    def __init__(self, meter: CommMeter | None = None):
+        self.meter = meter if meter is not None else CommMeter()
+        self._posts: list[Post] = []
+        self._by_tag: dict[str, list[Post]] = {}
+        self.round = 0
+
+    def advance_round(self) -> int:
+        self.round += 1
+        return self.round
+
+    def post(self, phase: str, sender: str, tag: str, payload: Any) -> Post:
+        """Append a message; records its size with the meter.
+
+        A dict payload with string keys is a *sectioned* message (the
+        standard shape of a role's single bundled utterance); each section
+        is metered under ``tag.section`` so benchmarks can slice one
+        committee's bytes by message kind.  The post itself stays whole.
+        """
+        if (
+            isinstance(payload, dict)
+            and payload
+            and all(isinstance(k, str) for k in payload)
+        ):
+            for key, section in payload.items():
+                self.meter.record(phase, sender, f"{tag}.{key}", section)
+        else:
+            self.meter.record(phase, sender, tag, payload)
+        post = Post(len(self._posts), self.round, phase, sender, tag, payload)
+        self._posts.append(post)
+        self._by_tag.setdefault(tag, []).append(post)
+        return post
+
+    # -- reading (free, public) ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    def __iter__(self) -> Iterator[Post]:
+        return iter(self._posts)
+
+    def with_tag(self, tag: str) -> list[Post]:
+        return list(self._by_tag.get(tag, []))
+
+    def payloads(self, tag: str) -> list[Any]:
+        return [p.payload for p in self._by_tag.get(tag, [])]
+
+    def latest(self, tag: str) -> Any:
+        posts = self._by_tag.get(tag)
+        if not posts:
+            raise YosoError(f"no post with tag {tag!r}")
+        return posts[-1].payload
+
+    def exists(self, tag: str) -> bool:
+        return bool(self._by_tag.get(tag))
+
+    def by_sender(self, tag: str) -> dict[str, Any]:
+        """Latest payload per sender for a tag (a round's contributions)."""
+        out: dict[str, Any] = {}
+        for p in self._by_tag.get(tag, []):
+            out[p.sender] = p.payload
+        return out

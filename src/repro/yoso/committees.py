@@ -1,0 +1,56 @@
+"""Committees: named groups of roles executing one protocol step."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import ParameterError, YosoError
+from repro.paillier.paillier import PaillierPublicKey
+from repro.yoso.roles import Role, RoleId
+
+
+@dataclass
+class Committee:
+    """A committee of ``n`` roles with 1-based indexing."""
+
+    name: str
+    roles: list[Role]
+
+    def __post_init__(self):
+        if not self.roles:
+            raise ParameterError(f"committee {self.name!r} is empty")
+        for expected, role in enumerate(self.roles, start=1):
+            if role.id.committee != self.name or role.id.index != expected:
+                raise ParameterError(
+                    f"role {role.id} misplaced in committee {self.name!r}"
+                )
+
+    @property
+    def size(self) -> int:
+        return len(self.roles)
+
+    def __iter__(self) -> Iterator[Role]:
+        return iter(self.roles)
+
+    def role(self, index: int) -> Role:
+        if not 1 <= index <= len(self.roles):
+            raise YosoError(f"committee {self.name!r} has no member {index}")
+        return self.roles[index - 1]
+
+    def public_keys(self) -> list[PaillierPublicKey]:
+        """Role-assignment public keys of all members, in index order."""
+        return [r.public_key for r in self.roles]
+
+    def honest_indices(self) -> list[int]:
+        return [r.id.index for r in self.roles if not r.corrupted]
+
+    def corrupted_indices(self) -> list[int]:
+        return [r.id.index for r in self.roles if r.corrupted]
+
+    def active_indices(self) -> list[int]:
+        """Members that have not crashed (fail-stop)."""
+        return [r.id.index for r in self.roles if not r.crashed]
+
+    def ids(self) -> list[RoleId]:
+        return [r.id for r in self.roles]

@@ -1,0 +1,167 @@
+"""Executable ideal functionalities: F_MPC (paper §2) and F_BC (Appendix C).
+
+The paper defines security as the protocol UC-emulating these boxes.  This
+module implements them *operationally* so tests can compare real protocol
+executions against the ideal behaviour:
+
+* :class:`IdealMpc` — the two-stage F_MPC^F: collects inputs during
+  ``GettingInputs`` (honest roles commit in round 1, only once; corrupt and
+  leaky roles' inputs leak to the simulator; honest inputs leak only their
+  length), evaluates F on ``Evaluated``, and serves per-role outputs on
+  ``Read``.  Default inputs are 0, exactly as the box specifies.
+* :class:`IdealBroadcast` — F_BC: per-round input map, rushing leak of
+  every message to the simulator, ``Spoke`` delivery to honest senders,
+  reads of past rounds only.
+
+These are *specification* objects — the realizations live in
+:mod:`repro.core` (for F_MPC) and :mod:`repro.yoso.bulletin` (for F_BC);
+``tests/test_functionalities.py`` checks protocol-vs-ideal agreement.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import YosoError
+
+
+class RoleStatus(enum.Enum):
+    HONEST = "honest"
+    LEAKY = "leaky"          # honest-but-curious: input leaks to S
+    MALICIOUS = "malicious"
+
+
+class Stage(enum.Enum):
+    GETTING_INPUTS = "GettingInputs"
+    EVALUATED = "Evaluated"
+
+
+@dataclass
+class LeakRecord:
+    """What the simulator S observes."""
+
+    role: str
+    content: Any   # |x| for honest roles, x itself for leaky/malicious
+
+
+class IdealMpc:
+    """The F_MPC^F box.
+
+    ``function`` maps {input role: value} to {output role: value}.  Roles
+    must be declared with their status up front (the environment's
+    corruption choices).
+    """
+
+    def __init__(
+        self,
+        function: Callable[[Mapping[str, int]], Mapping[str, int]],
+        input_roles: Sequence[str],
+        output_roles: Sequence[str],
+        status: Mapping[str, RoleStatus] | None = None,
+    ):
+        self.function = function
+        self.input_roles = list(input_roles)
+        self.output_roles = list(output_roles)
+        self.status = dict(status or {})
+        self.stage = Stage.GETTING_INPUTS
+        self.round = 1
+        # Default input 0 for every input role, overwritable per the box.
+        self.inputs: dict[str, int] = {role: 0 for role in self.input_roles}
+        self._honest_committed: set[str] = set()
+        self.outputs: dict[str, int] = {}
+        self.leaks: list[LeakRecord] = []
+
+    def _status(self, role: str) -> RoleStatus:
+        return self.status.get(role, RoleStatus.HONEST)
+
+    def advance_round(self) -> None:
+        self.round += 1
+
+    # -- (Input, R, x) ---------------------------------------------------------
+
+    def give_input(self, role: str, value: int) -> bool:
+        """Process an Input message; returns True if the input was stored.
+
+        Honest roles: only the first input, and only in round 1 (the box's
+        rule); they receive Spoke (modelled by the return value — the
+        caller kills the role).  Corrupt roles may (re)set their input any
+        time before Evaluated.
+        """
+        if role not in self.inputs:
+            raise YosoError(f"{role!r} is not an input role")
+        if self.stage is not Stage.GETTING_INPUTS:
+            return False
+        status = self._status(role)
+        if status is RoleStatus.HONEST:
+            if role in self._honest_committed or self.round != 1:
+                return False
+            self._honest_committed.add(role)
+            self.inputs[role] = value
+            self.leaks.append(LeakRecord(role, value.bit_length()))
+            return True
+        self.inputs[role] = value
+        self.leaks.append(LeakRecord(role, value))
+        return True
+
+    # -- Evaluated (from S) ------------------------------------------------------
+
+    def evaluate(self) -> None:
+        """S decides it is output time (allowed only after round 1)."""
+        if self.round <= 1:
+            raise YosoError("Evaluated only allowed in a round r > 1")
+        if self.stage is Stage.EVALUATED:
+            raise YosoError("already evaluated")
+        self.stage = Stage.EVALUATED
+        self.outputs = dict(self.function(dict(self.inputs)))
+        # Outputs of corrupt/leaky output roles leak to S immediately.
+        for role in self.output_roles:
+            if self._status(role) is not RoleStatus.HONEST:
+                self.leaks.append(LeakRecord(role, self.outputs.get(role)))
+
+    # -- (Read, R) -----------------------------------------------------------------
+
+    def read(self, role: str) -> int:
+        if self.stage is not Stage.EVALUATED:
+            raise YosoError("outputs not available before Evaluated")
+        if role not in self.output_roles:
+            raise YosoError(f"{role!r} is not an output role")
+        return self.outputs[role]
+
+
+@dataclass
+class _BroadcastEntry:
+    round: int
+    sender: str
+    message: Any
+
+
+class IdealBroadcast:
+    """The F_BC box of Appendix C."""
+
+    def __init__(self):
+        self.round = 1
+        self._map: dict[int, dict[str, Any]] = {}
+        self._spoke: set[str] = set()
+        self.leaks: list[_BroadcastEntry] = []
+
+    def advance_round(self) -> None:
+        self.round += 1
+
+    def send(self, role: str, message: Any, honest: bool = True) -> None:
+        """(Send, R, x): store, leak to S (rushing), Spoke honest senders."""
+        if role in self._spoke:
+            raise YosoError(f"{role!r} already spoke on the broadcast channel")
+        self._map.setdefault(self.round, {})[role] = message
+        self.leaks.append(_BroadcastEntry(self.round, role, message))
+        if honest:
+            self._spoke.add(role)
+
+    def read(self, round_number: int) -> dict[str, Any]:
+        """(Read, R, r'): the full round-r' map, only for past rounds."""
+        if round_number >= self.round:
+            raise YosoError(
+                f"round {round_number} not yet readable (current {self.round})"
+            )
+        return dict(self._map.get(round_number, {}))

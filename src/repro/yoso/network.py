@@ -1,0 +1,89 @@
+"""The synchronous protocol environment.
+
+Drives committees round by round: each activation hands the role a
+:class:`~repro.yoso.roles.RoleView`, collects its single queued message,
+applies the adversary (corrupted roles may rewrite or withhold; crashed
+roles never post), posts to the bulletin, and kills the role (Spoke).
+
+Rushing order: honest members of a committee are activated before corrupted
+ones, so malicious transforms can depend on all honest messages of the
+round — the strongest scheduling the model allows (§2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.accounting.comm import CommMeter
+from repro.errors import YosoError
+from repro.yoso.adversary import Adversary, honest_adversary
+from repro.yoso.assignment import IdealRoleAssignment
+from repro.yoso.bulletin import BulletinBoard
+from repro.yoso.committees import Committee
+from repro.yoso.roles import Role, RoleView
+
+#: A role program: inspects its view, optionally calls view.speak(...) once.
+RoleProgram = Callable[[RoleView], None]
+
+
+class ProtocolEnvironment:
+    """Owns the bulletin, the adversary, and the round schedule."""
+
+    def __init__(
+        self,
+        assignment: IdealRoleAssignment | None = None,
+        adversary: Adversary | None = None,
+        rng: random.Random | None = None,
+        meter: CommMeter | None = None,
+    ):
+        self.rng = rng if rng is not None else random.Random()
+        self.assignment = (
+            assignment if assignment is not None else IdealRoleAssignment(rng=self.rng)
+        )
+        self.adversary = adversary if adversary is not None else honest_adversary()
+        self.bulletin = BulletinBoard(meter)
+        self.phase = "setup"
+
+    @property
+    def meter(self) -> CommMeter:
+        return self.bulletin.meter
+
+    def set_phase(self, phase: str) -> None:
+        self.phase = phase
+
+    # -- activation ---------------------------------------------------------
+
+    def activate(self, role: Role, program: RoleProgram) -> None:
+        """Run one role's program; post its message; kill the role."""
+        if role.spoken:
+            raise YosoError(f"role {role.id} was already activated")
+        if role.crashed or self.adversary.crashes(role.id, self.phase):
+            role.crashed = True
+            role.mark_spoken()  # a crashed role still dies silently
+            return
+        view = RoleView(role, self.bulletin, self.rng)
+        if role.corrupted:
+            self.adversary.observe(role)
+        program(view)
+        message = view.queued_message()
+        if message is not None:
+            tag, payload = message
+            if role.corrupted:
+                payload = self.adversary.apply(role.id, self.phase, tag, payload)
+            if payload is not None:
+                self.bulletin.post(self.phase, str(role.id), tag, payload)
+        role.mark_spoken()
+
+    def run_committee(self, committee: Committee, program: RoleProgram) -> None:
+        """Activate a whole committee in one round, honest-first (rushing)."""
+        honest = [r for r in committee if not r.corrupted]
+        corrupt = [r for r in committee if r.corrupted]
+        for role in honest + corrupt:
+            self.activate(role, program)
+        self.bulletin.advance_round()
+
+    def run_role(self, role: Role, program: RoleProgram) -> None:
+        """Activate a single role (e.g. a client) as its own round."""
+        self.activate(role, program)
+        self.bulletin.advance_round()

@@ -1,0 +1,141 @@
+"""Roles: the stateless, speak-once protocol participants.
+
+A :class:`Role` is the runtime's record of one role — its identity, its
+role keypair (from the ideal role assignment), its corruption status, and
+whether it has spoken.  Protocol code never touches a Role directly; it
+receives a :class:`RoleView`, which exposes exactly what an executing role
+may see (its own secrets, any setup gifts, and read access to the bulletin)
+and a single :meth:`RoleView.speak`.
+
+After speaking, the runtime *erases* the role's secrets (the YOSO wrapper's
+``Spoke`` semantics, paper §2): corrupting the machine afterwards yields
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import RoleAlreadySpokeError, YosoError
+from repro.paillier.paillier import PaillierKeyPair, PaillierPublicKey, PaillierSecretKey
+
+
+@dataclass(frozen=True, order=True)
+class RoleId:
+    """A role name: committee name plus 1-based index within it."""
+
+    committee: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.committee}[{self.index}]"
+
+
+class Role:
+    """Runtime state of one role (held by the environment, not by protocol code)."""
+
+    def __init__(
+        self,
+        role_id: RoleId,
+        keypair: PaillierKeyPair,
+        gifts: Mapping[str, Any] | None = None,
+    ):
+        self.id = role_id
+        self.public_key: PaillierPublicKey = keypair.public
+        self._secret_key: PaillierSecretKey | None = keypair.secret
+        self._gifts: dict[str, Any] = dict(gifts or {})
+        self.spoken = False
+        self.corrupted = False
+        self.crashed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def mark_spoken(self) -> None:
+        """Record the single utterance and erase all secrets (Spoke token)."""
+        if self.spoken:
+            raise RoleAlreadySpokeError(f"role {self.id} already spoke")
+        self.spoken = True
+        self._secret_key = None
+        self._gifts.clear()
+
+    @property
+    def secret_key(self) -> PaillierSecretKey:
+        if self._secret_key is None:
+            raise YosoError(f"role {self.id} has no secrets (already spoke)")
+        return self._secret_key
+
+    def gift(self, name: str) -> Any:
+        """A private value handed to this role by the setup functionality."""
+        if self.spoken:
+            raise YosoError(f"role {self.id} erased its state after speaking")
+        if name not in self._gifts:
+            raise YosoError(f"role {self.id} holds no gift {name!r}")
+        return self._gifts[name]
+
+    def has_gift(self, name: str) -> bool:
+        return not self.spoken and name in self._gifts
+
+    def add_gift(self, name: str, value: Any) -> None:
+        if self.spoken:
+            raise YosoError(f"cannot gift {self.id} after it spoke")
+        self._gifts[name] = value
+
+    def exposed_state(self) -> dict[str, Any]:
+        """What an adversary corrupting the machine right now would learn."""
+        if self.spoken:
+            return {}
+        state: dict[str, Any] = dict(self._gifts)
+        if self._secret_key is not None:
+            state["role_secret_key"] = self._secret_key
+        return state
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            f for f, on in (("S", self.spoken), ("C", self.corrupted), ("X", self.crashed)) if on
+        )
+        return f"Role({self.id}{' ' + flags if flags else ''})"
+
+
+class RoleView:
+    """The interface handed to a role's program for its one activation."""
+
+    def __init__(self, role: Role, bulletin, rng):
+        self._role = role
+        self.bulletin = bulletin
+        self.rng = rng
+        self._payload: tuple[str, Any] | None = None
+
+    @property
+    def id(self) -> RoleId:
+        return self._role.id
+
+    @property
+    def index(self) -> int:
+        return self._role.id.index
+
+    @property
+    def public_key(self) -> PaillierPublicKey:
+        return self._role.public_key
+
+    @property
+    def secret_key(self) -> PaillierSecretKey:
+        return self._role.secret_key
+
+    def gift(self, name: str) -> Any:
+        return self._role.gift(name)
+
+    def has_gift(self, name: str) -> bool:
+        return self._role.has_gift(name)
+
+    def speak(self, tag: str, payload: Any) -> None:
+        """Queue this role's single message; the runtime posts it.
+
+        Calling twice raises — that is the YOSO invariant made executable.
+        """
+        if self._payload is not None or self._role.spoken:
+            raise RoleAlreadySpokeError(f"role {self.id} may only speak once")
+        self._payload = (tag, payload)
+
+    def queued_message(self) -> tuple[str, Any] | None:
+        return self._payload

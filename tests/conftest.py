@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Expensive artifacts (threshold keys, protocol runs) are session-scoped so
+the suite stays fast; tests that need isolation build their own.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fields import Zmod
+from repro.nizk import ProofParams
+from repro.paillier import ThresholdPaillier, generate_keypair
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def field():
+    """A prime field big enough for any sharing test."""
+    return Zmod((1 << 61) - 1)
+
+
+@pytest.fixture(scope="session")
+def small_field():
+    return Zmod(257)
+
+
+@pytest.fixture(scope="session")
+def proof_params():
+    return ProofParams(challenge_bits=24)
+
+
+@pytest.fixture(scope="session")
+def paillier_keypair():
+    return generate_keypair(64)
+
+
+@pytest.fixture(scope="session")
+def threshold_setup():
+    """(tpk, shares) for n=5, t=2 at 64-bit modulus."""
+    rng = random.Random(1234)
+    return ThresholdPaillier.keygen(5, 2, bits=64, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def threshold_setup_t1():
+    """(tpk, shares) for n=4, t=1 — cheaper for resharing-heavy tests."""
+    rng = random.Random(4321)
+    return ThresholdPaillier.keygen(4, 1, bits=64, rng=rng)

@@ -1,0 +1,182 @@
+"""Tests for the bitwise gadgets (equality, comparison, auctions)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    CircuitBuilder,
+    comparison_circuit,
+    maximum_circuit,
+    second_price_auction_circuit,
+)
+from repro.circuits.bitwise import (
+    bit_and,
+    bit_not,
+    bit_or,
+    bit_xor,
+    bitness_checks,
+    bits_equal,
+    equality,
+    from_bits,
+    less_than,
+    mux,
+)
+from repro.errors import CircuitError
+from repro.fields import Zmod
+
+F = Zmod((1 << 61) - 1)
+
+
+def to_bits(v: int, n: int) -> list[int]:
+    return [int(x) for x in format(v, f"0{n}b")]
+
+
+def _eval_gadget(gadget, arity, values):
+    b = CircuitBuilder()
+    wires = b.inputs("a", arity)
+    b.output(gadget(b, *wires), "a")
+    ev = b.build().evaluate(F, {"a": list(values)})
+    return int(ev.outputs["a"][0])
+
+
+class TestBitOps:
+    @pytest.mark.parametrize("x", [0, 1])
+    def test_not(self, x):
+        assert _eval_gadget(bit_not, 1, [x]) == 1 - x
+
+    @pytest.mark.parametrize("x,y", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_and_or_xor(self, x, y):
+        assert _eval_gadget(bit_and, 2, [x, y]) == (x & y)
+        assert _eval_gadget(bit_or, 2, [x, y]) == (x | y)
+        assert _eval_gadget(bit_xor, 2, [x, y]) == (x ^ y)
+        assert _eval_gadget(bits_equal, 2, [x, y]) == int(x == y)
+
+    @pytest.mark.parametrize("c,x,y", [(0, 5, 9), (1, 5, 9)])
+    def test_mux(self, c, x, y):
+        b = CircuitBuilder()
+        cw, xw, yw = b.inputs("a", 3)
+        b.output(mux(b, cw, xw, yw), "a")
+        ev = b.build().evaluate(F, {"a": [c, x, y]})
+        assert int(ev.outputs["a"][0]) == (x if c else y)
+
+    def test_from_bits(self):
+        b = CircuitBuilder()
+        wires = b.inputs("a", 4)
+        b.output(from_bits(b, wires), "a")
+        ev = b.build().evaluate(F, {"a": to_bits(13, 4)})
+        assert int(ev.outputs["a"][0]) == 13
+
+    def test_bitness_checks(self):
+        b = CircuitBuilder()
+        wires = b.inputs("a", 2)
+        for w in bitness_checks(b, wires):
+            b.output(w, "a")
+        ev = b.build().evaluate(F, {"a": [1, 0]})
+        assert all(int(v) == 0 for v in ev.outputs["a"])
+        ev = b.build().evaluate(F, {"a": [2, 0]})
+        assert int(ev.outputs["a"][0]) != 0  # 2 is not a bit
+
+    def test_validation(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            equality(b, [], [])
+        with pytest.raises(CircuitError):
+            less_than(b, [b.input("a")], [])
+        with pytest.raises(CircuitError):
+            from_bits(b, [])
+
+
+class TestComparisonCircuit:
+    def test_exhaustive_2bit(self):
+        c = comparison_circuit(2)
+        for x in range(4):
+            for y in range(4):
+                ev = c.evaluate(F, {"alice": to_bits(x, 2), "bob": to_bits(y, 2)})
+                lt, eq = [int(v) for v in ev.outputs["alice"]]
+                assert lt == int(x < y)
+                assert eq == int(x == y)
+
+    def test_bits_validated(self):
+        with pytest.raises(CircuitError):
+            comparison_circuit(0)
+
+
+class TestMaximum:
+    def test_random_cases(self):
+        rng = random.Random(3)
+        circuit = maximum_circuit(3, ["a", "b", "c", "d"])
+        for _ in range(15):
+            vals = {cl: rng.randrange(8) for cl in "abcd"}
+            ev = circuit.evaluate(F, {cl: to_bits(vals[cl], 3) for cl in "abcd"})
+            out = [int(v) for v in ev.outputs["auctioneer"]]
+            top = max(vals.values())
+            assert out[0] == top
+            assert out[1:] == [int(vals[cl] == top) for cl in "abcd"]
+
+    def test_needs_two_clients(self):
+        with pytest.raises(CircuitError):
+            maximum_circuit(3, ["solo"])
+
+
+class TestVickreyAuction:
+    CIRCUIT = second_price_auction_circuit(4, ["a", "b", "c"])
+
+    def _run(self, vals):
+        ev = self.CIRCUIT.evaluate(
+            F, {cl: to_bits(vals[cl], 4) for cl in "abc"}
+        )
+        return [int(v) for v in ev.outputs["auctioneer"]]
+
+    def test_distinct_bids(self):
+        out = self._run({"a": 5, "b": 12, "c": 9})
+        assert out == [9, 0, 1, 0]  # b wins, pays c's 9
+
+    def test_tied_top_bids_pay_top(self):
+        out = self._run({"a": 11, "b": 11, "c": 4})
+        assert out == [11, 1, 1, 0]
+
+    def test_all_zero_bids(self):
+        out = self._run({"a": 0, "b": 0, "c": 0})
+        assert out[0] == 0 and out[1:] == [1, 1, 1]
+
+    def test_random_against_reference(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            vals = {cl: rng.randrange(16) for cl in "abc"}
+            out = self._run(vals)
+            ordered = sorted(vals.values(), reverse=True)
+            price = ordered[0] if ordered[0] == ordered[1] else ordered[1]
+            top = ordered[0]
+            assert out[0] == price, vals
+            assert out[1:] == [int(vals[cl] == top) for cl in "abc"], vals
+
+    def test_needs_two_bidders(self):
+        with pytest.raises(CircuitError):
+            second_price_auction_circuit(4, ["solo"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.integers(min_value=0, max_value=31),
+    y=st.integers(min_value=0, max_value=31),
+)
+def test_comparison_property(x, y):
+    c = comparison_circuit(5)
+    ev = c.evaluate(F, {"alice": to_bits(x, 5), "bob": to_bits(y, 5)})
+    lt, eq = [int(v) for v in ev.outputs["alice"]]
+    assert lt == int(x < y) and eq == int(x == y)
+
+
+def test_auction_runs_under_full_protocol():
+    """A 2-bit, 2-bidder auction through the whole YOSO MPC stack."""
+    from repro.core import run_mpc
+
+    circuit = second_price_auction_circuit(2, ["a", "b"])
+    result = run_mpc(
+        circuit, {"a": to_bits(2, 2), "b": to_bits(3, 2)},
+        n=4, epsilon=0.2, seed=44,
+    )
+    price, win_a, win_b = result.outputs["auctioneer"]
+    assert (price, win_a, win_b) == (2, 0, 1)

@@ -1,0 +1,142 @@
+"""Tests for the circuit optimizer (folding, CSE, dead-code)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import CircuitBuilder, optimize, random_circuit
+from repro.circuits.circuit import GateType
+from repro.fields import Zmod
+
+F = Zmod((1 << 61) - 1)
+
+
+def _equivalent(original, optimized, wire_map, inputs):
+    """Both circuits produce identical outputs (and mapped wires agree)."""
+    ev_a = original.evaluate(F, inputs)
+    ev_b = optimized.evaluate(F, inputs)
+    assert ev_a.outputs == ev_b.outputs
+    for old, new in wire_map.items():
+        assert ev_a.wire_values[old] == ev_b.wire_values[new]
+
+
+class TestIdentities:
+    def test_multiply_by_one_removed(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        b.output(b.cmul(1, x), "a")
+        result = optimize(b.build())
+        assert result.circuit.n_multiplications == 0
+        assert all(
+            g.kind is not GateType.CMUL for g in result.circuit.gates
+        )
+        _equivalent(b.build(), result.circuit, result.wire_map, {"a": [9]})
+
+    def test_add_zero_removed(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        b.output(b.cadd(0, x), "a")
+        result = optimize(b.build())
+        assert len(result.circuit.gates) == 2  # input + output
+        _equivalent(b.build(), result.circuit, result.wire_map, {"a": [3]})
+
+    def test_x_minus_x_folds_to_zero(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        z = b.sub(x, x)
+        b.output(b.mul(z, x), "a")  # 0·x
+        result = optimize(b.build())
+        assert result.circuit.n_multiplications == 0
+        _equivalent(b.build(), result.circuit, result.wire_map, {"a": [5]})
+
+    def test_mul_by_folded_constant_becomes_cmul(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        z = b.sub(x, x)          # constant 0
+        five = b.cadd(5, z)      # constant 5
+        b.output(b.mul(five, x), "a")
+        result = optimize(b.build())
+        assert result.circuit.n_multiplications == 0
+        assert result.multiplications_removed == 1
+        _equivalent(b.build(), result.circuit, result.wire_map, {"a": [7]})
+
+
+class TestCse:
+    def test_duplicate_gates_merged(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("a")
+        m1 = b.mul(x, y)
+        m2 = b.mul(x, y)  # identical
+        b.output(b.add(m1, m2), "a")
+        result = optimize(b.build())
+        assert result.circuit.n_multiplications == 1
+        _equivalent(b.build(), result.circuit, result.wire_map, {"a": [3, 4]})
+
+    def test_distinct_gates_not_merged(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("a")
+        b.output(b.add(b.mul(x, y), b.mul(y, x)), "a")  # operand order differs
+        result = optimize(b.build())
+        assert result.circuit.n_multiplications == 2
+
+
+class TestDeadCode:
+    def test_unused_chain_removed(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("a")
+        b.mul(b.mul(x, y), y)  # dead
+        b.output(b.add(x, y), "a")
+        result = optimize(b.build())
+        assert result.circuit.n_multiplications == 0
+        assert result.gates_removed >= 2
+        _equivalent(b.build(), result.circuit, result.wire_map, {"a": [2, 3]})
+
+    def test_inputs_preserved_even_if_unused(self):
+        b = CircuitBuilder()
+        x, _unused = b.input("a"), b.input("a")
+        b.output(x, "a")
+        result = optimize(b.build())
+        assert result.circuit.n_inputs == 2
+        _equivalent(b.build(), result.circuit, result.wire_map, {"a": [1, 2]})
+
+
+class TestEndToEnd:
+    def test_optimized_circuit_runs_in_protocol(self):
+        from repro.core import run_mpc
+
+        b = CircuitBuilder()
+        x, y = b.input("alice"), b.input("bob")
+        noise = b.mul(b.cmul(0, x), y)      # folds to constant 0
+        z = b.add(b.mul(x, y), noise)
+        b.output(z, "alice")
+        result = optimize(b.build())
+        assert result.circuit.n_multiplications == 1
+        run = run_mpc(result.circuit, {"alice": [6], "bob": [7]},
+                      n=4, epsilon=0.2, seed=77)
+        assert run.outputs["alice"] == [42]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1 << 30))
+def test_optimization_preserves_semantics(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, n_inputs=4, n_gates=20, n_clients=2,
+                             value_bound=30)
+    inputs = {
+        f"client{i}": [rng.randrange(100) for _ in circuit.inputs_of_client(f"client{i}")]
+        for i in range(2)
+    }
+    result = optimize(circuit)
+    assert result.circuit.n_multiplications <= circuit.n_multiplications
+    _equivalent(circuit, result.circuit, result.wire_map, inputs)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1 << 30))
+def test_optimization_idempotent(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, n_inputs=3, n_gates=15, n_clients=2)
+    once = optimize(circuit)
+    twice = optimize(once.circuit)
+    assert len(twice.circuit.gates) >= len(once.circuit.gates) - 2

@@ -1,0 +1,112 @@
+"""Tests for circuit serialization and digests."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import (
+    circuit_from_dict,
+    circuit_to_dict,
+    digest,
+    dot_product_circuit,
+    dumps,
+    loads,
+    random_circuit,
+)
+from repro.errors import CircuitError
+from repro.fields import Zmod
+
+F = Zmod((1 << 61) - 1)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        circuit = dot_product_circuit(3)
+        rebuilt = circuit_from_dict(circuit_to_dict(circuit))
+        assert [g.kind for g in rebuilt.gates] == [g.kind for g in circuit.gates]
+        assert rebuilt.input_wires == circuit.input_wires
+
+    def test_text_roundtrip_preserves_semantics(self):
+        circuit = dot_product_circuit(4)
+        rebuilt = loads(dumps(circuit))
+        inputs = {"alice": [1, 2, 3, 4], "bob": [5, 6, 7, 8]}
+        assert (
+            rebuilt.evaluate(F, inputs).outputs
+            == circuit.evaluate(F, inputs).outputs
+        )
+
+    def test_negative_constants_survive(self):
+        from repro.circuits import CircuitBuilder
+
+        b = CircuitBuilder()
+        x = b.input("a")
+        b.output(b.cmul(-7, b.cadd(-3, x)), "a")
+        rebuilt = loads(dumps(b.build()))
+        assert rebuilt.evaluate(F, {"a": [1]}).outputs == b.build().evaluate(
+            F, {"a": [1]}
+        ).outputs
+
+
+class TestCanonicalForm:
+    def test_dumps_deterministic(self):
+        circuit = dot_product_circuit(2)
+        assert dumps(circuit) == dumps(loads(dumps(circuit)))
+
+    def test_digest_stable_and_distinct(self):
+        a, b = dot_product_circuit(2), dot_product_circuit(3)
+        assert digest(a) == digest(a)
+        assert digest(a) != digest(b)
+
+    def test_digest_sensitive_to_clients(self):
+        a = dot_product_circuit(2, client_x="alice")
+        b = dot_product_circuit(2, client_x="eve")
+        assert digest(a) != digest(b)
+
+
+class TestValidation:
+    def test_bad_json_rejected(self):
+        with pytest.raises(CircuitError):
+            loads("{not json")
+
+    def test_missing_gates_rejected(self):
+        with pytest.raises(CircuitError):
+            circuit_from_dict({"version": 1})
+
+    def test_wrong_version_rejected(self):
+        doc = circuit_to_dict(dot_product_circuit(2))
+        doc["version"] = 99
+        with pytest.raises(CircuitError):
+            circuit_from_dict(doc)
+
+    def test_unknown_gate_kind_rejected(self):
+        doc = circuit_to_dict(dot_product_circuit(2))
+        doc["gates"][0]["kind"] = "teleport"
+        with pytest.raises(CircuitError):
+            circuit_from_dict(doc)
+
+    def test_structural_validation_applies(self):
+        # Forward references are caught by the Circuit constructor.
+        doc = {"version": 1, "gates": [
+            {"kind": "input", "client": "a"},
+            {"kind": "add", "inputs": [0, 5]},
+        ]}
+        with pytest.raises(CircuitError):
+            circuit_from_dict(doc)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1 << 30))
+def test_serialization_roundtrip_property(seed):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, n_inputs=3, n_gates=12, n_clients=2)
+    rebuilt = loads(dumps(circuit))
+    assert digest(rebuilt) == digest(circuit)
+    inputs = {
+        f"client{i}": [rng.randrange(50) for _ in circuit.inputs_of_client(f"client{i}")]
+        for i in range(2)
+    }
+    assert (
+        rebuilt.evaluate(F, inputs).outputs == circuit.evaluate(F, inputs).outputs
+    )

@@ -1,0 +1,188 @@
+"""Tests for the circuit representation, builder, and evaluation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import Circuit, CircuitBuilder, GateType
+from repro.circuits.circuit import Gate
+from repro.errors import CircuitError
+from repro.fields import Zmod
+
+F = Zmod((1 << 61) - 1)
+
+
+class TestGateValidation:
+    def test_arity_enforced(self):
+        with pytest.raises(CircuitError):
+            Gate(GateType.ADD, (1,))
+        with pytest.raises(CircuitError):
+            Gate(GateType.INPUT, (0,), client="a")
+
+    def test_constant_required(self):
+        with pytest.raises(CircuitError):
+            Gate(GateType.CMUL, (0,))
+
+    def test_client_required(self):
+        with pytest.raises(CircuitError):
+            Gate(GateType.INPUT)
+
+
+class TestCircuitValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit([])
+
+    def test_forward_reference_rejected(self):
+        gates = [Gate(GateType.INPUT, client="a"), Gate(GateType.ADD, (0, 2)),
+                 Gate(GateType.INPUT, client="a")]
+        with pytest.raises(CircuitError):
+            Circuit(gates)
+
+    def test_reading_output_wire_rejected(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        out = b.output(x, "a")
+        with pytest.raises(CircuitError):
+            b.add(x, out)
+
+
+class TestBuilder:
+    def test_basic_shape(self):
+        b = CircuitBuilder()
+        x, y = b.input("alice"), b.input("bob")
+        z = b.mul(b.add(x, y), x)
+        b.output(z, "alice")
+        c = b.build()
+        assert c.n_inputs == 2 and c.n_multiplications == 1 and c.n_outputs == 1
+
+    def test_unknown_wire_rejected(self):
+        b = CircuitBuilder()
+        with pytest.raises(CircuitError):
+            b.add(0, 1)
+
+    def test_sum_tree(self):
+        b = CircuitBuilder()
+        xs = b.inputs("a", 5)
+        b.output(b.sum(xs), "a")
+        c = b.build()
+        ev = c.evaluate(F, {"a": [1, 2, 3, 4, 5]})
+        assert int(ev.outputs["a"][0]) == 15
+
+    def test_sum_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            CircuitBuilder().sum([])
+
+    def test_dot(self):
+        b = CircuitBuilder()
+        xs, ys = b.inputs("a", 3), b.inputs("b", 3)
+        b.output(b.dot(xs, ys), "a")
+        ev = b.build().evaluate(F, {"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert int(ev.outputs["a"][0]) == 32
+
+    def test_linear_combination(self):
+        b = CircuitBuilder()
+        xs = b.inputs("a", 3)
+        b.output(b.linear_combination([2, 3, 4], xs), "a")
+        ev = b.build().evaluate(F, {"a": [1, 1, 1]})
+        assert int(ev.outputs["a"][0]) == 9
+
+    def test_power(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        b.output(b.power(x, 5), "a")
+        ev = b.build().evaluate(F, {"a": [3]})
+        assert int(ev.outputs["a"][0]) == 243
+
+    def test_power_requires_positive_exponent(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        with pytest.raises(CircuitError):
+            b.power(x, 0)
+
+
+class TestEvaluation:
+    def test_all_gate_types(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("a")
+        w = b.cadd(10, b.cmul(3, b.sub(b.add(x, y), y)))  # 3x + 10
+        z = b.mul(w, y)
+        b.output(z, "a")
+        ev = b.build().evaluate(F, {"a": [5, 7]})
+        assert int(ev.outputs["a"][0]) == (3 * 5 + 10) * 7
+
+    def test_missing_client_rejected(self):
+        b = CircuitBuilder()
+        b.input("a")
+        b.output(0, "a")
+        with pytest.raises(CircuitError):
+            b.build().evaluate(F, {})
+
+    def test_too_few_inputs_rejected(self):
+        b = CircuitBuilder()
+        b.inputs("a", 2)
+        b.output(0, "a")
+        with pytest.raises(CircuitError):
+            b.build().evaluate(F, {"a": [1]})
+
+    def test_too_many_inputs_rejected(self):
+        b = CircuitBuilder()
+        b.input("a")
+        b.output(0, "a")
+        with pytest.raises(CircuitError):
+            b.build().evaluate(F, {"a": [1, 2]})
+
+    def test_negative_constants(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        b.output(b.cmul(-2, b.cadd(-1, x)), "a")
+        ev = b.build().evaluate(F, {"a": [10]})
+        assert ev.outputs["a"][0] == F(-18)
+
+    def test_multi_client_outputs(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("b")
+        b.output(x, "a")
+        b.output(y, "b")
+        b.output(b.add(x, y), "b")
+        ev = b.build().evaluate(F, {"a": [1], "b": [2]})
+        assert [int(v) for v in ev.outputs["b"]] == [2, 3]
+
+
+class TestShapeQueries:
+    def test_depths(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("a")
+        m1 = b.mul(x, y)            # depth 1
+        m2 = b.mul(m1, b.add(x, m1))  # depth 2
+        b.output(m2, "a")
+        c = b.build()
+        depths = c.depths()
+        assert depths[m1] == 1 and depths[m2] == 2
+
+    def test_client_queries(self):
+        b = CircuitBuilder()
+        b.input("z")
+        b.input("a")
+        b.input("z")
+        b.output(0, "q")
+        c = b.build()
+        assert c.input_clients() == ["z", "a"]  # first-appearance order
+        assert c.inputs_of_client("z") == [0, 2]
+        assert c.output_clients() == ["q"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1 << 30))
+def test_random_circuit_evaluates(seed):
+    from repro.circuits import random_circuit
+
+    rng = random.Random(seed)
+    c = random_circuit(rng, n_inputs=4, n_gates=15, n_clients=2)
+    inputs = {
+        f"client{i}": [rng.randrange(100) for _ in c.inputs_of_client(f"client{i}")]
+        for i in range(2)
+    }
+    ev = c.evaluate(F, inputs)
+    assert len(ev.wire_values) == len(c.gates)

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.circuits import dot_product_circuit, dumps as dump_circuit
+from repro.cli import main
+
+
+class TestTable1Command:
+    def test_prints_all_cells(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "1093/1093" in out     # the f=20% headline cell
+        assert out.count("⊥") >= 8    # the infeasible cells
+
+
+class TestPlanCommand:
+    def test_feasible_cell(self, capsys):
+        assert main(["plan", "20000", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "1,093" in out or "1093" in out
+
+    def test_infeasible_cell(self, capsys):
+        assert main(["plan", "1000", "0.25"]) == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_conservative_flag(self, capsys):
+        assert main(["plan", "5000", "0.1", "--conservative"]) == 0
+        out = capsys.readouterr().out
+        assert "0.08" in out  # the stricter gap
+
+
+class TestRunCommand:
+    def test_run_circuit_file(self, tmp_path, capsys):
+        circuit_path = tmp_path / "circuit.json"
+        circuit_path.write_text(dump_circuit(dot_product_circuit(2)))
+        inputs_path = tmp_path / "inputs.json"
+        inputs_path.write_text(json.dumps({"alice": [3, 4], "bob": [5, 6]}))
+        report_path = tmp_path / "report.json"
+        code = main([
+            "run", "--circuit", str(circuit_path),
+            "--inputs", str(inputs_path),
+            "--n", "4", "--epsilon", "0.2", "--seed", "1",
+            "--report", str(report_path),
+        ])
+        assert code == 0
+        outputs = json.loads(capsys.readouterr().out)
+        assert outputs == {"alice": [39]}
+        report = json.loads(report_path.read_text())
+        assert report["parameters"]["n"] == 4
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["run", "--circuit", "/nope.json", "--inputs", "/nope2.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_inputs_shape(self, tmp_path, capsys):
+        circuit_path = tmp_path / "c.json"
+        circuit_path.write_text(dump_circuit(dot_product_circuit(2)))
+        inputs_path = tmp_path / "i.json"
+        inputs_path.write_text("[1, 2, 3]")
+        assert main([
+            "run", "--circuit", str(circuit_path), "--inputs", str(inputs_path)
+        ]) == 1
+
+
+class TestDemoCommand:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--n", "4", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "'alice': [112]" in out  # 2·7 + 3·11 + 5·13
+
+
+class TestExtrapolateCommand:
+    def test_factor_reported(self, capsys):
+        assert main(["extrapolate", "20000", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "1,000" in out or "1000" in out  # the 1000× regime
+
+    def test_bad_epsilon_is_an_error(self, capsys):
+        assert main(["extrapolate", "100", "0.9"]) == 1

@@ -1,0 +1,101 @@
+"""Tests for protocol parameter derivation (the §5.4 constraints)."""
+
+import pytest
+
+from repro.core import ProtocolParams
+from repro.errors import ParameterError
+
+
+class TestConstraints:
+    def test_valid_basic(self):
+        p = ProtocolParams(n=8, t=1, k=2, epsilon=0.2)
+        assert p.sharing_degree == 2
+        assert p.product_degree == 3
+        assert p.reconstruction_threshold == 4
+        assert p.decryption_threshold == 2
+
+    def test_corruption_bound_enforced(self):
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=8, t=4, k=1, epsilon=0.0)  # t >= n/2
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=10, t=3, k=1, epsilon=0.2)  # t >= n(1/2-eps)
+
+    def test_god_headroom_enforced(self):
+        # n - t < t + 2(k-1) + 1 must be rejected.
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=8, t=2, k=3, epsilon=0.1)
+
+    def test_crash_budget_consumes_headroom(self):
+        ProtocolParams(n=10, t=1, k=2, epsilon=0.3, fail_stop_budget=3)
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=10, t=1, k=2, epsilon=0.3, fail_stop_budget=6)
+
+    def test_basic_validation(self):
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=1, t=0, k=1, epsilon=0.1)
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=4, t=-1, k=1, epsilon=0.1)
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=4, t=1, k=0, epsilon=0.1)
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=4, t=1, k=1, epsilon=0.6)
+        with pytest.raises(ParameterError):
+            ProtocolParams(n=4, t=1, k=1, epsilon=0.1, te_bits=8)
+
+
+class TestFromGap:
+    def test_t_below_bound(self):
+        for n in (4, 8, 16, 32):
+            for eps in (0.0, 0.1, 0.25, 0.4):
+                p = ProtocolParams.from_gap(n, eps)
+                assert p.t < n * (0.5 - eps) or p.t == 0
+                assert p.n - p.t >= p.reconstruction_threshold
+
+    def test_packing_scales_with_gap(self):
+        small = ProtocolParams.from_gap(20, 0.1)
+        large = ProtocolParams.from_gap(20, 0.4)
+        assert large.k > small.k
+
+    def test_k_bounded_by_n_epsilon(self):
+        p = ProtocolParams.from_gap(20, 0.25)
+        assert p.k - 1 <= 20 * 0.25
+
+    def test_zero_gap_means_no_packing(self):
+        p = ProtocolParams.from_gap(9, 0.0)
+        assert p.k == 1
+        assert p.t == 4
+
+    def test_fail_stop_halves_packing(self):
+        normal = ProtocolParams.from_gap(16, 0.25)
+        fs = ProtocolParams.from_gap(16, 0.25, fail_stop=True)
+        assert fs.fail_stop_budget == 4
+        assert fs.k <= normal.k
+        # §5.4: k - 1 <= n*eps/2 in fail-stop mode
+        assert fs.k - 1 <= 16 * 0.25 / 2
+
+    def test_with_fail_stop_roundtrip(self):
+        p = ProtocolParams.from_gap(16, 0.25)
+        fs = p.with_fail_stop()
+        assert fs.fail_stop_budget > 0
+        assert fs.n == p.n and fs.epsilon == p.epsilon
+
+    def test_describe_mentions_key_facts(self):
+        text = ProtocolParams.from_gap(8, 0.2).describe()
+        assert "n=8" in text and "k=" in text
+
+
+class TestPaperIdentities:
+    def test_reconstruction_threshold_formula(self):
+        # §5.4: need t + 2(k-1) + 1 shares; with k-1 <= n*eps and
+        # t < n(1/2-eps) this stays within the honest n - t.
+        for n in (8, 12, 20, 40):
+            for eps in (0.1, 0.2, 0.3):
+                p = ProtocolParams.from_gap(n, eps)
+                assert p.reconstruction_threshold == p.t + 2 * (p.k - 1) + 1
+                assert p.reconstruction_threshold <= n - p.t
+
+    def test_fail_stop_reconstruction_bound(self):
+        # §5.4: with k = n*eps/2 + 1 the threshold stays under n/2 + 1.
+        for n in (8, 16, 24):
+            p = ProtocolParams.from_gap(n, 0.25, fail_stop=True)
+            assert p.reconstruction_threshold + p.fail_stop_budget <= n - p.t

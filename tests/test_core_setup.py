@@ -1,0 +1,84 @@
+"""Unit tests for Π_YOSO-Setup artifacts."""
+
+import random
+
+import pytest
+
+from repro.circuits import dot_product_circuit, plan_batches
+from repro.core import ProtocolParams, client_tag, mul_committee_name, role_tag
+from repro.core.setup import KffEntry, run_setup, trivial_zero_ciphertext
+from repro.errors import ParameterError
+from repro.paillier import ThresholdPaillier
+from repro.yoso import IdealRoleAssignment, ProtocolEnvironment
+
+
+@pytest.fixture(scope="module")
+def setup_world():
+    rng = random.Random(404)
+    params = ProtocolParams.from_gap(5, 0.25)
+    circuit = dot_product_circuit(3)
+    plan = plan_batches(circuit, params.k)
+    env = ProtocolEnvironment(
+        assignment=IdealRoleAssignment(key_bits=64, rng=rng), rng=rng
+    )
+    setup = run_setup(env, params, circuit, plan, rng)
+    return env, params, circuit, setup
+
+
+class TestSetupArtifacts:
+    def test_ring_matches_threshold_key(self, setup_world):
+        _, _, _, setup = setup_world
+        assert setup.ring.modulus == setup.tpk.n
+        assert not setup.ring.is_field()
+
+    def test_tsk_shares_ready_for_first_committee(self, setup_world):
+        _, params, _, setup = setup_world
+        assert len(setup.tsk_shares) == params.n
+        assert all(s.epoch == 0 for s in setup.tsk_shares)
+        assert setup.tsk_verifications == {
+            s.index: s.verification for s in setup.tsk_shares
+        }
+
+    def test_kff_registry_covers_online_roles_and_clients(self, setup_world):
+        _, params, circuit, setup = setup_world
+        for depth in setup.mul_depths:
+            for i in range(1, params.n + 1):
+                assert role_tag(mul_committee_name(depth), i) in setup.kff
+        for client in circuit.input_clients():
+            assert client_tag(client) in setup.kff
+        with pytest.raises(ParameterError):
+            setup.kff_for("unknown")
+
+    def test_kff_secret_recoverable_via_threshold_decryption(self, setup_world):
+        _, params, circuit, setup = setup_world
+        from repro.paillier.encoding import safe_chunk_bits, unchunk_integer
+
+        tag = client_tag(circuit.input_clients()[0])
+        entry = setup.kff[tag]
+        chunk_bits = safe_chunk_bits(setup.tpk.n)
+        limbs = [
+            ThresholdPaillier.decrypt(setup.tpk, setup.tsk_shares[:2], ct)
+            for ct in entry.encrypted_prime
+        ]
+        prime = unchunk_integer(limbs, chunk_bits)
+        sk = entry.recover_secret(prime)
+        # Roundtrip under the recovered KFF secret key.
+        assert sk.decrypt(entry.public_key.encrypt(12345)) == 12345
+
+    def test_recover_secret_validates_prime(self, setup_world):
+        _, _, circuit, setup = setup_world
+        entry = setup.kff[client_tag(circuit.input_clients()[0])]
+        with pytest.raises(ParameterError):
+            entry.recover_secret(7)  # not a factor of the modulus
+
+    def test_setup_posted_to_bulletin(self, setup_world):
+        env, _, _, _ = setup_world
+        assert env.meter.total_bytes("setup") > 0
+        tags = set(env.meter.by_tag("setup"))
+        assert any("setup-keys" in t for t in tags)
+
+    def test_trivial_zero_ciphertext(self, setup_world):
+        _, _, _, setup = setup_world
+        zero = trivial_zero_ciphertext(setup.tpk)
+        assert zero.value == 1
+        assert ThresholdPaillier.decrypt(setup.tpk, setup.tsk_shares[:2], zero) == 0

@@ -1,0 +1,132 @@
+"""Tests for the analytic communication model (cross-validated vs meter)."""
+
+import pytest
+
+from repro.accounting import CircuitShape, CostModel, extrapolate_online_per_gate
+from repro.circuits import dot_product_circuit, plan_batches
+from repro.core import ProtocolParams, run_mpc
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def validated_run():
+    circuit = dot_product_circuit(8)
+    result = run_mpc(
+        circuit, {"alice": list(range(1, 9)), "bob": [2] * 8},
+        n=6, epsilon=0.25, seed=31,
+    )
+    model = CostModel(
+        result.params, CircuitShape.of(circuit, result.plan),
+        result.setup.proof_params,
+    )
+    return circuit, result, model
+
+
+class TestShape:
+    def test_circuit_shape_extraction(self):
+        circuit = dot_product_circuit(5)
+        plan = plan_batches(circuit, k=2)
+        shape = CircuitShape.of(circuit, plan)
+        assert shape.n_inputs == 10
+        assert shape.n_multiplications == 5
+        assert shape.n_outputs == 1
+        assert shape.n_batches == 3
+        assert shape.n_depths == 1
+        assert shape.n_input_clients == 2
+
+
+class TestCrossValidation:
+    def test_offline_prediction_within_tolerance(self, validated_run):
+        _, result, model = validated_run
+        predicted = model.predict_offline().n_bytes
+        measured = result.phase_bytes("offline")
+        assert 0.80 <= predicted / measured <= 1.20
+
+    def test_online_prediction_within_tolerance(self, validated_run):
+        _, result, model = validated_run
+        predicted = model.predict_online().n_bytes
+        measured = result.phase_bytes("online")
+        assert 0.70 <= predicted / measured <= 1.25
+
+    def test_mu_per_gate_prediction_tight(self, validated_run):
+        circuit, result, model = validated_run
+        predicted = model.online_mul_bytes_per_gate()
+        measured = result.online_mul_bytes() / circuit.n_multiplications
+        assert 0.95 <= predicted / measured <= 1.05
+
+    def test_offline_message_count_exact(self, validated_run):
+        _, result, model = validated_run
+        # 5 offline committees × n members, each speaking once.
+        senders = result.meter.senders("offline")
+        assert len(senders) == model.predict_offline().messages
+
+
+class TestModelStructure:
+    def _model(self, n, epsilon, length=8, **kw):
+        params = ProtocolParams.from_gap(n, epsilon, **kw)
+        circuit = dot_product_circuit(length)
+        plan = plan_batches(circuit, params.k)
+        return CostModel(params, CircuitShape.of(circuit, plan))
+
+    def test_online_per_gate_flat_in_n(self):
+        # With k ∝ n and a circuit wide enough for full batches (the
+        # paper's width assumption), the model's per-gate online cost is
+        # bounded by (1/ε)·|share| at every n — it does not grow with n.
+        values = []
+        for n in (8, 16, 32):
+            model = self._model(n, 0.25, length=45)  # 45 = lcm-ish: full batches
+            per_gate = model.online_mul_bytes_per_gate()
+            bound = (1 / 0.25) * model.mu_share_bytes
+            assert per_gate <= bound
+            values.append(per_gate)
+        assert max(values) <= min(values) * 1.5  # k-flooring wobble only
+
+    def test_offline_per_gate_linear_in_n(self):
+        small = self._model(8, 0.25).offline_bytes_per_gate()
+        large = self._model(16, 0.25).offline_bytes_per_gate()
+        assert 1.5 <= large / small <= 3.5
+
+    def test_component_sizes_scale_with_moduli(self):
+        small = self._model(8, 0.25, te_bits=64)
+        large = self._model(8, 0.25, te_bits=128, role_key_bits=128)
+        assert large.te_ct == 2 * small.te_ct
+        assert large.popk_bytes > small.popk_bytes
+
+    def test_empty_circuit_edge(self):
+        from repro.circuits import CircuitBuilder
+
+        b = CircuitBuilder()
+        x = b.input("a")
+        b.output(x, "a")
+        circuit = b.build()
+        params = ProtocolParams.from_gap(6, 0.2)
+        model = CostModel(
+            params, CircuitShape.of(circuit, plan_batches(circuit, params.k))
+        )
+        assert model.online_mul_bytes_per_gate() == 0.0
+        assert model.offline_bytes_per_gate() == 0.0
+
+
+class TestExtrapolation:
+    def test_flat_at_deployment_scale(self):
+        # n = 1000 vs n = 20000 at the same gap: per-gate cost identical
+        # (both are share_bytes/ε up to k-flooring).
+        a = extrapolate_online_per_gate(1000, 0.05)
+        b = extrapolate_online_per_gate(20000, 0.05)
+        assert 0.9 <= a / b <= 1.1
+
+    def test_tracks_one_over_epsilon(self):
+        wide = extrapolate_online_per_gate(20000, 0.25)
+        narrow = extrapolate_online_per_gate(20000, 0.05)
+        assert 4 <= narrow / wide <= 6  # ≈ 0.25/0.05
+
+    def test_explicit_packing_override(self):
+        base = extrapolate_online_per_gate(20000, 0.05)
+        doubled = extrapolate_online_per_gate(20000, 0.05, gates_per_batch=2000)
+        assert doubled == pytest.approx(base / 2)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ParameterError):
+            extrapolate_online_per_gate(1000, 0.0)
+        with pytest.raises(ParameterError):
+            extrapolate_online_per_gate(1000, 0.5)

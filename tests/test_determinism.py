@@ -1,0 +1,40 @@
+"""Reproducibility: seeded runs are bit-for-bit deterministic."""
+
+import random
+
+from repro.circuits import dot_product_circuit
+from repro.core import ProtocolParams, YosoMpc, run_mpc
+
+
+class TestDeterminism:
+    def test_same_seed_same_everything(self):
+        circuit = dot_product_circuit(2)
+        inputs = {"alice": [3, 1], "bob": [4, 1]}
+        a = run_mpc(circuit, inputs, n=4, epsilon=0.2, seed=7)
+        b = run_mpc(circuit, inputs, n=4, epsilon=0.2, seed=7)
+        assert a.outputs == b.outputs
+        assert a.setup.tpk.n == b.setup.tpk.n
+        assert [r.n_bytes for r in a.meter.records] == [
+            r.n_bytes for r in b.meter.records
+        ]
+        assert [r.tag for r in a.meter.records] == [r.tag for r in b.meter.records]
+
+    def test_different_seeds_different_keys(self):
+        circuit = dot_product_circuit(2)
+        inputs = {"alice": [1, 1], "bob": [1, 1]}
+        a = run_mpc(circuit, inputs, n=4, epsilon=0.2, seed=1)
+        b = run_mpc(circuit, inputs, n=4, epsilon=0.2, seed=2)
+        # Threshold modulus comes from fixtures (same), but all role keys,
+        # masks and randomness differ — check a distinguishable artifact.
+        a_posts = [r.n_bytes for r in a.meter.records]
+        b_posts = [r.n_bytes for r in b.meter.records]
+        assert a_posts != b_posts or a.offline.epsilon_delta != b.offline.epsilon_delta
+        assert a.outputs == b.outputs  # correctness is seed-independent
+
+    def test_seeded_protocol_object_reuse(self):
+        circuit = dot_product_circuit(2)
+        inputs = {"alice": [2, 2], "bob": [3, 3]}
+        params = ProtocolParams.from_gap(4, 0.2)
+        one = YosoMpc(params, rng=random.Random(5)).run(circuit, inputs)
+        two = YosoMpc(params, rng=random.Random(5)).run(circuit, inputs)
+        assert one.outputs == two.outputs == {"alice": [12]}

@@ -1,0 +1,65 @@
+"""Tests for chunked integer encoding/encryption."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.paillier import (
+    chunk_integer,
+    decrypt_integer_chunked,
+    encrypt_integer_chunked,
+    generate_keypair,
+    unchunk_integer,
+)
+from repro.paillier.encoding import safe_chunk_bits
+
+
+class TestChunking:
+    def test_zero_encodes_as_single_limb(self):
+        assert chunk_integer(0, 8) == [0]
+
+    def test_roundtrip(self):
+        for value in (1, 255, 256, 12345678901234567890):
+            assert unchunk_integer(chunk_integer(value, 16), 16) == value
+
+    def test_little_endian_layout(self):
+        assert chunk_integer(0x0102, 8) == [0x02, 0x01]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            chunk_integer(-1, 8)
+
+    def test_bad_chunk_bits(self):
+        with pytest.raises(ParameterError):
+            chunk_integer(1, 0)
+
+    def test_out_of_range_limb_rejected(self):
+        with pytest.raises(ParameterError):
+            unchunk_integer([256], 8)
+        with pytest.raises(ParameterError):
+            unchunk_integer([-1], 8)
+
+    def test_safe_chunk_bits(self):
+        assert safe_chunk_bits(1 << 16) == 16
+        assert (1 << safe_chunk_bits(12345678)) <= 12345678
+        with pytest.raises(ParameterError):
+            safe_chunk_bits(100)
+
+
+class TestChunkedEncryption:
+    def test_roundtrip_through_paillier(self, paillier_keypair):
+        pk, sk = paillier_keypair.public, paillier_keypair.secret
+        value = 2 ** 200 + 12345
+        bits = safe_chunk_bits(pk.n)
+        cts = encrypt_integer_chunked(pk.encrypt, value, bits)
+        assert len(cts) == len(chunk_integer(value, bits))
+        assert decrypt_integer_chunked(sk.decrypt, cts, bits) == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    value=st.integers(min_value=0, max_value=1 << 256),
+    bits=st.integers(min_value=1, max_value=64),
+)
+def test_chunk_roundtrip_property(value, bits):
+    assert unchunk_integer(chunk_integer(value, bits), bits) == value

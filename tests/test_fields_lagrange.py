@@ -1,0 +1,111 @@
+"""Tests for Lagrange coefficient machinery (modular and integer-scaled)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterpolationError
+from repro.fields import (
+    Polynomial,
+    Zmod,
+    falling_factorial_delta,
+    integer_lagrange_scaled,
+    lagrange_coefficients,
+)
+from repro.fields.lagrange import lagrange_basis_rows
+
+F = Zmod((1 << 61) - 1)
+
+
+class TestModularLagrange:
+    def test_reconstructs_constant_term(self, rng):
+        p = Polynomial(F, [rng.randrange(1000) for _ in range(4)])
+        xs = [1, 2, 5, 9]
+        coeffs = lagrange_coefficients(F, xs, at=0)
+        total = sum((c * p(x) for c, x in zip(coeffs, xs)), F.zero)
+        assert total == p(0)
+
+    def test_evaluates_at_arbitrary_point(self, rng):
+        p = Polynomial(F, [rng.randrange(1000) for _ in range(3)])
+        xs = [-1, 0, 4]
+        coeffs = lagrange_coefficients(F, xs, at=7)
+        total = sum((c * p(x) for c, x in zip(coeffs, xs)), F.zero)
+        assert total == p(7)
+
+    def test_coefficients_sum_to_one(self):
+        # Interpolating the constant polynomial 1 gives 1 everywhere.
+        coeffs = lagrange_coefficients(F, [1, 2, 3, 4], at=9)
+        assert sum(coeffs, F.zero) == 1
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(InterpolationError):
+            lagrange_coefficients(F, [1, 1], at=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(InterpolationError):
+            lagrange_coefficients(F, [], at=0)
+
+    def test_basis_rows_shape(self):
+        rows = lagrange_basis_rows(F, [0, -1, 1], targets=[2, 3])
+        assert len(rows) == 2 and all(len(r) == 3 for r in rows)
+
+    def test_composite_ring_small_points_invertible(self):
+        # Z_N with N an RSA modulus: differences of small points invert fine.
+        R = Zmod(3233 * 3499, assume_prime=False)  # small RSA-ish modulus
+        coeffs = lagrange_coefficients(R, [1, 2, 3], at=0)
+        assert sum(coeffs, R.zero) == 1
+
+
+class TestIntegerScaled:
+    def test_delta_is_factorial(self):
+        assert falling_factorial_delta(5) == math.factorial(5)
+
+    def test_scaled_coefficients_are_integers(self):
+        scaled, delta = integer_lagrange_scaled([1, 2, 3, 5], at=0)
+        assert all(isinstance(c, int) for c in scaled)
+        assert delta == math.factorial(5)
+
+    def test_scaled_interpolation_identity(self, rng):
+        # Δ·f(0) = Σ Δλ_i·f(x_i) exactly over the integers.
+        coeffs = [rng.randrange(1 << 20) for _ in range(3)]
+
+        def f(x):
+            return coeffs[0] + coeffs[1] * x + coeffs[2] * x * x
+
+        xs = [1, 3, 4]
+        scaled, delta = integer_lagrange_scaled(xs, at=0)
+        assert sum(lam * f(x) for lam, x in zip(scaled, xs)) == delta * f(0)
+
+    def test_explicit_delta_clears(self):
+        scaled, delta = integer_lagrange_scaled([1, 2], at=0, delta=2)
+        assert delta == 2
+        assert scaled == [4, -2]
+
+    def test_insufficient_delta_rejected(self):
+        # λ_1 for points {1,2,4} at 0 is 8/3, so Δ=1 cannot clear it.
+        with pytest.raises(InterpolationError):
+            integer_lagrange_scaled([1, 2, 4], at=0, delta=1)
+
+    def test_negative_points_supported(self):
+        scaled, delta = integer_lagrange_scaled([-1, 0, 1], at=2, delta=math.factorial(4))
+        def f(x):
+            return 3 + 5 * x + 7 * x * x
+        assert sum(lam * f(x) for lam, x in zip(scaled, [-1, 0, 1])) == delta * f(2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    xs=st.lists(
+        st.integers(min_value=1, max_value=12), min_size=2, max_size=6, unique=True
+    ),
+    coeffs=st.lists(st.integers(min_value=0, max_value=1 << 30), min_size=1, max_size=4),
+)
+def test_integer_scaled_property(xs, coeffs):
+    coeffs = coeffs[: len(xs)]  # keep the degree interpolatable from xs
+
+    def f(x):
+        return sum(c * x ** i for i, c in enumerate(coeffs))
+
+    scaled, delta = integer_lagrange_scaled(xs, at=0)
+    assert sum(lam * f(x) for lam, x in zip(scaled, xs)) == delta * f(0)

@@ -1,0 +1,147 @@
+"""Tests for polynomials: evaluation, interpolation, constrained sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterpolationError, ParameterError
+from repro.fields import Polynomial, Zmod, interpolate, random_polynomial
+from repro.fields.polynomial import evaluate_from_points
+
+F = Zmod((1 << 61) - 1)
+
+
+class TestPolynomialBasics:
+    def test_degree_and_trailing_zeros(self):
+        assert Polynomial(F, [1, 2, 0, 0]).degree == 1
+        assert Polynomial(F, []).degree == -1
+        assert Polynomial(F, [0, 0]).is_zero()
+
+    def test_horner_evaluation(self):
+        p = Polynomial(F, [7, 0, 2])  # 2x^2 + 7
+        assert p(3) == 2 * 9 + 7
+        assert p(0) == 7
+
+    def test_evaluate_many(self):
+        p = Polynomial(F, [1, 1])
+        assert [int(v) for v in p.evaluate_many([0, 1, 2])] == [1, 2, 3]
+
+    def test_addition_and_subtraction(self):
+        p = Polynomial(F, [1, 2, 3])
+        q = Polynomial(F, [4, 5])
+        assert (p + q)(10) == p(10) + q(10)
+        assert (p - q)(10) == p(10) - q(10)
+
+    def test_addition_cancels_leading_term(self):
+        p = Polynomial(F, [0, 0, 1])
+        q = Polynomial(F, [0, 0, -1])
+        assert (p + q).is_zero()
+
+    def test_multiplication(self):
+        p = Polynomial(F, [1, 1])     # x + 1
+        q = Polynomial(F, [-1, 1])    # x − 1
+        assert (p * q)(5) == 24       # x² − 1 at 5
+
+    def test_scalar_multiplication(self):
+        p = Polynomial(F, [1, 2])
+        assert (p * 3)(4) == 3 * p(4)
+        assert (3 * p)(4) == 3 * p(4)
+
+    def test_zero_product(self):
+        p = Polynomial(F, [1, 2])
+        assert (p * Polynomial(F, [])).is_zero()
+
+    def test_equality_and_hash(self):
+        assert Polynomial(F, [1, 2]) == Polynomial(F, [1, 2, 0])
+        assert hash(Polynomial(F, [1, 2])) == hash(Polynomial(F, [1, 2]))
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            Polynomial(F, [1]).coefficients = ()
+
+    def test_repr_mentions_terms(self):
+        assert "x^1" in repr(Polynomial(F, [0, 5]))
+        assert repr(Polynomial(F, [])) == "Polynomial(0)"
+
+
+class TestInterpolation:
+    def test_exact_recovery(self, rng):
+        coeffs = [rng.randrange(1 << 40) for _ in range(6)]
+        p = Polynomial(F, coeffs)
+        points = [(x, p(x)) for x in range(-2, 4)]
+        assert interpolate(F, points) == p
+
+    def test_negative_points(self):
+        p = interpolate(F, [(-1, 5), (0, 7), (2, 11)])
+        assert p(-1) == 5 and p(0) == 7 and p(2) == 11
+
+    def test_repeated_points_rejected(self):
+        with pytest.raises(InterpolationError):
+            interpolate(F, [(1, 2), (1, 3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InterpolationError):
+            interpolate(F, [])
+
+    def test_evaluate_from_points_matches_interpolant(self, rng):
+        p = Polynomial(F, [rng.randrange(100) for _ in range(4)])
+        points = [(x, p(x)) for x in (1, 3, 5, 7)]
+        assert evaluate_from_points(F, points, at=11) == p(11)
+
+
+class TestRandomPolynomial:
+    def test_constraints_honoured(self, rng):
+        constraints = [(0, F(9)), (-1, F(4)), (-2, F(1))]
+        p = random_polynomial(F, 5, constraints, rng=rng)
+        assert p.degree <= 5
+        for x, y in constraints:
+            assert p(x) == y
+
+    def test_fully_determined(self, rng):
+        p = random_polynomial(F, 1, [(0, 3), (1, 4)], rng=rng)
+        assert p == interpolate(F, [(0, 3), (1, 4)])
+
+    def test_over_determined_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            random_polynomial(F, 1, [(0, 1), (1, 2), (2, 3)], rng=rng)
+
+    def test_negative_degree(self, rng):
+        assert random_polynomial(F, -1, rng=rng).is_zero()
+        with pytest.raises(ParameterError):
+            random_polynomial(F, -2, rng=rng)
+
+    def test_unconstrained_values_vary(self):
+        values = {
+            int(random_polynomial(F, 3, [(0, 1)], rng=random.Random(i))(5))
+            for i in range(10)
+        }
+        assert len(values) > 1
+
+    def test_repeated_constraint_points_rejected(self, rng):
+        with pytest.raises(InterpolationError):
+            random_polynomial(F, 3, [(0, 1), (0, 2)], rng=rng)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ys=st.lists(st.integers(min_value=0, max_value=1 << 60), min_size=1, max_size=8)
+)
+def test_interpolation_roundtrip_property(ys):
+    points = list(enumerate(ys))
+    p = interpolate(F, points)
+    assert p.degree <= len(points) - 1
+    for x, y in points:
+        assert p(x) == y
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    degree=st.integers(min_value=0, max_value=6),
+    secret=st.integers(min_value=0, max_value=1 << 60),
+    seed=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_random_polynomial_constraint_property(degree, secret, seed):
+    p = random_polynomial(F, degree, [(0, secret)], rng=random.Random(seed))
+    assert p(0) == secret
+    assert p.degree <= degree

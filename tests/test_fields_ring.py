@@ -1,0 +1,164 @@
+"""Unit and property tests for the Z_m ring layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NonInvertibleError, ParameterError, RingMismatchError
+from repro.fields import Zmod
+from repro.fields.ring import dot
+
+PRIME = (1 << 31) - 1
+
+
+class TestConstruction:
+    def test_modulus_must_be_at_least_two(self):
+        with pytest.raises(ParameterError):
+            Zmod(1)
+
+    def test_small_prime_detected(self):
+        assert Zmod(257).is_field()
+        assert not Zmod(256).is_field()
+
+    def test_assume_prime_hint_respected(self):
+        composite = Zmod(15 * 17, assume_prime=False)
+        assert not composite.is_field()
+
+    def test_element_canonical_representative(self):
+        F = Zmod(7)
+        assert int(F(10)) == 3
+        assert int(F(-1)) == 6
+
+    def test_call_coerces_existing_element(self):
+        F = Zmod(7)
+        x = F(3)
+        assert F(x) is x
+
+    def test_coercion_from_other_ring_rejected(self):
+        with pytest.raises(RingMismatchError):
+            Zmod(7)(Zmod(11)(3))
+
+    def test_elements_vector(self):
+        F = Zmod(11)
+        assert [int(x) for x in F.elements([1, 12, -1])] == [1, 1, 10]
+
+    def test_repr_distinguishes_field(self):
+        assert repr(Zmod(257)).startswith("GF")
+
+    def test_iterate_small_ring(self):
+        assert len(list(Zmod(5))) == 5
+
+    def test_iterate_large_ring_refused(self):
+        with pytest.raises(ParameterError):
+            list(Zmod(1 << 20))
+
+
+class TestArithmetic:
+    def setup_method(self):
+        self.F = Zmod(PRIME)
+
+    def test_add_sub_roundtrip(self):
+        a, b = self.F(123456), self.F(654321)
+        assert (a + b) - b == a
+
+    def test_int_operands_coerce(self):
+        assert self.F(5) + 3 == self.F(8)
+        assert 3 + self.F(5) == 8
+        assert 10 - self.F(4) == 6
+        assert 3 * self.F(5) == 15
+
+    def test_negation(self):
+        a = self.F(42)
+        assert a + (-a) == 0
+
+    def test_division(self):
+        a, b = self.F(981), self.F(17)
+        assert (a / b) * b == a
+
+    def test_rtruediv(self):
+        assert 1 / self.F(2) == self.F(2).inverse()
+
+    def test_pow_negative_exponent(self):
+        a = self.F(5)
+        assert a ** -2 == (a ** 2).inverse()
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(NonInvertibleError):
+            self.F(1) / self.F(0)
+
+    def test_noninvertible_in_composite_ring(self):
+        R = Zmod(15, assume_prime=False)
+        with pytest.raises(NonInvertibleError) as exc:
+            R.inverse(5)
+        assert exc.value.gcd == 5
+
+    def test_cross_ring_arithmetic_rejected(self):
+        with pytest.raises(RingMismatchError):
+            Zmod(7)(1) + Zmod(11)(1)
+
+    def test_elements_hashable_and_equal(self):
+        assert {self.F(3), self.F(3)} == {self.F(3)}
+        assert self.F(3) == 3
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            self.F(3).value = 4
+
+    def test_bool_and_is_zero(self):
+        assert not self.F(0)
+        assert self.F(0).is_zero()
+        assert self.F(1)
+
+
+class TestDot:
+    def test_dot_matches_manual(self):
+        F = Zmod(PRIME)
+        xs, ys = F.elements([1, 2, 3]), F.elements([4, 5, 6])
+        assert dot(xs, ys) == 1 * 4 + 2 * 5 + 3 * 6
+
+    def test_dot_length_mismatch(self):
+        F = Zmod(PRIME)
+        with pytest.raises(ParameterError):
+            dot(F.elements([1]), F.elements([1, 2]))
+
+    def test_dot_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            dot([], [])
+
+
+class TestRandom:
+    def test_seeded_rng_reproducible(self):
+        F = Zmod(PRIME)
+        a = F.random(random.Random(7))
+        b = F.random(random.Random(7))
+        assert a == b
+
+    def test_csprng_default_in_range(self):
+        F = Zmod(97)
+        for _ in range(20):
+            assert 0 <= int(F.random()) < 97
+
+    def test_random_vector_length(self):
+        F = Zmod(PRIME)
+        assert len(F.random_vector(5, random.Random(1))) == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=st.integers(), b=st.integers(), c=st.integers())
+def test_ring_axioms(a, b, c):
+    F = Zmod(PRIME)
+    x, y, z = F(a), F(b), F(c)
+    assert (x + y) + z == x + (y + z)
+    assert x + y == y + x
+    assert (x * y) * z == x * (y * z)
+    assert x * (y + z) == x * y + x * z
+    assert x + 0 == x
+    assert x * 1 == x
+
+
+@settings(max_examples=50, deadline=None)
+@given(a=st.integers(min_value=1, max_value=PRIME - 1))
+def test_field_inverse_property(a):
+    F = Zmod(PRIME)
+    assert F(a) * F(a).inverse() == 1

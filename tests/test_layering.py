@@ -1,0 +1,78 @@
+"""Tests for the batching (packing layout) planner."""
+
+import pytest
+
+from repro.circuits import CircuitBuilder, dot_product_circuit, plan_batches
+from repro.errors import CircuitError
+
+
+class TestInputBatches:
+    def test_grouped_per_client_in_chunks_of_k(self):
+        plan = plan_batches(dot_product_circuit(5), k=2)
+        by_client = {}
+        for batch in plan.input_batches:
+            by_client.setdefault(batch.client, []).append(batch)
+        assert len(by_client["alice"]) == 3  # 5 wires -> 2+2+1
+        assert len(by_client["bob"]) == 3
+        sizes = [len(b.wires) for b in by_client["alice"]]
+        assert sizes == [2, 2, 1]
+
+    def test_slot_mapping_consistent(self):
+        plan = plan_batches(dot_product_circuit(4), k=3)
+        for batch in plan.input_batches:
+            for slot, wire in enumerate(batch.wires):
+                assert plan.input_slot_of_wire[wire] == (batch.batch_id, slot)
+
+
+class TestMulBatches:
+    def test_depth_separation(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("a")
+        m1 = b.mul(x, y)
+        m2 = b.mul(x, y)
+        m3 = b.mul(m1, m2)  # depth 2
+        b.output(m3, "a")
+        plan = plan_batches(b.build(), k=4)
+        depths = [batch.depth for batch in plan.mul_batches]
+        assert depths == [1, 2]
+        assert len(plan.mul_batches[0].gate_wires) == 2
+        assert len(plan.mul_batches[1].gate_wires) == 1
+
+    def test_chunking_within_depth(self):
+        plan = plan_batches(dot_product_circuit(7), k=3)
+        sizes = [len(b.gate_wires) for b in plan.mul_batches]
+        assert sizes == [3, 3, 1]
+
+    def test_left_right_wires_match_gates(self):
+        circuit = dot_product_circuit(4)
+        plan = plan_batches(circuit, k=2)
+        for batch in plan.mul_batches:
+            for slot, wire in enumerate(batch.gate_wires):
+                gate = circuit.gates[wire]
+                assert gate.inputs[0] == batch.left_wires[slot]
+                assert gate.inputs[1] == batch.right_wires[slot]
+
+    def test_mul_slot_mapping(self):
+        plan = plan_batches(dot_product_circuit(4), k=2)
+        for batch in plan.mul_batches:
+            for slot, wire in enumerate(batch.gate_wires):
+                assert plan.mul_slot_of_wire[wire] == (batch.batch_id, slot)
+
+    def test_batches_by_depth(self):
+        plan = plan_batches(dot_product_circuit(4), k=2)
+        by_depth = plan.batches_by_depth()
+        assert set(by_depth) == {1}
+        assert len(by_depth[1]) == 2
+
+    def test_k_one_degenerates_to_per_gate(self):
+        plan = plan_batches(dot_product_circuit(3), k=1)
+        assert all(len(b.gate_wires) == 1 for b in plan.mul_batches)
+        assert len(plan.mul_batches) == 3
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(CircuitError):
+            plan_batches(dot_product_circuit(2), k=0)
+
+    def test_n_batches(self):
+        plan = plan_batches(dot_product_circuit(4), k=2)
+        assert plan.n_batches == len(plan.input_batches) + len(plan.mul_batches)

@@ -1,0 +1,103 @@
+"""Tests for the circuit library (the example workloads)."""
+
+import random
+
+import pytest
+
+from repro.circuits import (
+    dot_product_circuit,
+    inner_product_sum_circuit,
+    linear_model_circuit,
+    masked_membership_circuit,
+    matrix_vector_circuit,
+    polynomial_eval_circuit,
+    statistics_circuit,
+)
+from repro.errors import CircuitError
+from repro.fields import Zmod
+
+F = Zmod((1 << 61) - 1)
+
+
+class TestDotProduct:
+    def test_value(self):
+        c = dot_product_circuit(3)
+        ev = c.evaluate(F, {"alice": [1, 2, 3], "bob": [4, 5, 6]})
+        assert int(ev.outputs["alice"][0]) == 32
+
+    def test_custom_recipient(self):
+        c = dot_product_circuit(2, recipient="carol")
+        ev = c.evaluate(F, {"alice": [1, 1], "bob": [1, 1]})
+        assert int(ev.outputs["carol"][0]) == 2
+
+
+class TestInnerProductSum:
+    def test_aggregation(self):
+        c = inner_product_sum_circuit(n_clients=3, length=2)
+        ev = c.evaluate(
+            F, {"model": [10, 1], "client1": [1, 2], "client2": [3, 4]}
+        )
+        assert int(ev.outputs["aggregator"][0]) == (10 + 2) + (30 + 4)
+
+    def test_needs_two_clients(self):
+        with pytest.raises(CircuitError):
+            inner_product_sum_circuit(n_clients=1, length=2)
+
+
+class TestLinearModel:
+    def test_inference(self):
+        c = linear_model_circuit(3)
+        ev = c.evaluate(F, {"model": [2, 3, 4, 7], "subject": [1, 1, 1]})
+        assert int(ev.outputs["subject"][0]) == 2 + 3 + 4 + 7
+
+
+class TestMatrixVector:
+    def test_each_row(self):
+        c = matrix_vector_circuit(2, 3)
+        ev = c.evaluate(
+            F, {"alice": [1, 0, 0, 0, 1, 0], "bob": [7, 8, 9]}
+        )
+        assert [int(v) for v in ev.outputs["bob"]] == [7, 8]
+
+
+class TestPolynomialEval:
+    def test_horner(self):
+        # coefficients high-to-low: 1x^2 + 2x + 3 at x=5
+        c = polynomial_eval_circuit(2)
+        ev = c.evaluate(F, {"alice": [1, 2, 3], "bob": [5]})
+        assert int(ev.outputs["bob"][0]) == 25 + 10 + 3
+
+    def test_degree_validated(self):
+        with pytest.raises(CircuitError):
+            polynomial_eval_circuit(0)
+
+
+class TestMaskedMembership:
+    def test_member_yields_zero(self):
+        c = masked_membership_circuit(4)
+        ev = c.evaluate(F, {"alice": [3, 1, 4, 1, 999], "bob": [4]})
+        assert int(ev.outputs["bob"][0]) == 0
+
+    def test_non_member_masked(self):
+        c = masked_membership_circuit(3)
+        ev = c.evaluate(F, {"alice": [3, 1, 4, 999], "bob": [5]})
+        assert int(ev.outputs["bob"][0]) == (999 * 2 * 4 * 1) % F.modulus
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(CircuitError):
+            masked_membership_circuit(0)
+
+
+class TestStatistics:
+    def test_sum_and_second_moment(self):
+        c = statistics_circuit(4)
+        ev = c.evaluate(F, {f"party{i}": [v] for i, v in enumerate([2, 4, 6, 8])})
+        s, q = [int(v) for v in ev.outputs["analyst"]]
+        assert s == 20
+        assert q == 4 * (4 + 16 + 36 + 64)
+        # analyst post-processing: variance * n^2 = Q − S²
+        assert (q - s * s) / 16 == 5.0
+
+    def test_needs_two_parties(self):
+        with pytest.raises(CircuitError):
+            statistics_circuit(1)

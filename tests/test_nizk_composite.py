@@ -1,0 +1,94 @@
+"""Tests for composite proofs and the public resharing exponent checks."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.errors import ProofError
+from repro.nizk import (
+    CompositeProof,
+    verify_exponent_interpolates_share,
+    verify_exponent_polynomial,
+)
+from repro.paillier import ThresholdPaillier
+from repro.paillier.threshold import ResharingMessage
+
+
+@pytest.fixture(scope="module")
+def tkeys():
+    return ThresholdPaillier.keygen(4, 1, bits=64, rng=random.Random(77))
+
+
+class TestCompositeProof:
+    def test_build_and_lookup(self):
+        cp = CompositeProof.build([("a", 1), ("b", 2)])
+        assert cp.component("a") == 1
+        assert cp.labels() == ["a", "b"]
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ProofError):
+            CompositeProof.build([("a", 1), ("a", 2)])
+
+    def test_missing_component_rejected(self):
+        cp = CompositeProof.build([("a", 1)])
+        with pytest.raises(ProofError):
+            cp.component("zzz")
+
+    def test_verify_all_pass(self):
+        cp = CompositeProof.build([("a", 10), ("b", 20)])
+        assert cp.verify({"a": lambda p: p == 10, "b": lambda p: p == 20})
+
+    def test_verify_one_failure_fails_bundle(self):
+        cp = CompositeProof.build([("a", 10), ("b", 20)])
+        assert not cp.verify({"a": lambda p: p == 10, "b": lambda p: False})
+
+    def test_verifier_mismatch_raises(self):
+        cp = CompositeProof.build([("a", 10)])
+        with pytest.raises(ProofError):
+            cp.verify({"a": lambda p: True, "extra": lambda p: True})
+        with pytest.raises(ProofError):
+            cp.verify({})
+
+
+class TestExponentChecks:
+    def test_honest_resharing_passes(self, tkeys, rng):
+        tpk, shares = tkeys
+        msg = ThresholdPaillier.reshare(tpk, shares[0], rng=rng)
+        assert verify_exponent_polynomial(tpk, msg)
+        assert verify_exponent_interpolates_share(tpk, msg, shares[0].verification)
+
+    def test_accepts_raw_verification_sequences(self, tkeys, rng):
+        tpk, shares = tkeys
+        msg = ThresholdPaillier.reshare(tpk, shares[0], rng=rng)
+        assert verify_exponent_polynomial(tpk, msg.verifications)
+        assert verify_exponent_interpolates_share(
+            tpk, msg.verifications, shares[0].verification
+        )
+
+    def test_off_polynomial_value_detected(self, tkeys, rng):
+        tpk, shares = tkeys
+        msg = ThresholdPaillier.reshare(tpk, shares[0], rng=rng)
+        bad = msg.verifications[:-1] + (msg.verifications[0],)
+        assert not verify_exponent_polynomial(tpk, bad)
+
+    def test_wrong_constant_term_detected(self, tkeys, rng):
+        tpk, shares = tkeys
+        msg = ThresholdPaillier.reshare(tpk, shares[0], rng=rng)
+        # Consistent polynomial but committed to a different share.
+        assert not verify_exponent_interpolates_share(
+            tpk, msg, shares[1].verification
+        )
+
+    def test_wrong_length_rejected(self, tkeys, rng):
+        tpk, shares = tkeys
+        msg = ThresholdPaillier.reshare(tpk, shares[0], rng=rng)
+        assert not verify_exponent_polynomial(tpk, msg.verifications[:-1])
+        assert not verify_exponent_interpolates_share(
+            tpk, msg.verifications[:-1], shares[0].verification
+        )
+
+    def test_degenerate_values_rejected(self, tkeys):
+        tpk, shares = tkeys
+        zeros = (0,) * tpk.n_parties
+        assert not verify_exponent_polynomial(tpk, zeros)

@@ -1,0 +1,216 @@
+"""Tests for the Σ-protocols: completeness, soundness paths, HVZK shape."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.nizk import (
+    MultiplicationProof,
+    PartialDecryptionProof,
+    PlaintextDlogEqualityProof,
+    PlaintextKnowledgeProof,
+    ProofParams,
+)
+from repro.paillier import ThresholdPaillier, generate_keypair
+from repro.paillier.threshold import PartialDecryption
+
+PARAMS = ProofParams(challenge_bits=24)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keypair(64)
+
+
+@pytest.fixture(scope="module")
+def tkeys():
+    return ThresholdPaillier.keygen(4, 1, bits=64, rng=random.Random(55))
+
+
+class TestPlaintextKnowledge:
+    def test_completeness(self, keys, rng):
+        pk = keys.public
+        r = pk.random_unit(rng)
+        c = pk.encrypt(31337, randomness=r)
+        proof = PlaintextKnowledgeProof.prove(pk, c, 31337, r, PARAMS, rng)
+        assert proof.verify(pk, c, PARAMS)
+
+    def test_wrong_statement_rejected(self, keys, rng):
+        pk = keys.public
+        r = pk.random_unit(rng)
+        c = pk.encrypt(1, randomness=r)
+        proof = PlaintextKnowledgeProof.prove(pk, c, 1, r, PARAMS, rng)
+        assert not proof.verify(pk, pk.encrypt(2, rng=rng), PARAMS)
+
+    def test_mutated_proof_rejected(self, keys, rng):
+        pk = keys.public
+        r = pk.random_unit(rng)
+        c = pk.encrypt(5, randomness=r)
+        proof = PlaintextKnowledgeProof.prove(pk, c, 5, r, PARAMS, rng)
+        for fld in ("commitment", "response_exponent", "response_unit"):
+            bad = dataclasses.replace(proof, **{fld: getattr(proof, fld) + 1})
+            assert not bad.verify(pk, c, PARAMS)
+
+    def test_out_of_range_fields_rejected(self, keys, rng):
+        pk = keys.public
+        r = pk.random_unit(rng)
+        c = pk.encrypt(5, randomness=r)
+        proof = PlaintextKnowledgeProof.prove(pk, c, 5, r, PARAMS, rng)
+        assert not dataclasses.replace(proof, response_unit=0).verify(pk, c, PARAMS)
+        assert not dataclasses.replace(proof, commitment=0).verify(pk, c, PARAMS)
+
+    def test_context_binding(self, keys, rng):
+        pk = keys.public
+        r = pk.random_unit(rng)
+        c = pk.encrypt(5, randomness=r)
+        proof = PlaintextKnowledgeProof.prove(pk, c, 5, r, PARAMS, rng, context="x")
+        assert proof.verify(pk, c, PARAMS, context="x")
+        assert not proof.verify(pk, c, PARAMS, context="y")
+        assert not proof.verify(pk, c, PARAMS)
+
+    def test_simulator_produces_accepting_transcript(self, keys, rng):
+        # HVZK: simulated (a, e, z, w) satisfies the verification equation.
+        pk = keys.public
+        c = pk.encrypt(999, rng=rng)
+        e = 12345
+        a, z, w = PlaintextKnowledgeProof.simulate(pk, c, e, PARAMS, rng)
+        n, n2 = pk.n, pk.n_squared
+        lhs = (1 + z % n2 * n) % n2 * pow(w, n, n2) % n2
+        assert lhs == a * pow(c.value, e, n2) % n2
+
+
+class TestMultiplication:
+    def _setup(self, keys, rng, a=17, b=23):
+        pk = keys.public
+        c_a = pk.encrypt(a, rng=rng)
+        r = pk.random_unit(rng)
+        c_b = pk.encrypt(b, randomness=r)
+        c_c = c_a * b
+        return pk, c_a, c_b, c_c, b, r
+
+    def test_completeness(self, keys, rng):
+        pk, c_a, c_b, c_c, b, r = self._setup(keys, rng)
+        proof = MultiplicationProof.prove(pk, c_a, c_b, c_c, b, r, PARAMS, rng)
+        assert proof.verify(pk, c_a, c_b, c_c, PARAMS)
+
+    def test_result_actually_decrypts_to_product(self, keys, rng):
+        pk, c_a, c_b, c_c, b, r = self._setup(keys, rng)
+        assert keys.secret.decrypt(c_c) == 17 * 23
+
+    def test_wrong_product_rejected(self, keys, rng):
+        pk, c_a, c_b, c_c, b, r = self._setup(keys, rng)
+        proof = MultiplicationProof.prove(pk, c_a, c_b, c_c, b, r, PARAMS, rng)
+        assert not proof.verify(pk, c_a, c_b, c_a * (b + 1), PARAMS)
+
+    def test_inconsistent_b_rejected(self, keys, rng):
+        # Prover encrypts b but multiplies by b' != b.
+        pk = keys.public
+        c_a = pk.encrypt(3, rng=rng)
+        r = pk.random_unit(rng)
+        c_b = pk.encrypt(10, randomness=r)
+        c_c = c_a * 11
+        proof = MultiplicationProof.prove(pk, c_a, c_b, c_c, 10, r, PARAMS, rng)
+        assert not proof.verify(pk, c_a, c_b, c_c, PARAMS)
+
+    def test_mutation_rejected(self, keys, rng):
+        pk, c_a, c_b, c_c, b, r = self._setup(keys, rng)
+        proof = MultiplicationProof.prove(pk, c_a, c_b, c_c, b, r, PARAMS, rng)
+        bad = dataclasses.replace(proof, response_exponent=proof.response_exponent + 1)
+        assert not bad.verify(pk, c_a, c_b, c_c, PARAMS)
+
+
+class TestPartialDecryption:
+    def test_completeness(self, tkeys, rng):
+        tpk, shares = tkeys
+        ct = tpk.encrypt(55, rng=rng)
+        partial = ThresholdPaillier.partial_decrypt(tpk, shares[0], ct)
+        proof = PartialDecryptionProof.prove(tpk, ct, partial, shares[0], PARAMS, rng)
+        assert proof.verify(tpk, ct, partial, shares[0].verification, PARAMS)
+
+    def test_wrong_share_detected(self, tkeys, rng):
+        tpk, shares = tkeys
+        ct = tpk.encrypt(55, rng=rng)
+        # partial computed with share 2, but claimed against share 1's key.
+        partial = ThresholdPaillier.partial_decrypt(tpk, shares[1], ct)
+        forged = PartialDecryption(1, partial.value, partial.epoch)
+        proof = PartialDecryptionProof.prove(tpk, ct, forged, shares[1], PARAMS, rng)
+        assert not proof.verify(tpk, ct, forged, shares[0].verification, PARAMS)
+
+    def test_tampered_partial_detected(self, tkeys, rng):
+        tpk, shares = tkeys
+        ct = tpk.encrypt(55, rng=rng)
+        partial = ThresholdPaillier.partial_decrypt(tpk, shares[0], ct)
+        proof = PartialDecryptionProof.prove(tpk, ct, partial, shares[0], PARAMS, rng)
+        bad = PartialDecryption(
+            partial.index, partial.value * 4 % tpk.n_squared, partial.epoch
+        )
+        assert not proof.verify(tpk, ct, bad, shares[0].verification, PARAMS)
+
+    def test_simulator_accepts(self, tkeys, rng):
+        tpk, shares = tkeys
+        ct = tpk.encrypt(55, rng=rng)
+        partial = ThresholdPaillier.partial_decrypt(tpk, shares[0], ct)
+        t1, t2, e, z = PartialDecryptionProof.simulate(
+            tpk, ct, partial, shares[0].verification, 777,
+            witness_bits=abs(shares[0].value).bit_length() + 1,
+            params=PARAMS, rng=rng,
+        )
+        n2 = tpk.n_squared
+        base_c = pow(ct.value, 4 * tpk.delta, n2)
+        base_v = pow(tpk.verification_base, tpk.delta, n2)
+        assert pow(base_c, z, n2) == t1 * pow(pow(partial.value, 2, n2), e, n2) % n2
+        assert pow(base_v, z, n2) == t2 * pow(shares[0].verification, e, n2) % n2
+
+
+class TestPlaintextDlogEquality:
+    def test_completeness(self, keys, tkeys, rng):
+        pk = keys.public
+        tpk, _ = tkeys
+        n2 = tpk.n_squared
+        base = pow(tpk.verification_base, tpk.delta, n2)
+        x = 424242
+        value = pow(base, x, n2)
+        r = pk.random_unit(rng)
+        c = pk.encrypt(x, randomness=r)
+        proof = PlaintextDlogEqualityProof.prove(
+            pk, c, base, n2, value, x, r, PARAMS, rng
+        )
+        assert proof.verify(pk, c, base, n2, value, PARAMS)
+
+    def test_mismatched_dlog_rejected(self, keys, tkeys, rng):
+        pk = keys.public
+        tpk, _ = tkeys
+        n2 = tpk.n_squared
+        base = pow(tpk.verification_base, tpk.delta, n2)
+        x = 99
+        r = pk.random_unit(rng)
+        c = pk.encrypt(x, randomness=r)
+        proof = PlaintextDlogEqualityProof.prove(
+            pk, c, base, n2, pow(base, x, n2), x, r, PARAMS, rng
+        )
+        assert not proof.verify(pk, c, base, n2, pow(base, x + 1, n2), PARAMS)
+
+    def test_mismatched_ciphertext_rejected(self, keys, tkeys, rng):
+        pk = keys.public
+        tpk, _ = tkeys
+        n2 = tpk.n_squared
+        base = pow(tpk.verification_base, tpk.delta, n2)
+        x = 99
+        r = pk.random_unit(rng)
+        c = pk.encrypt(x, randomness=r)
+        proof = PlaintextDlogEqualityProof.prove(
+            pk, c, base, n2, pow(base, x, n2), x, r, PARAMS, rng
+        )
+        assert not proof.verify(
+            pk, pk.encrypt(x + 1, rng=rng), base, n2, pow(base, x, n2), PARAMS
+        )
+
+    def test_witness_range_enforced(self, keys, tkeys, rng):
+        pk = keys.public
+        tpk, _ = tkeys
+        with pytest.raises(Exception):
+            PlaintextDlogEqualityProof.prove(
+                pk, pk.encrypt(0, rng=rng), 2, tpk.n_squared, 4, pk.n + 1,
+                pk.random_unit(rng), PARAMS, rng,
+            )

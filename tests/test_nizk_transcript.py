@@ -1,0 +1,69 @@
+"""Tests for the Fiat–Shamir transcript."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.nizk import FiatShamirTranscript
+
+
+class TestDeterminism:
+    def test_same_inputs_same_challenge(self):
+        a = FiatShamirTranscript("test").absorb(1, 2, "x").challenge(64)
+        b = FiatShamirTranscript("test").absorb(1, 2, "x").challenge(64)
+        assert a == b
+
+    def test_label_separates_domains(self):
+        a = FiatShamirTranscript("proto-a").absorb(1).challenge(64)
+        b = FiatShamirTranscript("proto-b").absorb(1).challenge(64)
+        assert a != b
+
+    def test_order_sensitivity(self):
+        a = FiatShamirTranscript("t").absorb(1, 2).challenge(64)
+        b = FiatShamirTranscript("t").absorb(2, 1).challenge(64)
+        assert a != b
+
+    def test_type_framing_prevents_confusion(self):
+        # The int 0x61 and the byte b"a" must hash differently.
+        a = FiatShamirTranscript("t").absorb(0x61).challenge(64)
+        b = FiatShamirTranscript("t").absorb(b"a").challenge(64)
+        c = FiatShamirTranscript("t").absorb("a").challenge(64)
+        assert len({a, b, c}) == 3
+
+    def test_concatenation_ambiguity_prevented(self):
+        a = FiatShamirTranscript("t").absorb("ab", "c").challenge(64)
+        b = FiatShamirTranscript("t").absorb("a", "bc").challenge(64)
+        assert a != b
+
+    def test_negative_integers_distinct(self):
+        a = FiatShamirTranscript("t").absorb(-5).challenge(64)
+        b = FiatShamirTranscript("t").absorb(5).challenge(64)
+        assert a != b
+
+    def test_sequential_challenges_differ(self):
+        t = FiatShamirTranscript("t").absorb(1)
+        assert t.challenge(64) != t.challenge(64)
+
+
+class TestChallengeRange:
+    def test_bit_bound(self):
+        for bits in (1, 8, 30, 128, 300):
+            c = FiatShamirTranscript("t").absorb(9).challenge(bits)
+            assert 0 <= c < (1 << bits)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ParameterError):
+            FiatShamirTranscript("t").challenge(0)
+
+    def test_large_challenge_uses_multiple_blocks(self):
+        c = FiatShamirTranscript("t").absorb(1).challenge(512)
+        assert c.bit_length() > 256
+
+
+class TestAbsorbValidation:
+    def test_bool_rejected(self):
+        with pytest.raises(ParameterError):
+            FiatShamirTranscript("t").absorb(True)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ParameterError):
+            FiatShamirTranscript("t").absorb(3.14)

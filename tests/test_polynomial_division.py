@@ -1,0 +1,64 @@
+"""Tests for polynomial division (the Berlekamp–Welch workhorse)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.fields import Polynomial, Zmod
+
+F = Zmod((1 << 61) - 1)
+
+
+class TestDivmod:
+    def test_exact_division(self):
+        # (x+1)(x+2) / (x+1) = (x+2)
+        product = Polynomial(F, [1, 1]) * Polynomial(F, [2, 1])
+        q, r = product.divmod(Polynomial(F, [1, 1]))
+        assert r.is_zero()
+        assert q == Polynomial(F, [2, 1])
+
+    def test_remainder(self):
+        # x² + 1 = (x)(x) + 1
+        q, r = Polynomial(F, [1, 0, 1]).divmod(Polynomial(F, [0, 1]))
+        assert q == Polynomial(F, [0, 1])
+        assert r == Polynomial(F, [1])
+
+    def test_degree_smaller_than_divisor(self):
+        q, r = Polynomial(F, [5]).divmod(Polynomial(F, [0, 0, 1]))
+        assert q.is_zero()
+        assert r == Polynomial(F, [5])
+
+    def test_division_by_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            Polynomial(F, [1]).divmod(Polynomial(F, []))
+
+    def test_non_monic_divisor(self):
+        # 6x² / 2x = 3x
+        q, r = Polynomial(F, [0, 0, 6]).divmod(Polynomial(F, [0, 2]))
+        assert r.is_zero()
+        assert q == Polynomial(F, [0, 3])
+
+    def test_over_rsa_ring_with_unit_leading_coeff(self):
+        R = Zmod(3233 * 3499, assume_prime=False)
+        a = Polynomial(R, [2, 3, 1])     # monic
+        b = Polynomial(R, [7, 1])        # monic
+        q, r = (a * b).divmod(b)
+        assert r.is_zero() and q == a
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    a=st.lists(st.integers(min_value=0, max_value=1 << 40), min_size=1, max_size=6),
+    b=st.lists(st.integers(min_value=0, max_value=1 << 40), min_size=1, max_size=4),
+    seed=st.integers(min_value=0, max_value=1 << 20),
+)
+def test_divmod_identity_property(a, b, seed):
+    """For any A and monic B: A == Q·B + R with deg R < deg B."""
+    rng = random.Random(seed)
+    A = Polynomial(F, a)
+    B = Polynomial(F, b + [1])  # force monic, degree len(b)
+    Q, R = A.divmod(B)
+    assert Q * B + R == A
+    assert R.degree < B.degree

@@ -1,0 +1,72 @@
+"""Tests for prime generation."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.paillier import is_probable_prime, random_prime, random_safe_prime
+from repro.paillier.primes import SAFE_PRIME_FIXTURES, fixture_safe_prime_pair
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 97, 257, 65537):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 91, 561, 1105):  # incl. Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        for c in (1729, 2465, 2821, 6601, 8911, 41041, 62745):
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime((1 << 61) - 1)
+        assert not is_probable_prime((1 << 61) - 3)
+
+    def test_deterministic_with_seeded_rng(self):
+        rng = random.Random(5)
+        assert is_probable_prime(10**18 + 9, rng=rng)
+
+
+class TestGeneration:
+    def test_random_prime_exact_bits(self):
+        rng = random.Random(1)
+        for bits in (16, 24, 32):
+            p = random_prime(bits, rng=rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p)
+
+    def test_random_prime_too_small(self):
+        with pytest.raises(ParameterError):
+            random_prime(2)
+
+    def test_random_safe_prime(self):
+        rng = random.Random(2)
+        p = random_safe_prime(20, rng=rng)
+        assert p.bit_length() == 20
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+
+class TestFixtures:
+    def test_all_fixtures_are_safe_primes(self):
+        for bits, pool in SAFE_PRIME_FIXTURES.items():
+            for p in pool:
+                assert p.bit_length() == bits
+                assert is_probable_prime(p)
+                assert is_probable_prime((p - 1) // 2)
+
+    def test_pairs_distinct(self):
+        for which in range(5):
+            p, q = fixture_safe_prime_pair(32, which)
+            assert p != q
+
+    def test_different_indices_give_different_pairs(self):
+        assert fixture_safe_prime_pair(32, 0) != fixture_safe_prime_pair(32, 1)
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ParameterError):
+            fixture_safe_prime_pair(17)

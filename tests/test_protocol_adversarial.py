@@ -1,0 +1,195 @@
+"""Adversarial executions: GOD under active corruption and fail-stop (§5.4).
+
+These are the paper's security claims made executable: with t active
+corruptions per committee the output is still correct and delivered, and in
+fail-stop mode ⌊nε⌋ crashed *honest* roles cannot stop the protocol either.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import dot_product_circuit
+from repro.core import ProtocolParams, YosoMpc
+from repro.errors import ProtocolAbortError
+from repro.yoso.adversary import Adversary, CrashSpec, random_corruptions
+
+CIRCUIT = dot_product_circuit(4)
+INPUTS = {"alice": [1, 2, 3, 4], "bob": [5, 6, 7, 8]}
+EXPECTED = [70]
+
+
+def _garbling_transform(role_id, phase, tag, payload):
+    """Maul everything recognizable in a corrupted role's message."""
+    if not isinstance(payload, dict):
+        return payload
+    out = {}
+    for key, section in payload.items():
+        if key == "mu_shares" and isinstance(section, dict):
+            out[key] = {
+                b: {"value": entry["value"] + 9999, "proof": entry["proof"]}
+                for b, entry in section.items()
+            }
+        elif key in ("beaver_a", "masks", "helpers") and isinstance(section, dict):
+            # Shift every ciphertext so the plaintext-knowledge proofs break.
+            out[key] = {
+                kk: {**vv, "ct": vv["ct"] + 1} if isinstance(vv, dict) else vv
+                for kk, vv in section.items()
+            }
+        elif key == "beaver_b" and isinstance(section, dict):
+            out[key] = {
+                kk: {**vv, "b_ct": vv["b_ct"] + 1} if isinstance(vv, dict) else vv
+                for kk, vv in section.items()
+            }
+        elif key == "tsk":
+            import dataclasses
+            out[key] = dataclasses.replace(
+                section, verifications=tuple(reversed(section.verifications))
+            )
+        else:
+            out[key] = section
+    return out
+
+
+def _corrupting_factory(t, seed, transform=_garbling_transform):
+    def factory(offline_committees, online_committees):
+        rng = random.Random(seed)
+        committees = list(offline_committees.values()) + list(
+            online_committees.values()
+        )
+        random_corruptions(committees, t, rng)
+        return Adversary(transform=transform)
+
+    return factory
+
+
+class TestActiveAdversary:
+    def test_god_with_garbling_adversary(self):
+        params = ProtocolParams.from_gap(6, 0.2)
+        assert params.t == 1
+        protocol = YosoMpc(
+            params, rng=random.Random(42),
+            adversary_factory=_corrupting_factory(params.t, seed=7),
+        )
+        result = protocol.run(CIRCUIT, INPUTS)
+        assert result.outputs["alice"] == EXPECTED
+
+    def test_god_with_withholding_adversary(self):
+        def withhold(role_id, phase, tag, payload):
+            return None  # corrupt roles stay silent
+
+        params = ProtocolParams.from_gap(6, 0.2)
+        protocol = YosoMpc(
+            params, rng=random.Random(43),
+            adversary_factory=_corrupting_factory(params.t, seed=8, transform=withhold),
+        )
+        result = protocol.run(CIRCUIT, INPUTS)
+        assert result.outputs["alice"] == EXPECTED
+
+    def test_god_with_two_corruptions_larger_committee(self):
+        params = ProtocolParams.from_gap(9, 0.2)
+        assert params.t == 2
+        protocol = YosoMpc(
+            params, rng=random.Random(44),
+            adversary_factory=_corrupting_factory(params.t, seed=9),
+        )
+        result = protocol.run(CIRCUIT, INPUTS)
+        assert result.outputs["alice"] == EXPECTED
+
+    def test_beyond_threshold_can_break_liveness(self):
+        # Corrupting far beyond t is allowed to abort (not a GOD violation:
+        # the assumption t < n(1/2-eps) is broken on purpose).
+        def withhold(role_id, phase, tag, payload):
+            return None
+
+        params = ProtocolParams.from_gap(6, 0.2)
+        protocol = YosoMpc(
+            params, rng=random.Random(45),
+            adversary_factory=_corrupting_factory(4, seed=10, transform=withhold),
+        )
+        with pytest.raises(ProtocolAbortError):
+            protocol.run(CIRCUIT, INPUTS)
+
+    def test_adversary_observes_only_corrupted_views(self):
+        captured = {}
+
+        def factory(offline_committees, online_committees):
+            rng = random.Random(11)
+            committees = list(offline_committees.values()) + list(
+                online_committees.values()
+            )
+            corrupted = random_corruptions(committees, 1, rng)
+            adversary = Adversary()
+            captured["corrupted"] = set(corrupted)
+            captured["adversary"] = adversary
+            return adversary
+
+        params = ProtocolParams.from_gap(6, 0.2)
+        YosoMpc(params, rng=random.Random(46), adversary_factory=factory).run(
+            CIRCUIT, INPUTS
+        )
+        adversary = captured["adversary"]
+        leaked_ids = {rid for rid, _ in adversary.leaked_views}
+        assert leaked_ids <= captured["corrupted"]
+        assert leaked_ids  # it did see the corrupted roles
+
+
+class TestFailStop:
+    def test_online_mul_committee_crashes_tolerated(self):
+        params = ProtocolParams.from_gap(8, 0.25, fail_stop=True)
+        assert params.fail_stop_budget == 2
+
+        def factory(offline_committees, online_committees):
+            rng = random.Random(12)
+            mul = next(
+                c for name, c in online_committees.items()
+                if name.startswith("Con-mul")
+            )
+            return Adversary(
+                crash_spec=CrashSpec.random_honest(
+                    mul, params.fail_stop_budget, rng
+                )
+            )
+
+        result = YosoMpc(
+            params, rng=random.Random(47), adversary_factory=factory
+        ).run(CIRCUIT, INPUTS)
+        assert result.outputs["alice"] == EXPECTED
+
+    def test_offline_committee_crashes_tolerated(self):
+        params = ProtocolParams.from_gap(8, 0.25, fail_stop=True)
+
+        def factory(offline_committees, online_committees):
+            rng = random.Random(13)
+            dec = offline_committees["Coff-dec"]
+            return Adversary(
+                crash_spec=CrashSpec.random_honest(dec, params.fail_stop_budget, rng)
+            )
+
+        result = YosoMpc(
+            params, rng=random.Random(48), adversary_factory=factory
+        ).run(CIRCUIT, INPUTS)
+        assert result.outputs["alice"] == EXPECTED
+
+    def test_crashes_plus_active_corruption(self):
+        # The §5.4 composition: t active corruptions AND nε honest crashes.
+        params = ProtocolParams.from_gap(10, 0.3, fail_stop=True)
+        assert params.t >= 1 and params.fail_stop_budget >= 2
+
+        def factory(offline_committees, online_committees):
+            rng = random.Random(14)
+            committees = list(offline_committees.values()) + list(
+                online_committees.values()
+            )
+            random_corruptions(committees, params.t, rng)
+            mul = next(
+                c for name, c in online_committees.items()
+                if name.startswith("Con-mul")
+            )
+            crash = CrashSpec.random_honest(mul, params.fail_stop_budget, rng)
+            return Adversary(transform=_garbling_transform, crash_spec=crash)
+
+        result = YosoMpc(
+            params, rng=random.Random(49), adversary_factory=factory
+        ).run(CIRCUIT, INPUTS)
+        assert result.outputs["alice"] == EXPECTED

@@ -1,0 +1,166 @@
+"""Tests for Reed–Solomon decoding and the proof-free protocol mode."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.circuits import dot_product_circuit
+from repro.core import ProtocolParams, YosoMpc
+from repro.errors import ParameterError, ReconstructionError
+from repro.fields import Polynomial, Zmod
+from repro.sharing import PackedShamirScheme
+from repro.sharing.decoding import berlekamp_welch, gaussian_solve
+from repro.yoso.adversary import Adversary, random_corruptions
+
+F = Zmod((1 << 61) - 1)
+
+
+class TestGaussianSolve:
+    def test_unique_solution(self):
+        A = [[F(2), F(1)], [F(1), F(3)]]
+        b = [F(5), F(10)]
+        x = gaussian_solve(F, A, b)
+        assert x is not None
+        assert F(2) * x[0] + x[1] == 5
+        assert x[0] + F(3) * x[1] == 10
+
+    def test_singular_returns_none_or_partial(self):
+        A = [[F(1), F(2)], [F(2), F(4)]]
+        assert gaussian_solve(F, A, [F(1), F(3)]) is None  # inconsistent
+
+    def test_underdetermined_consistent(self):
+        A = [[F(1), F(2)], [F(2), F(4)]]
+        x = gaussian_solve(F, A, [F(3), F(6)])  # consistent, free variable
+        assert x is not None
+        assert x[0] + F(2) * x[1] == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            gaussian_solve(F, [[F(1)]], [F(1), F(2)])
+
+
+class TestBerlekampWelch:
+    def _noisy_points(self, poly, n_points, error_positions, rng):
+        points = [(x, poly(x)) for x in range(1, n_points + 1)]
+        return [
+            (x, y + F(rng.randrange(1, 1000)) if x in error_positions else y)
+            for x, y in points
+        ]
+
+    def test_exact_decoding_no_errors(self, rng):
+        poly = Polynomial(F, [3, 1, 4, 1])
+        points = self._noisy_points(poly, 10, set(), rng)
+        assert berlekamp_welch(F, points, 3, 2) == poly
+
+    @pytest.mark.parametrize("n_errors", [1, 2, 3])
+    def test_corrects_up_to_e_errors(self, rng, n_errors):
+        poly = Polynomial(F, [9, 8, 7])
+        n_points = 2 + 1 + 2 * n_errors + 1
+        bad = set(rng.sample(range(1, n_points + 1), n_errors))
+        points = self._noisy_points(poly, n_points, bad, rng)
+        assert berlekamp_welch(F, points, 2, n_errors) == poly
+
+    def test_too_many_errors_detected(self, rng):
+        poly = Polynomial(F, [1, 2, 3])
+        points = self._noisy_points(poly, 9, {1, 2, 3, 4, 5}, rng)
+        with pytest.raises(ReconstructionError):
+            berlekamp_welch(F, points, 2, 2)
+
+    def test_repeated_points_rejected(self):
+        with pytest.raises(ReconstructionError):
+            berlekamp_welch(F, [(1, F(1)), (1, F(2))], 0, 0)
+
+    def test_negative_error_budget_rejected(self):
+        with pytest.raises(ParameterError):
+            berlekamp_welch(F, [(1, F(1))], 0, -1)
+
+
+class TestRobustPackedReconstruction:
+    def test_corrects_wrong_shares(self, rng):
+        scheme = PackedShamirScheme(F, 13, 2)
+        secrets = F.elements([42, 43])
+        sharing = scheme.share(secrets, degree=4, rng=rng)
+        mauled = list(sharing)
+        for i in (2, 8):
+            mauled[i] = dataclasses.replace(
+                mauled[i], value=mauled[i].value + F(999)
+            )
+        assert scheme.robust_reconstruct(mauled, degree=4, max_errors=2) == secrets
+
+    def test_plain_reconstruct_would_have_failed(self, rng):
+        scheme = PackedShamirScheme(F, 13, 2)
+        sharing = scheme.share(F.elements([1, 2]), degree=4, rng=rng)
+        mauled = [
+            dataclasses.replace(sharing[0], value=sharing[0].value + F(1))
+        ] + sharing[1:]
+        with pytest.raises(ReconstructionError):
+            scheme.reconstruct(mauled, degree=4)  # detection only
+        assert scheme.robust_reconstruct(
+            mauled, degree=4, max_errors=1
+        ) == F.elements([1, 2])
+
+
+class TestRobustProtocolMode:
+    CIRCUIT = dot_product_circuit(3)
+    INPUTS = {"alice": [1, 2, 3], "bob": [4, 5, 6]}
+    EXPECTED = [32]
+
+    def test_parameter_validation(self):
+        # n=8, t=1, k=2: needs 1+2+1+2 = 6 <= 8: OK.
+        ProtocolParams(n=8, t=1, k=2, epsilon=0.2, robust_reconstruction=True)
+        with pytest.raises(ParameterError):
+            # n=5 cannot correct t=1 errors at degree 3 (needs 4+2t=6 > 5).
+            ProtocolParams(n=5, t=1, k=2, epsilon=0.2,
+                           robust_reconstruction=True)
+
+    def test_honest_run(self):
+        params = ProtocolParams(n=8, t=1, k=2, epsilon=0.2,
+                                robust_reconstruction=True)
+        result = YosoMpc(params, rng=random.Random(71)).run(
+            self.CIRCUIT, self.INPUTS
+        )
+        assert result.outputs["alice"] == self.EXPECTED
+
+    def test_no_proof_tokens_posted(self):
+        params = ProtocolParams(n=8, t=1, k=2, epsilon=0.2,
+                                robust_reconstruction=True)
+        result = YosoMpc(params, rng=random.Random(72)).run(
+            self.CIRCUIT, self.INPUTS
+        )
+        for record in result.meter.records:
+            assert "proof" not in record.tag or not record.tag.startswith("Con-mul")
+        # And the online μ bytes are smaller than oracle mode's.
+        oracle_params = ProtocolParams(n=8, t=1, k=2, epsilon=0.2)
+        oracle_run = YosoMpc(oracle_params, rng=random.Random(72)).run(
+            self.CIRCUIT, self.INPUTS
+        )
+        assert result.online_mul_bytes() < oracle_run.online_mul_bytes() / 3
+
+    def test_active_adversary_corrected_not_excluded(self):
+        def maul(role_id, phase, tag, payload):
+            if isinstance(payload, dict) and "mu_shares" in payload:
+                return {
+                    **payload,
+                    "mu_shares": {
+                        b: {"value": e["value"] + 31337}
+                        for b, e in payload["mu_shares"].items()
+                    },
+                }
+            return payload
+
+        def factory(offline_committees, online_committees):
+            rng = random.Random(73)
+            random_corruptions(
+                [c for name, c in online_committees.items()
+                 if name.startswith("Con-mul")],
+                1, rng,
+            )
+            return Adversary(transform=maul)
+
+        params = ProtocolParams(n=8, t=1, k=2, epsilon=0.2,
+                                robust_reconstruction=True)
+        result = YosoMpc(
+            params, rng=random.Random(74), adversary_factory=factory
+        ).run(self.CIRCUIT, self.INPUTS)
+        assert result.outputs["alice"] == self.EXPECTED

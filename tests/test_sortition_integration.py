@@ -1,0 +1,80 @@
+"""Integration: §6 sortition sampling feeding real protocol parameters.
+
+The deployment loop the paper envisions: sample a committee by sortition,
+read off its realized size and corruption count, instantiate the protocol
+with a matching (n, t, k), and run — end to end.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import dot_product_circuit
+from repro.core import ProtocolParams, run_mpc
+from repro.errors import ParameterError
+from repro.yoso import IdealRoleAssignment
+
+
+class TestSortitionSampling:
+    def test_committee_size_concentrates(self):
+        rng = random.Random(7)
+        assignment = IdealRoleAssignment(key_bits=32, rng=rng)
+        sizes = [
+            assignment.sample_by_sortition(f"C{i}", 4000, 0.2, 40).size
+            for i in range(20)
+        ]
+        mean = sum(sizes) / len(sizes)
+        assert 30 <= mean <= 50  # E[size] = C = 40
+
+    def test_corruption_concentrates(self):
+        rng = random.Random(8)
+        assignment = IdealRoleAssignment(key_bits=32, rng=rng)
+        ratios = []
+        for i in range(20):
+            committee = assignment.sample_by_sortition(f"C{i}", 4000, 0.25, 40)
+            ratios.append(len(committee.corrupted_indices()) / committee.size)
+        mean = sum(ratios) / len(ratios)
+        assert 0.15 <= mean <= 0.35  # around f = 0.25
+
+    def test_corruption_positions_shuffled(self):
+        rng = random.Random(9)
+        assignment = IdealRoleAssignment(key_bits=32, rng=rng)
+        committee = assignment.sample_by_sortition("C", 1000, 0.3, 60)
+        corrupted = set(committee.corrupted_indices())
+        if corrupted:
+            # Not all bunched at the front (machine order anonymized).
+            assert corrupted != set(range(1, len(corrupted) + 1)) or len(corrupted) < 3
+
+    def test_parameter_validation(self):
+        assignment = IdealRoleAssignment(key_bits=32, rng=random.Random(1))
+        with pytest.raises(ParameterError):
+            assignment.sample_by_sortition("C", 100, 0.2, 0)
+        with pytest.raises(ParameterError):
+            assignment.sample_by_sortition("C", 100, 1.0, 10)
+
+
+class TestEndToEndDeployment:
+    def test_sampled_committee_sizes_drive_a_real_run(self):
+        # The deployment loop: sortition -> realized (n, phi) -> parameters
+        # -> protocol run.  We sample until the realized committee admits a
+        # valid parameterization (as a deployment would re-draw).
+        rng = random.Random(10)
+        assignment = IdealRoleAssignment(key_bits=32, rng=rng)
+        for attempt in range(10):
+            committee = assignment.sample_by_sortition(
+                f"probe{attempt}", 2000, 0.10, 8
+            )
+            n = committee.size
+            phi = len(committee.corrupted_indices())
+            epsilon = 0.2
+            if n >= 4 and phi < n * (0.5 - epsilon):
+                break
+        else:
+            pytest.skip("sortition never produced a usable committee")
+        params = ProtocolParams.from_gap(n, epsilon)
+        assert params.t < n * (0.5 - epsilon)
+        result = run_mpc(
+            dot_product_circuit(2), {"alice": [3, 4], "bob": [5, 6]},
+            n=n, epsilon=epsilon, seed=11,
+        )
+        assert result.outputs["alice"] == [3 * 5 + 4 * 6]

@@ -1,0 +1,163 @@
+"""Tests for circuit statistics, packing-efficiency advice, and auditing."""
+
+import random
+
+import pytest
+
+from repro.circuits import CircuitBuilder, dot_product_circuit
+from repro.circuits.stats import (
+    batch_efficiency,
+    best_packing_factor,
+    circuit_stats,
+    estimate_phase_bytes,
+)
+from repro.core import ProtocolParams, run_mpc
+from repro.core.audit import audit
+
+
+class TestCircuitStats:
+    def test_dot_product_shape(self):
+        stats = circuit_stats(dot_product_circuit(5))
+        assert stats.n_multiplications == 5
+        assert stats.multiplicative_depth == 1
+        assert stats.width_per_depth == {1: 5}
+        assert stats.max_width == 5
+        assert stats.input_clients == ("alice", "bob")
+
+    def test_deep_circuit_widths(self):
+        b = CircuitBuilder()
+        x = b.input("a")
+        b.output(b.power(x, 8), "a")  # squarings: width 1 at depths 1..3
+        stats = circuit_stats(b.build())
+        assert stats.multiplicative_depth == 3
+        assert all(w == 1 for w in stats.width_per_depth.values())
+        assert stats.min_width == 1
+
+    def test_linear_only(self):
+        b = CircuitBuilder()
+        x, y = b.input("a"), b.input("b")
+        b.output(b.add(x, y), "a")
+        stats = circuit_stats(b.build())
+        assert stats.n_multiplications == 0
+        assert stats.multiplicative_depth == 0
+        assert stats.n_linear == 1
+
+
+class TestBatchEfficiency:
+    def test_perfect_fill(self):
+        eff = batch_efficiency(dot_product_circuit(6), k=3)
+        assert eff.n_batches == 2
+        assert eff.fill_ratio == 1.0
+        assert eff.underfull_batches == 0
+
+    def test_padding_measured(self):
+        eff = batch_efficiency(dot_product_circuit(5), k=3)
+        assert eff.n_batches == 2
+        assert eff.underfull_batches == 1
+        assert eff.fill_ratio == pytest.approx(5 / 6)
+        assert eff.wasted_slots == 1
+
+    def test_best_packing_prefers_fill(self):
+        params = ProtocolParams(n=12, t=2, k=4, epsilon=0.33)
+        # 4 muls: k=4 gives 1 batch (best); k=3 gives 2.
+        assert best_packing_factor(dot_product_circuit(4), params) == 4
+        # 1 mul: any k gives 1 batch; smallest wins ties implicitly? cost
+        # equal -> keeps the first minimal k.
+        assert best_packing_factor(dot_product_circuit(1), params) == 1
+
+    def test_estimate_matches_cost_model_scale(self):
+        params = ProtocolParams.from_gap(6, 0.25)
+        estimate = estimate_phase_bytes(dot_product_circuit(6), params)
+        assert estimate["offline"] > estimate["online"] > 0
+
+
+class TestAudit:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_mpc(
+            dot_product_circuit(3), {"alice": [1, 2, 3], "bob": [4, 5, 6]},
+            n=5, epsilon=0.25, seed=301,
+        )
+
+    def test_honest_run_passes(self, result):
+        report = audit(result)
+        assert report.ok, report.violations
+        assert report.checked_posts > 0
+        assert report.committees_seen["Coff-A"] == 5
+
+    def test_adversarial_run_still_passes(self):
+        # GOD means the transcript stays structurally complete even under
+        # active corruption (bad content, same shape).
+        from repro.yoso.adversary import Adversary, random_corruptions
+
+        def factory(offline_committees, online_committees):
+            rng = random.Random(302)
+            random_corruptions(
+                list(offline_committees.values())
+                + list(online_committees.values()), 1, rng,
+            )
+            return Adversary()
+
+        from repro.core import YosoMpc
+
+        params = ProtocolParams.from_gap(6, 0.2)
+        result = YosoMpc(
+            params, rng=random.Random(303), adversary_factory=factory
+        ).run(dot_product_circuit(2), {"alice": [1, 2], "bob": [3, 4]})
+        assert audit(result).ok
+
+    @staticmethod
+    def _transcript_view(result, records):
+        """A lightweight stand-in exposing only what the auditor reads."""
+        from types import SimpleNamespace
+
+        from repro.accounting.comm import CommMeter
+
+        return SimpleNamespace(
+            params=result.params,
+            setup=result.setup,
+            meter=CommMeter(records=list(records)),
+        )
+
+    def test_tampered_transcript_flagged(self, result):
+        from repro.accounting.comm import MessageRecord
+
+        records = list(result.meter.records)
+        # Inject a tsk resharing from an online mul committee.
+        records.append(
+            MessageRecord("online", "Con-mul-1[1]", "Con-mul-1.tsk", 100)
+        )
+        report = audit(self._transcript_view(result, records))
+        assert not report.ok
+        assert any("tsk" in v for v in report.violations)
+
+    def test_missing_committee_flagged(self, result):
+        records = [
+            r for r in result.meter.records if not r.tag.startswith("Coff-B")
+        ]
+        report = audit(self._transcript_view(result, records))
+        assert any("Coff-B" in v for v in report.violations)
+
+    def test_fail_stop_run_respects_reduced_minimum(self):
+        from repro.yoso.adversary import Adversary, CrashSpec
+
+        params = ProtocolParams.from_gap(8, 0.25, fail_stop=True)
+
+        def factory(offline_committees, online_committees):
+            rng = random.Random(304)
+            mul = next(
+                c for name, c in online_committees.items()
+                if name.startswith("Con-mul")
+            )
+            return Adversary(
+                crash_spec=CrashSpec.random_honest(
+                    mul, params.fail_stop_budget, rng
+                )
+            )
+
+        from repro.core import YosoMpc
+
+        result = YosoMpc(
+            params, rng=random.Random(305), adversary_factory=factory
+        ).run(dot_product_circuit(2), {"alice": [1, 1], "bob": [1, 1]})
+        assert audit(result).ok

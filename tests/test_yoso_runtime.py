@@ -1,0 +1,215 @@
+"""Tests for the YOSO runtime: roles, bulletin, committees, environment."""
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ParameterError,
+    RoleAlreadySpokeError,
+    YosoError,
+)
+from repro.yoso import (
+    Adversary,
+    BulletinBoard,
+    Committee,
+    CrashSpec,
+    IdealRoleAssignment,
+    ProtocolEnvironment,
+    RoleId,
+    random_corruptions,
+)
+from repro.yoso.adversary import withholding_transform
+
+
+@pytest.fixture()
+def assignment(rng):
+    return IdealRoleAssignment(key_bits=48, rng=rng)
+
+
+@pytest.fixture()
+def env(assignment, rng):
+    return ProtocolEnvironment(assignment=assignment, rng=rng)
+
+
+class TestRoleLifecycle:
+    def test_speak_once_enforced(self, env, assignment):
+        committee = assignment.sample_committee("C", 3)
+        role = committee.role(1)
+        env.activate(role, lambda v: v.speak("t", 1))
+        with pytest.raises(YosoError):
+            env.activate(role, lambda v: v.speak("t", 2))
+
+    def test_double_speak_within_activation_rejected(self, env, assignment):
+        role = assignment.sample_committee("C", 1).role(1)
+
+        def program(view):
+            view.speak("t", 1)
+            view.speak("t", 2)
+
+        with pytest.raises(RoleAlreadySpokeError):
+            env.activate(role, program)
+
+    def test_state_erased_after_speaking(self, env, assignment):
+        role = assignment.sample_committee("C", 1).role(1)
+        role.add_gift("secret", 42)
+        assert role.exposed_state()["secret"] == 42
+        env.activate(role, lambda v: v.speak("t", v.gift("secret")))
+        assert role.exposed_state() == {}
+        with pytest.raises(YosoError):
+            role.secret_key
+        with pytest.raises(YosoError):
+            role.gift("secret")
+
+    def test_silent_role_still_dies(self, env, assignment):
+        role = assignment.sample_committee("C", 1).role(1)
+        env.activate(role, lambda v: None)
+        assert role.spoken
+
+    def test_gift_after_spoken_rejected(self, env, assignment):
+        role = assignment.sample_committee("C", 1).role(1)
+        env.activate(role, lambda v: None)
+        with pytest.raises(YosoError):
+            role.add_gift("late", 1)
+
+    def test_missing_gift(self, assignment):
+        role = assignment.sample_committee("C", 1).role(1)
+        with pytest.raises(YosoError):
+            role.gift("nope")
+        assert not role.has_gift("nope")
+
+
+class TestBulletin:
+    def test_posts_metered_and_queryable(self):
+        board = BulletinBoard()
+        board.post("online", "r1", "tag", {"x": 100})
+        board.post("online", "r2", "tag", {"x": 200})
+        assert len(board) == 2
+        assert board.payloads("tag") == [{"x": 100}, {"x": 200}]
+        assert board.latest("tag") == {"x": 200}
+        assert board.meter.total_bytes("online") > 0
+        assert board.by_sender("tag") == {"r1": {"x": 100}, "r2": {"x": 200}}
+
+    def test_missing_tag(self):
+        board = BulletinBoard()
+        assert not board.exists("none")
+        assert board.with_tag("none") == []
+        with pytest.raises(YosoError):
+            board.latest("none")
+
+    def test_rounds_advance(self):
+        board = BulletinBoard()
+        assert board.round == 0
+        board.advance_round()
+        board.post("p", "s", "t", 1)
+        assert board.with_tag("t")[0].round == 1
+
+
+class TestCommittee:
+    def test_indexing(self, assignment):
+        committee = assignment.sample_committee("C", 4)
+        assert committee.size == 4
+        assert committee.role(2).id == RoleId("C", 2)
+        with pytest.raises(YosoError):
+            committee.role(5)
+
+    def test_misnumbered_roles_rejected(self, assignment):
+        committee = assignment.sample_committee("C", 2)
+        with pytest.raises(ParameterError):
+            Committee("C", list(reversed(committee.roles)))
+
+    def test_honest_and_corrupted_indices(self, assignment, rng):
+        committee = assignment.sample_committee("C", 5)
+        corrupted = random_corruptions([committee], 2, rng)
+        assert len(corrupted) == 2
+        assert sorted(
+            committee.honest_indices() + committee.corrupted_indices()
+        ) == [1, 2, 3, 4, 5]
+
+    def test_public_keys_in_order(self, assignment):
+        committee = assignment.sample_committee("C", 3)
+        keys = committee.public_keys()
+        assert [k.n for k in keys] == [r.public_key.n for r in committee.roles]
+
+
+class TestAdversary:
+    def test_transform_applied_to_corrupt_only(self, env, assignment, rng):
+        committee = assignment.sample_committee("C", 4)
+        committee.role(2).corrupted = True
+        env.adversary = Adversary(
+            transform=lambda rid, ph, tag, p: {"val": -1}
+        )
+        env.run_committee(committee, lambda v: v.speak("t", {"val": v.index}))
+        vals = {p.sender: p.payload["val"] for p in env.bulletin.with_tag("t")}
+        assert vals["C[2]"] == -1
+        assert vals["C[1]"] == 1
+
+    def test_withholding(self, env, assignment):
+        committee = assignment.sample_committee("C", 3)
+        committee.role(1).corrupted = True
+        env.adversary = Adversary(transform=withholding_transform({"t"}))
+        env.run_committee(committee, lambda v: v.speak("t", {"val": 0}))
+        senders = {p.sender for p in env.bulletin.with_tag("t")}
+        assert senders == {"C[2]", "C[3]"}
+
+    def test_crash_spec_phase_scoping(self, env, assignment):
+        committee = assignment.sample_committee("C", 2)
+        spec = CrashSpec(frozenset({RoleId("C", 1)}), phase="online")
+        env.adversary = Adversary(crash_spec=spec)
+        env.set_phase("offline")
+        env.activate(committee.role(1), lambda v: v.speak("t", 1))
+        assert not committee.role(1).crashed
+        env.set_phase("online")
+        env.activate(committee.role(2), lambda v: v.speak("t", 2))  # unaffected
+        assert len(env.bulletin.with_tag("t")) == 2
+
+    def test_crashed_role_posts_nothing(self, env, assignment):
+        committee = assignment.sample_committee("C", 2)
+        env.adversary = Adversary(
+            crash_spec=CrashSpec(frozenset({RoleId("C", 1)}))
+        )
+        env.run_committee(committee, lambda v: v.speak("t", v.index))
+        assert [p.sender for p in env.bulletin.with_tag("t")] == ["C[2]"]
+        assert committee.role(1).crashed
+
+    def test_leakage_recorded(self, env, assignment):
+        committee = assignment.sample_committee("C", 2)
+        committee.role(1).corrupted = True
+        committee.role(1).add_gift("x", 5)
+        env.run_committee(committee, lambda v: v.speak("t", 0))
+        assert len(env.adversary.leaked_views) == 1
+        role_id, state = env.adversary.leaked_views[0]
+        assert role_id == RoleId("C", 1) and state["x"] == 5
+
+    def test_rushing_order_honest_first(self, env, assignment):
+        committee = assignment.sample_committee("C", 3)
+        committee.role(1).corrupted = True
+        order = []
+        env.run_committee(committee, lambda v: order.append(v.index))
+        assert order == [2, 3, 1]
+
+    def test_crash_random_honest_validates_count(self, assignment, rng):
+        committee = assignment.sample_committee("C", 3)
+        committee.role(1).corrupted = True
+        with pytest.raises(ValueError):
+            CrashSpec.random_honest(committee, 3, rng)
+
+
+class TestAssignment:
+    def test_fresh_keys_per_role(self, assignment):
+        committee = assignment.sample_committee("C", 3)
+        moduli = {r.public_key.n for r in committee.roles}
+        assert len(moduli) == 3
+
+    def test_corrupt_randomly_bounds(self, assignment):
+        committee = assignment.sample_committee("C", 3)
+        with pytest.raises(ParameterError):
+            assignment.corrupt_randomly(committee, 4)
+
+    def test_client_role(self, assignment):
+        client = assignment.client("alice")
+        assert client.id == RoleId("alice", 1)
+
+    def test_key_bits_floor(self):
+        with pytest.raises(ParameterError):
+            IdealRoleAssignment(key_bits=8)
