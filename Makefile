@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples table1 all outputs
+.PHONY: install test bench examples table1 trace-demo check all outputs
 
 install:
 	pip install -e .
@@ -16,6 +16,15 @@ examples:
 
 table1:
 	python -m repro table1
+
+# Traced quickstart-sized run; the exported JSONL is schema-validated.
+trace-demo:
+	python -m repro trace --n 6 --epsilon 0.2 --seed 42 --jsonl trace_demo.jsonl
+	python -c "from repro.observability import validate_trace_jsonl; \
+	validate_trace_jsonl(open('trace_demo.jsonl').read()); \
+	print('trace_demo.jsonl: schema OK')"
+
+check: test trace-demo
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -21,11 +21,35 @@ SWEEP_EPSILON = 0.25
 SWEEP_LENGTH = 12  # dot-product width -> number of multiplication gates
 
 
+def pytest_addoption(parser):
+    # Named --yoso-trace because pytest itself reserves --trace (its
+    # "break into pdb at test start" option).
+    parser.addoption(
+        "--yoso-trace",
+        action="store_true",
+        default=False,
+        help="attach a Tracer to the protocol sweeps and print per-phase "
+        "operation counters (see docs/OBSERVABILITY.md)",
+    )
+
+
 def print_banner(title: str) -> None:
     print()
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def _print_trace_summary(n: int, tracer) -> None:
+    per_phase = tracer.counters_by_phase()
+    print_banner(f"trace: ours n={n}")
+    for phase in sorted(per_phase):
+        interesting = {
+            k: v
+            for k, v in sorted(per_phase[phase].items())
+            if k.startswith(("paillier.", "reencrypt.", "sharing."))
+        }
+        print(f"  {phase:12s} {interesting}")
 
 
 @pytest.fixture(scope="session")
@@ -42,12 +66,27 @@ def sweep_inputs():
 
 
 @pytest.fixture(scope="session")
-def ours_sweep(sweep_circuit, sweep_inputs):
-    """Our protocol at each n of the sweep (cached: these runs are slow)."""
-    return {
-        n: run_mpc(sweep_circuit, sweep_inputs, n=n, epsilon=SWEEP_EPSILON, seed=1)
-        for n in SWEEP_NS
-    }
+def ours_sweep(request, sweep_circuit, sweep_inputs):
+    """Our protocol at each n of the sweep (cached: these runs are slow).
+
+    With ``--yoso-trace`` each run carries a Tracer (reachable as
+    ``result.trace``) and a per-phase counter summary is printed.
+    """
+    tracing = request.config.getoption("--yoso-trace")
+    results = {}
+    for n in SWEEP_NS:
+        tracer = None
+        if tracing:
+            from repro.observability import Tracer
+
+            tracer = Tracer()
+        results[n] = run_mpc(
+            sweep_circuit, sweep_inputs, n=n, epsilon=SWEEP_EPSILON, seed=1,
+            tracer=tracer,
+        )
+        if tracer is not None:
+            _print_trace_summary(n, tracer)
+    return results
 
 
 @pytest.fixture(scope="session")

@@ -5,7 +5,13 @@ aggregates to reproduce the paper's communication claims (online O(1) per
 gate, offline O(n) per gate — DESIGN.md experiment rows E1–E3).
 """
 
-from repro.accounting.comm import CommMeter, MessageRecord, measure_bytes
+from repro.accounting.comm import (
+    CommMeter,
+    MessageRecord,
+    measure_bytes,
+    register_sizer,
+    unregister_sizer,
+)
 from repro.accounting.report import (
     CommReport,
     comparison_table,
@@ -30,6 +36,8 @@ __all__ = [
     "CommMeter",
     "MessageRecord",
     "measure_bytes",
+    "register_sizer",
+    "unregister_sizer",
     "CommReport",
     "comparison_table",
     "format_table",

@@ -12,16 +12,59 @@ from __future__ import annotations
 import dataclasses
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
+
+#: Registered sizers: payload type -> bytes function (subclasses included).
+_SIZERS: dict[type, Callable[[Any], int]] = {}
+
+#: Type names the meter estimated instead of measured (diagnostic aid).
+unmeasured_type_names: set[str] = set()
 
 
-def measure_bytes(payload: Any) -> int:
+def register_sizer(
+    payload_type: type, sizer: Callable[[Any], int] | None = None
+):
+    """Register a byte-sizer for ``payload_type`` (and its subclasses).
+
+    New payload types (e.g. objects introduced by tracing or protocol
+    extensions) plug into the meter here instead of crashing it.  Usable
+    directly or as a decorator::
+
+        register_sizer(MyToken, lambda t: 32)
+
+        @register_sizer(MyEnvelope)
+        def _size(e): return len(e.blob)
+
+    Returns the sizer, decorator-style.
+    """
+    if sizer is None:
+        return lambda fn: register_sizer(payload_type, fn)
+    if not isinstance(payload_type, type):
+        raise TypeError(f"payload_type must be a type, got {payload_type!r}")
+    if not callable(sizer):
+        raise TypeError("sizer must be callable")
+    _SIZERS[payload_type] = sizer
+    return sizer
+
+
+def unregister_sizer(payload_type: type) -> None:
+    """Remove a registered sizer (primarily for tests)."""
+    _SIZERS.pop(payload_type, None)
+
+
+def measure_bytes(payload: Any, strict: bool = True) -> int:
     """Deterministic structural size of a protocol message, in bytes.
 
     Integers count their minimal two's-complement-ish size; known crypto
-    objects count their serialized group-element sizes; containers recurse.
-    The absolute numbers matter less than their *scaling* — every message
-    of the same shape measures identically, so per-gate series are exact.
+    objects count their serialized group-element sizes; containers recurse;
+    types registered via :func:`register_sizer` use their sizer.  The
+    absolute numbers matter less than their *scaling* — every message of
+    the same shape measures identically, so per-gate series are exact.
+
+    Unknown types raise ``TypeError`` when ``strict`` (the default, so
+    silent measurement bugs surface in tests); with ``strict=False`` —
+    how :class:`CommMeter` calls it — they degrade to a repr-based
+    estimate and are noted in :data:`unmeasured_type_names`.
     """
     if payload is None:
         return 0
@@ -36,9 +79,17 @@ def measure_bytes(payload: Any) -> int:
     if isinstance(payload, float):
         return 8
     if isinstance(payload, dict):
-        return sum(measure_bytes(k) + measure_bytes(v) for k, v in payload.items())
+        return sum(
+            measure_bytes(k, strict) + measure_bytes(v, strict)
+            for k, v in payload.items()
+        )
     if isinstance(payload, (list, tuple, set, frozenset)):
-        return sum(measure_bytes(item) for item in payload)
+        return sum(measure_bytes(item, strict) for item in payload)
+    if _SIZERS:
+        for cls in type(payload).__mro__:
+            sizer = _SIZERS.get(cls)
+            if sizer is not None:
+                return int(sizer(payload))
     # Crypto objects: prefer a canonical size when the object exposes one.
     value = getattr(payload, "value", None)
     public = getattr(payload, "public", None)
@@ -49,10 +100,13 @@ def measure_bytes(payload: Any) -> int:
         return (ring.modulus.bit_length() + 7) // 8  # a ring element
     if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
         return sum(
-            measure_bytes(getattr(payload, f.name))
+            measure_bytes(getattr(payload, f.name), strict)
             for f in dataclasses.fields(payload)
         )
-    raise TypeError(f"cannot measure payload of type {type(payload).__name__}")
+    if strict:
+        raise TypeError(f"cannot measure payload of type {type(payload).__name__}")
+    unmeasured_type_names.add(type(payload).__name__)
+    return len(repr(payload).encode())
 
 
 @dataclass(frozen=True)
@@ -72,7 +126,9 @@ class CommMeter:
     records: list[MessageRecord] = field(default_factory=list)
 
     def record(self, phase: str, sender: str, tag: str, payload: Any) -> int:
-        n = measure_bytes(payload)
+        # Non-strict: an unregistered payload type must not abort a
+        # protocol run mid-flight — it degrades to an estimate instead.
+        n = measure_bytes(payload, strict=False)
         self.records.append(MessageRecord(phase, sender, tag, n))
         return n
 

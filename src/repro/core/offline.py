@@ -69,6 +69,7 @@ from repro.core.setup import (
 )
 from repro.errors import ProtocolAbortError
 from repro.fields.lagrange import lagrange_basis_rows
+from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
 from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey
 from repro.paillier.threshold import ThresholdPaillier, teval
@@ -421,7 +422,7 @@ def run_offline(
 
     # -- Step 4: public packing into encrypted packed shares ------------------
 
-    _pack_batches(setup, circuit, plan, state, helper_cipher)
+    _pack_batches(setup, circuit, plan, state, helper_cipher, tracer=env.tracer)
 
     return state
 
@@ -568,6 +569,7 @@ def _pack_batches(
     plan: BatchPlan,
     state: OfflineState,
     helper_cipher: Mapping[tuple[int, str, int], PaillierCiphertext],
+    tracer=None,
 ) -> None:
     """Step 4: homomorphic Lagrange packing of masks and Γ per batch."""
     params = setup.params
@@ -578,17 +580,22 @@ def _pack_batches(
     zero = trivial_zero_ciphertext(tpk)
 
     for batch in plan.mul_batches:
-        sources = {
-            "left": [state.wire_cipher[w] for w in batch.left_wires],
-            "right": [state.wire_cipher[w] for w in batch.right_wires],
-            "gamma": [state.gamma_cipher[w] for w in batch.gate_wires],
-        }
-        for kind in PACK_KINDS:
-            values = list(sources[kind])
-            values += [zero] * (k - len(values))  # pad short batches
-            values += [
-                helper_cipher[(batch.batch_id, kind, h)] for h in range(t)
-            ]
-            state.packed_cipher[(batch.batch_id, kind)] = [
-                teval(tpk, values, [int(c) for c in row]) for row in rows
-            ]
+        with maybe_span(
+            tracer, f"pack-batch-{batch.batch_id}", kind=KIND_BATCH,
+            phase="offline", batch=batch.batch_id, depth=batch.depth,
+            stage="pack", gates=len(batch.gate_wires),
+        ):
+            sources = {
+                "left": [state.wire_cipher[w] for w in batch.left_wires],
+                "right": [state.wire_cipher[w] for w in batch.right_wires],
+                "gamma": [state.gamma_cipher[w] for w in batch.gate_wires],
+            }
+            for kind in PACK_KINDS:
+                values = list(sources[kind])
+                values += [zero] * (k - len(values))  # pad short batches
+                values += [
+                    helper_cipher[(batch.batch_id, kind, h)] for h in range(t)
+                ]
+                state.packed_cipher[(batch.batch_id, kind)] = [
+                    teval(tpk, values, [int(c) for c in row]) for row in rows
+                ]

@@ -54,6 +54,7 @@ from repro.core.setup import (
 )
 from repro.errors import ProtocolAbortError
 from repro.fields.ring import ZmodElement
+from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.paillier.encoding import safe_chunk_bits, unchunk_integer
 from repro.paillier.paillier import PaillierSecretKey
 from repro.sharing.packed import PackedShamirScheme, PackedShare
@@ -297,97 +298,110 @@ def run_online(
         committee = online.committees[name]
         batches = batches_by_depth[depth]
 
-        def program_mul(view, name=name, batches=batches):
+        def program_mul(view, name=name, batches=batches, depth=depth):
             kff_sk = recover_kff_secret(
                 role_tag(name, view.index), view.secret_key
             )
             shares = {}
             for batch in batches:
-                lam = {}
-                for kind in PACK_KINDS:
-                    key = (batch.batch_id, view.index, kind)
-                    ciphertext = offline.packed_cipher[(batch.batch_id, kind)][
-                        view.index - 1
-                    ]
-                    lam[kind] = setup.ring.element(
-                        recover_reencrypted(
-                            tpk, ciphertext, offline.packed_bundles[key], kff_sk,
-                            offline.verifications[2], proof_params,
+                # The per-gate online work (recover packed λ/Γ shares, form
+                # the single μ^γ scalar) gets its own "online.mul" span so
+                # traces separate it from one-time key distribution.
+                with maybe_span(
+                    env.tracer, f"mul-batch-{batch.batch_id}", kind=KIND_BATCH,
+                    phase="online.mul", batch=batch.batch_id, depth=depth,
+                    member=view.index, gates=len(batch.gate_wires),
+                ):
+                    lam = {}
+                    for kind in PACK_KINDS:
+                        key = (batch.batch_id, view.index, kind)
+                        ciphertext = offline.packed_cipher[(batch.batch_id, kind)][
+                            view.index - 1
+                        ]
+                        lam[kind] = setup.ring.element(
+                            recover_reencrypted(
+                                tpk, ciphertext, offline.packed_bundles[key], kff_sk,
+                                offline.verifications[2], proof_params,
+                            )
                         )
+                    mu_left = _padded_mu(online.tracker, batch.left_wires, params.k)
+                    mu_right = _padded_mu(online.tracker, batch.right_wires, params.k)
+                    mu_l_i = scheme.canonical_share_for(mu_left, view.index).value
+                    mu_r_i = scheme.canonical_share_for(mu_right, view.index).value
+                    value = (
+                        mu_l_i * mu_r_i
+                        + mu_l_i * lam["right"]
+                        + mu_r_i * lam["left"]
+                        + lam["gamma"]
                     )
-                mu_left = _padded_mu(online.tracker, batch.left_wires, params.k)
-                mu_right = _padded_mu(online.tracker, batch.right_wires, params.k)
-                mu_l_i = scheme.canonical_share_for(mu_left, view.index).value
-                mu_r_i = scheme.canonical_share_for(mu_right, view.index).value
-                value = (
-                    mu_l_i * mu_r_i
-                    + mu_l_i * lam["right"]
-                    + mu_r_i * lam["left"]
-                    + lam["gamma"]
-                )
-                if params.robust_reconstruction:
-                    # Proof-free mode: bad shares are *corrected*, not
-                    # excluded, so no token rides along.
-                    shares[batch.batch_id] = {"value": int(value)}
-                else:
-                    token = online.oracle.attest(
-                        batch.batch_id, view.index, int(value)
-                    )
-                    shares[batch.batch_id] = {"value": int(value), "proof": token}
+                    if params.robust_reconstruction:
+                        # Proof-free mode: bad shares are *corrected*, not
+                        # excluded, so no token rides along.
+                        shares[batch.batch_id] = {"value": int(value)}
+                    else:
+                        token = online.oracle.attest(
+                            batch.batch_id, view.index, int(value)
+                        )
+                        shares[batch.batch_id] = {"value": int(value), "proof": token}
             view.speak(name, {"mu_shares": shares})
 
         env.run_committee(committee, program_mul)
         posts = _posts_by_index(env, committee)
 
         for batch in batches:
-            collected: list[PackedShare] = []
-            for sender, payload in sorted(posts.items()):
-                entry = payload.get("mu_shares", {}).get(batch.batch_id)
-                if not isinstance(entry, Mapping):
-                    continue
-                value = entry.get("value")
-                if not isinstance(value, int):
-                    continue
+            with maybe_span(
+                env.tracer, f"mul-reconstruct-{batch.batch_id}", kind=KIND_BATCH,
+                phase="online.mul", batch=batch.batch_id, depth=depth,
+                stage="reconstruct", gates=len(batch.gate_wires),
+            ):
+                collected: list[PackedShare] = []
+                for sender, payload in sorted(posts.items()):
+                    entry = payload.get("mu_shares", {}).get(batch.batch_id)
+                    if not isinstance(entry, Mapping):
+                        continue
+                    value = entry.get("value")
+                    if not isinstance(value, int):
+                        continue
+                    if params.robust_reconstruction:
+                        collected.append(
+                            PackedShare(
+                                sender, setup.ring.element(value),
+                                params.product_degree, params.k,
+                            )
+                        )
+                    elif online.oracle.verify(
+                        batch.batch_id, sender, value, entry.get("proof")
+                    ):
+                        collected.append(
+                            PackedShare(
+                                sender, setup.ring.element(value),
+                                params.product_degree, params.k,
+                            )
+                        )
                 if params.robust_reconstruction:
-                    collected.append(
-                        PackedShare(
-                            sender, setup.ring.element(value),
-                            params.product_degree, params.k,
+                    if len(collected) < params.reconstruction_threshold + 2 * params.t:
+                        raise ProtocolAbortError(
+                            f"batch {batch.batch_id}: {len(collected)} shares "
+                            f"cannot correct {params.t} errors at degree "
+                            f"{params.product_degree}"
                         )
+                    mu_gamma = scheme.robust_reconstruct(
+                        collected, degree=params.product_degree,
+                        max_errors=params.t,
                     )
-                elif online.oracle.verify(
-                    batch.batch_id, sender, value, entry.get("proof")
-                ):
-                    collected.append(
-                        PackedShare(
-                            sender, setup.ring.element(value),
-                            params.product_degree, params.k,
+                else:
+                    if len(collected) < params.reconstruction_threshold:
+                        raise ProtocolAbortError(
+                            f"batch {batch.batch_id}: only {len(collected)} "
+                            f"verified μ shares, need "
+                            f"{params.reconstruction_threshold}"
                         )
+                    mu_gamma = scheme.reconstruct(
+                        collected[: params.reconstruction_threshold],
+                        degree=params.product_degree,
                     )
-            if params.robust_reconstruction:
-                if len(collected) < params.reconstruction_threshold + 2 * params.t:
-                    raise ProtocolAbortError(
-                        f"batch {batch.batch_id}: {len(collected)} shares "
-                        f"cannot correct {params.t} errors at degree "
-                        f"{params.product_degree}"
-                    )
-                mu_gamma = scheme.robust_reconstruct(
-                    collected, degree=params.product_degree,
-                    max_errors=params.t,
-                )
-            else:
-                if len(collected) < params.reconstruction_threshold:
-                    raise ProtocolAbortError(
-                        f"batch {batch.batch_id}: only {len(collected)} "
-                        f"verified μ shares, need "
-                        f"{params.reconstruction_threshold}"
-                    )
-                mu_gamma = scheme.reconstruct(
-                    collected[: params.reconstruction_threshold],
-                    degree=params.product_degree,
-                )
-            for slot, wire in enumerate(batch.gate_wires):
-                online.tracker.set(wire, mu_gamma[slot])
+                for slot, wire in enumerate(batch.gate_wires):
+                    online.tracker.set(wire, mu_gamma[slot])
         online.tracker.propagate()
 
     # ---- Output step -----------------------------------------------------------

@@ -33,6 +33,8 @@ from repro.core.online import OnlineState, run_online, sample_online_committees
 from repro.core.params import ProtocolParams
 from repro.core.setup import ONLINE_KEYS, SetupArtifacts, run_setup
 from repro.errors import ParameterError
+from repro.observability import hooks as _hooks
+from repro.observability.tracer import KIND_PHASE, Tracer, maybe_span
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.committees import Committee
@@ -57,11 +59,18 @@ class MpcResult:
     setup: SetupArtifacts
     offline: OfflineState
     online: OnlineState
+    trace: Tracer | None = None
 
     def report(self, label: str = "yoso-mpc") -> CommReport:
         return CommReport.from_meter(
             label, self.params.n, len(self.circuit.gates), self.meter
         )
+
+    def trace_report(self) -> dict:
+        """Merged comm+trace JSON document (requires a traced run)."""
+        from repro.observability.export import merged_report
+
+        return merged_report(self)
 
     def phase_bytes(self, phase: str) -> int:
         return self.meter.total_bytes(phase)
@@ -87,10 +96,12 @@ class YosoMpc:
         params: ProtocolParams,
         rng: random.Random | None = None,
         adversary_factory: AdversaryFactory | None = None,
+        tracer: Tracer | None = None,
     ):
         self.params = params
         self.rng = rng if rng is not None else random.Random()
         self.adversary_factory = adversary_factory
+        self.tracer = tracer
 
     def run(
         self,
@@ -102,27 +113,36 @@ class YosoMpc:
         assignment = IdealRoleAssignment(
             key_bits=self.params.role_key_bits, rng=self.rng
         )
-        env = ProtocolEnvironment(assignment=assignment, rng=self.rng)
+        tracer = self.tracer
+        env = ProtocolEnvironment(assignment=assignment, rng=self.rng, tracer=tracer)
 
-        setup = run_setup(env, self.params, circuit, plan, self.rng)
-        offline_committees = sample_offline_committees(env, self.params)
-        online = sample_online_committees(env, setup, circuit)
+        with _hooks.activated(tracer):
+            with maybe_span(tracer, "setup", kind=KIND_PHASE, phase="setup"):
+                setup = run_setup(env, self.params, circuit, plan, self.rng)
+                offline_committees = sample_offline_committees(env, self.params)
+                online = sample_online_committees(env, setup, circuit)
 
-        if self.adversary_factory is not None:
-            env.adversary = self.adversary_factory(
-                offline_committees, online.committees
-            )
+            if self.adversary_factory is not None:
+                env.adversary = self.adversary_factory(
+                    offline_committees, online.committees
+                )
 
-        offline = run_offline(
-            env, setup, circuit, plan, self.rng, committees=offline_committees
-        )
-        run_reencryption_bridge(
-            env, setup, offline, circuit, plan,
-            online.committees[ONLINE_KEYS].public_keys(), self.rng,
-        )
-        outputs = run_online(
-            env, setup, offline, online, circuit, plan, inputs, self.rng
-        )
+            with maybe_span(tracer, "offline", kind=KIND_PHASE, phase="offline"):
+                offline = run_offline(
+                    env, setup, circuit, plan, self.rng,
+                    committees=offline_committees,
+                )
+            with maybe_span(
+                tracer, "reencryption-bridge", kind=KIND_PHASE, phase="offline"
+            ):
+                run_reencryption_bridge(
+                    env, setup, offline, circuit, plan,
+                    online.committees[ONLINE_KEYS].public_keys(), self.rng,
+                )
+            with maybe_span(tracer, "online", kind=KIND_PHASE, phase="online"):
+                outputs = run_online(
+                    env, setup, offline, online, circuit, plan, inputs, self.rng
+                )
         return MpcResult(
             outputs=outputs,
             params=self.params,
@@ -132,6 +152,7 @@ class YosoMpc:
             setup=setup,
             offline=offline,
             online=online,
+            trace=tracer,
         )
 
 
@@ -144,6 +165,7 @@ def run_mpc(
     fail_stop: bool = False,
     te_bits: int = 64,
     role_key_bits: int = 64,
+    tracer: Tracer | None = None,
 ) -> MpcResult:
     """One-call convenience wrapper (the quickstart entry point)."""
     params = ProtocolParams.from_gap(
@@ -151,4 +173,4 @@ def run_mpc(
         te_bits=te_bits, role_key_bits=role_key_bits,
     )
     rng = random.Random(seed)
-    return YosoMpc(params, rng=rng).run(circuit, inputs)
+    return YosoMpc(params, rng=rng, tracer=tracer).run(circuit, inputs)

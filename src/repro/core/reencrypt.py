@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.errors import ProtocolAbortError
 from repro.nizk.params import ProofParams
+from repro.observability import hooks as _hooks
 from repro.nizk.sigma import PartialDecryptionProof
 from repro.paillier.encoding import (
     chunk_integer,
@@ -81,6 +82,7 @@ def reencrypt_contribution(
         recipient_pk.encrypt(limb, rng=rng)
         for limb in chunk_integer(partial.value, chunk_bits)
     )
+    _hooks.note(_hooks.REENCRYPT_CONTRIBUTION)
     return EncryptedPartial(share.index, share.epoch, chunks, proof)
 
 
@@ -119,6 +121,7 @@ def recover_reencrypted(
             f"only {len(verified)} of the required {tpk.threshold + 1} "
             "re-encryption partials verified — corruption bound exceeded?"
         )
+    _hooks.note(_hooks.REENCRYPT_RECOVERY)
     return ThresholdPaillier.combine(tpk, verified)
 
 

@@ -20,6 +20,7 @@ from typing import Sequence
 
 from repro.errors import InterpolationError
 from repro.fields.ring import Zmod, ZmodElement
+from repro.observability import hooks as _hooks
 
 
 def _check_distinct(xs: Sequence[int]) -> None:
@@ -39,6 +40,7 @@ def lagrange_coefficients(
     invertible).  Runs in O(len(xs)^2).
     """
     _check_distinct(xs)
+    _hooks.note(_hooks.LAGRANGE_INTERPOLATION)
     coeffs: list[ZmodElement] = []
     for i, xi in enumerate(xs):
         num = 1
@@ -80,6 +82,7 @@ def integer_lagrange_scaled(
     denominators.
     """
     _check_distinct(xs)
+    _hooks.note(_hooks.LAGRANGE_INTEGER)
     if delta is None:
         delta = falling_factorial_delta(max(abs(x) for x in xs) or 1)
     scaled: list[int] = []

@@ -1,0 +1,63 @@
+"""Structured tracing & metrics for the YOSO pipeline.
+
+The communication meter (:mod:`repro.accounting`) answers *how many bytes*;
+this package answers *which operations, where, and how long*:
+
+* :class:`Tracer` — nested spans (phase → committee round → gate batch)
+  with wall-clock intervals and monotonic op counters;
+* :mod:`repro.observability.hooks` — the global counter sink the crypto
+  layers emit into (no-op unless a tracer is installed);
+* JSONL export with schema validation, and a merged comm+trace report
+  aligned with :mod:`repro.accounting.export`.
+
+Entry points::
+
+    from repro.observability import Tracer
+    result = run_mpc(circuit, inputs, n=6, seed=1, tracer=Tracer())
+    result.trace.counters_by_phase()    # deterministic op counts
+    result.trace_report()               # merged comm+trace JSON document
+
+See docs/OBSERVABILITY.md for the span/counter model and how to read a
+trace against the paper's O(1)-online / O(n)-offline claims.
+"""
+
+from repro.observability.export import (
+    TRACE_VERSION,
+    dumps_trace_jsonl,
+    loads_trace_jsonl,
+    merged_report,
+    trace_records,
+    trace_section,
+    validate_trace_jsonl,
+)
+from repro.observability.hooks import activated, active, install, note
+from repro.observability.tracer import (
+    KIND_BATCH,
+    KIND_PHASE,
+    KIND_ROUND,
+    KIND_SPAN,
+    Span,
+    Tracer,
+    maybe_span,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "maybe_span",
+    "KIND_PHASE",
+    "KIND_ROUND",
+    "KIND_BATCH",
+    "KIND_SPAN",
+    "activated",
+    "active",
+    "install",
+    "note",
+    "TRACE_VERSION",
+    "trace_records",
+    "trace_section",
+    "dumps_trace_jsonl",
+    "loads_trace_jsonl",
+    "validate_trace_jsonl",
+    "merged_report",
+]

@@ -1,0 +1,220 @@
+"""Trace export: JSONL traces and the merged comm+trace report.
+
+The JSONL format is line-oriented so a trace can be streamed, grepped, and
+diffed.  Three record kinds, discriminated by the ``record`` field:
+
+``header``   one per trace: version, label, parameters, circuit shape
+``span``     one per span, pre-order: id/parent, name, kind, phase attrs,
+             ``start_s``/``duration_s``, and the span's *own* counters
+``summary``  one per trace, last line: counter totals, counters and
+             wall-clock grouped by phase, and (when a meter is supplied)
+             the communication bytes per phase from
+             :mod:`repro.accounting.comm`
+
+The merged report (:func:`merged_report`) is the JSON document of
+:func:`repro.accounting.export.run_report` with a ``trace`` section added,
+so one artifact carries both the communication profile and the op/time
+profile of a run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.errors import ParameterError
+from repro.observability.tracer import Span, Tracer
+
+if TYPE_CHECKING:  # the accounting package imports stay lazy: the crypto
+    # layers import repro.observability at module load, and an eager
+    # accounting import would cycle back through nizk/paillier.
+    from repro.accounting.comm import CommMeter
+
+TRACE_VERSION = 1
+
+#: record -> {field: allowed types}; None marks optional fields.
+_SCHEMA: dict[str, dict[str, tuple]] = {
+    "header": {
+        "version": (int,),
+        "label": (str,),
+        "parameters": (dict,),
+        "circuit": (dict,),
+    },
+    "span": {
+        "id": (int,),
+        "parent": (int, type(None)),
+        "name": (str,),
+        "kind": (str,),
+        "phase": (str,),
+        "attrs": (dict,),
+        "start_s": (int, float),
+        "duration_s": (int, float),
+        "counters": (dict,),
+    },
+    "summary": {
+        "counters": (dict,),
+        "counters_by_phase": (dict,),
+        "wall_s_by_phase": (dict,),
+        "comm_bytes_by_phase": (dict,),
+    },
+}
+
+
+def span_record(span: Span) -> dict[str, Any]:
+    """The JSONL record of one span (own counters, not rolled up)."""
+    attrs = {k: v for k, v in span.attrs.items() if k != "phase"}
+    return {
+        "record": "span",
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "kind": span.kind,
+        "phase": span.phase,
+        "attrs": attrs,
+        "start_s": round(span.start_s, 9),
+        "duration_s": round(span.duration_s, 9),
+        "counters": dict(span.counters),
+    }
+
+
+def trace_records(
+    tracer: Tracer,
+    label: str = "yoso-mpc",
+    parameters: Mapping[str, Any] | None = None,
+    circuit_stats: Mapping[str, Any] | None = None,
+    meter: CommMeter | None = None,
+) -> list[dict[str, Any]]:
+    """Header + spans + summary, as JSON-ready dicts."""
+    records: list[dict[str, Any]] = [
+        {
+            "record": "header",
+            "version": TRACE_VERSION,
+            "label": label,
+            "parameters": dict(parameters or {}),
+            "circuit": dict(circuit_stats or {}),
+        }
+    ]
+    records.extend(span_record(s) for s in tracer.spans())
+    records.append(
+        {
+            "record": "summary",
+            "counters": tracer.counter_totals(),
+            "counters_by_phase": tracer.counters_by_phase(),
+            "wall_s_by_phase": {
+                phase: round(s, 9)
+                for phase, s in tracer.wall_s_by_phase().items()
+            },
+            "comm_bytes_by_phase": dict(meter.by_phase()) if meter else {},
+        }
+    )
+    return records
+
+
+def dumps_trace_jsonl(
+    tracer: Tracer,
+    label: str = "yoso-mpc",
+    parameters: Mapping[str, Any] | None = None,
+    circuit_stats: Mapping[str, Any] | None = None,
+    meter: CommMeter | None = None,
+) -> str:
+    """The whole trace as JSONL text (one record per line)."""
+    records = trace_records(tracer, label, parameters, circuit_stats, meter)
+    return "\n".join(json.dumps(r, sort_keys=True) for r in records) + "\n"
+
+
+def loads_trace_jsonl(text: str) -> dict[str, Any]:
+    """Parse and validate a JSONL trace.
+
+    Returns ``{"header": ..., "spans": [...], "summary": ...}``.  Raises
+    :class:`~repro.errors.ParameterError` on malformed input — this is the
+    schema validation ``make trace-demo`` runs against a fresh export.
+    """
+    header: dict[str, Any] | None = None
+    summary: dict[str, Any] | None = None
+    spans: list[dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ParameterError(f"trace line {lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ParameterError(f"trace line {lineno}: record is not an object")
+        kind = record.get("record")
+        if kind not in _SCHEMA:
+            raise ParameterError(f"trace line {lineno}: unknown record {kind!r}")
+        _check_fields(record, kind, lineno)
+        if kind == "header":
+            if header is not None:
+                raise ParameterError(f"trace line {lineno}: duplicate header")
+            if record["version"] != TRACE_VERSION:
+                raise ParameterError(
+                    f"unsupported trace version {record['version']!r}"
+                )
+            header = record
+        elif kind == "summary":
+            if summary is not None:
+                raise ParameterError(f"trace line {lineno}: duplicate summary")
+            summary = record
+        else:
+            spans.append(record)
+    if header is None:
+        raise ParameterError("trace has no header record")
+    if summary is None:
+        raise ParameterError("trace has no summary record")
+    ids = {s["id"] for s in spans}
+    for s in spans:
+        if s["parent"] is not None and s["parent"] not in ids:
+            raise ParameterError(
+                f"span {s['id']} references unknown parent {s['parent']}"
+            )
+    return {"header": header, "spans": spans, "summary": summary}
+
+
+def validate_trace_jsonl(text: str) -> dict[str, Any]:
+    """Alias of :func:`loads_trace_jsonl` named for its checking role."""
+    return loads_trace_jsonl(text)
+
+
+def _check_fields(record: dict[str, Any], kind: str, lineno: int) -> None:
+    for fieldname, types in _SCHEMA[kind].items():
+        if fieldname not in record:
+            raise ParameterError(
+                f"trace line {lineno}: {kind} record missing {fieldname!r}"
+            )
+        if not isinstance(record[fieldname], types):
+            raise ParameterError(
+                f"trace line {lineno}: {kind}.{fieldname} has type "
+                f"{type(record[fieldname]).__name__}"
+            )
+
+
+# -- the merged comm+trace report -------------------------------------------
+
+
+def trace_section(tracer: Tracer) -> dict[str, Any]:
+    """The ``trace`` section of a merged report."""
+    return {
+        "version": TRACE_VERSION,
+        "spans": tracer.n_spans(),
+        "counters": tracer.counter_totals(),
+        "counters_by_phase": tracer.counters_by_phase(),
+        "wall_s_by_phase": {
+            phase: round(s, 9) for phase, s in tracer.wall_s_by_phase().items()
+        },
+    }
+
+
+def merged_report(result) -> dict[str, Any]:
+    """Comm report of an :class:`~repro.core.protocol.MpcResult` plus its
+    trace section (requires the run to have been traced)."""
+    from repro.accounting.export import report_from_mpc_result
+
+    if result.trace is None:
+        raise ParameterError(
+            "result has no trace — run with a Tracer (run_mpc(..., tracer=...))"
+        )
+    report = report_from_mpc_result(result)
+    report["trace"] = trace_section(result.trace)
+    return report

@@ -1,0 +1,209 @@
+"""Nested-span tracer with monotonic counters.
+
+The tracer records *what the protocol did* alongside *how long it took*:
+
+* **Spans** nest phase → committee round → gate batch.  Each span owns a
+  wall-clock interval (via an injectable clock, so tests can freeze time)
+  and a dict of monotonic counters.
+* **Counters** are incremented through :mod:`repro.observability.hooks` by
+  the crypto layers (Paillier encrypt/decrypt/partial-decrypt,
+  exponentiations, Lagrange interpolations, shares dealt/reconstructed,
+  bulletin posts).  A counter lands in the innermost open span, so batch
+  spans isolate per-gate work from one-time key distribution.
+* Counter totals are **deterministic** for a seeded run: two executions
+  with the same seed produce identical counters (only timings differ).
+
+Untraced executions pay ~nothing: the hooks check one module global and
+the protocol wraps rounds in a shared null context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+#: Span kinds used by the protocol wiring (free-form strings are allowed).
+KIND_PHASE = "phase"
+KIND_ROUND = "round"
+KIND_BATCH = "batch"
+KIND_SPAN = "span"
+
+#: The phase bucket for counters emitted outside any span.
+UNATTRIBUTED = "unattributed"
+
+
+@dataclass
+class Span:
+    """One traced interval, with its own counters and child spans."""
+
+    name: str
+    kind: str
+    span_id: int
+    parent_id: int | None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: float | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock length; 0.0 while the span is still open."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    @property
+    def phase(self) -> str:
+        """The phase this span's own counters belong to."""
+        return str(self.attrs.get("phase", UNATTRIBUTED))
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def total_counters(self) -> dict[str, int]:
+        """Own counters plus every descendant's, merged."""
+        totals = dict(self.counters)
+        for child in self.children:
+            for key, value in child.total_counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Collects spans and counters for one (or more) protocol executions.
+
+    Use as::
+
+        tracer = Tracer()
+        with tracer.span("offline", kind="phase", phase="offline"):
+            tracer.count("paillier.encrypt")
+
+    ``clock`` is any zero-argument callable returning seconds; tests pass a
+    fake to make exported timings deterministic.
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self.clock = clock if clock is not None else time.perf_counter
+        self.roots: list[Span] = []
+        self.orphan_counters: dict[str, int] = {}
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    # -- recording ----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, kind: str = KIND_SPAN, **attrs: Any):
+        """Open a nested span for the duration of the ``with`` block."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(
+            name=name,
+            kind=kind,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=dict(attrs),
+            start_s=self.clock(),
+        )
+        self._next_id += 1
+        if parent is not None:
+            parent.children.append(span)
+            span.attrs.setdefault("phase", parent.phase)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_s = self.clock()
+            self._stack.pop()
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` in the innermost open span."""
+        if self._stack:
+            self._stack[-1].count(name, n)
+        else:
+            self.orphan_counters[name] = self.orphan_counters.get(name, 0) + n
+
+    # -- aggregates ---------------------------------------------------------
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, pre-order."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def n_spans(self) -> int:
+        return sum(1 for _ in self.spans())
+
+    def counter_totals(self) -> dict[str, int]:
+        """All counters, merged across every span (plus orphans)."""
+        totals = dict(self.orphan_counters)
+        for root in self.roots:
+            for key, value in root.total_counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def counters_by_phase(self) -> dict[str, dict[str, int]]:
+        """Counters grouped by each span's ``phase`` attribute.
+
+        Batch spans opened with an explicit sub-phase (e.g. ``online.mul``)
+        aggregate separately from their enclosing phase — this is what
+        isolates per-gate online work from one-time key distribution.
+        """
+        out: dict[str, dict[str, int]] = {}
+        if self.orphan_counters:
+            out[UNATTRIBUTED] = dict(self.orphan_counters)
+        for span in self.spans():
+            if not span.counters:
+                continue
+            bucket = out.setdefault(span.phase, {})
+            for key, value in span.counters.items():
+                bucket[key] = bucket.get(key, 0) + value
+        return out
+
+    def wall_s_by_phase(self) -> dict[str, float]:
+        """Wall-clock seconds per phase.
+
+        Top-level phase spans contribute their full duration.  Sub-phase
+        spans — a span whose ``phase`` attr differs from its parent's,
+        like the ``online.mul`` batches inside the ``online`` phase —
+        contribute theirs under the sub-phase name, so sub-phase time is
+        a *subset* of the enclosing phase's time, not disjoint from it.
+        """
+        out: dict[str, float] = {}
+
+        def visit(span: Span, parent_phase: str | None) -> None:
+            is_root_phase = parent_phase is None and span.kind == KIND_PHASE
+            if is_root_phase or (
+                parent_phase is not None and span.phase != parent_phase
+            ):
+                out[span.phase] = out.get(span.phase, 0.0) + span.duration_s
+            for child in span.children:
+                visit(child, span.phase)
+
+        for root in self.roots:
+            visit(root, None)
+        return out
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self.orphan_counters.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+
+_NULL_CONTEXT = nullcontext()
+
+
+def maybe_span(tracer: Tracer | None, name: str, kind: str = KIND_SPAN, **attrs):
+    """A span on ``tracer``, or a shared no-op context when untraced."""
+    if tracer is None:
+        return _NULL_CONTEXT
+    return tracer.span(name, kind=kind, **attrs)

@@ -17,6 +17,7 @@ import secrets
 from dataclasses import dataclass
 
 from repro.errors import EncryptionError, ParameterError
+from repro.observability import hooks as _hooks
 from repro.paillier.primes import is_probable_prime, random_prime, fixture_safe_prime_pair
 
 
@@ -56,6 +57,8 @@ class PaillierPublicKey:
             raise EncryptionError("encryption randomness not a unit mod N")
         n2 = self.n_squared
         value = (1 + m * self.n) % n2 * pow(r, self.n, n2) % n2
+        _hooks.note(_hooks.PAILLIER_ENCRYPT)
+        _hooks.note(_hooks.PAILLIER_EXP)
         return PaillierCiphertext(self, value)
 
     def encrypt_zero_with(self, randomness: int) -> "PaillierCiphertext":
@@ -97,6 +100,8 @@ class PaillierSecretKey:
         lam = self.lam
         u = pow(ciphertext.value, lam, n2)
         ell = _L(u, n)
+        _hooks.note(_hooks.PAILLIER_DECRYPT)
+        _hooks.note(_hooks.PAILLIER_EXP)
         return ell * pow(lam, -1, n) % n
 
     def extract_randomness(self, ciphertext: "PaillierCiphertext") -> int:
@@ -161,6 +166,7 @@ class PaillierCiphertext:
             return NotImplemented
         n2 = self.public.n_squared
         s = scalar % self.public.n
+        _hooks.note(_hooks.PAILLIER_EXP)
         return PaillierCiphertext(self.public, pow(self.value, s, n2))
 
     __rmul__ = __mul__
@@ -169,6 +175,7 @@ class PaillierCiphertext:
         """Fresh-looking ciphertext of the same plaintext."""
         r = self.public.random_unit(rng)
         n2 = self.public.n_squared
+        _hooks.note(_hooks.PAILLIER_EXP)
         return PaillierCiphertext(
             self.public, self.value * pow(r, self.public.n, n2) % n2
         )

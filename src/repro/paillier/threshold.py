@@ -42,6 +42,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.errors import EncryptionError, ParameterError
 from repro.fields.lagrange import falling_factorial_delta, integer_lagrange_scaled
+from repro.observability import hooks as _hooks
 from repro.paillier.paillier import (
     PaillierCiphertext,
     PaillierPublicKey,
@@ -235,6 +236,8 @@ class ThresholdPaillier:
         if ciphertext.public != tpk.paillier:
             raise EncryptionError("ciphertext under a different threshold key")
         value = pow(ciphertext.value, 2 * tpk.delta * share.value, tpk.n_squared)
+        _hooks.note(_hooks.PAILLIER_PARTIAL_DECRYPT)
+        _hooks.note(_hooks.PAILLIER_EXP)
         return PartialDecryption(share.index, value, share.epoch)
 
     # -- TDec ------------------------------------------------------------------
@@ -266,6 +269,8 @@ class ThresholdPaillier:
         combined = 1
         for p, lam in zip(plist, scaled):
             combined = combined * pow(p.value, 2 * lam, n2) % n2
+        _hooks.note(_hooks.PAILLIER_COMBINE)
+        _hooks.note(_hooks.PAILLIER_EXP, len(plist))
         ell = _L(combined, tpk.n)
         theta = tpk.correction_factor(epoch)
         return ell * pow(theta, -1, tpk.n) % tpk.n
@@ -302,6 +307,8 @@ class ThresholdPaillier:
         verifications = tuple(
             pow(tpk.verification_base, delta * s, n2) for s in subshares
         )
+        _hooks.note(_hooks.THRESHOLD_RESHARE)
+        _hooks.note(_hooks.PAILLIER_EXP, len(verifications))
         return ResharingMessage(share.index, share.epoch, subshares, verifications)
 
     @staticmethod
@@ -330,6 +337,8 @@ class ThresholdPaillier:
         value = sum(lam * contributions[i] for i, lam in zip(cset, scaled))
         n2 = tpk.n_squared
         verification = pow(tpk.verification_base, tpk.delta * value, n2)
+        _hooks.note(_hooks.THRESHOLD_RECOMBINE)
+        _hooks.note(_hooks.PAILLIER_EXP)
         # Epoch advances; epoch of the inputs is the receiver's concern —
         # the protocol layer keeps committees in lockstep.
         return ThresholdKeyShare(receiver, value, _next_epoch(contributions), verification)
@@ -418,6 +427,7 @@ def teval(
         if c.public != tpk.paillier:
             raise EncryptionError("ciphertext under a different key in TEval")
         acc = acc * pow(c.value, int(lam) % tpk.n, n2) % n2
+    _hooks.note(_hooks.PAILLIER_EXP, len(ciphertexts))
     return ThresholdCiphertext(tpk.paillier, acc)
 
 

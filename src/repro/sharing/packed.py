@@ -24,6 +24,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import ParameterError, ReconstructionError, SharingError
 from repro.fields import Polynomial, Zmod, ZmodElement, random_polynomial
+from repro.observability import hooks as _hooks
 from repro.fields.polynomial import evaluate_from_points, interpolate
 
 
@@ -143,6 +144,7 @@ class PackedShamirScheme:
         vec = self._check_secrets(secrets)
         constraints = list(zip(secret_slots(self.k), vec))
         poly = random_polynomial(self.ring, d, constraints, rng=rng)
+        _hooks.note(_hooks.SHARING_DEALT)
         return [PackedShare(i, poly(i), d, self.k) for i in range(1, self.n + 1)]
 
     def canonical_sharing(self, secrets: Sequence[int | ZmodElement]) -> PackedSharing:
@@ -164,6 +166,7 @@ class PackedShamirScheme:
         vec = self._check_secrets(secrets)
         points = list(zip(secret_slots(self.k), vec))
         value = evaluate_from_points(self.ring, points, at=index)
+        _hooks.note(_hooks.SHARING_CANONICAL)
         return PackedShare(index, value, self.k - 1, self.k)
 
     # -- reconstruction ---------------------------------------------------------
@@ -201,6 +204,7 @@ class PackedShamirScheme:
                     raise ReconstructionError(
                         f"share of party {s.index} inconsistent with the others"
                     )
+        _hooks.note(_hooks.SHARING_RECONSTRUCTED)
         return [
             evaluate_from_points(self.ring, points, at=slot)
             for slot in secret_slots(self.k)
@@ -227,6 +231,8 @@ class PackedShamirScheme:
         d = degree if degree is not None else share_list[0].degree
         points = [(s.index, s.value) for s in share_list]
         poly = berlekamp_welch(self.ring, points, d, max_errors)
+        _hooks.note(_hooks.SHARING_RECONSTRUCTED)
+        _hooks.note(_hooks.SHARING_ROBUST_RECONSTRUCTED)
         return [poly(slot) for slot in secret_slots(self.k)]
 
     # -- local operations ----------------------------------------------------

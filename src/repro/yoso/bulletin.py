@@ -13,6 +13,7 @@ from typing import Any, Iterator
 
 from repro.accounting.comm import CommMeter
 from repro.errors import YosoError
+from repro.observability import hooks as _hooks
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,7 @@ class BulletinBoard:
                 self.meter.record(phase, sender, f"{tag}.{key}", section)
         else:
             self.meter.record(phase, sender, tag, payload)
+        _hooks.note(_hooks.BULLETIN_POSTS)
         post = Post(len(self._posts), self.round, phase, sender, tag, payload)
         self._posts.append(post)
         self._by_tag.setdefault(tag, []).append(post)

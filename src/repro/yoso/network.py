@@ -17,6 +17,7 @@ from typing import Any, Callable
 
 from repro.accounting.comm import CommMeter
 from repro.errors import YosoError
+from repro.observability.tracer import KIND_ROUND, Tracer, maybe_span
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.bulletin import BulletinBoard
@@ -36,6 +37,7 @@ class ProtocolEnvironment:
         adversary: Adversary | None = None,
         rng: random.Random | None = None,
         meter: CommMeter | None = None,
+        tracer: Tracer | None = None,
     ):
         self.rng = rng if rng is not None else random.Random()
         self.assignment = (
@@ -44,6 +46,7 @@ class ProtocolEnvironment:
         self.adversary = adversary if adversary is not None else honest_adversary()
         self.bulletin = BulletinBoard(meter)
         self.phase = "setup"
+        self.tracer = tracer
 
     @property
     def meter(self) -> CommMeter:
@@ -77,13 +80,21 @@ class ProtocolEnvironment:
 
     def run_committee(self, committee: Committee, program: RoleProgram) -> None:
         """Activate a whole committee in one round, honest-first (rushing)."""
-        honest = [r for r in committee if not r.corrupted]
-        corrupt = [r for r in committee if r.corrupted]
-        for role in honest + corrupt:
-            self.activate(role, program)
-        self.bulletin.advance_round()
+        with maybe_span(
+            self.tracer, committee.name, kind=KIND_ROUND,
+            phase=self.phase, committee=committee.name, members=committee.size,
+        ):
+            honest = [r for r in committee if not r.corrupted]
+            corrupt = [r for r in committee if r.corrupted]
+            for role in honest + corrupt:
+                self.activate(role, program)
+            self.bulletin.advance_round()
 
     def run_role(self, role: Role, program: RoleProgram) -> None:
         """Activate a single role (e.g. a client) as its own round."""
-        self.activate(role, program)
-        self.bulletin.advance_round()
+        with maybe_span(
+            self.tracer, str(role.id), kind=KIND_ROUND,
+            phase=self.phase, committee=None, members=1,
+        ):
+            self.activate(role, program)
+            self.bulletin.advance_round()

@@ -72,6 +72,36 @@ class TestDemoCommand:
         assert "'alice': [112]" in out  # 2·7 + 3·11 + 5·13
 
 
+class TestTraceCommand:
+    def test_trace_exports_validated_jsonl(self, tmp_path, capsys):
+        from repro.observability import loads_trace_jsonl
+
+        jsonl_path = tmp_path / "trace.jsonl"
+        report_path = tmp_path / "merged.json"
+        code = main([
+            "trace", "--width", "2", "--n", "4", "--epsilon", "0.2",
+            "--seed", "1",
+            "--jsonl", str(jsonl_path), "--report", str(report_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "online.mul" in out
+        assert "recoveries/gate" in out
+        trace = loads_trace_jsonl(jsonl_path.read_text())
+        assert trace["header"]["parameters"]["n"] == 4
+        per_phase = trace["summary"]["counters_by_phase"]
+        assert per_phase["online.mul"]["reencrypt.recovery"] > 0
+        assert per_phase["offline"]["paillier.encrypt"] > 0
+        report = json.loads(report_path.read_text())
+        assert report["trace"]["counters_by_phase"] == per_phase
+
+    def test_circuit_requires_inputs(self, tmp_path, capsys):
+        circuit_path = tmp_path / "c.json"
+        circuit_path.write_text(dump_circuit(dot_product_circuit(2)))
+        assert main(["trace", "--circuit", str(circuit_path)]) == 1
+        assert "--inputs" in capsys.readouterr().err
+
+
 class TestExtrapolateCommand:
     def test_factor_reported(self, capsys):
         assert main(["extrapolate", "20000", "0.05"]) == 0
