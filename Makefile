@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples table1 trace-demo check all outputs
+.PHONY: install test bench bench-engine examples table1 trace-demo check all outputs
 
 install:
 	pip install -e .
@@ -10,6 +10,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
+
+# Engine throughput sweep (serial vs process pool); see docs/PERFORMANCE.md.
+bench-engine:
+	python benchmarks/bench_engine.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done

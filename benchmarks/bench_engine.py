@@ -1,0 +1,144 @@
+"""Micro-experiment M3: execution-engine throughput (serial vs process pool).
+
+The offline path is a stream of large modular exponentiations, so engine
+throughput is measured directly on ``pow_many`` batches at a Paillier-sized
+(2048-bit) modulus — no protocol machinery, no key generation.  Run as a
+script this sweeps batch sizes over both engines and writes
+``BENCH_engine.json``; under pytest-benchmark it times one representative
+batch per engine.
+
+Speedups are hardware-dependent: the pool can only win where extra cores
+exist (on a single-CPU box it measures pure dispatch overhead), which is
+why the JSON records ``cpu_count`` next to every timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from repro.engine import (
+    FixedBaseCache,
+    ProcessPoolEngine,
+    SerialEngine,
+    compute_pows,
+)
+
+DEFAULT_SIZES = (64, 256, 512)
+DEFAULT_BITS = 2048
+DEFAULT_WORKERS = 4
+
+
+def make_jobs(count, bits, rng, shared_base=False):
+    """Deterministic full-width jobs shaped like the offline path's r^N."""
+    modulus = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+    base = rng.getrandbits(bits) % modulus
+    return [
+        (base if shared_base else rng.getrandbits(bits) % modulus,
+         rng.getrandbits(bits), modulus)
+        for _ in range(count)
+    ]
+
+
+def _time(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def sweep(sizes, bits, workers, repeats):
+    results = []
+    with ProcessPoolEngine(workers=workers, min_parallel=1) as pool:
+        serial = SerialEngine()
+        for size in sizes:
+            jobs = make_jobs(size, bits, random.Random(2024 + size))
+            assert serial.pow_many(jobs) == pool.pow_many(jobs)  # warm + check
+            serial_s = _time(lambda: serial.pow_many(jobs), repeats)
+            pool_s = _time(lambda: pool.pow_many(jobs), repeats)
+            results.append({
+                "batch_size": size,
+                "serial_s": round(serial_s, 4),
+                "pool_s": round(pool_s, 4),
+                "speedup": round(serial_s / pool_s, 2),
+            })
+            print(f"  batch={size:4d}  serial={serial_s:7.3f}s  "
+                  f"pool={pool_s:7.3f}s  speedup={serial_s / pool_s:.2f}x")
+    return results
+
+
+def fixedbase_measurement(bits, repeats, count=64):
+    """Shared-base batch (the resharing-verification shape): cache vs pow."""
+    jobs = make_jobs(count, bits, random.Random(99), shared_base=True)
+    cached_s = _time(lambda: compute_pows(jobs), repeats)
+    native_s = _time(
+        lambda: [pow(b, e, m) for b, e, m in jobs], repeats
+    )
+    return {
+        "batch_size": count,
+        "native_s": round(native_s, 4),
+        "cached_s": round(cached_s, 4),
+        "speedup": round(native_s / cached_s, 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
+    parser.add_argument("--bits", type=int, default=DEFAULT_BITS)
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_engine.json")
+    args = parser.parse_args(argv)
+
+    print(f"engine sweep: {args.bits}-bit modulus, workers={args.workers}, "
+          f"cpu_count={os.cpu_count()}")
+    report = {
+        "modulus_bits": args.bits,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "repeats": args.repeats,
+        "pow_many": sweep(args.sizes, args.bits, args.workers, args.repeats),
+        "fixedbase_shared_base": fixedbase_measurement(args.bits, args.repeats),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+# --- pytest-benchmark entry points (small batches; `make bench`) -----------
+
+BENCH_JOBS = make_jobs(32, 1024, random.Random(5))
+
+
+def test_serial_pow_many_speed(benchmark):
+    engine = SerialEngine()
+    benchmark(engine.pow_many, BENCH_JOBS)
+
+
+def test_pool_pow_many_speed(benchmark):
+    with ProcessPoolEngine(workers=2, min_parallel=1) as pool:
+        assert benchmark(pool.pow_many, BENCH_JOBS) == compute_pows(BENCH_JOBS)
+
+
+def test_fixedbase_cache_speed(benchmark):
+    jobs = make_jobs(32, 1024, random.Random(6), shared_base=True)
+    base, _, modulus = jobs[0]
+
+    def run():
+        cache = FixedBaseCache(base, modulus)
+        return [cache.pow(e) for _, e, _ in jobs]
+
+    assert benchmark(run) == [pow(b, e, m) for b, e, m in jobs]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -79,7 +79,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 1
     result = run_mpc(
         circuit, inputs, n=args.n, epsilon=args.epsilon, seed=args.seed,
-        fail_stop=args.fail_stop,
+        fail_stop=args.fail_stop, workers=args.workers,
     )
     print(json.dumps(result.outputs, indent=2, sort_keys=True))
     if args.report:
@@ -96,7 +96,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     circuit = dot_product_circuit(3)
     result = run_mpc(
         circuit, {"alice": [2, 3, 5], "bob": [7, 11, 13]},
-        n=args.n, epsilon=args.epsilon, seed=args.seed,
+        n=args.n, epsilon=args.epsilon, seed=args.seed, workers=args.workers,
     )
     print(f"parameters: {result.params.describe()}")
     print(f"outputs:    {result.outputs}")
@@ -132,7 +132,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer = Tracer()
     result = run_mpc(
         circuit, inputs, n=args.n, epsilon=args.epsilon, seed=args.seed,
-        tracer=tracer,
+        tracer=tracer, workers=args.workers,
     )
     report = merged_report(result)
 
@@ -212,6 +212,28 @@ def _cmd_extrapolate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_execution_options(
+    parser: argparse.ArgumentParser, seed_default: int | None
+) -> None:
+    """The shared execution knobs of every protocol-running subcommand.
+
+    ``--seed`` drives every random choice of the run (committee sortition,
+    key generation, encryption randomness): for a fixed seed the full
+    bulletin transcript is byte-identical between repeats — including
+    across ``--workers`` counts, since the engine only reorders *work*,
+    never randomness.  ``run`` defaults to a fresh nondeterministic seed;
+    the demo/trace commands default to 42 so their output is reproducible.
+    """
+    parser.add_argument(
+        "--seed", type=int, default=seed_default,
+        help=f"RNG seed for a reproducible run (default: {seed_default})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="crypto-engine worker processes, 0 = serial (default: 0)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -233,7 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--inputs", required=True, help="inputs JSON path")
     run.add_argument("--n", type=int, default=6, help="committee size")
     run.add_argument("--epsilon", type=float, default=0.2, help="the gap")
-    run.add_argument("--seed", type=int, default=None)
+    _add_execution_options(run, seed_default=None)
     run.add_argument("--fail-stop", action="store_true")
     run.add_argument("--report", help="write a JSON run report here")
     run.set_defaults(fn=_cmd_run)
@@ -241,7 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="self-contained dot-product run")
     demo.add_argument("--n", type=int, default=6)
     demo.add_argument("--epsilon", type=float, default=0.2)
-    demo.add_argument("--seed", type=int, default=42)
+    _add_execution_options(demo, seed_default=42)
     demo.set_defaults(fn=_cmd_demo)
 
     trace = sub.add_parser(
@@ -254,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dot-product width of the built-in circuit")
     trace.add_argument("--n", type=int, default=6, help="committee size")
     trace.add_argument("--epsilon", type=float, default=0.2, help="the gap")
-    trace.add_argument("--seed", type=int, default=42)
+    _add_execution_options(trace, seed_default=42)
     trace.add_argument("--jsonl", help="write the JSONL trace here")
     trace.add_argument("--report", help="write the merged comm+trace JSON here")
     trace.set_defaults(fn=_cmd_trace)

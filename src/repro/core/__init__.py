@@ -41,8 +41,10 @@ from repro.core.reencrypt import (
     PublicPartial,
     combine_public,
     public_decrypt_contribution,
+    public_decrypt_contributions,
     recover_reencrypted,
     reencrypt_contribution,
+    reencrypt_contributions,
 )
 from repro.core.resharing import (
     EncryptedResharing,
@@ -78,8 +80,10 @@ __all__ = [
     "PublicPartial",
     "combine_public",
     "public_decrypt_contribution",
+    "public_decrypt_contributions",
     "recover_reencrypted",
     "reencrypt_contribution",
+    "reencrypt_contributions",
     "EncryptedResharing",
     "EncryptedSubshare",
     "build_resharing",

@@ -44,8 +44,8 @@ from repro.core.reencrypt import (
     EncryptedPartial,
     PublicPartial,
     combine_public,
-    public_decrypt_contribution,
-    reencrypt_contribution,
+    public_decrypt_contributions,
+    reencrypt_contributions,
 )
 from repro.core.resharing import (
     EncryptedResharing,
@@ -67,6 +67,7 @@ from repro.core.setup import (
     role_tag,
     trivial_zero_ciphertext,
 )
+from repro.engine.batch import encrypt_many, scalar_mul_many, teval_many
 from repro.errors import ProtocolAbortError
 from repro.fields.lagrange import lagrange_basis_rows
 from repro.observability.tracer import KIND_BATCH, maybe_span
@@ -109,17 +110,18 @@ class OfflineState:
 # ---------------------------------------------------------------------------
 
 
-def _aggregate_encrypted_contributions(
+def _verified_contributions(
     setup: SetupArtifacts,
     posts: Mapping[int, Mapping],
     key: str,
     context_prefix: str,
-) -> PaillierCiphertext | None:
-    """Sum contributions with valid plaintext-knowledge proofs (Step 1/2 glue).
+) -> list[PaillierCiphertext]:
+    """Contributions with valid plaintext-knowledge proofs (Step 1/2 glue).
 
     ``posts[sender]`` is the sender's payload section; entry ``key`` must be
     ``{"ct": ciphertext, "proof": PlaintextKnowledgeProof}``.  Returns the
-    TEval sum over the verified set, or None if nothing verified.
+    verified ciphertexts in sender order; callers TEval-sum them, batching
+    all aggregated values through the engine in one go.
     """
     verified: list[PaillierCiphertext] = []
     for sender, sections in sorted(posts.items()):
@@ -136,9 +138,7 @@ def _aggregate_encrypted_contributions(
             context=f"{context_prefix}|{sender}",
         ):
             verified.append(ct)
-    if not verified:
-        return None
-    return teval(setup.tpk, verified, [1] * len(verified))
+    return verified
 
 
 def _posts_by_index(env: ProtocolEnvironment, committee: Committee) -> dict[int, dict]:
@@ -201,11 +201,13 @@ def run_offline(
     # -- Step 1a: committee A — Beaver `a` contributions + tsk resharing -----
 
     def program_a(view) -> None:
+        # Draw all values/randomizers first (fixed order), then encrypt as
+        # one engine batch; proofs follow in wire order.
+        values = [setup.ring.random(view.rng) for _ in mul_wires]
+        randomizers = [tpk.paillier.random_unit(view.rng) for _ in mul_wires]
+        cts = encrypt_many(tpk.paillier, [int(v) for v in values], randomizers)
         contributions = {}
-        for wire in mul_wires:
-            value = setup.ring.random(view.rng)
-            randomness = tpk.paillier.random_unit(view.rng)
-            ct = tpk.encrypt(int(value), randomness=randomness)
+        for wire, value, randomness, ct in zip(mul_wires, values, randomizers, cts):
             proof = PlaintextKnowledgeProof.prove(
                 tpk.paillier, ct, int(value), randomness, proof_params, view.rng,
                 context=f"beaver-a|{wire}|{view.index}",
@@ -219,17 +221,18 @@ def run_offline(
     env.run_committee(committees[OFFLINE_A], program_a)
     posts_a = _posts_by_index(env, committees[OFFLINE_A])
 
-    beaver_a: dict[int, PaillierCiphertext] = {}
+    verified_a: list[list[PaillierCiphertext]] = []
     for wire in mul_wires:
         sections = {
             i: {"entry": p.get("beaver_a", {}).get(wire)} for i, p in posts_a.items()
         }
-        ct = _aggregate_encrypted_contributions(
-            setup, sections, "entry", f"beaver-a|{wire}"
-        )
-        if ct is None:
+        verified = _verified_contributions(setup, sections, "entry", f"beaver-a|{wire}")
+        if not verified:
             raise ProtocolAbortError(f"no verified Beaver-a contribution for {wire}")
-        beaver_a[wire] = ct
+        verified_a.append(verified)
+    beaver_a: dict[int, PaillierCiphertext] = dict(
+        zip(mul_wires, teval_many(tpk, [(v, [1] * len(v)) for v in verified_a]))
+    )
 
     resharings_a = {
         i: p["tsk"]
@@ -244,12 +247,16 @@ def run_offline(
     # -- Step 1b: committee B — Beaver `b`/`c` contributions ------------------
 
     def program_b(view) -> None:
+        b_values = [setup.ring.random(view.rng) for _ in mul_wires]
+        randomizers = [tpk.paillier.random_unit(view.rng) for _ in mul_wires]
+        b_cts = encrypt_many(tpk.paillier, [int(b) for b in b_values], randomizers)
+        c_cts = scalar_mul_many(
+            [beaver_a[wire] for wire in mul_wires], [int(b) for b in b_values]
+        )
         contributions = {}
-        for wire in mul_wires:
-            b = setup.ring.random(view.rng)
-            randomness = tpk.paillier.random_unit(view.rng)
-            b_ct = tpk.encrypt(int(b), randomness=randomness)
-            c_ct = beaver_a[wire] * int(b)
+        for wire, b, randomness, b_ct, c_ct in zip(
+            mul_wires, b_values, randomizers, b_cts, c_cts
+        ):
             proof = MultiplicationProof.prove(
                 tpk.paillier, beaver_a[wire], b_ct, c_ct, int(b), randomness,
                 proof_params, view.rng,
@@ -261,8 +268,7 @@ def run_offline(
     env.run_committee(committees[OFFLINE_B], program_b)
     posts_b = _posts_by_index(env, committees[OFFLINE_B])
 
-    beaver_b: dict[int, PaillierCiphertext] = {}
-    beaver_c: dict[int, PaillierCiphertext] = {}
+    sum_groups: list[tuple[list[PaillierCiphertext], list[int]]] = []
     for wire in mul_wires:
         verified_b: list[PaillierCiphertext] = []
         verified_c: list[PaillierCiphertext] = []
@@ -285,67 +291,94 @@ def run_offline(
                 verified_c.append(c_ct)
         if not verified_b:
             raise ProtocolAbortError(f"no verified Beaver-b contribution for {wire}")
-        beaver_b[wire] = teval(tpk, verified_b, [1] * len(verified_b))
-        beaver_c[wire] = teval(tpk, verified_c, [1] * len(verified_c))
+        sum_groups.append((verified_b, [1] * len(verified_b)))
+        sum_groups.append((verified_c, [1] * len(verified_c)))
+    sums = teval_many(tpk, sum_groups)
+    beaver_b: dict[int, PaillierCiphertext] = {}
+    beaver_c: dict[int, PaillierCiphertext] = {}
+    for index, wire in enumerate(mul_wires):
+        beaver_b[wire] = sums[2 * index]
+        beaver_c[wire] = sums[2 * index + 1]
 
     # -- Step 2: committee R — wire masks + packing helpers -------------------
 
     n_helpers = params.t  # helpers per pack; one pack per kind per batch
 
+    helper_keys = [
+        (batch.batch_id, kind, h)
+        for batch in plan.mul_batches
+        for kind in PACK_KINDS
+        for h in range(n_helpers)
+    ]
+
     def program_r(view) -> None:
+        # Masks and packing helpers share one draw-then-batch-encrypt shape;
+        # both ciphertext batches go through the engine.
+        mask_values = [setup.ring.random(view.rng) for _ in mask_wires]
+        mask_rand = [tpk.paillier.random_unit(view.rng) for _ in mask_wires]
+        mask_cts = encrypt_many(
+            tpk.paillier, [int(v) for v in mask_values], mask_rand
+        )
         masks = {}
-        for wire in mask_wires:
-            value = setup.ring.random(view.rng)
-            randomness = tpk.paillier.random_unit(view.rng)
-            ct = tpk.encrypt(int(value), randomness=randomness)
+        for wire, value, randomness, ct in zip(
+            mask_wires, mask_values, mask_rand, mask_cts
+        ):
             proof = PlaintextKnowledgeProof.prove(
                 tpk.paillier, ct, int(value), randomness, proof_params, view.rng,
                 context=f"mask|{wire}|{view.index}",
             )
             masks[wire] = {"ct": ct, "proof": proof}
+        helper_values = [setup.ring.random(view.rng) for _ in helper_keys]
+        helper_rand = [tpk.paillier.random_unit(view.rng) for _ in helper_keys]
+        helper_cts = encrypt_many(
+            tpk.paillier, [int(v) for v in helper_values], helper_rand
+        )
         helpers = {}
-        for batch in plan.mul_batches:
-            for kind in PACK_KINDS:
-                for h in range(n_helpers):
-                    value = setup.ring.random(view.rng)
-                    randomness = tpk.paillier.random_unit(view.rng)
-                    ct = tpk.encrypt(int(value), randomness=randomness)
-                    proof = PlaintextKnowledgeProof.prove(
-                        tpk.paillier, ct, int(value), randomness, proof_params,
-                        view.rng,
-                        context=f"helper|{batch.batch_id}|{kind}|{h}|{view.index}",
-                    )
-                    helpers[(batch.batch_id, kind, h)] = {"ct": ct, "proof": proof}
+        for (batch_id, kind, h), value, randomness, ct in zip(
+            helper_keys, helper_values, helper_rand, helper_cts
+        ):
+            proof = PlaintextKnowledgeProof.prove(
+                tpk.paillier, ct, int(value), randomness, proof_params,
+                view.rng,
+                context=f"helper|{batch_id}|{kind}|{h}|{view.index}",
+            )
+            helpers[(batch_id, kind, h)] = {"ct": ct, "proof": proof}
         view.speak(OFFLINE_R, {"masks": masks, "helpers": helpers})
 
     env.run_committee(committees[OFFLINE_R], program_r)
     posts_r = _posts_by_index(env, committees[OFFLINE_R])
 
+    verified_masks: list[list[PaillierCiphertext]] = []
     for wire in mask_wires:
         sections = {
             i: {"entry": p.get("masks", {}).get(wire)} for i, p in posts_r.items()
         }
-        ct = _aggregate_encrypted_contributions(setup, sections, "entry", f"mask|{wire}")
-        if ct is None:
+        verified = _verified_contributions(setup, sections, "entry", f"mask|{wire}")
+        if not verified:
             raise ProtocolAbortError(f"no verified mask contribution for wire {wire}")
+        verified_masks.append(verified)
+    for wire, ct in zip(
+        mask_wires, teval_many(tpk, [(v, [1] * len(v)) for v in verified_masks])
+    ):
         state.wire_cipher[wire] = ct
 
-    helper_cipher: dict[tuple[int, str, int], PaillierCiphertext] = {}
-    for batch in plan.mul_batches:
-        for kind in PACK_KINDS:
-            for h in range(n_helpers):
-                key = (batch.batch_id, kind, h)
-                sections = {
-                    i: {"entry": p.get("helpers", {}).get(key)}
-                    for i, p in posts_r.items()
-                }
-                ct = _aggregate_encrypted_contributions(
-                    setup, sections, "entry",
-                    f"helper|{batch.batch_id}|{kind}|{h}",
-                )
-                if ct is None:
-                    raise ProtocolAbortError(f"no verified helper for {key}")
-                helper_cipher[key] = ct
+    verified_helpers: list[list[PaillierCiphertext]] = []
+    for key in helper_keys:
+        sections = {
+            i: {"entry": p.get("helpers", {}).get(key)} for i, p in posts_r.items()
+        }
+        verified = _verified_contributions(
+            setup, sections, "entry", f"helper|{key[0]}|{key[1]}|{key[2]}"
+        )
+        if not verified:
+            raise ProtocolAbortError(f"no verified helper for {key}")
+        verified_helpers.append(verified)
+    helper_cipher: dict[tuple[int, str, int], PaillierCiphertext] = dict(
+        zip(
+            helper_keys,
+            teval_many(tpk, [(v, [1] * len(v)) for v in verified_helpers]),
+        )
+    )
 
     # -- Step 3a: public mask propagation through linear gates ----------------
 
@@ -353,29 +386,33 @@ def run_offline(
 
     # -- Step 3b: committee dec — open ε, δ for every multiplication ----------
 
-    eps_cipher = {
-        w: teval(tpk, [state.wire_cipher[circuit.gates[w].inputs[0]], beaver_a[w]], [1, 1])
+    eps_cipher = dict(zip(mul_wires, teval_many(tpk, [
+        ([state.wire_cipher[circuit.gates[w].inputs[0]], beaver_a[w]], [1, 1])
         for w in mul_wires
-    }
-    delta_cipher = {
-        w: teval(tpk, [state.wire_cipher[circuit.gates[w].inputs[1]], beaver_b[w]], [1, 1])
+    ])))
+    delta_cipher = dict(zip(mul_wires, teval_many(tpk, [
+        ([state.wire_cipher[circuit.gates[w].inputs[1]], beaver_b[w]], [1, 1])
         for w in mul_wires
-    }
+    ])))
 
     def program_dec(view) -> None:
         share = receive_share(
             tpk, view.index, view.secret_key, resharings_a, set_a, previous_epoch=0
         )
-        partials = {}
-        for wire in mul_wires:
-            partials[wire] = {
-                "eps": public_decrypt_contribution(
-                    tpk, share, eps_cipher[wire], proof_params, view.rng
-                ),
-                "delta": public_decrypt_contribution(
-                    tpk, share, delta_cipher[wire], proof_params, view.rng
-                ),
-            }
+        # All 2·|mul_wires| partial decryptions share one TPDec batch; the
+        # [eps_0, delta_0, eps_1, delta_1, ...] order fixes the rng stream.
+        targets = [
+            ct
+            for wire in mul_wires
+            for ct in (eps_cipher[wire], delta_cipher[wire])
+        ]
+        opened = public_decrypt_contributions(
+            tpk, share, targets, proof_params, view.rng
+        )
+        partials = {
+            wire: {"eps": opened[2 * i], "delta": opened[2 * i + 1]}
+            for i, wire in enumerate(mul_wires)
+        }
         resharing = build_resharing(tpk, share, reenc_pks, proof_params, view.rng)
         view.speak(OFFLINE_DEC, {"partials": partials, "tsk": resharing})
 
@@ -410,15 +447,19 @@ def run_offline(
             tpk, delta_cipher[wire], delta_contribs, state.verifications[1], proof_params
         )
         state.epsilon_delta[wire] = (eps, delta)
-        gate = circuit.gates[wire]
-        left, right = gate.inputs
-        # c^Γ = TEval((c^β, c^a, c^c, c^γ), (ε, −δ, 1, −1))
-        state.gamma_cipher[wire] = teval(
-            tpk,
+
+    # c^Γ = TEval((c^β, c^a, c^c, c^γ), (ε, −δ, 1, −1)), all gates batched.
+    gamma_groups = []
+    for wire in mul_wires:
+        eps, delta = state.epsilon_delta[wire]
+        right = circuit.gates[wire].inputs[1]
+        gamma_groups.append((
             [state.wire_cipher[right], beaver_a[wire], beaver_c[wire],
              state.wire_cipher[wire]],
             [eps, -delta, 1, -1],
-        )
+        ))
+    for wire, ct in zip(mul_wires, teval_many(tpk, gamma_groups)):
+        state.gamma_cipher[wire] = ct
 
     # -- Step 4: public packing into encrypted packed shares ------------------
 
@@ -469,24 +510,27 @@ def run_reencryption_bridge(
                     role_tag(name, i)
                 ).public_key
 
+    input_wires = list(input_targets)
+    packed_keys = list(packed_targets)
+
     def program_reenc(view) -> None:
         share = receive_share(
             tpk, view.index, view.secret_key, resharings_dec, set_dec,
             previous_epoch=1,
         )
-        input_shares = {
-            wire: reencrypt_contribution(
-                tpk, share, state.wire_cipher[wire], pk, proof_params, view.rng
-            )
-            for wire, pk in input_targets.items()
-        }
-        packed_shares = {
-            key: reencrypt_contribution(
-                tpk, share, state.packed_cipher[(key[0], key[2])][key[1] - 1],
-                pk, proof_params, view.rng,
-            )
-            for key, pk in packed_targets.items()
-        }
+        # One batched Re-encrypt over every target (inputs first, then the
+        # packed shares); per-item rng order matches the single-op loop.
+        items = [
+            (state.wire_cipher[wire], input_targets[wire]) for wire in input_wires
+        ] + [
+            (state.packed_cipher[(key[0], key[2])][key[1] - 1], packed_targets[key])
+            for key in packed_keys
+        ]
+        bundles = reencrypt_contributions(
+            tpk, share, items, proof_params, view.rng
+        )
+        input_shares = dict(zip(input_wires, bundles[: len(input_wires)]))
+        packed_shares = dict(zip(packed_keys, bundles[len(input_wires):]))
         resharing = build_resharing(
             tpk, share, list(online_keys_pks), proof_params, view.rng
         )
@@ -596,6 +640,8 @@ def _pack_batches(
                 values += [
                     helper_cipher[(batch.batch_id, kind, h)] for h in range(t)
                 ]
-                state.packed_cipher[(batch.batch_id, kind)] = [
-                    teval(tpk, values, [int(c) for c in row]) for row in rows
-                ]
+                # The packing workhorse: all n rows of one pack flatten into
+                # a single engine batch of n·(k+t) exponentiations.
+                state.packed_cipher[(batch.batch_id, kind)] = teval_many(
+                    tpk, [(values, [int(c) for c in row]) for row in rows]
+                )

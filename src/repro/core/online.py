@@ -35,7 +35,7 @@ from repro.core.oracle import MuShareOracle
 from repro.core.reencrypt import (
     EncryptedPartial,
     recover_reencrypted,
-    reencrypt_contribution,
+    reencrypt_contributions,
 )
 from repro.core.resharing import (
     EncryptedResharing,
@@ -198,15 +198,22 @@ def run_online(
             tpk, view.index, view.secret_key, offline.bridge_resharings,
             bridge_set, previous_epoch=2,
         )
-        kff = {
-            tag: [
-                reencrypt_contribution(
-                    tpk, share, chunk_ct, target_pk, proof_params, view.rng
-                )
-                for chunk_ct in setup.kff_for(tag).encrypted_prime
-            ]
+        # Flatten every KFF chunk of every tag into one batched Re-encrypt,
+        # then reassemble the per-tag chunk lists in order.
+        items = [
+            (chunk_ct, target_pk)
             for tag, target_pk in kff_targets.items()
-        }
+            for chunk_ct in setup.kff_for(tag).encrypted_prime
+        ]
+        bundles = reencrypt_contributions(
+            tpk, share, items, proof_params, view.rng
+        )
+        kff = {}
+        index = 0
+        for tag in kff_targets:
+            n_chunks = len(setup.kff_for(tag).encrypted_prime)
+            kff[tag] = bundles[index:index + n_chunks]
+            index += n_chunks
         resharing = build_resharing(tpk, share, out_pks, proof_params, view.rng)
         view.speak(ONLINE_KEYS, {"kff": kff, "tsk": resharing})
 
@@ -414,15 +421,17 @@ def run_online(
             tpk, view.index, view.secret_key, online.out_resharings,
             out_set, previous_epoch=3,
         )
-        bundle = {}
-        for wire in output_wires:
-            client = circuit.gates[wire].client
-            target_pk = online.output_client_roles[client].public_key
-            bundle[wire] = reencrypt_contribution(
-                tpk, share, offline.wire_cipher[wire], target_pk,
-                proof_params, view.rng,
+        items = [
+            (
+                offline.wire_cipher[wire],
+                online.output_client_roles[circuit.gates[wire].client].public_key,
             )
-        view.speak(ONLINE_OUT, {"output": bundle})
+            for wire in output_wires
+        ]
+        bundles = reencrypt_contributions(
+            tpk, share, items, proof_params, view.rng
+        )
+        view.speak(ONLINE_OUT, {"output": dict(zip(output_wires, bundles))})
 
     env.run_committee(out_committee, program_out)
     posts_out = _posts_by_index(env, out_committee)

@@ -34,12 +34,17 @@ class ProtocolParams:
     #: of proof-verified share selection: no per-share proof tokens, but a
     #: stronger committee requirement n ≥ t + 2(k−1) + 1 + 2t (+ crashes).
     robust_reconstruction: bool = False
+    #: Worker processes for the crypto engine: 0 = serial (in-process).
+    #: Transcripts are bit-identical across worker counts for a fixed seed.
+    workers: int = 0
 
     def __post_init__(self):
         if self.n < 2:
             raise ParameterError(f"need n >= 2 committee members, got {self.n}")
         if self.t < 0:
             raise ParameterError(f"t must be >= 0, got {self.t}")
+        if self.workers < 0:
+            raise ParameterError(f"workers must be >= 0, got {self.workers}")
         if not 0 <= self.epsilon < 0.5:
             raise ParameterError(f"epsilon must be in [0, 1/2), got {self.epsilon}")
         if self.t >= self.n * (0.5 - self.epsilon):
@@ -102,6 +107,7 @@ class ProtocolParams:
         fail_stop: bool = False,
         te_bits: int = 64,
         role_key_bits: int = 64,
+        workers: int = 0,
     ) -> "ProtocolParams":
         """Derive (t, k) from (n, ε) the way the paper sizes them.
 
@@ -124,7 +130,7 @@ class ProtocolParams:
         return cls(
             n=n, t=t, k=k, epsilon=epsilon,
             te_bits=te_bits, role_key_bits=role_key_bits,
-            fail_stop_budget=budget,
+            fail_stop_budget=budget, workers=workers,
         )
 
     def with_fail_stop(self) -> "ProtocolParams":
@@ -132,12 +138,18 @@ class ProtocolParams:
         return ProtocolParams.from_gap(
             self.n, self.epsilon, fail_stop=True,
             te_bits=self.te_bits, role_key_bits=self.role_key_bits,
+            workers=self.workers,
         )
+
+    def with_workers(self, workers: int) -> "ProtocolParams":
+        """These parameters with a different engine worker count."""
+        return replace(self, workers=workers)
 
     def describe(self) -> str:
         return (
             f"n={self.n}, t={self.t}, eps={self.epsilon:.3f}, k={self.k}, "
             f"sharing deg={self.sharing_degree}, reconstruction "
             f"threshold={self.reconstruction_threshold}, "
-            f"fail-stop budget={self.fail_stop_budget}"
+            f"fail-stop budget={self.fail_stop_budget}, "
+            f"workers={self.workers}"
         )

@@ -32,6 +32,8 @@ from repro.core.offline import (
 from repro.core.online import OnlineState, run_online, sample_online_committees
 from repro.core.params import ProtocolParams
 from repro.core.setup import ONLINE_KEYS, SetupArtifacts, run_setup
+from repro.engine import engine as _engine_mod
+from repro.engine.engine import CryptoEngine, make_engine
 from repro.errors import ParameterError
 from repro.observability import hooks as _hooks
 from repro.observability.tracer import KIND_PHASE, Tracer, maybe_span
@@ -97,11 +99,16 @@ class YosoMpc:
         rng: random.Random | None = None,
         adversary_factory: AdversaryFactory | None = None,
         tracer: Tracer | None = None,
+        engine: CryptoEngine | None = None,
     ):
         self.params = params
         self.rng = rng if rng is not None else random.Random()
         self.adversary_factory = adversary_factory
         self.tracer = tracer
+        #: Crypto engine override; None = build one from ``params.workers``
+        #: per run (and close it afterwards).  A supplied engine is shared
+        #: across runs and stays open — the caller owns its lifecycle.
+        self.engine = engine
 
     def run(
         self,
@@ -116,33 +123,39 @@ class YosoMpc:
         tracer = self.tracer
         env = ProtocolEnvironment(assignment=assignment, rng=self.rng, tracer=tracer)
 
-        with _hooks.activated(tracer):
-            with maybe_span(tracer, "setup", kind=KIND_PHASE, phase="setup"):
-                setup = run_setup(env, self.params, circuit, plan, self.rng)
-                offline_committees = sample_offline_committees(env, self.params)
-                online = sample_online_committees(env, setup, circuit)
+        owns_engine = self.engine is None
+        engine = make_engine(self.params.workers) if owns_engine else self.engine
+        try:
+            with _hooks.activated(tracer), _engine_mod.activated(engine):
+                with maybe_span(tracer, "setup", kind=KIND_PHASE, phase="setup"):
+                    setup = run_setup(env, self.params, circuit, plan, self.rng)
+                    offline_committees = sample_offline_committees(env, self.params)
+                    online = sample_online_committees(env, setup, circuit)
 
-            if self.adversary_factory is not None:
-                env.adversary = self.adversary_factory(
-                    offline_committees, online.committees
-                )
+                if self.adversary_factory is not None:
+                    env.adversary = self.adversary_factory(
+                        offline_committees, online.committees
+                    )
 
-            with maybe_span(tracer, "offline", kind=KIND_PHASE, phase="offline"):
-                offline = run_offline(
-                    env, setup, circuit, plan, self.rng,
-                    committees=offline_committees,
-                )
-            with maybe_span(
-                tracer, "reencryption-bridge", kind=KIND_PHASE, phase="offline"
-            ):
-                run_reencryption_bridge(
-                    env, setup, offline, circuit, plan,
-                    online.committees[ONLINE_KEYS].public_keys(), self.rng,
-                )
-            with maybe_span(tracer, "online", kind=KIND_PHASE, phase="online"):
-                outputs = run_online(
-                    env, setup, offline, online, circuit, plan, inputs, self.rng
-                )
+                with maybe_span(tracer, "offline", kind=KIND_PHASE, phase="offline"):
+                    offline = run_offline(
+                        env, setup, circuit, plan, self.rng,
+                        committees=offline_committees,
+                    )
+                with maybe_span(
+                    tracer, "reencryption-bridge", kind=KIND_PHASE, phase="offline"
+                ):
+                    run_reencryption_bridge(
+                        env, setup, offline, circuit, plan,
+                        online.committees[ONLINE_KEYS].public_keys(), self.rng,
+                    )
+                with maybe_span(tracer, "online", kind=KIND_PHASE, phase="online"):
+                    outputs = run_online(
+                        env, setup, offline, online, circuit, plan, inputs, self.rng
+                    )
+        finally:
+            if owns_engine:
+                engine.close()
         return MpcResult(
             outputs=outputs,
             params=self.params,
@@ -166,11 +179,13 @@ def run_mpc(
     te_bits: int = 64,
     role_key_bits: int = 64,
     tracer: Tracer | None = None,
+    workers: int = 0,
 ) -> MpcResult:
     """One-call convenience wrapper (the quickstart entry point)."""
     params = ProtocolParams.from_gap(
         n, epsilon, fail_stop=fail_stop,
         te_bits=te_bits, role_key_bits=role_key_bits,
+        workers=workers,
     )
     rng = random.Random(seed)
     return YosoMpc(params, rng=rng, tracer=tracer).run(circuit, inputs)

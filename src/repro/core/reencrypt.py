@@ -18,7 +18,10 @@ committee, not once per re-encrypted value).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
+from repro.engine.batch import partial_decrypt_many
+from repro.engine.engine import CryptoEngine, active as active_engine
 from repro.errors import ProtocolAbortError
 from repro.nizk.params import ProofParams
 from repro.observability import hooks as _hooks
@@ -86,6 +89,57 @@ def reencrypt_contribution(
     return EncryptedPartial(share.index, share.epoch, chunks, proof)
 
 
+def reencrypt_contributions(
+    tpk: ThresholdPublicKey,
+    share: ThresholdKeyShare,
+    items: Sequence[tuple[PaillierCiphertext, PaillierPublicKey]],
+    params: ProofParams,
+    rng=None,
+    engine: CryptoEngine | None = None,
+) -> list[EncryptedPartial]:
+    """Re-encrypt contributions for many ``(ciphertext, recipient_pk)`` at once.
+
+    Semantically ``[reencrypt_contribution(tpk, share, c, pk, ...) ...]``,
+    but the TPDec exponentiations and all limb encryptions run as two
+    engine batches.  Randomness is drawn per item in input order (proof
+    first, then limb randomizers), so seeded transcripts stay identical
+    whatever engine executes the batch.
+    """
+    if engine is None:
+        engine = active_engine()
+    partials = partial_decrypt_many(
+        tpk, share, [ciphertext for ciphertext, _ in items], engine=engine
+    )
+    proofs = []
+    jobs = []
+    limbs_per_item: list[list[int]] = []
+    for (ciphertext, recipient_pk), partial in zip(items, partials):
+        proofs.append(
+            PartialDecryptionProof.prove(tpk, ciphertext, partial, share, params, rng)
+        )
+        chunk_bits = safe_chunk_bits(recipient_pk.n)
+        limbs = chunk_integer(partial.value, chunk_bits)
+        limbs_per_item.append(limbs)
+        for _ in limbs:
+            r = recipient_pk.random_unit(rng)
+            jobs.append((r, recipient_pk.n, recipient_pk.n_squared))
+    masked = engine.pow_many(jobs)
+    out = []
+    index = 0
+    for (ciphertext, recipient_pk), proof, limbs in zip(items, proofs, limbs_per_item):
+        n, n2 = recipient_pk.n, recipient_pk.n_squared
+        chunks = []
+        for limb in limbs:
+            value = (1 + (limb % n) * n) % n2 * masked[index] % n2
+            chunks.append(PaillierCiphertext(recipient_pk, value))
+            index += 1
+        out.append(EncryptedPartial(share.index, share.epoch, tuple(chunks), proof))
+    _hooks.note(_hooks.PAILLIER_ENCRYPT, len(jobs))
+    _hooks.note(_hooks.PAILLIER_EXP, len(jobs))
+    _hooks.note(_hooks.REENCRYPT_CONTRIBUTION, len(items))
+    return out
+
+
 def recover_reencrypted(
     tpk: ThresholdPublicKey,
     ciphertext: PaillierCiphertext,
@@ -136,6 +190,25 @@ def public_decrypt_contribution(
     partial = ThresholdPaillier.partial_decrypt(tpk, share, ciphertext)
     proof = PartialDecryptionProof.prove(tpk, ciphertext, partial, share, params, rng)
     return PublicPartial(partial, proof)
+
+
+def public_decrypt_contributions(
+    tpk: ThresholdPublicKey,
+    share: ThresholdKeyShare,
+    ciphertexts: Sequence[PaillierCiphertext],
+    params: ProofParams,
+    rng=None,
+    engine: CryptoEngine | None = None,
+) -> list[PublicPartial]:
+    """Decrypt contributions for many ciphertexts in one TPDec batch."""
+    partials = partial_decrypt_many(tpk, share, ciphertexts, engine=engine)
+    return [
+        PublicPartial(
+            partial,
+            PartialDecryptionProof.prove(tpk, ciphertext, partial, share, params, rng),
+        )
+        for ciphertext, partial in zip(ciphertexts, partials)
+    ]
 
 
 def combine_public(

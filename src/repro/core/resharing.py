@@ -27,7 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.engine.engine import active as active_engine
 from repro.errors import ProtocolAbortError
+from repro.observability import hooks as _hooks
 from repro.nizk.composite import (
     verify_exponent_interpolates_share,
     verify_exponent_polynomial,
@@ -91,16 +93,39 @@ def build_resharing(
     offset = 1 << offset_bits
     base = dlog_base(tpk)
     n2 = tpk.n_squared
+    engine = active_engine()
+    # Chunk every subshare and draw every limb randomizer first (fixed order),
+    # so the two heavy exponentiation families — limb encryptions and the
+    # shared-base limb verifications — each run as one engine batch.  The
+    # verification batch repeats ``base`` per limb, which is exactly the
+    # fixed-base-cache shape.
+    limbs_per_recipient: list[list[int]] = []
+    limb_rand: list[list[int]] = []
+    for subshare, pk in zip(raw.subshares, recipient_pks):
+        limbs_int = chunk_integer(subshare + offset, safe_chunk_bits(pk.n))
+        limbs_per_recipient.append(limbs_int)
+        limb_rand.append([pk.random_unit(rng) for _ in limbs_int])
+    enc_values = engine.pow_many([
+        (r, pk.n, pk.n_squared)
+        for pk, rands in zip(recipient_pks, limb_rand)
+        for r in rands
+    ])
+    verif_values = engine.pow_many([
+        (base, limb, n2) for limbs_int in limbs_per_recipient for limb in limbs_int
+    ])
+    _hooks.note(_hooks.PAILLIER_ENCRYPT, len(enc_values))
+    _hooks.note(_hooks.PAILLIER_EXP, len(enc_values))
     encrypted: list[EncryptedSubshare] = []
-    for j, (subshare, pk) in enumerate(zip(raw.subshares, recipient_pks), start=1):
-        shifted = subshare + offset
-        chunk_bits = safe_chunk_bits(pk.n)
-        limbs_int = chunk_integer(shifted, chunk_bits)
+    flat = 0
+    for j, (pk, limbs_int, rands) in enumerate(
+        zip(recipient_pks, limbs_per_recipient, limb_rand), start=1
+    ):
         limbs, limb_verifs, limb_proofs = [], [], []
-        for limb in limbs_int:
-            randomness = pk.random_unit(rng)
-            ciphertext = pk.encrypt(limb, randomness=randomness)
-            verification = pow(base, limb, n2)
+        for limb, randomness in zip(limbs_int, rands):
+            n, pk_n2 = pk.n, pk.n_squared
+            value = (1 + (limb % n) * n) % pk_n2 * enc_values[flat] % pk_n2
+            ciphertext = PaillierCiphertext(pk, value)
+            verification = verif_values[flat]
             proof = PlaintextDlogEqualityProof.prove(
                 pk, ciphertext, base, n2, verification, limb, randomness,
                 params, rng,
@@ -108,6 +133,7 @@ def build_resharing(
             limbs.append(ciphertext)
             limb_verifs.append(verification)
             limb_proofs.append(proof)
+            flat += 1
         encrypted.append(
             EncryptedSubshare(j, tuple(limbs), tuple(limb_verifs), tuple(limb_proofs))
         )
@@ -219,10 +245,16 @@ def next_verifications(
 
     scaled, _ = integer_lagrange_scaled(sorted(contributor_set), at=0, delta=tpk.delta)
     n2 = tpk.n_squared
+    senders = sorted(contributor_set)
+    powers = active_engine().pow_many([
+        (resharings[sender].verifications[j - 1], lam, n2)
+        for j in range(1, tpk.n_parties + 1)
+        for sender, lam in zip(senders, scaled)
+    ])
     out: dict[int, int] = {}
     for j in range(1, tpk.n_parties + 1):
         acc = 1
-        for sender, lam in zip(sorted(contributor_set), scaled):
-            acc = acc * pow(resharings[sender].verifications[j - 1], lam, n2) % n2
+        for offset in range(len(senders)):
+            acc = acc * powers[(j - 1) * len(senders) + offset] % n2
         out[j] = acc
     return out

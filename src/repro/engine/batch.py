@@ -1,0 +1,145 @@
+"""Batch crypto APIs over the execution engine.
+
+These are the bulk counterparts of the single-value operations in
+:mod:`repro.paillier.paillier` and :mod:`repro.paillier.threshold`: each
+validates like the single-value API, flattens its modular exponentiations
+into one engine batch, and reassembles results in input order.  Outputs
+are bit-identical to a loop over the single-value calls — the protocol
+uses that to guarantee identical transcripts whatever the engine.
+
+Randomness never enters this layer: callers draw encryption randomizers
+(in a fixed order) before batching, which is what keeps seeded runs
+deterministic across worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.engine import CryptoEngine, active
+from repro.errors import EncryptionError, ParameterError
+from repro.observability import hooks as _hooks
+from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey, _gcd
+from repro.paillier.threshold import (
+    PartialDecryption,
+    ThresholdCiphertext,
+    ThresholdKeyShare,
+    ThresholdPublicKey,
+)
+
+#: One TEval instance: (ciphertexts, coefficients).
+TevalGroup = tuple  # tuple[Sequence[ThresholdCiphertext], Sequence[int]]
+
+
+def _engine(engine: CryptoEngine | None) -> CryptoEngine:
+    return engine if engine is not None else active()
+
+
+def encrypt_many(
+    public: PaillierPublicKey,
+    messages: Sequence[int],
+    randomizers: Sequence[int],
+    engine: CryptoEngine | None = None,
+) -> list[PaillierCiphertext]:
+    """Batch Paillier encryption with caller-supplied randomizers.
+
+    Equivalent to ``[public.encrypt(m, randomness=r) ...]`` — the ``r^N``
+    exponentiations (the entire cost) run as one engine batch.
+    """
+    if len(messages) != len(randomizers):
+        raise ParameterError(
+            f"{len(messages)} messages vs {len(randomizers)} randomizers"
+        )
+    n, n2 = public.n, public.n_squared
+    for r in randomizers:
+        if _gcd(r, n) != 1:
+            raise EncryptionError("encryption randomness not a unit mod N")
+    rpow = _engine(engine).pow_many([(r, n, n2) for r in randomizers])
+    out = []
+    for message, masked in zip(messages, rpow):
+        value = (1 + (int(message) % n) * n) % n2 * masked % n2
+        out.append(PaillierCiphertext(public, value))
+    _hooks.note(_hooks.PAILLIER_ENCRYPT, len(out))
+    _hooks.note(_hooks.PAILLIER_EXP, len(out))
+    return out
+
+
+def partial_decrypt_many(
+    tpk: ThresholdPublicKey,
+    share: ThresholdKeyShare,
+    ciphertexts: Sequence[ThresholdCiphertext],
+    engine: CryptoEngine | None = None,
+) -> list[PartialDecryption]:
+    """TPDec over many ciphertexts with one key share, one engine batch."""
+    for ciphertext in ciphertexts:
+        if ciphertext.public != tpk.paillier:
+            raise EncryptionError("ciphertext under a different threshold key")
+    exponent = 2 * tpk.delta * share.value
+    n2 = tpk.n_squared
+    values = _engine(engine).pow_many(
+        [(c.value, exponent, n2) for c in ciphertexts]
+    )
+    _hooks.note(_hooks.PAILLIER_PARTIAL_DECRYPT, len(values))
+    _hooks.note(_hooks.PAILLIER_EXP, len(values))
+    return [PartialDecryption(share.index, v, share.epoch) for v in values]
+
+
+def teval_many(
+    tpk: ThresholdPublicKey,
+    groups: Sequence[TevalGroup],
+    engine: CryptoEngine | None = None,
+) -> list[ThresholdCiphertext]:
+    """TEval over many (ciphertexts, coefficients) groups at once.
+
+    All groups' exponentiations flatten into a single engine batch; the
+    per-group homomorphic products are then reassembled in order.  This is
+    the workhorse of the packing step, where every batch evaluates the
+    same ciphertext column against n Lagrange rows.
+    """
+    jobs = []
+    sizes = []
+    n, n2 = tpk.n, tpk.n_squared
+    for ciphertexts, coefficients in groups:
+        if len(ciphertexts) != len(coefficients):
+            raise ParameterError(
+                f"{len(ciphertexts)} ciphertexts vs {len(coefficients)} coefficients"
+            )
+        if not ciphertexts:
+            raise ParameterError("TEval of an empty combination")
+        for ciphertext, lam in zip(ciphertexts, coefficients):
+            if ciphertext.public != tpk.paillier:
+                raise EncryptionError("ciphertext under a different key in TEval")
+            jobs.append((ciphertext.value, int(lam) % n, n2))
+        sizes.append(len(ciphertexts))
+    powers = _engine(engine).pow_many(jobs)
+    _hooks.note(_hooks.PAILLIER_EXP, len(jobs))
+    out = []
+    index = 0
+    for size in sizes:
+        acc = 1
+        for _ in range(size):
+            acc = acc * powers[index] % n2
+            index += 1
+        out.append(ThresholdCiphertext(tpk.paillier, acc))
+    return out
+
+
+def scalar_mul_many(
+    ciphertexts: Sequence[PaillierCiphertext],
+    scalars: Sequence[int],
+    engine: CryptoEngine | None = None,
+) -> list[PaillierCiphertext]:
+    """Batch homomorphic scalar multiplication, ``[c * s ...]``."""
+    if len(ciphertexts) != len(scalars):
+        raise ParameterError(
+            f"{len(ciphertexts)} ciphertexts vs {len(scalars)} scalars"
+        )
+    jobs = [
+        (c.value, int(s) % c.public.n, c.public.n_squared)
+        for c, s in zip(ciphertexts, scalars)
+    ]
+    values = _engine(engine).pow_many(jobs)
+    _hooks.note(_hooks.PAILLIER_EXP, len(jobs))
+    return [
+        PaillierCiphertext(c.public, v) for c, v in zip(ciphertexts, values)
+    ]

@@ -1,0 +1,68 @@
+"""Fixed-base precomputation for repeated modular exponentiation.
+
+Several protocol hot spots exponentiate *one* base many times with varying
+exponents: the verification base ``v`` (and its Δ-power ``v^Δ``) during
+resharing and verification-key derivation, and the Lagrange-packing rows
+where every row exponentiates the same ciphertext column.  Naive
+square-and-multiply recomputes the square chain ``base^(2^i)`` for every
+call; :class:`FixedBaseCache` computes it once and reuses it, so each
+subsequent exponentiation costs only the *multiply* half of the work
+(~popcount(e) modular multiplications instead of ~bits(e) squarings plus
+~popcount(e) multiplications).
+
+The cache only pays off when the modular arithmetic dominates the Python
+bookkeeping — CPython's native ``pow`` runs its whole loop in C, so for
+small moduli it wins regardless.  Callers gate cache use on the modulus
+size (see :data:`repro.engine.jobs.FIXEDBASE_MIN_BITS`).
+"""
+
+from __future__ import annotations
+
+
+class FixedBaseCache:
+    """Cached square chain ``base^(2^i) mod modulus`` for one fixed base.
+
+    Results are bit-identical to ``pow(base, e, modulus)`` for every
+    integer exponent ``e`` (negative exponents require the base to be
+    invertible, exactly like the builtin).
+    """
+
+    __slots__ = ("base", "modulus", "_squares")
+
+    def __init__(self, base: int, modulus: int):
+        if modulus <= 0:
+            raise ValueError(f"modulus must be positive, got {modulus}")
+        self.base = base % modulus
+        self.modulus = modulus
+        self._squares = [self.base]
+
+    def _grow(self, bits: int) -> None:
+        squares, m = self._squares, self.modulus
+        while len(squares) < bits:
+            last = squares[-1]
+            squares.append(last * last % m)
+
+    def pow(self, exponent: int) -> int:
+        """``base**exponent mod modulus`` using the shared square chain."""
+        m = self.modulus
+        if exponent < 0:
+            return pow(self.pow(-exponent), -1, m)
+        if exponent == 0:
+            return 1 % m
+        self._grow(exponent.bit_length())
+        squares = self._squares
+        acc = 1
+        i = 0
+        e = exponent
+        while e:
+            if e & 1:
+                acc = acc * squares[i] % m
+            e >>= 1
+            i += 1
+        return acc
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedBaseCache(bits={self.modulus.bit_length()}, "
+            f"chain={len(self._squares)})"
+        )

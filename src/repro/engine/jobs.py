@@ -1,0 +1,90 @@
+"""Picklable job specs and the worker kernel for bulk modular arithmetic.
+
+A *job* is the smallest unit the execution engine understands: one modular
+exponentiation ``(base, exponent, modulus)`` as a plain tuple of ints.
+Tuples of ints pickle cheaply and unambiguously, which is what lets
+:class:`~repro.engine.engine.ProcessPoolEngine` ship chunks of them to
+worker processes without dragging any protocol object graph along.
+
+:func:`compute_pows` is the shared kernel: both the serial engine and the
+pool workers run it, so serial and parallel execution are bit-identical by
+construction.  It transparently builds a :class:`~repro.engine.fixedbase.
+FixedBaseCache` for bases that repeat within a batch, when the modulus is
+large enough for the cache to beat CPython's native ``pow``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.fixedbase import FixedBaseCache
+
+#: One modular exponentiation: (base, exponent, modulus).
+PowJob = tuple  # tuple[int, int, int]
+
+#: Below this modulus size native ``pow`` always wins (its loop runs in C,
+#: so Python-level bookkeeping dominates for small integers).
+FIXEDBASE_MIN_BITS = 256
+
+#: A base must repeat at least this often in a batch before the square
+#: chain is worth building (the chain costs ~bits(e) squarings once).
+FIXEDBASE_MIN_GROUP = 4
+
+
+def compute_pows(
+    jobs: Sequence[PowJob],
+    min_cache_bits: int = FIXEDBASE_MIN_BITS,
+    min_group: int = FIXEDBASE_MIN_GROUP,
+) -> list[int]:
+    """Evaluate every job in order; results match ``pow(b, e, m)`` exactly.
+
+    Bases repeating ``min_group``+ times over a ``min_cache_bits``+ modulus
+    share one :class:`FixedBaseCache` (built lazily, scoped to this call —
+    nothing leaks between batches or processes).
+    """
+    counts: dict[tuple[int, int], int] = {}
+    for base, _exponent, modulus in jobs:
+        if modulus.bit_length() >= min_cache_bits:
+            key = (base, modulus)
+            counts[key] = counts.get(key, 0) + 1
+    caches = {
+        key: FixedBaseCache(*key)
+        for key, count in counts.items()
+        if count >= min_group
+    }
+    if not caches:
+        return [pow(base, exponent, modulus) for base, exponent, modulus in jobs]
+    out = []
+    for base, exponent, modulus in jobs:
+        cache = caches.get((base, modulus))
+        if cache is not None:
+            out.append(cache.pow(exponent))
+        else:
+            out.append(pow(base, exponent, modulus))
+    return out
+
+
+def run_pow_chunk(jobs: Sequence[PowJob]) -> list[int]:
+    """The pool worker entry point (module-level, hence picklable)."""
+    return compute_pows(jobs)
+
+
+def chunk_jobs(jobs: Sequence[PowJob], n_chunks: int) -> list[list[PowJob]]:
+    """Split ``jobs`` into ``n_chunks`` contiguous, size-balanced chunks.
+
+    Contiguity + the fixed chunk count make the parallel result order (and
+    any per-chunk fixed-base grouping) deterministic for a given job list.
+    """
+    jobs = list(jobs)
+    n = len(jobs)
+    if n == 0:
+        return []
+    n_chunks = max(1, min(n_chunks, n))
+    size, extra = divmod(n, n_chunks)
+    chunks: list[list[PowJob]] = []
+    start = 0
+    for i in range(n_chunks):
+        end = start + size + (1 if i < extra else 0)
+        chunks.append(jobs[start:end])
+        start = end
+    return chunks

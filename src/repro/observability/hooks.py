@@ -41,6 +41,13 @@ LAGRANGE_INTEGER = "lagrange.integer_interpolations"
 
 BULLETIN_POSTS = "bulletin.posts"
 
+ENGINE_BATCHES = "engine.batches"          # pow_many calls, any engine
+ENGINE_JOBS = "engine.jobs"                # exponentiations routed through it
+ENGINE_POOL_BATCHES = "engine.pool_batches"  # batches dispatched to the pool
+ENGINE_POOL_JOBS = "engine.pool_jobs"      # jobs inside pooled batches
+ENGINE_CHUNKS = "engine.chunks"            # pickled chunks shipped to workers
+ENGINE_FALLBACKS = "engine.fallbacks"      # pool failures degraded to serial
+
 _active: Tracer | None = None
 
 

@@ -65,6 +65,19 @@ class PaillierPublicKey:
         """Deterministic encryption of 0 (used by rerandomization & proofs)."""
         return self.encrypt(0, randomness=randomness)
 
+    def encrypt_many(
+        self, messages, randomizers, engine=None
+    ) -> list["PaillierCiphertext"]:
+        """Bulk encryption through the active crypto engine.
+
+        Bit-identical to ``[self.encrypt(m, randomness=r) ...]``; the
+        ``r^N`` exponentiations run as one (possibly parallel) batch.
+        """
+        # Imported lazily: repro.engine.batch imports this module.
+        from repro.engine.batch import encrypt_many as _encrypt_many
+
+        return _encrypt_many(self, messages, randomizers, engine=engine)
+
     @property
     def ciphertext_bytes(self) -> int:
         """Serialized size of one ciphertext (element of Z_{N²})."""

@@ -40,6 +40,7 @@ import secrets
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from repro.engine.engine import active as _active_engine
 from repro.errors import EncryptionError, ParameterError
 from repro.fields.lagrange import falling_factorial_delta, integer_lagrange_scaled
 from repro.observability import hooks as _hooks
@@ -210,18 +211,23 @@ class ThresholdPaillier:
         # Integer Shamir sharing of d with statistically hiding coefficients.
         bound = (n * n) << STATISTICAL_SECURITY
         coefficients = [d] + [randrange(0, bound) for _ in range(threshold)]
-        shares = []
         delta = tpk.delta
-        for i in range(1, n_parties + 1):
-            value = _eval_int_poly(coefficients, i)
-            shares.append(
-                ThresholdKeyShare(
-                    index=i,
-                    value=value,
-                    epoch=0,
-                    verification=pow(v, delta * value, n2),
-                )
+        values = [
+            _eval_int_poly(coefficients, i) for i in range(1, n_parties + 1)
+        ]
+        # Same base v for every verification value: one engine batch, and
+        # the serial kernel shares a fixed-base chain at realistic sizes.
+        verifications = _active_engine().pow_many(
+            [(v, delta * value, n2) for value in values]
+        )
+        shares = [
+            ThresholdKeyShare(
+                index=i, value=value, epoch=0, verification=verification
             )
+            for i, (value, verification) in enumerate(
+                zip(values, verifications), start=1
+            )
+        ]
         return tpk, shares
 
     # -- TPDec ---------------------------------------------------------------
@@ -266,9 +272,12 @@ class ThresholdPaillier:
         xs = [p.index for p in plist]
         scaled, _ = integer_lagrange_scaled(xs, at=0, delta=tpk.delta)
         n2 = tpk.n_squared
+        powers = _active_engine().pow_many(
+            [(p.value, 2 * lam, n2) for p, lam in zip(plist, scaled)]
+        )
         combined = 1
-        for p, lam in zip(plist, scaled):
-            combined = combined * pow(p.value, 2 * lam, n2) % n2
+        for value in powers:
+            combined = combined * value % n2
         _hooks.note(_hooks.PAILLIER_COMBINE)
         _hooks.note(_hooks.PAILLIER_EXP, len(plist))
         ell = _L(combined, tpk.n)
@@ -305,7 +314,9 @@ class ThresholdPaillier:
         n2 = tpk.n_squared
         delta = tpk.delta
         verifications = tuple(
-            pow(tpk.verification_base, delta * s, n2) for s in subshares
+            _active_engine().pow_many(
+                [(tpk.verification_base, delta * s, n2) for s in subshares]
+            )
         )
         _hooks.note(_hooks.THRESHOLD_RESHARE)
         _hooks.note(_hooks.PAILLIER_EXP, len(verifications))
@@ -422,11 +433,18 @@ def teval(
     if not ciphertexts:
         raise ParameterError("TEval of an empty combination")
     n2 = tpk.n_squared
-    acc = 1
-    for c, lam in zip(ciphertexts, coefficients):
+    for c in ciphertexts:
         if c.public != tpk.paillier:
             raise EncryptionError("ciphertext under a different key in TEval")
-        acc = acc * pow(c.value, int(lam) % tpk.n, n2) % n2
+    powers = _active_engine().pow_many(
+        [
+            (c.value, int(lam) % tpk.n, n2)
+            for c, lam in zip(ciphertexts, coefficients)
+        ]
+    )
+    acc = 1
+    for value in powers:
+        acc = acc * value % n2
     _hooks.note(_hooks.PAILLIER_EXP, len(ciphertexts))
     return ThresholdCiphertext(tpk.paillier, acc)
 

@@ -13,11 +13,36 @@ import pytest
 from repro.fields import Zmod
 from repro.nizk import ProofParams
 from repro.paillier import ThresholdPaillier, generate_keypair
+from repro.paillier.primes import fixture_safe_prime_pair
 
 
 @pytest.fixture()
 def rng():
     return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def threshold_keygen():
+    """Session-cached factory for deterministic threshold-Paillier keys.
+
+    Keygen dominates the setup cost of every crypto-heavy module, so each
+    ``(n, t, bits, which)`` geometry is generated once per session — from
+    the fixed safe-prime fixtures via ``keygen_from_primes``, so the keys
+    are identical across runs and machines.
+    """
+    cache: dict[tuple[int, int, int, int], tuple] = {}
+
+    def factory(n_parties: int, threshold: int, bits: int = 64, which: int = 0):
+        key = (n_parties, threshold, bits, which)
+        if key not in cache:
+            p, q = fixture_safe_prime_pair(bits // 2, which=which)
+            cache[key] = ThresholdPaillier.keygen_from_primes(
+                p, q, n_parties, threshold,
+                rng=random.Random(1000 + 7 * which),
+            )
+        return cache[key]
+
+    return factory
 
 
 @pytest.fixture(scope="session")
@@ -42,14 +67,16 @@ def paillier_keypair():
 
 
 @pytest.fixture(scope="session")
-def threshold_setup():
+def threshold_setup(threshold_keygen):
     """(tpk, shares) for n=5, t=2 at 64-bit modulus."""
-    rng = random.Random(1234)
-    return ThresholdPaillier.keygen(5, 2, bits=64, rng=rng)
+    return threshold_keygen(5, 2)
 
 
 @pytest.fixture(scope="session")
-def threshold_setup_t1():
-    """(tpk, shares) for n=4, t=1 — cheaper for resharing-heavy tests."""
-    rng = random.Random(4321)
-    return ThresholdPaillier.keygen(4, 1, bits=64, rng=rng)
+def threshold_setup_t1(threshold_keygen):
+    """(tpk, shares) for n=4, t=1 — cheaper for resharing-heavy tests.
+
+    Uses the second prime fixture so its modulus differs from
+    ``threshold_setup`` — cross-key error paths need genuinely foreign keys.
+    """
+    return threshold_keygen(4, 1, which=1)

@@ -19,9 +19,9 @@ PARAMS = ProofParams(challenge_bits=24)
 
 
 @pytest.fixture(scope="module")
-def setup():
+def setup(threshold_keygen):
     rng = random.Random(101)
-    tpk, shares = ThresholdPaillier.keygen(4, 1, bits=64, rng=rng)
+    tpk, shares = threshold_keygen(4, 1)
     recipient = generate_keypair(160, rng=rng, use_fixtures=False)
     verifications = {s.index: s.verification for s in shares}
     return tpk, shares, recipient, verifications

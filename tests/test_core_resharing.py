@@ -33,9 +33,9 @@ def _fresh_keys(count, bits, rng):
 
 
 @pytest.fixture(scope="module")
-def world():
+def world(threshold_keygen):
     rng = random.Random(2024)
-    tpk, shares = ThresholdPaillier.keygen(4, 1, bits=64, rng=rng)
+    tpk, shares = threshold_keygen(4, 1)
     recipients = _fresh_keys(4, 80, rng)
     pks = [kp.public for kp in recipients]
     verifications = {s.index: s.verification for s in shares}

@@ -1,0 +1,308 @@
+"""Tests for the crypto execution engine (repro.engine).
+
+The engine's contract is strict: every backend returns results in job
+order, bit-identical to ``[pow(b, e, m) ...]``, and never draws
+randomness.  That contract is what lets the protocol swap worker counts
+without changing a single transcript byte — the last test class checks
+exactly that on a full protocol run.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    FixedBaseCache,
+    ProcessPoolEngine,
+    SerialEngine,
+    chunk_jobs,
+    compute_pows,
+    encrypt_many,
+    make_engine,
+    partial_decrypt_many,
+    run_pow_chunk,
+    scalar_mul_many,
+    teval_many,
+)
+from repro.engine import engine as engine_mod
+from repro.engine.jobs import FIXEDBASE_MIN_BITS
+from repro.errors import EncryptionError, ParameterError
+from repro.observability import hooks as _hooks
+from repro.observability.tracer import Tracer
+from repro.paillier.threshold import ThresholdPaillier, teval
+
+
+def _jobs(count, rng, bits=384):
+    modulus = (rng.getrandbits(bits) | (1 << bits) | 1)
+    return [
+        (rng.getrandbits(bits) % modulus, rng.getrandbits(64), modulus)
+        for _ in range(count)
+    ]
+
+
+class TestFixedBaseCache:
+    def test_matches_builtin_pow(self, rng):
+        modulus = (1 << 389) - 21  # any odd modulus works
+        base = rng.getrandbits(380) % modulus
+        cache = FixedBaseCache(base, modulus)
+        for _ in range(20):
+            exponent = rng.getrandbits(rng.randrange(1, 300))
+            assert cache.pow(exponent) == pow(base, exponent, modulus)
+
+    def test_zero_and_one(self):
+        cache = FixedBaseCache(7, 1000003)
+        assert cache.pow(0) == 1
+        assert cache.pow(1) == 7
+
+    def test_negative_exponent(self):
+        modulus = 1000003  # prime, so 7 is invertible
+        cache = FixedBaseCache(7, modulus)
+        assert cache.pow(-12345) == pow(7, -12345, modulus)
+
+    def test_cache_grows_lazily(self):
+        cache = FixedBaseCache(3, (1 << 127) - 1)
+        cache.pow(1 << 4)
+        small = len(cache._squares)
+        cache.pow(1 << 60)
+        assert len(cache._squares) > small
+
+
+class TestComputePows:
+    def test_matches_pow_map(self, rng):
+        jobs = _jobs(40, rng)
+        assert compute_pows(jobs) == [pow(b, e, m) for b, e, m in jobs]
+
+    def test_repeated_base_uses_cache_and_matches(self, rng):
+        modulus = (1 << FIXEDBASE_MIN_BITS) + 7
+        base = 123456789
+        jobs = [(base, rng.getrandbits(128), modulus) for _ in range(10)]
+        assert compute_pows(jobs) == [pow(b, e, m) for b, e, m in jobs]
+
+    def test_small_moduli_never_cached(self, rng):
+        # Below the bit floor the native pow path must be taken; results
+        # are identical either way, so just pin the equality.
+        jobs = [(5, rng.getrandbits(32), 10007) for _ in range(10)]
+        assert compute_pows(jobs) == [pow(b, e, m) for b, e, m in jobs]
+
+    def test_run_pow_chunk_is_compute_pows(self, rng):
+        jobs = _jobs(8, rng)
+        assert run_pow_chunk(jobs) == compute_pows(jobs)
+
+
+class TestChunkJobs:
+    def test_partition_preserves_order(self, rng):
+        jobs = _jobs(23, rng)
+        chunks = chunk_jobs(jobs, 5)
+        assert [j for c in chunks for j in c] == jobs
+
+    def test_balanced_sizes(self, rng):
+        sizes = [len(c) for c in chunk_jobs(_jobs(23, rng), 5)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_jobs(self, rng):
+        chunks = chunk_jobs(_jobs(3, rng), 10)
+        assert [j for c in chunks for j in c] == [j for c in chunks for j in c]
+        assert all(c for c in chunks)  # no empty chunks shipped
+
+    def test_empty(self):
+        assert chunk_jobs([], 4) == []
+
+
+class TestEngines:
+    def test_serial_matches_pow(self, rng):
+        jobs = _jobs(10, rng)
+        with SerialEngine() as engine:
+            assert engine.pow_many(jobs) == [pow(b, e, m) for b, e, m in jobs]
+
+    def test_pool_matches_serial(self, rng):
+        jobs = _jobs(64, rng)
+        with ProcessPoolEngine(workers=2, min_parallel=1) as pool:
+            assert pool.pow_many(jobs) == SerialEngine().pow_many(jobs)
+
+    def test_small_batch_stays_in_process(self, rng):
+        jobs = _jobs(4, rng)
+        tracer = Tracer()
+        with ProcessPoolEngine(workers=2) as pool, _hooks.activated(tracer):
+            pool.pow_many(jobs)
+        totals = tracer.counter_totals()
+        assert totals[_hooks.ENGINE_BATCHES] == 1
+        assert totals[_hooks.ENGINE_JOBS] == 4
+        assert _hooks.ENGINE_POOL_BATCHES not in totals
+
+    def test_pool_counters(self, rng):
+        jobs = _jobs(40, rng)
+        tracer = Tracer()
+        with ProcessPoolEngine(workers=2, min_parallel=1) as pool, \
+                _hooks.activated(tracer):
+            result = pool.pow_many(jobs)
+        assert result == [pow(b, e, m) for b, e, m in jobs]
+        totals = tracer.counter_totals()
+        assert totals[_hooks.ENGINE_POOL_BATCHES] == 1
+        assert totals[_hooks.ENGINE_POOL_JOBS] == 40
+        assert totals[_hooks.ENGINE_CHUNKS] >= 2
+
+    def test_broken_pool_falls_back_to_serial(self, rng):
+        jobs = _jobs(64, rng)
+        tracer = Tracer()
+        pool = ProcessPoolEngine(workers=2, min_parallel=1,
+                                 start_method="no-such-method")
+        with pool, _hooks.activated(tracer):
+            result = pool.pow_many(jobs)
+        assert result == [pow(b, e, m) for b, e, m in jobs]
+        assert tracer.counter_totals()[_hooks.ENGINE_FALLBACKS] == 1
+        assert "broken" in pool.describe()
+
+    def test_explicit_chunk_size(self, rng):
+        jobs = _jobs(10, rng)
+        with ProcessPoolEngine(workers=2, chunk_size=3, min_parallel=1) as pool:
+            assert pool.pow_many(jobs) == [pow(b, e, m) for b, e, m in jobs]
+
+    def test_make_engine(self):
+        assert isinstance(make_engine(0), SerialEngine)
+        pool = make_engine(3)
+        assert isinstance(pool, ProcessPoolEngine) and pool.workers == 3
+        pool.close()
+
+    def test_activated_scopes_the_global(self):
+        default = engine_mod.active()
+        replacement = SerialEngine()
+        with engine_mod.activated(replacement):
+            assert engine_mod.active() is replacement
+        assert engine_mod.active() is default
+
+    def test_install_none_restores_default(self):
+        replacement = SerialEngine()
+        engine_mod.install(replacement)
+        try:
+            assert engine_mod.active() is replacement
+        finally:
+            engine_mod.install(None)
+        assert isinstance(engine_mod.active(), SerialEngine)
+
+
+class TestBatchApis:
+    """Each batch API must be bit-identical to the single-op loop."""
+
+    def test_encrypt_many(self, threshold_setup, rng):
+        tpk, _ = threshold_setup
+        pk = tpk.paillier
+        messages = [rng.randrange(tpk.n) for _ in range(6)]
+        randomizers = [pk.random_unit(rng) for _ in messages]
+        batched = encrypt_many(pk, messages, randomizers)
+        singles = [
+            pk.encrypt(m, randomness=r) for m, r in zip(messages, randomizers)
+        ]
+        assert [c.value for c in batched] == [c.value for c in singles]
+
+    def test_encrypt_many_via_public_key_method(self, threshold_setup, rng):
+        tpk, _ = threshold_setup
+        pk = tpk.paillier
+        r = pk.random_unit(rng)
+        assert pk.encrypt_many([5], [r])[0] == pk.encrypt(5, randomness=r)
+
+    def test_encrypt_many_length_mismatch(self, threshold_setup):
+        tpk, _ = threshold_setup
+        with pytest.raises(ParameterError):
+            encrypt_many(tpk.paillier, [1, 2], [3])
+
+    def test_encrypt_many_non_unit_randomness(self, threshold_setup):
+        tpk, _ = threshold_setup
+        with pytest.raises(EncryptionError):
+            encrypt_many(tpk.paillier, [1], [0])
+
+    def test_partial_decrypt_many(self, threshold_setup, rng):
+        tpk, shares = threshold_setup
+        cts = [tpk.encrypt(i, rng=rng) for i in (1, 22, 333)]
+        batched = partial_decrypt_many(tpk, shares[0], cts)
+        singles = [
+            ThresholdPaillier.partial_decrypt(tpk, shares[0], ct) for ct in cts
+        ]
+        assert batched == singles
+
+    def test_partial_decrypt_many_foreign_key(self, threshold_setup,
+                                              threshold_setup_t1, rng):
+        tpk, shares = threshold_setup
+        other_tpk, _ = threshold_setup_t1
+        ct = other_tpk.encrypt(1, rng=rng)
+        with pytest.raises(EncryptionError):
+            partial_decrypt_many(tpk, shares[0], [ct])
+
+    def test_teval_many(self, threshold_setup, rng):
+        tpk, _ = threshold_setup
+        cts = [tpk.encrypt(i, rng=rng) for i in (3, 5, 7)]
+        groups = [(cts, [1, 2, 3]), (cts[:2], [4, -1])]
+        batched = teval_many(tpk, groups)
+        singles = [teval(tpk, cs, ls) for cs, ls in groups]
+        assert [c.value for c in batched] == [c.value for c in singles]
+
+    def test_teval_many_rejects_empty_group(self, threshold_setup):
+        tpk, _ = threshold_setup
+        with pytest.raises(ParameterError):
+            teval_many(tpk, [([], [])])
+
+    def test_teval_many_no_groups(self, threshold_setup):
+        tpk, _ = threshold_setup
+        assert teval_many(tpk, []) == []
+
+    def test_scalar_mul_many(self, threshold_setup, rng):
+        tpk, _ = threshold_setup
+        cts = [tpk.encrypt(i, rng=rng) for i in (2, 9)]
+        scalars = [17, -4]
+        batched = scalar_mul_many(cts, scalars)
+        singles = [ct * s for ct, s in zip(cts, scalars)]
+        assert [c.value for c in batched] == [c.value for c in singles]
+
+    def test_batch_counters_match_single_op_semantics(
+        self, threshold_setup, rng
+    ):
+        tpk, shares = threshold_setup
+        pk = tpk.paillier
+        messages = [1, 2, 3]
+        randomizers = [pk.random_unit(rng) for _ in messages]
+        tracer = Tracer()
+        with _hooks.activated(tracer):
+            cts = encrypt_many(pk, messages, randomizers)
+            partial_decrypt_many(tpk, shares[0], cts)
+        totals = tracer.counter_totals()
+        assert totals[_hooks.PAILLIER_ENCRYPT] == 3
+        assert totals[_hooks.PAILLIER_PARTIAL_DECRYPT] == 3
+        assert totals[_hooks.PAILLIER_EXP] == 6
+        assert totals[_hooks.ENGINE_BATCHES] == 2
+        assert totals[_hooks.ENGINE_JOBS] == 6
+
+    def test_explicit_engine_overrides_global(self, threshold_setup, rng):
+        tpk, _ = threshold_setup
+        pk = tpk.paillier
+        r = pk.random_unit(rng)
+        with ProcessPoolEngine(workers=1, min_parallel=1) as pool:
+            assert encrypt_many(pk, [9], [r], engine=pool)[0] == pk.encrypt(
+                9, randomness=r
+            )
+
+
+class TestProtocolDeterminismAcrossEngines:
+    """The acceptance bar: worker count never changes a transcript byte."""
+
+    @staticmethod
+    def _run(workers):
+        from repro.circuits import dot_product_circuit
+        from repro.core import run_mpc
+
+        circuit = dot_product_circuit(2)
+        result = run_mpc(
+            circuit, {"alice": [2, 3], "bob": [5, 7]},
+            n=4, epsilon=0.13, seed=99, workers=workers,
+        )
+        records = [
+            (r.phase, r.tag, r.sender, r.n_bytes) for r in result.meter.records
+        ]
+        packed = {
+            key: [c.value for c in cts]
+            for key, cts in result.offline.packed_cipher.items()
+        }
+        return result.outputs, records, packed, dict(result.offline.epsilon_delta)
+
+    def test_serial_and_pool_runs_are_identical(self):
+        serial = self._run(0)
+        pooled = self._run(2)
+        assert serial == pooled

@@ -16,8 +16,8 @@ from repro.paillier.threshold import ResharingMessage
 
 
 @pytest.fixture(scope="module")
-def tkeys():
-    return ThresholdPaillier.keygen(4, 1, bits=64, rng=random.Random(77))
+def tkeys(threshold_keygen):
+    return threshold_keygen(4, 1)
 
 
 class TestCompositeProof:

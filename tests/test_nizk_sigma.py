@@ -24,8 +24,8 @@ def keys():
 
 
 @pytest.fixture(scope="module")
-def tkeys():
-    return ThresholdPaillier.keygen(4, 1, bits=64, rng=random.Random(55))
+def tkeys(threshold_keygen):
+    return threshold_keygen(4, 1)
 
 
 class TestPlaintextKnowledge:

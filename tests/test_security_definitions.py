@@ -29,9 +29,9 @@ class TestDefinition2Game:
     """The partial-decryption simulatability game of Appendix A.1."""
 
     @pytest.fixture(scope="class")
-    def world(self):
+    def world(self, threshold_keygen):
         rng = random.Random(888)
-        tpk, shares = ThresholdPaillier.keygen(5, 2, bits=64, rng=rng)
+        tpk, shares = threshold_keygen(5, 2)
         return tpk, shares, rng
 
     def test_both_branches_decrypt_to_their_message(self, world):
