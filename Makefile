@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-engine examples table1 trace-demo check all outputs
+.PHONY: install test bench bench-engine bench-wire examples table1 trace-demo check all outputs
 
 install:
 	pip install -e .
@@ -14,6 +14,10 @@ bench:
 # Engine throughput sweep (serial vs process pool); see docs/PERFORMANCE.md.
 bench-engine:
 	python benchmarks/bench_engine.py
+
+# Wire-codec encode/decode throughput per envelope kind; see docs/WIRE.md.
+bench-wire:
+	python benchmarks/bench_wire.py
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done

@@ -1,0 +1,210 @@
+"""Micro-experiment M4: wire-codec throughput per envelope kind.
+
+Every bulletin post crosses the codec twice (encode at post, decode at
+read), so codec speed bounds how much of a run's wall clock the byte-real
+board can cost.  Run as a script this times encode and decode for a
+representative payload of every registered envelope kind and writes
+``BENCH_wire.json`` (ops/s and MB/s per kind); under pytest-benchmark it
+times the two dominant shapes (a μ-share bundle and a resharing-carrying
+offline post).
+
+Payloads use the 64-bit test moduli: the codec's own overhead is the
+quantity here, not bignum arithmetic, and byte counts scale linearly with
+the modulus width anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+# Phase-module imports register every envelope kind (same side effect a
+# protocol run relies on).
+import repro.core.offline  # noqa: F401
+import repro.core.online  # noqa: F401
+import repro.core.setup  # noqa: F401
+import repro.baselines.cdn  # noqa: F401
+import repro.extensions.it_yoso  # noqa: F401
+
+from repro.core.reencrypt import EncryptedPartial, PublicPartial
+from repro.core.resharing import EncryptedResharing, EncryptedSubshare
+from repro.nizk.sigma import (
+    MultiplicationProof,
+    PartialDecryptionProof,
+    PlaintextDlogEqualityProof,
+    PlaintextKnowledgeProof,
+)
+from repro.paillier import generate_keypair
+from repro.paillier.threshold import PartialDecryption
+from repro.wire import (
+    Envelope,
+    WireCodec,
+    decode_envelope,
+    encode_envelope,
+    kind_for_tag,
+    registered_kinds,
+)
+
+
+def build_payloads(keypair):
+    """kind name -> (bulletin tag, payload) mirroring the protocol's posts."""
+    ct = keypair.public.encrypt(1)
+    popk = PlaintextKnowledgeProof(3, 5, 7)
+    pdec = PartialDecryptionProof(11, 13, 17)
+    pp = PublicPartial(PartialDecryption(1, 9, 0), pdec)
+    ep = EncryptedPartial(2, 0, (ct, ct), pdec)
+    sub = EncryptedSubshare(
+        1, (ct,), (23,), (PlaintextDlogEqualityProof(1, 2, 3, 4),)
+    )
+    resh = EncryptedResharing(3, 1, 16, (29, 31), (sub,) * 4)
+    wires = range(4)
+    return {
+        "generic": ("debug-blob", {"note": "unregistered", "x": 1}),
+        "setup.keys": ("setup-keys", {
+            "tpk_modulus": keypair.public.n,
+            "verification_base": 4,
+            "tsk_verifications": [9, 16, 25],
+            "kff": {f"Con-mul-1[{i}]": {
+                "public_modulus": 77, "encrypted_prime": [ct] * 2,
+            } for i in wires},
+        }),
+        "offline.beaver_a": ("Coff-A", {
+            "beaver_a": {w: {"ct": ct, "proof": popk} for w in wires},
+            "tsk": resh,
+        }),
+        "offline.beaver_b": ("Coff-B", {
+            "beaver_b": {w: {
+                "b_ct": ct, "c_ct": ct,
+                "proof": MultiplicationProof(1, 2, 3, 4),
+            } for w in wires},
+        }),
+        "offline.masks": ("Coff-R", {
+            "masks": {w: {"ct": ct, "proof": popk} for w in wires},
+            "helpers": {(0, "eps", h): {"ct": ct, "proof": popk}
+                        for h in wires},
+        }),
+        "offline.partials": ("Coff-dec", {
+            "partials": {w: {"eps": pp, "delta": pp} for w in wires},
+            "tsk": resh,
+        }),
+        "offline.reencrypt": ("Coff-reenc", {
+            "input_shares": {w: ep for w in wires},
+            "packed_shares": {(0, w, "eps"): ep for w in wires},
+            "tsk": resh,
+        }),
+        "online.keys": ("Con-keys", {
+            "kff": {f"Con-mul-1[{i}]": [ep, ep] for i in wires},
+            "tsk": resh,
+        }),
+        "online.input": ("input:alice", {"mu": {w: 123 for w in wires}}),
+        "online.mu_shares": ("Con-mul-1", {
+            "mu_shares": {w: {"value": 7, "proof": b"\x01" * 192}
+                          for w in wires},
+        }),
+        "online.output": ("Con-out", {"output": {w: ep for w in wires}}),
+        "baseline.cdn": ("Cdn-triple-A", {
+            "triples": {w: {"ct": ct, "proof": popk} for w in wires},
+        }),
+        "baseline.cdn_aux": ("cdn-setup", {"modulus": keypair.public.n}),
+        "it.messages": ("It-mul-1", {"mu_shares": {w: 42 for w in wires}}),
+    }
+
+
+def _encode(codec, tag, payload):
+    body = codec.encode(payload)
+    return encode_envelope(
+        Envelope(kind_for_tag(tag).name, f"{tag}[1]", 0, "bench", tag, body)
+    )
+
+
+def _best_rate(fn, repeats, iterations):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return iterations / best
+
+
+def sweep(repeats, iterations):
+    keypair = generate_keypair(64)
+    codec = WireCodec()
+    codec.keyring.add(keypair.public)
+    payloads = build_payloads(keypair)
+    results = []
+    for kind in registered_kinds():
+        tag, payload = payloads[kind.name]
+        encoded = _encode(codec, tag, payload)
+        size = len(encoded)
+
+        enc_ops = _best_rate(
+            lambda: _encode(codec, tag, payload), repeats, iterations
+        )
+
+        def full_decode():
+            codec.decode(decode_envelope(encoded).body)
+
+        dec_ops = _best_rate(full_decode, repeats, iterations)
+        results.append({
+            "kind": kind.name,
+            "kind_id": kind.kind_id,
+            "envelope_bytes": size,
+            "encode_ops_s": round(enc_ops),
+            "decode_ops_s": round(dec_ops),
+            "encode_mb_s": round(enc_ops * size / 1e6, 2),
+            "decode_mb_s": round(dec_ops * size / 1e6, 2),
+        })
+        print(f"  {kind.name:20s} {size:6d} B   "
+              f"enc {enc_ops:9.0f}/s ({enc_ops * size / 1e6:7.1f} MB/s)   "
+              f"dec {dec_ops:9.0f}/s ({dec_ops * size / 1e6:7.1f} MB/s)")
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--iterations", type=int, default=200)
+    parser.add_argument("--out", default="BENCH_wire.json")
+    args = parser.parse_args(argv)
+
+    print(f"wire codec sweep: {len(registered_kinds())} kinds, "
+          f"{args.iterations} iterations x {args.repeats} repeats")
+    report = {
+        "modulus_bits": 64,
+        "repeats": args.repeats,
+        "iterations": args.iterations,
+        "kinds": sweep(args.repeats, args.iterations),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+# --- pytest-benchmark entry points (`make bench`) ---------------------------
+
+_KEYPAIR = generate_keypair(64)
+_CODEC = WireCodec()
+_CODEC.keyring.add(_KEYPAIR.public)
+_PAYLOADS = build_payloads(_KEYPAIR)
+
+
+def test_mu_share_encode_speed(benchmark):
+    tag, payload = _PAYLOADS["online.mu_shares"]
+    benchmark(_encode, _CODEC, tag, payload)
+
+
+def test_offline_post_decode_speed(benchmark):
+    tag, payload = _PAYLOADS["offline.reencrypt"]
+    encoded = _encode(_CODEC, tag, payload)
+    result = benchmark(
+        lambda: _CODEC.decode(decode_envelope(encoded).body)
+    )
+    assert result == _CODEC.decode(_CODEC.encode(result))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

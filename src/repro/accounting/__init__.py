@@ -17,6 +17,7 @@ from repro.accounting.report import (
     comparison_table,
     format_table,
     key_usage_matrix,
+    measurement_table,
     per_gate_series,
 )
 from repro.accounting.export import (
@@ -42,6 +43,7 @@ __all__ = [
     "comparison_table",
     "format_table",
     "key_usage_matrix",
+    "measurement_table",
     "per_gate_series",
     "CircuitShape",
     "CostModel",

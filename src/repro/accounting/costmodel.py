@@ -11,9 +11,11 @@ without running anything.  Two uses:
   scales (n ≈ 20,000) where simulation is impossible — the regime the
   paper actually targets.
 
-Counts are exact; byte sizes are derived from the moduli and proof
-parameters (integer responses carry statistical slack, so real runs wobble
-a few percent around the prediction).
+Counts are exact; byte sizes mirror the canonical wire codec
+(:mod:`repro.wire.codec`) that the bulletin meters, so predictions are
+checked against *delivered envelope bytes*.  Integer responses carry
+statistical slack and magnitudes are drawn uniformly, so real runs wobble
+a few percent around the prediction.
 """
 
 from __future__ import annotations
@@ -31,8 +33,13 @@ if TYPE_CHECKING:  # avoid accounting -> core -> yoso -> accounting cycle
 
 
 def _int_bytes(bits: int) -> int:
-    """Structural size of an integer of the given bit length (sign framed)."""
-    return max(bits, 1) // 8 + 1
+    """Wire size of an integer of the given bit length (tag + length + magnitude)."""
+    return 2 + (max(bits, 1) + 7) // 8
+
+
+def _str_bytes(s: str) -> int:
+    """Wire size of a short string (tag + length varint + utf-8 bytes)."""
+    return 2 + len(s)
 
 
 @dataclass(frozen=True)
@@ -98,17 +105,32 @@ class CostModel:
                 2 * params.te_bits + params.statistical_bits + 24 + 2 * per_epoch
             )
 
+    # -- codec framing constants (mirror repro.wire.codec) -------------------
+
+    #: Registered object: type tag + codec-id varint + field-count varint.
+    OBJ_HEADER = 3
+    #: list/tuple/dict: type tag + small length varint.
+    SEQ_HEADER = 2
+    #: Ciphertext: type tag + 8-byte key id (the Z_{N²} element follows).
+    CT_OVERHEAD = 9
+    #: A small integer (wire id, index, epoch): tag + length + one byte.
+    SMALL_INT = 3
+    #: Envelope frame per post (magic/version/kind/round/sender/phase/tag/
+    #: body-length/crc32) plus the top-level payload dict header.  Sender
+    #: and tag strings vary a few bytes around this per committee.
+    POST_OVERHEAD = 44
+
     # -- component sizes ----------------------------------------------------
 
     @property
     def te_ct(self) -> int:
-        """One threshold-Paillier ciphertext (element of Z_{N²})."""
-        return 2 * self.params.te_bits // 8
+        """One threshold-Paillier ciphertext on the wire (key id + Z_{N²})."""
+        return self.CT_OVERHEAD + 2 * self.params.te_bits // 8
 
     @property
     def role_ct(self) -> int:
-        """One role-key/KFF Paillier ciphertext."""
-        return 2 * self.params.role_key_bits // 8
+        """One role-key/KFF Paillier ciphertext on the wire."""
+        return self.CT_OVERHEAD + 2 * self.params.role_key_bits // 8
 
     @property
     def mask_bits(self) -> int:
@@ -118,7 +140,8 @@ class CostModel:
     def popk_bytes(self) -> int:
         """PlaintextKnowledgeProof: commitment + integer z + unit w."""
         return (
-            self.te_ct
+            self.OBJ_HEADER
+            + _int_bytes(2 * self.params.te_bits)
             + _int_bytes(self.params.te_bits + self.mask_bits)
             + _int_bytes(self.params.te_bits)
         )
@@ -127,7 +150,8 @@ class CostModel:
     def mult_proof_bytes(self) -> int:
         """MultiplicationProof: two commitments + z + w."""
         return (
-            2 * self.te_ct
+            self.OBJ_HEADER
+            + 2 * _int_bytes(2 * self.params.te_bits)
             + _int_bytes(self.params.te_bits + self.mask_bits)
             + _int_bytes(self.params.te_bits)
         )
@@ -135,12 +159,22 @@ class CostModel:
     @property
     def pdec_proof_bytes(self) -> int:
         """PartialDecryptionProof: two commitments + integer response."""
-        return 2 * self.te_ct + _int_bytes(self.tsk_share_bits + self.mask_bits)
+        return (
+            self.OBJ_HEADER
+            + 2 * _int_bytes(2 * self.params.te_bits)
+            + _int_bytes(self.tsk_share_bits + self.mask_bits)
+        )
 
     @property
     def public_partial_bytes(self) -> int:
         """PublicPartial: the partial (index/value/epoch) + its proof."""
-        return _int_bytes(8) + self.te_ct + _int_bytes(8) + self.pdec_proof_bytes
+        partial = (
+            self.OBJ_HEADER
+            + self.SMALL_INT
+            + _int_bytes(2 * self.params.te_bits)
+            + self.SMALL_INT
+        )
+        return self.OBJ_HEADER + partial + self.pdec_proof_bytes
 
     @property
     def chunks_per_partial(self) -> int:
@@ -150,19 +184,22 @@ class CostModel:
 
     @property
     def encrypted_partial_bytes(self) -> int:
-        """EncryptedPartial: chunked ciphertexts + partial-dec proof + ids."""
+        """EncryptedPartial: ids + chunked ciphertexts + partial-dec proof."""
         return (
-            self.chunks_per_partial * self.role_ct
+            self.OBJ_HEADER
+            + 2 * self.SMALL_INT
+            + self.SEQ_HEADER
+            + self.chunks_per_partial * self.role_ct
             + self.pdec_proof_bytes
-            + 2 * _int_bytes(8)
         )
 
     @property
     def dlog_proof_bytes(self) -> int:
         """PlaintextDlogEqualityProof on one limb."""
         return (
-            self.role_ct
-            + self.te_ct
+            self.OBJ_HEADER
+            + _int_bytes(2 * self.params.role_key_bits)
+            + _int_bytes(2 * self.params.te_bits)
             + _int_bytes(self.params.role_key_bits + self.mask_bits)
             + _int_bytes(self.params.role_key_bits)
         )
@@ -177,49 +214,93 @@ class CostModel:
     def resharing_bytes(self) -> int:
         """One EncryptedResharing: n verifications + per-recipient limbs."""
         n = self.params.n
-        per_recipient = self.subshare_limbs * (
-            self.role_ct + self.te_ct + self.dlog_proof_bytes
-        ) + _int_bytes(8)
-        return n * self.te_ct + n * per_recipient + 3 * _int_bytes(16)
-
-    #: Structural framing of one dict entry on the bulletin (key strings
-    #: like "value"/"proof" plus the batch id) — metered by measure_bytes.
-    ENTRY_FRAMING = 13
+        per_recipient = (
+            self.OBJ_HEADER
+            + self.SMALL_INT
+            + 3 * self.SEQ_HEADER
+            + self.subshare_limbs
+            * (self.role_ct + _int_bytes(2 * self.params.te_bits) + self.dlog_proof_bytes)
+        )
+        return (
+            self.OBJ_HEADER
+            + 3 * self.SMALL_INT
+            + 2 * self.SEQ_HEADER
+            + n * _int_bytes(2 * self.params.te_bits)
+            + n * per_recipient
+        )
 
     @property
     def mu_share_bytes(self) -> int:
-        """One online μ-share: ring scalar + constant-size proof token."""
+        """One online μ-share dict entry: ring scalar + proof token + framing."""
         from repro.core.oracle import PROOF_TOKEN_BYTES
 
+        # {batch_id: {"value": scalar, "proof": token}} — the token's length
+        # varint needs two bytes (192 > 127).
         return (
-            _int_bytes(self.params.te_bits)
-            + PROOF_TOKEN_BYTES
-            + self.ENTRY_FRAMING
+            self.SMALL_INT
+            + self.SEQ_HEADER
+            + _str_bytes("value")
+            + _int_bytes(self.params.te_bits)
+            + _str_bytes("proof")
+            + (1 + 2 + PROOF_TOKEN_BYTES)
         )
 
     # -- per-phase predictions ------------------------------------------------
 
+    @property
+    def mul_post_overhead(self) -> int:
+        """Per-member framing of one μ-share post (envelope + section key)."""
+        return self.POST_OVERHEAD + _str_bytes("mu_shares") + self.SEQ_HEADER
+
     def predict_offline(self) -> PhasePrediction:
         n, t = self.params.n, self.params.t
         s = self.shape
-        contribution = self.te_ct + self.popk_bytes  # one masked value + PoPK
+        # One {"ct": ..., "proof": ...} contribution, keyed by wire id.
+        contribution = (
+            self.SMALL_INT + self.SEQ_HEADER
+            + _str_bytes("ct") + self.te_ct
+            + _str_bytes("proof") + self.popk_bytes
+        )
+        # Helper contributions are keyed by a (batch, kind, h) tuple.
+        helper = contribution - self.SMALL_INT + (
+            self.SEQ_HEADER + 2 * self.SMALL_INT + _str_bytes("right")
+        )
+        beaver_b = (
+            self.SMALL_INT + self.SEQ_HEADER
+            + _str_bytes("b_ct") + self.te_ct
+            + _str_bytes("c_ct") + self.te_ct
+            + _str_bytes("proof") + self.mult_proof_bytes
+        )
+        partial_pair = (
+            self.SMALL_INT + self.SEQ_HEADER
+            + _str_bytes("eps") + self.public_partial_bytes
+            + _str_bytes("delta") + self.public_partial_bytes
+        )
+        packed_key = self.SEQ_HEADER + 2 * self.SMALL_INT + _str_bytes("right")
         per_role = {
             # Coff-A: a-contribution per mul gate + one resharing.
-            "A": s.n_multiplications * contribution + self.resharing_bytes,
+            "A": _str_bytes("beaver_a") + self.SEQ_HEADER
+            + s.n_multiplications * contribution
+            + _str_bytes("tsk") + self.resharing_bytes,
             # Coff-B: (b ct + c ct + proof) per mul gate.
-            "B": s.n_multiplications * (2 * self.te_ct + self.mult_proof_bytes),
+            "B": _str_bytes("beaver_b") + self.SEQ_HEADER
+            + s.n_multiplications * beaver_b,
             # Coff-R: masks for inputs+mul wires, 3t helpers per batch.
-            "R": (s.n_inputs + s.n_multiplications) * contribution
-            + s.n_batches * 3 * t * contribution,
+            "R": _str_bytes("masks") + _str_bytes("helpers") + 2 * self.SEQ_HEADER
+            + (s.n_inputs + s.n_multiplications) * contribution
+            + s.n_batches * 3 * t * helper,
             # Coff-dec: 2 public partials per mul gate + resharing.
-            "dec": 2 * s.n_multiplications * self.public_partial_bytes
-            + self.resharing_bytes,
+            "dec": _str_bytes("partials") + self.SEQ_HEADER
+            + s.n_multiplications * partial_pair
+            + _str_bytes("tsk") + self.resharing_bytes,
             # Coff-reenc: re-encrypt inputs + 3n packed shares per batch.
-            "reenc": (s.n_inputs + 3 * n * s.n_batches)
-            * self.encrypted_partial_bytes
-            + self.resharing_bytes,
+            "reenc": _str_bytes("input_shares") + _str_bytes("packed_shares")
+            + 2 * self.SEQ_HEADER
+            + s.n_inputs * (self.SMALL_INT + self.encrypted_partial_bytes)
+            + 3 * n * s.n_batches * (packed_key + self.encrypted_partial_bytes)
+            + _str_bytes("tsk") + self.resharing_bytes,
         }
-        total = n * sum(per_role.values())
+        total = n * (sum(per_role.values()) + 5 * self.POST_OVERHEAD)
         return PhasePrediction(messages=5 * n, n_bytes=total)
 
     def predict_online(self) -> PhasePrediction:
@@ -235,17 +316,25 @@ class CostModel:
         tag_framing = 16
         late_epoch_extra = self.params.n * self.subshare_limbs * 8
         keys_per_role = (
-            kff_targets
-            * (kff_chunks * self.encrypted_partial_bytes + tag_framing)
-            + self.resharing_bytes
+            self.POST_OVERHEAD + _str_bytes("kff") + self.SEQ_HEADER
+            + kff_targets
+            * (
+                tag_framing + self.SEQ_HEADER
+                + kff_chunks * self.encrypted_partial_bytes
+            )
+            + _str_bytes("tsk") + self.resharing_bytes
             + late_epoch_extra
         )
-        clients_total = s.n_inputs * (
-            _int_bytes(self.params.te_bits) + self.ENTRY_FRAMING
+        clients_total = s.n_input_clients * (
+            self.POST_OVERHEAD + _str_bytes("mu") + self.SEQ_HEADER
+        ) + s.n_inputs * (self.SMALL_INT + _int_bytes(self.params.te_bits))
+        mul_total = (
+            s.n_batches * n * self.mu_share_bytes
+            + s.n_depths * n * self.mul_post_overhead
         )
-        mul_total = s.n_batches * n * self.mu_share_bytes
-        out_per_role = s.n_outputs * (
-            self.encrypted_partial_bytes + self.ENTRY_FRAMING
+        out_per_role = (
+            self.POST_OVERHEAD + _str_bytes("output") + self.SEQ_HEADER
+            + s.n_outputs * (self.SMALL_INT + self.encrypted_partial_bytes)
         )
         total = n * keys_per_role + clients_total + mul_total + n * out_per_role
         messages = n + s.n_input_clients + s.n_depths * n + n
@@ -254,13 +343,17 @@ class CostModel:
     # -- headline quantities ------------------------------------------------
 
     def online_mul_bytes_per_gate(self) -> float:
-        """The paper's O(1) quantity: μ-share bytes per multiplication."""
+        """The paper's O(1) quantity: μ-share bytes per multiplication.
+
+        Matches the meter's ``Con-mul-*`` records, which include each
+        member's per-depth post framing alongside its per-batch entries.
+        """
         if self.shape.n_multiplications == 0:
             return 0.0
         return (
             self.shape.n_batches * self.params.n * self.mu_share_bytes
-            / self.shape.n_multiplications
-        )
+            + self.shape.n_depths * self.params.n * self.mul_post_overhead
+        ) / self.shape.n_multiplications
 
     def offline_bytes_per_gate(self) -> float:
         if self.shape.n_multiplications == 0:

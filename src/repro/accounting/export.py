@@ -32,11 +32,15 @@ def run_report(
         "totals": {
             "bytes": meter.total_bytes(),
             "messages": meter.total_messages(),
+            "exact_bytes": meter.exact_bytes(),
+            "estimated_bytes": meter.estimated_bytes(),
         },
         "phases": {
             phase: {
                 "bytes": meter.total_bytes(phase),
                 "messages": meter.total_messages(phase),
+                "exact_bytes": meter.exact_bytes(phase),
+                "estimated_bytes": meter.estimated_bytes(phase),
                 "by_tag": meter.by_tag(phase),
             }
             for phase in phases

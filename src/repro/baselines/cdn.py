@@ -42,8 +42,20 @@ from repro.nizk.params import ProofParams
 from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
 from repro.paillier.paillier import PaillierCiphertext
 from repro.paillier.threshold import ThresholdPaillier, teval
+from repro.wire.registry import register_kind
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.network import ProtocolEnvironment
+
+#: Envelope kinds of the CDN baseline's posts ("Cdn-" committee messages
+#: and the lowercase "cdn-" setup/input tags).
+register_kind(
+    "baseline.cdn", 22, tag_prefix="Cdn-",
+    description="CDN committee messages (triples, eval partials, output)",
+)
+register_kind(
+    "baseline.cdn_aux", 23, tag_prefix="cdn-",
+    description="CDN setup parameters and client input broadcasts",
+)
 
 
 @dataclass

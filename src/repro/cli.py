@@ -80,6 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_mpc(
         circuit, inputs, n=args.n, epsilon=args.epsilon, seed=args.seed,
         fail_stop=args.fail_stop, workers=args.workers,
+        transport=args.transport,
     )
     print(json.dumps(result.outputs, indent=2, sort_keys=True))
     if args.report:
@@ -97,6 +98,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     result = run_mpc(
         circuit, {"alice": [2, 3, 5], "bob": [7, 11, 13]},
         n=args.n, epsilon=args.epsilon, seed=args.seed, workers=args.workers,
+        transport=args.transport,
     )
     print(f"parameters: {result.params.describe()}")
     print(f"outputs:    {result.outputs}")
@@ -132,7 +134,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer = Tracer()
     result = run_mpc(
         circuit, inputs, n=args.n, epsilon=args.epsilon, seed=args.seed,
-        tracer=tracer, workers=args.workers,
+        tracer=tracer, workers=args.workers, transport=args.transport,
     )
     report = merged_report(result)
 
@@ -231,6 +233,15 @@ def _add_execution_options(
     parser.add_argument(
         "--workers", type=int, default=0,
         help="crypto-engine worker processes, 0 = serial (default: 0)",
+    )
+    parser.add_argument(
+        "--transport", default=None, metavar="SPEC",
+        help=(
+            "bulletin transport: 'memory' (default) or "
+            "'sim[:drop=R,seed=S,latency=L,jitter=J,bandwidth=B]' — a "
+            "seeded lossy/delayed byte transport whose drops surface as "
+            "fail-stop silence"
+        ),
     )
 
 

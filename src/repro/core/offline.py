@@ -75,8 +75,31 @@ from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
 from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey
 from repro.paillier.threshold import ThresholdPaillier, teval
 from repro.sharing.packed import secret_slots
+from repro.wire.registry import register_kind
 from repro.yoso.committees import Committee
 from repro.yoso.network import ProtocolEnvironment
+
+#: Envelope kinds of the offline committees' single bundled messages.
+register_kind(
+    "offline.beaver_a", 2, tag=OFFLINE_A,
+    description="Beaver a-contributions with PoPK, plus the tsk resharing",
+)
+register_kind(
+    "offline.beaver_b", 3, tag=OFFLINE_B,
+    description="Beaver b- and c-contributions with multiplication proofs",
+)
+register_kind(
+    "offline.masks", 4, tag=OFFLINE_R,
+    description="encrypted wire-mask and packing-helper contributions",
+)
+register_kind(
+    "offline.partials", 5, tag=OFFLINE_DEC,
+    description="public partial decryptions of ε/δ, plus the tsk resharing",
+)
+register_kind(
+    "offline.reencrypt", 6, tag=OFFLINE_REENC,
+    description="packed shares re-encrypted to KFFs, plus the tsk resharing",
+)
 
 PACK_KINDS = ("left", "right", "gamma")
 

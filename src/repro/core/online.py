@@ -58,9 +58,28 @@ from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.paillier.encoding import safe_chunk_bits, unchunk_integer
 from repro.paillier.paillier import PaillierSecretKey
 from repro.sharing.packed import PackedShamirScheme, PackedShare
+from repro.wire.registry import register_kind
 from repro.yoso.committees import Committee
 from repro.yoso.roles import Role
 from repro.yoso.network import ProtocolEnvironment
+
+#: Envelope kinds of the online phase's posts.
+register_kind(
+    "online.keys", 7, tag=ONLINE_KEYS,
+    description="KFF secrets re-encrypted to role keys, plus the tsk resharing",
+)
+register_kind(
+    "online.input", 8, tag_prefix="input:",
+    description="a client's broadcast μ = v − λ per input wire",
+)
+register_kind(
+    "online.mu_shares", 9, tag_prefix="Con-mul-",
+    description="one member's μ^γ canonical shares with correctness proofs",
+)
+register_kind(
+    "online.output", 10, tag=ONLINE_OUT,
+    description="output-wire masks re-encrypted to the receiving clients",
+)
 
 
 class MuTracker:

@@ -37,6 +37,7 @@ from repro.engine.engine import CryptoEngine, make_engine
 from repro.errors import ParameterError
 from repro.observability import hooks as _hooks
 from repro.observability.tracer import KIND_PHASE, Tracer, maybe_span
+from repro.wire.transport import Transport, make_transport
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.committees import Committee
@@ -62,6 +63,7 @@ class MpcResult:
     offline: OfflineState
     online: OnlineState
     trace: Tracer | None = None
+    transport: Transport | None = None
 
     def report(self, label: str = "yoso-mpc") -> CommReport:
         return CommReport.from_meter(
@@ -100,11 +102,17 @@ class YosoMpc:
         adversary_factory: AdversaryFactory | None = None,
         tracer: Tracer | None = None,
         engine: CryptoEngine | None = None,
+        transport: Transport | str | None = None,
     ):
         self.params = params
         self.rng = rng if rng is not None else random.Random()
         self.adversary_factory = adversary_factory
         self.tracer = tracer
+        #: Transport selection: an instance, a spec string ("memory",
+        #: "sim:drop=0.1,seed=3", ...), or None for in-memory delivery.
+        #: Resolved per run — a fresh transport every execution so seeded
+        #: drop/latency schedules replay identically.
+        self.transport = transport
         #: Crypto engine override; None = build one from ``params.workers``
         #: per run (and close it afterwards).  A supplied engine is shared
         #: across runs and stays open — the caller owns its lifecycle.
@@ -121,7 +129,11 @@ class YosoMpc:
             key_bits=self.params.role_key_bits, rng=self.rng
         )
         tracer = self.tracer
-        env = ProtocolEnvironment(assignment=assignment, rng=self.rng, tracer=tracer)
+        transport = make_transport(self.transport)
+        env = ProtocolEnvironment(
+            assignment=assignment, rng=self.rng, tracer=tracer,
+            transport=transport,
+        )
 
         owns_engine = self.engine is None
         engine = make_engine(self.params.workers) if owns_engine else self.engine
@@ -166,6 +178,7 @@ class YosoMpc:
             offline=offline,
             online=online,
             trace=tracer,
+            transport=transport,
         )
 
 
@@ -180,6 +193,7 @@ def run_mpc(
     role_key_bits: int = 64,
     tracer: Tracer | None = None,
     workers: int = 0,
+    transport: Transport | str | None = None,
 ) -> MpcResult:
     """One-call convenience wrapper (the quickstart entry point)."""
     params = ProtocolParams.from_gap(
@@ -188,4 +202,6 @@ def run_mpc(
         workers=workers,
     )
     rng = random.Random(seed)
-    return YosoMpc(params, rng=rng, tracer=tracer).run(circuit, inputs)
+    return YosoMpc(
+        params, rng=rng, tracer=tracer, transport=transport
+    ).run(circuit, inputs)

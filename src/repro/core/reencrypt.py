@@ -42,6 +42,7 @@ from repro.paillier.threshold import (
     ThresholdPaillier,
     ThresholdPublicKey,
 )
+from repro.wire.codec import register_wire_dataclass
 
 
 @dataclass(frozen=True)
@@ -61,12 +62,18 @@ class EncryptedPartial:
     proof: PartialDecryptionProof
 
 
+register_wire_dataclass(16, EncryptedPartial)
+
+
 @dataclass(frozen=True)
 class PublicPartial:
     """One member's Decrypt contribution: partial in clear + public proof."""
 
     partial: PartialDecryption
     proof: PartialDecryptionProof
+
+
+register_wire_dataclass(17, PublicPartial)
 
 
 def reencrypt_contribution(

@@ -48,6 +48,7 @@ from repro.paillier.threshold import (
     ThresholdPublicKey,
     recombine_with_epoch,
 )
+from repro.wire.codec import register_wire_dataclass
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,9 @@ class EncryptedSubshare:
     limb_proofs: tuple[PlaintextDlogEqualityProof, ...]
 
 
+register_wire_dataclass(18, EncryptedSubshare)
+
+
 @dataclass(frozen=True)
 class EncryptedResharing:
     """A sender's complete (encrypted, provable) TKRes message."""
@@ -69,6 +73,9 @@ class EncryptedResharing:
     offset_bits: int
     verifications: tuple[int, ...]          # v^(Δ·s_{i,j}) per recipient j
     subshares: tuple[EncryptedSubshare, ...]
+
+
+register_wire_dataclass(19, EncryptedResharing)
 
 
 def dlog_base(tpk: ThresholdPublicKey) -> int:

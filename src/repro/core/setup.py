@@ -40,6 +40,7 @@ from repro.paillier.threshold import (
     ThresholdPaillier,
     ThresholdPublicKey,
 )
+from repro.wire.registry import register_kind
 from repro.yoso.network import ProtocolEnvironment
 
 #: Committee naming scheme shared by the offline/online orchestrators.
@@ -50,6 +51,15 @@ OFFLINE_DEC = "Coff-dec"
 OFFLINE_REENC = "Coff-reenc"
 ONLINE_KEYS = "Con-keys"
 ONLINE_OUT = "Con-out"
+
+#: The bulletin tag of the one setup post.
+SETUP_KEYS_TAG = "setup-keys"
+
+#: Envelope kind of the setup functionality's single public post.
+SETUP_KEYS_KIND = register_kind(
+    "setup.keys", 1, tag=SETUP_KEYS_TAG,
+    description="tpk modulus, verification values, and the KFF directory",
+)
 
 
 def mul_committee_name(depth: int) -> str:

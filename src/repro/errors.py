@@ -69,6 +69,18 @@ class RoleAlreadySpokeError(YosoError):
     """A YOSO role attempted to speak (post to the bulletin) twice."""
 
 
+class WireError(ReproError):
+    """Wire-format (envelope codec / transport) failure."""
+
+
+class WireEncodeError(WireError, TypeError):
+    """A payload cannot be canonically encoded for the bulletin."""
+
+
+class WireDecodeError(WireError, ValueError):
+    """Bytes on the wire are not a valid canonical encoding."""
+
+
 class ProtocolAbortError(ReproError):
     """A protocol could not complete (should never happen under GOD)."""
 

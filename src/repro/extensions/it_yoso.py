@@ -56,11 +56,20 @@ from repro.errors import ParameterError, ProtocolAbortError
 from repro.fields.lagrange import lagrange_coefficients
 from repro.fields.ring import Zmod, ZmodElement
 from repro.sharing.packed import PackedShamirScheme, PackedShare, secret_slots
+from repro.wire.registry import register_kind
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.bulletin import BulletinBoard
 from repro.yoso.committees import Committee
 from repro.yoso.network import ProtocolEnvironment
+
+#: Envelope kind of every IT-YOSO post ("It-P1", "It-P2", "It-input",
+#: and the "It-mul-{depth}" committee tags).
+register_kind(
+    "it.messages", 24, tag_prefix="It-",
+    description="information-theoretic prototype messages (field elements)",
+)
+
 
 @dataclass
 class ItYosoResult:
@@ -71,9 +80,22 @@ class ItYosoResult:
     meter: CommMeter
 
     def online_mul_bytes(self) -> int:
+        """Delivered μ-share bytes including per-post envelope framing."""
         return sum(
             v for tag, v in self.meter.by_tag("online").items()
             if tag.startswith("It-mul")
+        )
+
+    def online_mul_payload_bytes(self) -> int:
+        """μ-share section bytes only — the paper's O(1)-per-gate quantity.
+
+        Envelope framing is a constant per member per depth, independent of
+        the batch payload; it amortizes away on wide circuits but dominates
+        tiny test instances, so flatness claims compare payload bytes.
+        """
+        return sum(
+            v for tag, v in self.meter.by_tag("online").items()
+            if tag.startswith("It-mul") and tag.endswith(".mu_shares")
         )
 
 

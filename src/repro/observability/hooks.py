@@ -41,6 +41,13 @@ LAGRANGE_INTEGER = "lagrange.integer_interpolations"
 
 BULLETIN_POSTS = "bulletin.posts"
 
+WIRE_POSTS = "wire.posts"                      # envelopes encoded for posting
+WIRE_ENCODED_BYTES = "wire.encoded_bytes"      # total envelope bytes produced
+WIRE_DECODES = "wire.decodes"                  # envelope bodies decoded on read
+WIRE_DECODE_FAILURES = "wire.decode_failures"  # rejected (garbled) envelopes
+WIRE_DROPS = "wire.drops"                      # posts lost by the transport
+WIRE_ENCODE_FALLBACKS = "wire.encode_fallbacks"  # legacy structural-sizer posts
+
 ENGINE_BATCHES = "engine.batches"          # pow_many calls, any engine
 ENGINE_JOBS = "engine.jobs"                # exponentiations routed through it
 ENGINE_POOL_BATCHES = "engine.pool_batches"  # batches dispatched to the pool

@@ -1,0 +1,69 @@
+"""Wire layer: canonical byte encoding + transports for the bulletin board.
+
+Everything a role posts crosses this subsystem as real bytes:
+
+* :mod:`repro.wire.codec` — the canonical self-describing value codec
+  (ints, strings, containers, Paillier ciphertexts, proofs, resharing
+  messages ...) with a :class:`~repro.wire.codec.KeyRing` resolving
+  ciphertext key ids;
+* :mod:`repro.wire.envelope` — the versioned ``Envelope`` framing
+  (kind, sender, round, phase, tag, body, checksum);
+* :mod:`repro.wire.registry` — the versioned kind registry mapping
+  bulletin tags to envelope kinds;
+* :mod:`repro.wire.transport` — the ``Transport`` ABC with the in-memory
+  and simulated (latency/drop) implementations.
+
+The byte lengths produced here are what the communication meter records:
+the comm report measures the wire, it does not model it.
+"""
+
+from repro.wire.codec import (
+    KeyRing,
+    WireCodec,
+    register_wire_dataclass,
+    roundtrip_check,
+)
+from repro.wire.envelope import Envelope, decode_envelope, encode_envelope
+from repro.wire.registry import (
+    GENERIC_KIND,
+    WireKind,
+    kind_by_id,
+    kind_for_tag,
+    register_kind,
+    registered_kinds,
+)
+from repro.wire.transport import (
+    DropSpec,
+    InMemoryTransport,
+    SimTransport,
+    Transport,
+    TransportStats,
+    make_transport,
+)
+
+# Codecs for the leaf crypto types (ciphertext keys, proofs, partial
+# decryptions) register as an import side effect; the core phase modules
+# register their own payload dataclasses the same way at definition site.
+from repro.wire import domain as _domain  # noqa: F401  (registration)
+
+__all__ = [
+    "KeyRing",
+    "WireCodec",
+    "register_wire_dataclass",
+    "roundtrip_check",
+    "Envelope",
+    "decode_envelope",
+    "encode_envelope",
+    "GENERIC_KIND",
+    "WireKind",
+    "kind_by_id",
+    "kind_for_tag",
+    "register_kind",
+    "registered_kinds",
+    "DropSpec",
+    "InMemoryTransport",
+    "SimTransport",
+    "Transport",
+    "TransportStats",
+    "make_transport",
+]

@@ -1,0 +1,30 @@
+"""Wire registrations for the leaf crypto payload types.
+
+The Σ-protocol proofs and threshold-decryption records are frozen
+dataclasses of integers; registering them here (codes 1–15) keeps the
+crypto modules free of any wire dependency.  Protocol-level payload
+dataclasses (re-encryption, resharing — codes 16+) register next to their
+definitions in :mod:`repro.core`, which *may* depend on the wire layer.
+
+``PaillierCiphertext`` is not here: it has a dedicated type tag inside
+the codec (key-id + fixed-width group element).
+"""
+
+from __future__ import annotations
+
+from repro.nizk.sigma import (
+    MultiplicationProof,
+    PartialDecryptionProof,
+    PlaintextDlogEqualityProof,
+    PlaintextKnowledgeProof,
+)
+from repro.paillier.paillier import PaillierPublicKey
+from repro.paillier.threshold import PartialDecryption
+from repro.wire.codec import register_wire_dataclass
+
+register_wire_dataclass(1, PaillierPublicKey)
+register_wire_dataclass(2, PlaintextKnowledgeProof)
+register_wire_dataclass(3, MultiplicationProof)
+register_wire_dataclass(4, PartialDecryptionProof)
+register_wire_dataclass(5, PlaintextDlogEqualityProof)
+register_wire_dataclass(6, PartialDecryption)

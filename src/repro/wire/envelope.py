@@ -1,0 +1,110 @@
+"""The typed envelope every bulletin post travels in.
+
+Layout (all integers varint unless noted)::
+
+    magic   b"YW"                      2 bytes
+    version 0x01                       1 byte
+    kind id                            varint
+    kind version                       varint
+    round                              varint
+    sender  len + utf-8
+    phase   len + utf-8
+    tag     len + utf-8
+    body    len + canonical codec bytes
+    crc32(body)                        4 bytes big-endian
+
+The CRC is an integrity tripwire for the simulated transports (garbled
+delivery fails loudly at decode, it does not mis-decode) — it is not an
+authenticity mechanism; the bulletin-board model already gives every
+reader the same bytes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import WireDecodeError, WireError
+from repro.wire.codec import read_varint, write_varint
+from repro.wire.registry import WireKind, kind_by_id, kind_for_tag
+
+WIRE_MAGIC = b"YW"
+WIRE_VERSION = 1
+
+_CRC_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One decoded bulletin message: typed header + canonical body bytes."""
+
+    kind: str
+    sender: str
+    round: int
+    phase: str
+    tag: str
+    body: bytes
+
+
+def encode_envelope(envelope: Envelope, kind: WireKind | None = None) -> bytes:
+    """Serialize ``envelope``; ``kind`` defaults to the tag's registration."""
+    if kind is None:
+        kind = kind_for_tag(envelope.tag)
+    out = bytearray(WIRE_MAGIC)
+    out.append(WIRE_VERSION)
+    write_varint(out, kind.kind_id)
+    write_varint(out, kind.version)
+    write_varint(out, envelope.round)
+    for text in (envelope.sender, envelope.phase, envelope.tag):
+        raw = text.encode("utf-8")
+        write_varint(out, len(raw))
+        out += raw
+    write_varint(out, len(envelope.body))
+    out += envelope.body
+    out += zlib.crc32(envelope.body).to_bytes(_CRC_BYTES, "big")
+    return bytes(out)
+
+
+def decode_envelope(data: bytes) -> Envelope:
+    """Parse and integrity-check one envelope (rejects any malformation)."""
+    if data[: len(WIRE_MAGIC)] != WIRE_MAGIC:
+        raise WireDecodeError("not a wire envelope (bad magic)")
+    pos = len(WIRE_MAGIC)
+    if pos >= len(data):
+        raise WireDecodeError("truncated envelope header")
+    version = data[pos]
+    pos += 1
+    if version != WIRE_VERSION:
+        raise WireDecodeError(f"unsupported wire version {version}")
+    kind_id, pos = read_varint(data, pos)
+    try:
+        kind = kind_by_id(kind_id)
+    except WireError as exc:
+        raise WireDecodeError(str(exc)) from exc
+    kind_version, pos = read_varint(data, pos)
+    if kind_version != kind.version:
+        raise WireDecodeError(
+            f"kind {kind.name!r} version mismatch: "
+            f"wire {kind_version}, registry {kind.version}"
+        )
+    round_, pos = read_varint(data, pos)
+    texts = []
+    for what in ("sender", "phase", "tag"):
+        length, pos = read_varint(data, pos)
+        if pos + length > len(data):
+            raise WireDecodeError(f"truncated envelope {what}")
+        try:
+            texts.append(data[pos:pos + length].decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise WireDecodeError(f"invalid utf-8 in {what}: {exc}") from exc
+        pos += length
+    body_len, pos = read_varint(data, pos)
+    if pos + body_len + _CRC_BYTES != len(data):
+        raise WireDecodeError("envelope length does not match frame")
+    body = data[pos:pos + body_len]
+    pos += body_len
+    crc = int.from_bytes(data[pos:pos + _CRC_BYTES], "big")
+    if crc != zlib.crc32(body):
+        raise WireDecodeError("envelope body checksum mismatch")
+    sender, phase, tag = texts
+    return Envelope(kind.name, sender, round_, phase, tag, body)

@@ -1,0 +1,105 @@
+"""Versioned registry of envelope kinds.
+
+Every envelope carries a *kind* — a stable numeric id naming the payload
+family it transports (``offline.beaver_a``, ``online.mu_shares`` ...).
+Kinds are registered by the protocol module that owns the payload (the
+five ``repro.core`` phase modules, the baselines, the extensions), keyed
+to the bulletin tag(s) that family posts under; tags nobody claimed fall
+back to :data:`GENERIC_KIND`.
+
+The numeric id and the per-kind version travel in the envelope header, so
+a future cross-process deployment can reject or migrate messages from a
+different protocol revision instead of mis-decoding them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WireError
+
+
+@dataclass(frozen=True)
+class WireKind:
+    """One registered envelope kind."""
+
+    name: str
+    kind_id: int
+    version: int = 1
+    tag: str | None = None          # exact bulletin tag match
+    tag_prefix: str | None = None   # prefix match (e.g. "Con-mul-")
+    description: str = ""
+
+
+GENERIC_KIND = WireKind(
+    "generic", 0, description="unregistered tag; payload is self-describing"
+)
+
+_BY_NAME: dict[str, WireKind] = {GENERIC_KIND.name: GENERIC_KIND}
+_BY_ID: dict[int, WireKind] = {GENERIC_KIND.kind_id: GENERIC_KIND}
+_BY_TAG: dict[str, WireKind] = {}
+_BY_PREFIX: list[WireKind] = []
+
+
+def register_kind(
+    name: str,
+    kind_id: int,
+    version: int = 1,
+    tag: str | None = None,
+    tag_prefix: str | None = None,
+    description: str = "",
+) -> WireKind:
+    """Register (idempotently) an envelope kind.
+
+    Re-registering an identical spec is a no-op — phase modules register
+    at import time and may be imported repeatedly.  Conflicting specs
+    (same id or name with different meaning) raise :class:`WireError`.
+    """
+    kind = WireKind(name, kind_id, version, tag, tag_prefix, description)
+    existing = _BY_ID.get(kind_id) or _BY_NAME.get(name)
+    if existing is not None:
+        if existing == kind:
+            return existing
+        raise WireError(
+            f"wire kind conflict: {kind} vs already-registered {existing}"
+        )
+    _BY_NAME[name] = kind
+    _BY_ID[kind_id] = kind
+    if tag is not None:
+        if tag in _BY_TAG:
+            raise WireError(f"tag {tag!r} already claimed by {_BY_TAG[tag]}")
+        _BY_TAG[tag] = kind
+    if tag_prefix is not None:
+        _BY_PREFIX.append(kind)
+        _BY_PREFIX.sort(key=lambda k: -len(k.tag_prefix or ""))
+    return kind
+
+
+def kind_for_tag(tag: str) -> WireKind:
+    """The registered kind posting under ``tag`` (generic if unclaimed)."""
+    kind = _BY_TAG.get(tag)
+    if kind is not None:
+        return kind
+    for candidate in _BY_PREFIX:
+        if tag.startswith(candidate.tag_prefix):  # longest prefix first
+            return candidate
+    return GENERIC_KIND
+
+
+def kind_by_id(kind_id: int) -> WireKind:
+    kind = _BY_ID.get(kind_id)
+    if kind is None:
+        raise WireError(f"unknown wire kind id {kind_id}")
+    return kind
+
+
+def kind_by_name(name: str) -> WireKind:
+    kind = _BY_NAME.get(name)
+    if kind is None:
+        raise WireError(f"unknown wire kind {name!r}")
+    return kind
+
+
+def registered_kinds() -> tuple[WireKind, ...]:
+    """All registered kinds, ordered by id (the WIRE.md kind table)."""
+    return tuple(_BY_ID[i] for i in sorted(_BY_ID))

@@ -1,0 +1,196 @@
+"""Pluggable delivery of encoded envelopes.
+
+The bulletin hands every encoded post to a :class:`Transport`; whatever
+comes back is what the board (and therefore every reader) sees.  A
+transport may return the bytes unchanged (delivery), or ``None`` (loss).
+Loss surfaces exactly like the existing fail-stop machinery: the runtime
+marks the silent role crashed, and reconstruction proceeds iff the
+remaining contributions clear the §5.4 crash budget.
+
+Transports draw randomness only from their *own* seeded generator — never
+from the protocol RNG — so a zero-loss :class:`SimTransport` produces a
+bulletin byte-identical to :class:`InMemoryTransport` at the same seed.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.wire.envelope import Envelope
+
+
+@dataclass
+class TransportStats:
+    """Delivery counters (and the simulated clock, for SimTransport)."""
+
+    delivered: int = 0
+    dropped: int = 0
+    delivered_bytes: int = 0
+    dropped_bytes: int = 0
+    sim_clock_s: float = 0.0
+
+
+class Transport(ABC):
+    """Delivery policy for encoded bulletin posts."""
+
+    name: str = "transport"
+
+    def __init__(self) -> None:
+        self.stats = TransportStats()
+
+    @abstractmethod
+    def deliver(self, envelope: Envelope, encoded: bytes) -> bytes | None:
+        """Deliver one encoded post; ``None`` means the message is lost."""
+
+    def describe(self) -> str:
+        return self.name
+
+    def _note_delivered(self, encoded: bytes) -> bytes:
+        self.stats.delivered += 1
+        self.stats.delivered_bytes += len(encoded)
+        return encoded
+
+    def _note_dropped(self, encoded: bytes) -> None:
+        self.stats.dropped += 1
+        self.stats.dropped_bytes += len(encoded)
+
+
+class InMemoryTransport(Transport):
+    """Perfect same-process delivery — the board's historical semantics."""
+
+    name = "memory"
+
+    def deliver(self, envelope: Envelope, encoded: bytes) -> bytes | None:
+        return self._note_delivered(encoded)
+
+
+@dataclass(frozen=True)
+class DropSpec:
+    """Seeded loss schedule for :class:`SimTransport`.
+
+    A post is dropped when its phase matches (``phase is None`` = all),
+    the drop budget ``max_drops`` is not exhausted, and either its sender
+    is explicitly listed in ``senders`` or an independent coin with
+    probability ``rate`` comes up loss.  Listing senders gives tests the
+    §5.4 shape directly: exactly these roles fall silent.
+    """
+
+    rate: float = 0.0
+    senders: frozenset[str] = frozenset()
+    phase: str | None = None
+    max_drops: int | None = None
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ParameterError(f"drop rate must be in [0, 1], got {self.rate}")
+
+    def wants_drop(
+        self, envelope: Envelope, rng: random.Random, drops_so_far: int
+    ) -> bool:
+        if self.max_drops is not None and drops_so_far >= self.max_drops:
+            return False
+        if self.phase is not None and envelope.phase != self.phase:
+            return False
+        if envelope.sender in self.senders:
+            return True
+        return self.rate > 0.0 and rng.random() < self.rate
+
+
+class SimTransport(Transport):
+    """Simulated network: seeded latency and loss over perfect bytes.
+
+    Latency accrues on a simulated clock (``stats.sim_clock_s``) — the
+    round model stays synchronous, so latency never reorders posts; it
+    models what a deployment would *wait*, not what it would see.  With
+    the default ``DropSpec()`` (zero loss) delivery is bit-identical to
+    :class:`InMemoryTransport`.
+    """
+
+    name = "sim"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop: DropSpec | None = None,
+        latency_s: float = 0.0,
+        jitter_s: float = 0.0,
+        bandwidth_bytes_per_s: float | None = None,
+    ):
+        super().__init__()
+        if latency_s < 0 or jitter_s < 0:
+            raise ParameterError("latency/jitter must be non-negative")
+        if bandwidth_bytes_per_s is not None and bandwidth_bytes_per_s <= 0:
+            raise ParameterError("bandwidth must be positive")
+        self.seed = seed
+        self.drop = drop if drop is not None else DropSpec()
+        self.latency_s = latency_s
+        self.jitter_s = jitter_s
+        self.bandwidth_bytes_per_s = bandwidth_bytes_per_s
+        self._rng = random.Random(seed)
+
+    def deliver(self, envelope: Envelope, encoded: bytes) -> bytes | None:
+        delay = self.latency_s
+        if self.jitter_s:
+            delay += self._rng.random() * self.jitter_s
+        if self.bandwidth_bytes_per_s is not None:
+            delay += len(encoded) / self.bandwidth_bytes_per_s
+        self.stats.sim_clock_s += delay
+        if self.drop.wants_drop(envelope, self._rng, self.stats.dropped):
+            self._note_dropped(encoded)
+            return None
+        return self._note_delivered(encoded)
+
+    def describe(self) -> str:
+        return (
+            f"sim(seed={self.seed}, rate={self.drop.rate}, "
+            f"latency={self.latency_s}s)"
+        )
+
+
+def make_transport(spec: str | Transport | None) -> Transport:
+    """Build a transport from a CLI-style spec string.
+
+    ``"memory"`` or ``None`` → :class:`InMemoryTransport`;
+    ``"sim"`` → zero-loss :class:`SimTransport`;
+    ``"sim:drop=0.1,seed=3,latency=0.05,jitter=0.01,phase=online,max-drops=2"``
+    → a configured :class:`SimTransport`.  An already-built transport
+    passes through unchanged.
+    """
+    if spec is None:
+        return InMemoryTransport()
+    if isinstance(spec, Transport):
+        return spec
+    name, _, options = spec.partition(":")
+    if name == "memory":
+        if options:
+            raise ParameterError("memory transport takes no options")
+        return InMemoryTransport()
+    if name != "sim":
+        raise ParameterError(f"unknown transport {name!r} (memory|sim)")
+    kwargs: dict[str, float | int] = {}
+    drop_kwargs: dict[str, object] = {}
+    for part in filter(None, options.split(",")):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ParameterError(f"malformed transport option {part!r}")
+        if key == "seed":
+            kwargs["seed"] = int(value)
+        elif key == "latency":
+            kwargs["latency_s"] = float(value)
+        elif key == "jitter":
+            kwargs["jitter_s"] = float(value)
+        elif key == "bandwidth":
+            kwargs["bandwidth_bytes_per_s"] = float(value)
+        elif key == "drop":
+            drop_kwargs["rate"] = float(value)
+        elif key == "phase":
+            drop_kwargs["phase"] = value
+        elif key == "max-drops":
+            drop_kwargs["max_drops"] = int(value)
+        else:
+            raise ParameterError(f"unknown transport option {key!r}")
+    drop = DropSpec(**drop_kwargs) if drop_kwargs else None
+    return SimTransport(drop=drop, **kwargs)

@@ -3,36 +3,118 @@
 All YOSO communication is posting to (and reading from) a public
 append-only board: broadcast and point-to-point messages cost the same
 (paper §3.3), point-to-point privacy comes from encrypting to the
-recipient's role key.  Every post is metered.
+recipient's role key.
+
+The board is *byte-real*: every post is canonically encoded into a
+:class:`~repro.wire.envelope.Envelope`, handed to the configured
+:class:`~repro.wire.transport.Transport`, and stored as the delivered
+bytes — readers decode on access.  The meter records the exact encoded
+spans (per payload section plus the envelope framing), so reported totals
+equal ``sum(len(envelope))`` over the board.  Payloads the codec cannot
+encode (foreign extension objects) degrade to the legacy object-reference
+path with structural-sizer estimates and a one-time deprecation warning.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Any, Iterator
 
 from repro.accounting.comm import CommMeter
-from repro.errors import YosoError
+from repro.errors import WireEncodeError, YosoError
 from repro.observability import hooks as _hooks
+from repro.wire.codec import WireCodec, roundtrip_check
+from repro.wire.envelope import Envelope, decode_envelope, encode_envelope
+from repro.wire.registry import kind_for_tag
+from repro.wire.transport import InMemoryTransport, Transport
+
+_FALLBACK_WARNED: set[str] = set()
 
 
-@dataclass(frozen=True)
 class Post:
-    """One append-only board entry."""
+    """One append-only board entry: envelope bytes plus lazy decode.
 
-    seq: int
-    round: int
-    phase: str
-    sender: str
-    tag: str
-    payload: Any
+    ``encoded`` holds the full delivered envelope (``None`` only on the
+    legacy fallback path, where ``payload`` is the original object).
+    ``payload`` decodes the body on first access and caches the result —
+    the decode-on-read semantics a real byte transport forces.
+    """
+
+    __slots__ = (
+        "seq", "round", "phase", "sender", "tag", "kind",
+        "encoded", "n_bytes", "_codec", "_payload", "_decoded",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        round: int,
+        phase: str,
+        sender: str,
+        tag: str,
+        kind: str = "generic",
+        encoded: bytes | None = None,
+        codec: WireCodec | None = None,
+        raw_payload: Any = None,
+    ):
+        self.seq = seq
+        self.round = round
+        self.phase = phase
+        self.sender = sender
+        self.tag = tag
+        self.kind = kind
+        self.encoded = encoded
+        self.n_bytes = len(encoded) if encoded is not None else None
+        self._codec = codec
+        self._payload = raw_payload
+        self._decoded = encoded is None
+
+    @property
+    def payload(self) -> Any:
+        if not self._decoded:
+            envelope = decode_envelope(self.encoded)
+            try:
+                self._payload = self._codec.decode(envelope.body)
+            except Exception:
+                _hooks.note(_hooks.WIRE_DECODE_FAILURES)
+                raise
+            _hooks.note(_hooks.WIRE_DECODES)
+            self._decoded = True
+        return self._payload
+
+    @property
+    def is_encoded(self) -> bool:
+        return self.encoded is not None
+
+    def envelope(self) -> Envelope:
+        """Re-parse the stored envelope frame (encoded posts only)."""
+        if self.encoded is None:
+            raise YosoError(f"post {self.seq} ({self.tag!r}) is not encoded")
+        return decode_envelope(self.encoded)
+
+    def __repr__(self) -> str:
+        size = f"{self.n_bytes}B" if self.n_bytes is not None else "raw"
+        return (
+            f"Post(#{self.seq} r{self.round} {self.phase} "
+            f"{self.sender} {self.tag!r} {size})"
+        )
 
 
 class BulletinBoard:
-    """Append-only, publicly readable message board with metering."""
+    """Append-only, publicly readable message board with exact metering."""
 
-    def __init__(self, meter: CommMeter | None = None):
+    def __init__(
+        self,
+        meter: CommMeter | None = None,
+        transport: Transport | None = None,
+        codec: WireCodec | None = None,
+        self_check: bool = False,
+    ):
         self.meter = meter if meter is not None else CommMeter()
+        self.transport = transport if transport is not None else InMemoryTransport()
+        self.codec = codec if codec is not None else WireCodec()
+        #: Re-decode every encoded post at post time (debug/tests).
+        self.self_check = self_check
         self._posts: list[Post] = []
         self._by_tag: dict[str, list[Post]] = {}
         self.round = 0
@@ -41,14 +123,64 @@ class BulletinBoard:
         self.round += 1
         return self.round
 
-    def post(self, phase: str, sender: str, tag: str, payload: Any) -> Post:
-        """Append a message; records its size with the meter.
+    def post(self, phase: str, sender: str, tag: str, payload: Any) -> Post | None:
+        """Encode, deliver, meter, and append one message.
 
         A dict payload with string keys is a *sectioned* message (the
-        standard shape of a role's single bundled utterance); each section
-        is metered under ``tag.section`` so benchmarks can slice one
-        committee's bytes by message kind.  The post itself stays whole.
+        standard shape of a role's single bundled utterance); each
+        section's exact encoded span is metered under ``tag.section`` and
+        the envelope framing under the bare ``tag``, so benchmarks can
+        slice one committee's bytes by message kind while the totals stay
+        equal to the delivered wire bytes.
+
+        Returns ``None`` when the transport drops the message — the
+        runtime treats that as the sender falling silent (fail-stop).
         """
+        kind = kind_for_tag(tag)
+        try:
+            body, sections = self.codec.encode_payload(payload)
+        except WireEncodeError:
+            return self._post_fallback(phase, sender, tag, payload)
+        envelope = Envelope(kind.name, sender, self.round, phase, tag, body)
+        encoded = encode_envelope(envelope, kind=kind)
+        if self.self_check:
+            roundtrip_check(self.codec, payload)
+        _hooks.note(_hooks.WIRE_POSTS)
+        _hooks.note(_hooks.WIRE_ENCODED_BYTES, len(encoded))
+        delivered = self.transport.deliver(envelope, encoded)
+        if delivered is None:
+            _hooks.note(_hooks.WIRE_DROPS)
+            return None
+        if sections is not None:
+            for key, span in sections:
+                self.meter.record_exact(phase, sender, f"{tag}.{key}", span)
+            framing = len(delivered) - sum(span for _, span in sections)
+            self.meter.record_exact(phase, sender, tag, framing)
+        else:
+            self.meter.record_exact(phase, sender, tag, len(delivered))
+        _hooks.note(_hooks.BULLETIN_POSTS)
+        post = Post(
+            len(self._posts), self.round, phase, sender, tag,
+            kind=kind.name, encoded=delivered, codec=self.codec,
+        )
+        self._append(post)
+        return post
+
+    def _post_fallback(
+        self, phase: str, sender: str, tag: str, payload: Any
+    ) -> Post:
+        """Legacy object-reference post for codec-foreign payloads."""
+        type_name = type(payload).__name__
+        if type_name not in _FALLBACK_WARNED:
+            _FALLBACK_WARNED.add(type_name)
+            warnings.warn(
+                f"bulletin payload of type {type_name} has no wire codec; "
+                "posting by reference with structural-sizer estimates "
+                "(deprecated — register a wire codec for it)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        _hooks.note(_hooks.WIRE_ENCODE_FALLBACKS)
         if (
             isinstance(payload, dict)
             and payload
@@ -59,10 +191,16 @@ class BulletinBoard:
         else:
             self.meter.record(phase, sender, tag, payload)
         _hooks.note(_hooks.BULLETIN_POSTS)
-        post = Post(len(self._posts), self.round, phase, sender, tag, payload)
-        self._posts.append(post)
-        self._by_tag.setdefault(tag, []).append(post)
+        post = Post(
+            len(self._posts), self.round, phase, sender, tag,
+            raw_payload=payload,
+        )
+        self._append(post)
         return post
+
+    def _append(self, post: Post) -> None:
+        self._posts.append(post)
+        self._by_tag.setdefault(post.tag, []).append(post)
 
     # -- reading (free, public) ------------------------------------------------
 
@@ -93,3 +231,7 @@ class BulletinBoard:
         for p in self._by_tag.get(tag, []):
             out[p.sender] = p.payload
         return out
+
+    def encoded_total_bytes(self) -> int:
+        """Sum of delivered envelope lengths (ground truth for the meter)."""
+        return sum(p.n_bytes for p in self._posts if p.n_bytes is not None)

@@ -20,6 +20,7 @@ from repro.errors import YosoError
 from repro.observability.tracer import KIND_ROUND, Tracer, maybe_span
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
+from repro.wire.transport import Transport
 from repro.yoso.bulletin import BulletinBoard
 from repro.yoso.committees import Committee
 from repro.yoso.roles import Role, RoleView
@@ -38,15 +39,20 @@ class ProtocolEnvironment:
         rng: random.Random | None = None,
         meter: CommMeter | None = None,
         tracer: Tracer | None = None,
+        transport: Transport | None = None,
     ):
         self.rng = rng if rng is not None else random.Random()
         self.assignment = (
             assignment if assignment is not None else IdealRoleAssignment(rng=self.rng)
         )
         self.adversary = adversary if adversary is not None else honest_adversary()
-        self.bulletin = BulletinBoard(meter)
+        self.bulletin = BulletinBoard(meter, transport=transport)
         self.phase = "setup"
         self.tracer = tracer
+
+    @property
+    def transport(self) -> Transport:
+        return self.bulletin.transport
 
     @property
     def meter(self) -> CommMeter:
@@ -75,7 +81,12 @@ class ProtocolEnvironment:
             if role.corrupted:
                 payload = self.adversary.apply(role.id, self.phase, tag, payload)
             if payload is not None:
-                self.bulletin.post(self.phase, str(role.id), tag, payload)
+                post = self.bulletin.post(self.phase, str(role.id), tag, payload)
+                if post is None:
+                    # The transport lost the role's single utterance: to
+                    # every observer the role simply never spoke — exactly
+                    # the fail-stop silence of §5.4.
+                    role.crashed = True
         role.mark_spoken()
 
     def run_committee(self, committee: Committee, program: RoleProgram) -> None:

@@ -128,6 +128,26 @@ class RoleView:
     def has_gift(self, name: str) -> bool:
         return self._role.has_gift(name)
 
+    # -- reading the board ---------------------------------------------------
+    #
+    # The bulletin stores delivered envelope *bytes*; these accessors (like
+    # any direct ``view.bulletin`` read) decode payloads on access, which
+    # is what a role on a real transport would do with the wire it sees.
+
+    def read_all(self, tag: str) -> list[Any]:
+        """Every payload posted under ``tag``, decoded, in board order."""
+        return self.bulletin.payloads(tag)
+
+    def read_latest(self, tag: str) -> Any:
+        """The most recent payload under ``tag``, decoded."""
+        return self.bulletin.latest(tag)
+
+    def read_by_sender(self, tag: str) -> dict[str, Any]:
+        """Latest decoded payload per sender (a round's contributions)."""
+        return self.bulletin.by_sender(tag)
+
+    # -- speaking ------------------------------------------------------------
+
     def speak(self, tag: str, payload: Any) -> None:
         """Queue this role's single message; the runtime posts it.
 

@@ -29,10 +29,15 @@ class TestMeasureBytes:
         assert measure_bytes({"k": 1}) == measure_bytes("k") + measure_bytes(1)
         assert measure_bytes((b"ab", b"cd")) == 4
 
-    def test_ciphertext_uses_group_size(self):
+    def test_ciphertext_measures_exact_wire_length(self):
+        from repro.wire.codec import WireCodec
+
         kp = generate_keypair(64)
         ct = kp.public.encrypt(1)
-        assert measure_bytes(ct) == kp.public.ciphertext_bytes
+        # A ciphertext is measured as its exact wire encoding: tag + 8-byte
+        # key id + the fixed-width Z_{N²} element (no modulus repetition).
+        assert measure_bytes(ct) == len(WireCodec().encode(ct))
+        assert measure_bytes(ct) == 1 + 8 + kp.public.ciphertext_bytes
 
     def test_ring_element(self):
         F = Zmod((1 << 61) - 1)

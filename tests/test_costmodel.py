@@ -89,7 +89,8 @@ class TestModelStructure:
     def test_component_sizes_scale_with_moduli(self):
         small = self._model(8, 0.25, te_bits=64)
         large = self._model(8, 0.25, te_bits=128, role_key_bits=128)
-        assert large.te_ct == 2 * small.te_ct
+        # The Z_{N²} element doubles; the wire adds a constant tag + key id.
+        assert large.te_ct - large.CT_OVERHEAD == 2 * (small.te_ct - small.CT_OVERHEAD)
         assert large.popk_bytes > small.popk_bytes
 
     def test_empty_circuit_edge(self):
