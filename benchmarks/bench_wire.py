@@ -39,6 +39,8 @@ from repro.paillier import generate_keypair
 from repro.paillier.threshold import PartialDecryption
 from repro.wire import (
     Envelope,
+    KeyAnnouncement,
+    SocketTransport,
     WireCodec,
     decode_envelope,
     encode_envelope,
@@ -62,11 +64,14 @@ def build_payloads(keypair):
     return {
         "generic": ("debug-blob", {"note": "unregistered", "x": 1}),
         "setup.keys": ("setup-keys", {
-            "tpk_modulus": keypair.public.n,
-            "verification_base": 4,
-            "tsk_verifications": [9, 16, 25],
+            "te": {
+                "tpk": KeyAnnouncement(keypair.public.n),
+                "verification_base": 4,
+                "tsk_verifications": [9, 16, 25],
+            },
             "kff": {f"Con-mul-1[{i}]": {
-                "public_modulus": 77, "encrypted_prime": [ct] * 2,
+                "public_key": KeyAnnouncement(keypair.public.n),
+                "encrypted_prime": [ct] * 2,
             } for i in wires},
         }),
         "offline.beaver_a": ("Coff-A", {
@@ -106,7 +111,7 @@ def build_payloads(keypair):
         "baseline.cdn": ("Cdn-triple-A", {
             "triples": {w: {"ct": ct, "proof": popk} for w in wires},
         }),
-        "baseline.cdn_aux": ("cdn-setup", {"modulus": keypair.public.n}),
+        "baseline.cdn_aux": ("cdn-setup", {"tpk": KeyAnnouncement(keypair.public.n)}),
         "it.messages": ("It-mul-1", {"mu_shares": {w: 42 for w in wires}}),
     }
 
@@ -162,6 +167,41 @@ def sweep(repeats, iterations):
     return results
 
 
+def socket_roundtrip(repeats, iterations):
+    """One cross-process delivery row: coordinator → worker → re-encode → back.
+
+    Measures the full :class:`SocketTransport` round trip for the dominant
+    online shape (a μ-share bundle), i.e. what one bulletin post costs
+    once every party decodes in its own OS process.
+    """
+    keypair = generate_keypair(64)
+    codec = WireCodec()
+    codec.keyring.add(keypair.public)
+    tag, payload = build_payloads(keypair)["online.mu_shares"]
+    body = codec.encode(payload)
+    envelope = Envelope(kind_for_tag(tag).name, f"{tag}[1]", 0, "bench", tag, body)
+    encoded = encode_envelope(envelope)
+    transport = SocketTransport(workers=2, mode="auto")
+    try:
+        transport.announce_keys([keypair.public.n])
+        transport.deliver(envelope, encoded)  # warm up: spawn + handshake
+        ops = _best_rate(
+            lambda: transport.deliver(envelope, encoded), repeats, iterations
+        )
+        row = {
+            "transport": transport.describe(),
+            "envelope_bytes": len(encoded),
+            "roundtrip_ops_s": round(ops),
+            "roundtrip_mb_s": round(ops * len(encoded) / 1e6, 2),
+        }
+        print(f"  {'socket-transport':20s} {len(encoded):6d} B   "
+              f"rt {ops:9.0f}/s ({ops * len(encoded) / 1e6:7.1f} MB/s)   "
+              f"[{transport.describe()}]")
+        return row
+    finally:
+        transport.close()
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3)
@@ -176,6 +216,9 @@ def main(argv=None):
         "repeats": args.repeats,
         "iterations": args.iterations,
         "kinds": sweep(args.repeats, args.iterations),
+        "socket_transport": socket_roundtrip(
+            args.repeats, max(1, args.iterations // 10)
+        ),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -36,6 +36,21 @@ def _warn_once(type_name: str, message: str) -> None:
         warnings.warn(message, DeprecationWarning, stacklevel=4)
 
 
+def warn_fallback_once(type_name: str, message: str) -> None:
+    """Once-per-process deprecation warning for a payload type.
+
+    Shared by the meter's sizer path and the bulletin's object-reference
+    fallback so a codec-foreign type warns exactly once however many
+    boards or meters touch it (docs/WIRE.md documents once-per-process).
+    """
+    _warn_once(type_name, message)
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which types already warned (test isolation hook)."""
+    _WARNED_TYPES.clear()
+
+
 def _encoded_length(payload: Any) -> int | None:
     """Exact wire-codec length of ``payload``, or None if not encodable."""
     from repro.errors import WireEncodeError

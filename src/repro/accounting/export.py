@@ -21,10 +21,16 @@ def run_report(
     meter: CommMeter,
     parameters: Mapping[str, Any] | None = None,
     circuit_stats: Mapping[str, int] | None = None,
+    transport=None,
 ) -> dict[str, Any]:
-    """A JSON-ready report of one metered execution."""
+    """A JSON-ready report of one metered execution.
+
+    ``transport`` (a :class:`repro.wire.transport.Transport`, optional)
+    adds a delivery section: counters plus the simulated and the measured
+    wall time per phase side by side.
+    """
     phases = sorted(meter.by_phase())
-    return {
+    report = {
         "version": EXPORT_VERSION,
         "label": label,
         "parameters": dict(parameters or {}),
@@ -46,6 +52,28 @@ def run_report(
             for phase in phases
         },
     }
+    if transport is not None:
+        stats = transport.stats
+        wall_phases = sorted(
+            set(stats.sim_s_by_phase) | set(stats.real_s_by_phase)
+        )
+        report["transport"] = {
+            "name": transport.name,
+            "description": transport.describe(),
+            "delivered": stats.delivered,
+            "dropped": stats.dropped,
+            "delivered_bytes": stats.delivered_bytes,
+            "sim_clock_s": stats.sim_clock_s,
+            "real_wait_s": stats.real_wait_s,
+            "wall_s_by_phase": {
+                phase: {
+                    "simulated": stats.sim_s_by_phase.get(phase, 0.0),
+                    "real": stats.real_s_by_phase.get(phase, 0.0),
+                }
+                for phase in wall_phases
+            },
+        }
+    return report
 
 
 def report_from_mpc_result(result) -> dict[str, Any]:
@@ -70,6 +98,7 @@ def report_from_mpc_result(result) -> dict[str, Any]:
             "outputs": result.circuit.n_outputs,
             "batches": len(result.plan.mul_batches),
         },
+        transport=result.transport,
     )
 
 

@@ -42,6 +42,7 @@ from repro.nizk.params import ProofParams
 from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
 from repro.paillier.paillier import PaillierCiphertext
 from repro.paillier.threshold import ThresholdPaillier, teval
+from repro.wire.codec import KeyAnnouncement
 from repro.wire.registry import register_kind
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.network import ProtocolEnvironment
@@ -112,7 +113,11 @@ class CdnYosoMpc:
         )
         ring = Zmod(tpk.n, assume_prime=False)
         verifications = {0: {s.index: s.verification for s in tsk_shares}}
-        env.bulletin.post("setup", "F-setup", "cdn-setup", {"tpk_modulus": tpk.n})
+        # Announce tpk in-band so cross-process decoders can resolve every
+        # later Cdn-* ciphertext compressed against it.
+        env.bulletin.post(
+            "setup", "F-setup", "cdn-setup", {"tpk": KeyAnnouncement(tpk.n)}
+        )
         env.bulletin.advance_round()
 
         mul_wires = list(circuit.multiplication_wires)
@@ -125,9 +130,9 @@ class CdnYosoMpc:
         # Committee chain: triple-A (holds tsk) -> eval committees -> out.
         chain = ["Cdn-triple-A"] + [f"Cdn-eval-{d}" for d in mul_depths] + ["Cdn-out"]
         committees = {
-            name: env.assignment.sample_committee(name, self.n) for name in chain
+            name: env.sample_committee(name, self.n) for name in chain
         }
-        committees["Cdn-triple-B"] = env.assignment.sample_committee(
+        committees["Cdn-triple-B"] = env.sample_committee(
             "Cdn-triple-B", self.n
         )
         for share in tsk_shares:
@@ -232,11 +237,11 @@ class CdnYosoMpc:
 
         # Clients broadcast encrypted inputs with plaintext-knowledge proofs.
         client_roles = {
-            name: env.assignment.client(f"cdn-client:{name}")
+            name: env.client(f"cdn-client:{name}")
             for name in circuit.input_clients()
         }
         out_client_roles = {
-            name: env.assignment.client(f"cdn-client-out:{name}")
+            name: env.client(f"cdn-client-out:{name}")
             for name in circuit.output_clients()
         }
         for client in circuit.input_clients():

@@ -80,7 +80,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = run_mpc(
         circuit, inputs, n=args.n, epsilon=args.epsilon, seed=args.seed,
         fail_stop=args.fail_stop, workers=args.workers,
-        transport=args.transport,
+        transport=args.transport, quorum_timeout_s=args.quorum_timeout,
     )
     print(json.dumps(result.outputs, indent=2, sort_keys=True))
     if args.report:
@@ -98,7 +98,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     result = run_mpc(
         circuit, {"alice": [2, 3, 5], "bob": [7, 11, 13]},
         n=args.n, epsilon=args.epsilon, seed=args.seed, workers=args.workers,
-        transport=args.transport,
+        transport=args.transport, quorum_timeout_s=args.quorum_timeout,
     )
     print(f"parameters: {result.params.describe()}")
     print(f"outputs:    {result.outputs}")
@@ -135,6 +135,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     result = run_mpc(
         circuit, inputs, n=args.n, epsilon=args.epsilon, seed=args.seed,
         tracer=tracer, workers=args.workers, transport=args.transport,
+        quorum_timeout_s=args.quorum_timeout,
     )
     report = merged_report(result)
 
@@ -237,10 +238,20 @@ def _add_execution_options(
     parser.add_argument(
         "--transport", default=None, metavar="SPEC",
         help=(
-            "bulletin transport: 'memory' (default) or "
+            "bulletin transport: 'memory' (default), "
             "'sim[:drop=R,seed=S,latency=L,jitter=J,bandwidth=B]' — a "
             "seeded lossy/delayed byte transport whose drops surface as "
-            "fail-stop silence"
+            "fail-stop silence — or "
+            "'socket[:workers=K,mode=tcp|pipe|auto,timeout=S,mute=A|B]' — "
+            "parties decode in separate OS processes, byte parity enforced"
+        ),
+    )
+    parser.add_argument(
+        "--quorum-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-round deadline for asynchronous transports; a party whose "
+            "post has not arrived when it expires is fail-stop crashed "
+            "(default: 30)"
         ),
     )
 

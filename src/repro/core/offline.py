@@ -188,7 +188,7 @@ def sample_offline_committees(
 ) -> dict[str, Committee]:
     """Sample the five offline committees (keys known within the phase)."""
     return {
-        name: env.assignment.sample_committee(name, params.n)
+        name: env.sample_committee(name, params.n)
         for name in (OFFLINE_A, OFFLINE_B, OFFLINE_R, OFFLINE_DEC, OFFLINE_REENC)
     }
 

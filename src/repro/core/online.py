@@ -156,17 +156,17 @@ def sample_online_committees(
     circuit: Circuit,
 ) -> OnlineState:
     """Sample every online committee and client role (keys now known)."""
-    committees = {ONLINE_KEYS: env.assignment.sample_committee(ONLINE_KEYS, setup.params.n)}
+    committees = {ONLINE_KEYS: env.sample_committee(ONLINE_KEYS, setup.params.n)}
     for depth in setup.mul_depths:
         name = mul_committee_name(depth)
-        committees[name] = env.assignment.sample_committee(name, setup.params.n)
-    committees[ONLINE_OUT] = env.assignment.sample_committee(ONLINE_OUT, setup.params.n)
+        committees[name] = env.sample_committee(name, setup.params.n)
+    committees[ONLINE_OUT] = env.sample_committee(ONLINE_OUT, setup.params.n)
     clients = {
-        name: env.assignment.client(client_tag(name))
+        name: env.client(client_tag(name))
         for name in circuit.input_clients()
     }
     out_clients = {
-        name: env.assignment.client(f"client-out:{name}")
+        name: env.client(f"client-out:{name}")
         for name in circuit.output_clients()
     }
     return OnlineState(

@@ -103,16 +103,19 @@ class YosoMpc:
         tracer: Tracer | None = None,
         engine: CryptoEngine | None = None,
         transport: Transport | str | None = None,
+        quorum_timeout_s: float | None = None,
     ):
         self.params = params
         self.rng = rng if rng is not None else random.Random()
         self.adversary_factory = adversary_factory
         self.tracer = tracer
         #: Transport selection: an instance, a spec string ("memory",
-        #: "sim:drop=0.1,seed=3", ...), or None for in-memory delivery.
-        #: Resolved per run — a fresh transport every execution so seeded
-        #: drop/latency schedules replay identically.
+        #: "sim:drop=0.1,seed=3", "socket:workers=2", ...), or None for
+        #: in-memory delivery.  Resolved per run — a fresh transport every
+        #: execution so seeded drop/latency schedules replay identically.
         self.transport = transport
+        #: Per-round deadline for asynchronous transports; None = default.
+        self.quorum_timeout_s = quorum_timeout_s
         #: Crypto engine override; None = build one from ``params.workers``
         #: per run (and close it afterwards).  A supplied engine is shared
         #: across runs and stays open — the caller owns its lifecycle.
@@ -130,10 +133,14 @@ class YosoMpc:
         )
         tracer = self.tracer
         transport = make_transport(self.transport)
+        # A spec string resolves to a transport this run owns (and must
+        # close); a caller-supplied instance stays the caller's to manage.
+        owns_transport = transport is not self.transport
         env = ProtocolEnvironment(
             assignment=assignment, rng=self.rng, tracer=tracer,
-            transport=transport,
+            transport=transport, quorum_timeout_s=self.quorum_timeout_s,
         )
+        env.quorum_margin = self.params.fail_stop_budget
 
         owns_engine = self.engine is None
         engine = make_engine(self.params.workers) if owns_engine else self.engine
@@ -168,6 +175,8 @@ class YosoMpc:
         finally:
             if owns_engine:
                 engine.close()
+            if owns_transport:
+                transport.close()
         return MpcResult(
             outputs=outputs,
             params=self.params,
@@ -194,6 +203,7 @@ def run_mpc(
     tracer: Tracer | None = None,
     workers: int = 0,
     transport: Transport | str | None = None,
+    quorum_timeout_s: float | None = None,
 ) -> MpcResult:
     """One-call convenience wrapper (the quickstart entry point)."""
     params = ProtocolParams.from_gap(
@@ -203,5 +213,6 @@ def run_mpc(
     )
     rng = random.Random(seed)
     return YosoMpc(
-        params, rng=rng, tracer=tracer, transport=transport
+        params, rng=rng, tracer=tracer, transport=transport,
+        quorum_timeout_s=quorum_timeout_s,
     ).run(circuit, inputs)

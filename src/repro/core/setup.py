@@ -40,6 +40,7 @@ from repro.paillier.threshold import (
     ThresholdPaillier,
     ThresholdPublicKey,
 )
+from repro.wire.codec import KeyAnnouncement
 from repro.wire.registry import register_kind
 from repro.yoso.network import ProtocolEnvironment
 
@@ -55,10 +56,14 @@ ONLINE_OUT = "Con-out"
 #: The bulletin tag of the one setup post.
 SETUP_KEYS_TAG = "setup-keys"
 
-#: Envelope kind of the setup functionality's single public post.
+#: Envelope kind of the setup functionality's single public post.  v2
+#: restructured the payload for cross-process bootstrap: public keys ride
+#: as KeyAnnouncements, ordered (by the codec's canonical dict sort) ahead
+#: of every ciphertext compressed against them.
 SETUP_KEYS_KIND = register_kind(
-    "setup.keys", 1, tag=SETUP_KEYS_TAG,
-    description="tpk modulus, verification values, and the KFF directory",
+    "setup.keys", 1, version=2, tag=SETUP_KEYS_TAG,
+    description="tpk + KFF key announcements, verification values, "
+    "encrypted KFF primes",
 )
 
 
@@ -146,15 +151,25 @@ def run_setup(
 
     # Publish: tpk, verification keys, and the KFF registry (public parts +
     # tpk-encrypted secrets).  Posted by the setup functionality itself.
+    # Public keys travel as KeyAnnouncements, and the payload shape leans
+    # on the codec's canonical dict order ("te" encodes before "kff",
+    # "public_key" before "encrypted_prime"): every announcement is decoded
+    # — and registered into the reader's KeyRing — before any ciphertext
+    # compressed against it, so a fresh process bootstraps from the bytes
+    # alone.
     env.bulletin.post(
         "setup", "F-setup", "setup-keys",
         {
-            "tpk_modulus": tpk.n,
-            "verification_base": tpk.verification_base,
-            "tsk_verifications": {s.index: s.verification for s in tsk_shares},
+            "te": {
+                "tpk": KeyAnnouncement(tpk.n),
+                "verification_base": tpk.verification_base,
+                "tsk_verifications": {
+                    s.index: s.verification for s in tsk_shares
+                },
+            },
             "kff": {
                 tag: {
-                    "public_modulus": entry.public_key.n,
+                    "public_key": KeyAnnouncement(entry.public_key.n),
                     "encrypted_prime": list(entry.encrypted_prime),
                 }
                 for tag, entry in kff.items()

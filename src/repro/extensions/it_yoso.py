@@ -155,10 +155,10 @@ class ItYosoMpc:
         batches = list(plan.mul_batches)
         depths = sorted({b.depth for b in batches})
 
-        p1 = env.assignment.sample_committee("It-P1", n)
-        p2 = env.assignment.sample_committee("It-P2", n)
+        p1 = env.sample_committee("It-P1", n)
+        p2 = env.sample_committee("It-P2", n)
         mul_committees = {
-            depth: env.assignment.sample_committee(f"It-mul-{depth}", n)
+            depth: env.sample_committee(f"It-mul-{depth}", n)
             for depth in depths
         }
 
@@ -313,7 +313,7 @@ class ItYosoMpc:
                     f"client {client!r} supplied {len(supplied)} inputs, "
                     f"needs {len(wires)}"
                 )
-            role = env.assignment.client(f"it-client:{client}")
+            role = env.client(f"it-client:{client}")
 
             def program_client(view, wires=wires, supplied=supplied):
                 view.speak(

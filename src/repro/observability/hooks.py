@@ -48,6 +48,13 @@ WIRE_DECODE_FAILURES = "wire.decode_failures"  # rejected (garbled) envelopes
 WIRE_DROPS = "wire.drops"                      # posts lost by the transport
 WIRE_ENCODE_FALLBACKS = "wire.encode_fallbacks"  # legacy structural-sizer posts
 
+WIRE_SOCKET_FRAMES_OUT = "wire.socket.frames_out"  # frames sent to workers
+WIRE_SOCKET_FRAMES_IN = "wire.socket.frames_in"    # frames received back
+WIRE_SOCKET_BYTES_OUT = "wire.socket.bytes_out"    # bytes sent to workers
+WIRE_SOCKET_BYTES_IN = "wire.socket.bytes_in"      # bytes received back
+WIRE_SOCKET_TIMEOUTS = "wire.socket.timeouts"      # posts unresolved at deadline
+WIRE_SOCKET_WORKERS = "wire.socket.workers"        # worker processes started
+
 ENGINE_BATCHES = "engine.batches"          # pow_many calls, any engine
 ENGINE_JOBS = "engine.jobs"                # exponentiations routed through it
 ENGINE_POOL_BATCHES = "engine.pool_batches"  # batches dispatched to the pool

@@ -11,15 +11,20 @@ Everything a role posts crosses this subsystem as real bytes:
 * :mod:`repro.wire.registry` — the versioned kind registry mapping
   bulletin tags to envelope kinds;
 * :mod:`repro.wire.transport` — the ``Transport`` ABC with the in-memory
-  and simulated (latency/drop) implementations.
+  and simulated (latency/drop) implementations;
+* :mod:`repro.wire.socket_transport` — cross-process delivery: worker
+  processes decode and re-encode every envelope, bootstrapping their
+  key rings from announcements instead of shared state.
 
 The byte lengths produced here are what the communication meter records:
 the comm report measures the wire, it does not model it.
 """
 
 from repro.wire.codec import (
+    KeyAnnouncement,
     KeyRing,
     WireCodec,
+    key_id,
     register_wire_dataclass,
     roundtrip_check,
 )
@@ -27,11 +32,14 @@ from repro.wire.envelope import Envelope, decode_envelope, encode_envelope
 from repro.wire.registry import (
     GENERIC_KIND,
     WireKind,
+    ensure_standard_kinds,
     kind_by_id,
+    kind_by_name,
     kind_for_tag,
     register_kind,
     registered_kinds,
 )
+from repro.wire.socket_transport import SocketTransport
 from repro.wire.transport import (
     DropSpec,
     InMemoryTransport,
@@ -47,8 +55,10 @@ from repro.wire.transport import (
 from repro.wire import domain as _domain  # noqa: F401  (registration)
 
 __all__ = [
+    "KeyAnnouncement",
     "KeyRing",
     "WireCodec",
+    "key_id",
     "register_wire_dataclass",
     "roundtrip_check",
     "Envelope",
@@ -56,13 +66,16 @@ __all__ = [
     "encode_envelope",
     "GENERIC_KIND",
     "WireKind",
+    "ensure_standard_kinds",
     "kind_by_id",
+    "kind_by_name",
     "kind_for_tag",
     "register_kind",
     "registered_kinds",
     "DropSpec",
     "InMemoryTransport",
     "SimTransport",
+    "SocketTransport",
     "Transport",
     "TransportStats",
     "make_transport",

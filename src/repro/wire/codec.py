@@ -16,6 +16,14 @@ Scalars and containers are built in.  Domain objects come in two forms:
 * every other payload dataclass (proofs, partial decryptions, resharing
   messages) registers through :func:`register_wire_dataclass` at its
   definition site and is framed as ``OBJECT code · field values``.
+
+:class:`KeyAnnouncement` is the bridge between the two worlds: a tiny
+registered dataclass carrying a public Paillier modulus whose decode
+registers the key into the decoder's ring *mid-stream*.  Because the
+canonical dict order is deterministic, a payload can be arranged so every
+announcement decodes before the first ciphertext that needs it — which is
+how a fresh process (a socket-transport worker) bootstraps an empty
+:class:`KeyRing` from nothing but the bytes of the ``setup-keys`` post.
 """
 
 from __future__ import annotations
@@ -96,7 +104,9 @@ class KeyRing:
     Encoding a ciphertext registers its public key; decoding looks the id
     back up.  Within one protocol session (one bulletin board) every key
     is seen at encode time before any decode needs it.  A cross-process
-    deployment would bootstrap the ring from the ``setup-keys`` post.
+    decoder bootstraps the ring from the wire instead: role-key moduli
+    announced by the transport plus the :class:`KeyAnnouncement` objects
+    inside the ``setup-keys`` post.
     """
 
     def __init__(self) -> None:
@@ -122,6 +132,10 @@ class KeyRing:
 
     def __contains__(self, kid: bytes) -> bool:
         return kid in self._by_id
+
+    def known_ids(self) -> frozenset[bytes]:
+        """The key ids currently resolvable (cross-process parity checks)."""
+        return frozenset(self._by_id)
 
 
 # -- object registry ---------------------------------------------------------
@@ -164,6 +178,36 @@ def register_wire_dataclass(code: int, cls: type) -> type:
     _BY_CODE[code] = entry
     _BY_CLASS[cls] = entry
     return cls
+
+
+@dataclass(frozen=True)
+class KeyAnnouncement:
+    """A public Paillier modulus announced into the decode stream.
+
+    Travels as an ordinary registered dataclass, but decoding one has a
+    side effect: the key registers into the decoding codec's ring, so any
+    later ciphertext in the same stream resolves without shared state.
+    The ``setup-keys`` payload places its announcements ahead of every
+    dependent ciphertext (canonical dict order makes that arrangement
+    stable), which is what lets a fresh process decode the post with an
+    empty ring — the cross-process KeyRing bootstrap.
+    """
+
+    modulus: int
+
+    def __post_init__(self):
+        PaillierPublicKey(self.modulus)  # validate: same rules as a real key
+
+    def public_key(self) -> PaillierPublicKey:
+        return PaillierPublicKey(self.modulus)
+
+
+#: Wire object code of :class:`KeyAnnouncement` (1–6 are the Σ-protocol
+#: objects in ``repro.wire.domain``, 16–19 the re-encryption/resharing
+#: messages).
+KEY_ANNOUNCEMENT_CODE = 7
+
+register_wire_dataclass(KEY_ANNOUNCEMENT_CODE, KeyAnnouncement)
 
 
 def _ensure_domain_codecs() -> None:
@@ -274,6 +318,10 @@ class WireCodec:
             write_varint(out, len(entry.field_names))
             for name in entry.field_names:
                 self._encode(getattr(value, name), out)
+            if type(value) is KeyAnnouncement:
+                # Mirror the decode-side registration so both ends of a
+                # stream end up with the same ring.
+                self.keyring.add(value.public_key())
 
     @staticmethod
     def _encode_int(value: int, out: bytearray) -> None:
@@ -390,11 +438,16 @@ class WireCodec:
                 value, pos = self._decode(data, pos)
                 values.append(value)
             try:
-                return entry.cls(*values), pos
+                value = entry.cls(*values)
             except Exception as exc:
                 raise WireDecodeError(
                     f"invalid {entry.cls.__name__} on the wire: {exc}"
                 ) from exc
+            if type(value) is KeyAnnouncement:
+                # Mid-stream bootstrap: later ciphertexts in this same
+                # decode may already reference the announced key.
+                self.keyring.add(value.public_key())
+            return value, pos
         raise WireDecodeError(f"unknown wire type tag 0x{tag:02x}")
 
     @staticmethod

@@ -3,7 +3,7 @@
 Layout (all integers varint unless noted)::
 
     magic   b"YW"                      2 bytes
-    version 0x01                       1 byte
+    version 0x02                       1 byte
     kind id                            varint
     kind version                       varint
     round                              varint
@@ -11,12 +11,14 @@ Layout (all integers varint unless noted)::
     phase   len + utf-8
     tag     len + utf-8
     body    len + canonical codec bytes
-    crc32(body)                        4 bytes big-endian
+    crc32(frame so far)                4 bytes big-endian
 
-The CRC is an integrity tripwire for the simulated transports (garbled
-delivery fails loudly at decode, it does not mis-decode) — it is not an
-authenticity mechanism; the bulletin-board model already gives every
-reader the same bytes.
+The CRC covers the *entire* frame before it, header included (wire
+version 2 — version 1 checksummed only the body, which let a corrupted
+header field occasionally re-parse as a different valid header; the fuzz
+suite flips every bit and demands a loud error).  It is an integrity
+tripwire for transports, not an authenticity mechanism; the
+bulletin-board model already gives every reader the same bytes.
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from repro.wire.codec import read_varint, write_varint
 from repro.wire.registry import WireKind, kind_by_id, kind_for_tag
 
 WIRE_MAGIC = b"YW"
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 _CRC_BYTES = 4
 
@@ -61,7 +63,7 @@ def encode_envelope(envelope: Envelope, kind: WireKind | None = None) -> bytes:
         out += raw
     write_varint(out, len(envelope.body))
     out += envelope.body
-    out += zlib.crc32(envelope.body).to_bytes(_CRC_BYTES, "big")
+    out += zlib.crc32(bytes(out)).to_bytes(_CRC_BYTES, "big")
     return bytes(out)
 
 
@@ -104,7 +106,7 @@ def decode_envelope(data: bytes) -> Envelope:
     body = data[pos:pos + body_len]
     pos += body_len
     crc = int.from_bytes(data[pos:pos + _CRC_BYTES], "big")
-    if crc != zlib.crc32(body):
-        raise WireDecodeError("envelope body checksum mismatch")
+    if crc != zlib.crc32(data[:pos]):
+        raise WireDecodeError("envelope checksum mismatch")
     sender, phase, tag = texts
     return Envelope(kind.name, sender, round_, phase, tag, body)

@@ -39,6 +39,27 @@ _BY_NAME: dict[str, WireKind] = {GENERIC_KIND.name: GENERIC_KIND}
 _BY_ID: dict[int, WireKind] = {GENERIC_KIND.kind_id: GENERIC_KIND}
 _BY_TAG: dict[str, WireKind] = {}
 _BY_PREFIX: list[WireKind] = []
+_standard_loaded = False
+
+
+def ensure_standard_kinds() -> None:
+    """Import the protocol modules that register the standard kinds.
+
+    A protocol run registers kinds as an import side effect of the phase
+    modules it executes.  A fresh decoding process (a socket-transport
+    worker) runs no phase, so it calls this instead — the same modules,
+    the same registrations.  Lazy for the usual reason: the wire package
+    must stay importable without the protocol layers above it.
+    """
+    global _standard_loaded
+    if _standard_loaded:
+        return
+    _standard_loaded = True
+    import repro.core.offline  # noqa: F401
+    import repro.core.online  # noqa: F401
+    import repro.core.setup  # noqa: F401
+    import repro.baselines.cdn  # noqa: F401
+    import repro.extensions.it_yoso  # noqa: F401
 
 
 def register_kind(
@@ -89,12 +110,18 @@ def kind_for_tag(tag: str) -> WireKind:
 def kind_by_id(kind_id: int) -> WireKind:
     kind = _BY_ID.get(kind_id)
     if kind is None:
+        ensure_standard_kinds()
+        kind = _BY_ID.get(kind_id)
+    if kind is None:
         raise WireError(f"unknown wire kind id {kind_id}")
     return kind
 
 
 def kind_by_name(name: str) -> WireKind:
     kind = _BY_NAME.get(name)
+    if kind is None:
+        ensure_standard_kinds()
+        kind = _BY_NAME.get(name)
     if kind is None:
         raise WireError(f"unknown wire kind {name!r}")
     return kind

@@ -1,0 +1,546 @@
+"""Cross-process delivery: every post round-trips through worker processes.
+
+:class:`SocketTransport` is the transport the ROADMAP's "separate OS
+processes" item asks for.  The coordinator (the protocol process) spawns
+``workers`` decoder processes and hands every encoded envelope to all of
+them — the bulletin board is public, so every party sees every frame.
+Exactly one worker *owns* each post (stable hash of the sender's
+committee name) and replies with its independently re-encoded bytes; the
+board stores what came back over the wire, not what the coordinator
+encoded.  A worker that cannot reproduce the frame byte-for-byte reports
+an error instead of silently substituting its own bytes, so byte parity
+with :class:`~repro.wire.transport.InMemoryTransport` is enforced, not
+assumed.
+
+Workers share *no* interpreter state with the coordinator.  Each starts
+with an empty :class:`~repro.wire.codec.KeyRing` and learns public keys
+the two ways a real deployment would: role-key moduli broadcast via
+``announce_keys`` (the ideal role assignment's public output), and
+:class:`~repro.wire.codec.KeyAnnouncement` objects embedded in the
+``setup-keys`` envelope itself.
+
+Frames are length-prefixed over localhost TCP (``mode="tcp"``); where
+the sandbox forbids sockets, ``mode="pipe"`` carries the same frames
+over :func:`multiprocessing.Pipe`, and ``mode="auto"`` tries TCP first.
+The transport is asynchronous (``is_async``): ``begin_deliver`` fans a
+frame out and returns a handle; ``collect`` waits until a quorum of
+replies arrived, then a short straggler grace, and resolves the rest as
+drops — the :class:`~repro.yoso.scheduler.AsyncRoundScheduler` turns
+those drops into §5.4 fail-stop crashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as connection_wait
+from typing import Iterable
+
+from repro.errors import ParameterError, WireError
+from repro.observability import hooks as _hooks
+from repro.wire.codec import WireCodec, read_varint, write_varint
+from repro.wire.envelope import Envelope, decode_envelope, encode_envelope
+from repro.wire.registry import ensure_standard_kinds, kind_by_name
+from repro.wire.transport import Transport
+
+OP_HELLO = 0x01     # worker → coordinator: varint worker index
+OP_SEND = 0x02      # coordinator → worker: varint handle, want-reply byte, envelope
+OP_POST = 0x03      # worker → coordinator: varint handle, re-encoded envelope
+OP_ANNOUNCE = 0x04  # coordinator → worker: codec-encoded list of key moduli
+OP_SHUTDOWN = 0x05  # coordinator → worker: no body
+OP_ERROR = 0x06     # worker → coordinator: varint handle, utf-8 message
+
+_MAX_FRAME = 1 << 28
+_HANDSHAKE_TIMEOUT_S = 20.0
+_LEN_BYTES = 4
+
+
+def _committee_of(sender: str) -> str:
+    """``"Con-mul-1[3]"`` → ``"Con-mul-1"`` (role names index into committees)."""
+    return sender.split("[", 1)[0]
+
+
+def _stable_index(name: str, buckets: int) -> int:
+    """Deterministic committee → worker assignment (stable across processes)."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % buckets
+
+
+def _reencode(codec: WireCodec, envelope: Envelope, raw: bytes) -> bytes:
+    """Decode ``raw`` and re-encode it from scratch; demand byte identity."""
+    payload = codec.decode(envelope.body)
+    body, _ = codec.encode_payload(payload)
+    kind = kind_by_name(envelope.kind)
+    frame = encode_envelope(
+        Envelope(
+            envelope.kind, envelope.sender, envelope.round,
+            envelope.phase, envelope.tag, body,
+        ),
+        kind=kind,
+    )
+    if frame != raw:
+        raise WireError(
+            f"re-encoded envelope for {envelope.tag!r} from {envelope.sender!r} "
+            f"differs from the wire bytes ({len(frame)} vs {len(raw)} bytes)"
+        )
+    return frame
+
+
+# -- framed channels (coordinator side) ---------------------------------------
+
+
+class _PipeChannel:
+    """Frames over a duplex :func:`multiprocessing.Pipe` (self-framing)."""
+
+    def __init__(self, conn: Connection):
+        self.conn = conn
+
+    def send_frame(self, frame: bytes) -> None:
+        self.conn.send_bytes(frame)
+
+    def waitable(self):
+        return self.conn
+
+    def recv_ready_frames(self) -> list[bytes]:
+        frames: list[bytes] = []
+        try:
+            while self.conn.poll(0):
+                frames.append(self.conn.recv_bytes())
+        except (EOFError, OSError):
+            pass
+        return frames
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class _SocketChannel:
+    """Length-prefixed frames over a connected localhost TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._buf = bytearray()
+
+    def send_frame(self, frame: bytes) -> None:
+        self.sock.sendall(len(frame).to_bytes(_LEN_BYTES, "big") + frame)
+
+    def waitable(self):
+        return self.sock
+
+    def recv_ready_frames(self) -> list[bytes]:
+        try:
+            while True:
+                chunk = self.sock.recv(1 << 16, socket.MSG_DONTWAIT)
+                if not chunk:
+                    break
+                self._buf += chunk
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            pass
+        frames: list[bytes] = []
+        while len(self._buf) >= _LEN_BYTES:
+            length = int.from_bytes(self._buf[:_LEN_BYTES], "big")
+            if length > _MAX_FRAME:
+                raise WireError(f"socket frame of {length} bytes exceeds limit")
+            if len(self._buf) < _LEN_BYTES + length:
+                break
+            frames.append(bytes(self._buf[_LEN_BYTES:_LEN_BYTES + length]))
+            del self._buf[:_LEN_BYTES + length]
+        return frames
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes | None:
+    """Read exactly ``length`` bytes from a blocking socket (None on EOF)."""
+    buf = bytearray()
+    while len(buf) < length:
+        chunk = sock.recv(length - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return bytes(buf)
+
+
+def _read_frame_blocking(sock: socket.socket, timeout_s: float) -> bytes | None:
+    sock.settimeout(timeout_s)
+    try:
+        header = _recv_exact(sock, _LEN_BYTES)
+        if header is None:
+            return None
+        length = int.from_bytes(header, "big")
+        if length > _MAX_FRAME:
+            raise WireError(f"socket frame of {length} bytes exceeds limit")
+        return _recv_exact(sock, length)
+    finally:
+        sock.settimeout(None)
+
+
+# -- worker process -----------------------------------------------------------
+
+
+def _worker_main(index: int, channel_spec: tuple, mute: frozenset) -> None:
+    """Decoder party: fresh interpreter, empty key ring, own codec.
+
+    Receives every envelope, decodes it with locally bootstrapped state,
+    and — when it owns the post — replies with its re-encoded bytes.  A
+    muted sender makes this worker fall silent for that post, which the
+    coordinator's quorum timeout converts into a fail-stop crash.
+    """
+    if channel_spec[0] == "pipe":
+        conn: Connection = channel_spec[1]
+
+        def send(frame: bytes) -> None:
+            conn.send_bytes(frame)
+
+        def recv() -> bytes | None:
+            try:
+                return conn.recv_bytes()
+            except (EOFError, OSError):
+                return None
+
+    else:
+        sock = socket.create_connection((channel_spec[1], channel_spec[2]))
+
+        def send(frame: bytes) -> None:
+            sock.sendall(len(frame).to_bytes(_LEN_BYTES, "big") + frame)
+
+        def recv() -> bytes | None:
+            header = _recv_exact(sock, _LEN_BYTES)
+            if header is None:
+                return None
+            length = int.from_bytes(header, "big")
+            if length > _MAX_FRAME:
+                return None
+            return _recv_exact(sock, length)
+
+    ensure_standard_kinds()
+    codec = WireCodec()
+
+    hello = bytearray([OP_HELLO])
+    write_varint(hello, index)
+    send(bytes(hello))
+
+    from repro.paillier.paillier import PaillierPublicKey
+
+    while True:
+        frame = recv()
+        if frame is None or not frame or frame[0] == OP_SHUTDOWN:
+            return
+        op = frame[0]
+        if op == OP_ANNOUNCE:
+            for modulus in codec.decode(bytes(frame[1:])):
+                codec.keyring.add(PaillierPublicKey(modulus))
+        elif op == OP_SEND:
+            handle, pos = read_varint(frame, 1)
+            want_reply = frame[pos]
+            raw = bytes(frame[pos + 1:])
+            try:
+                envelope = decode_envelope(raw)
+                reencoded = _reencode(codec, envelope, raw)
+            except Exception as exc:  # report, never guess
+                out = bytearray([OP_ERROR])
+                write_varint(out, handle)
+                out += f"worker {index}: {exc}".encode("utf-8")
+                send(bytes(out))
+                continue
+            if want_reply and envelope.sender not in mute:
+                out = bytearray([OP_POST])
+                write_varint(out, handle)
+                out += reencoded
+                send(bytes(out))
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    envelope: Envelope
+    encoded: bytes
+    reply: bytes | None = None
+
+
+class SocketTransport(Transport):
+    """Parties in separate OS processes behind a framed message channel.
+
+    ``mute`` names senders whose owning worker withholds its reply — the
+    test hook for "a party went silent": the coordinator genuinely waits,
+    times out, and accounts a fail-stop crash, exercising the same path a
+    crashed worker would.
+    """
+
+    name = "socket"
+    is_async = True
+
+    def __init__(
+        self,
+        workers: int = 2,
+        mode: str = "auto",
+        mute: frozenset[str] | Iterable[str] = frozenset(),
+        reply_timeout_s: float = 30.0,
+    ):
+        super().__init__()
+        if workers < 1:
+            raise ParameterError(f"socket transport needs >= 1 worker, got {workers}")
+        if mode not in ("tcp", "pipe", "auto"):
+            raise ParameterError(f"socket mode must be tcp|pipe|auto, got {mode!r}")
+        if reply_timeout_s <= 0:
+            raise ParameterError("reply timeout must be positive")
+        self.workers = workers
+        self.mode = mode
+        self.mute = frozenset(mute)
+        self.reply_timeout_s = reply_timeout_s
+        self.mode_used: str | None = None
+        self._procs: list = []
+        self._channels: list = []
+        self._started = False
+        self._closed = False
+        self._pending: dict[int, _Pending] = {}
+        self._next_handle = 0
+        self._announced: list[int] = []
+        self._announced_set: set[int] = set()
+        self._announce_codec = WireCodec()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        if self._closed:
+            raise WireError("socket transport is closed")
+        ctx = get_context("spawn")
+        if self.mode == "pipe":
+            self._procs, self._channels = self._start_pipe(ctx)
+            self.mode_used = "pipe"
+        elif self.mode == "tcp":
+            self._procs, self._channels = self._start_tcp(ctx)
+            self.mode_used = "tcp"
+        else:
+            try:
+                self._procs, self._channels = self._start_tcp(ctx)
+                self.mode_used = "tcp"
+            except OSError:
+                self._procs, self._channels = self._start_pipe(ctx)
+                self.mode_used = "pipe"
+        self._started = True
+        _hooks.note(_hooks.WIRE_SOCKET_WORKERS, len(self._channels))
+        if self._announced:
+            self._broadcast_announce(self._announced)
+
+    def _start_tcp(self, ctx):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        procs: list = []
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(self.workers)
+            host, port = listener.getsockname()
+            for index in range(self.workers):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(index, ("tcp", host, port), self.mute),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+            channels: list = [None] * self.workers
+            listener.settimeout(_HANDSHAKE_TIMEOUT_S)
+            for _ in range(self.workers):
+                sock, _addr = listener.accept()
+                hello = _read_frame_blocking(sock, _HANDSHAKE_TIMEOUT_S)
+                if hello is None or hello[0] != OP_HELLO:
+                    raise OSError("socket worker handshake failed")
+                index, _pos = read_varint(hello, 1)
+                channels[index] = _SocketChannel(sock)
+        except OSError:
+            for proc in procs:
+                proc.terminate()
+            raise
+        finally:
+            listener.close()
+        return procs, channels
+
+    def _start_pipe(self, ctx):
+        procs: list = []
+        channels: list = []
+        for index in range(self.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(index, ("pipe", child_conn), self.mute),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            if not parent_conn.poll(_HANDSHAKE_TIMEOUT_S):
+                proc.terminate()
+                raise WireError("pipe worker handshake timed out")
+            hello = parent_conn.recv_bytes()
+            if not hello or hello[0] != OP_HELLO:
+                proc.terminate()
+                raise WireError("pipe worker handshake failed")
+            procs.append(proc)
+            channels.append(_PipeChannel(parent_conn))
+        return procs, channels
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        shutdown = bytes([OP_SHUTDOWN])
+        for channel in self._channels:
+            try:
+                channel.send_frame(shutdown)
+            except (OSError, ValueError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for channel in self._channels:
+            channel.close()
+
+    # -- key bootstrap --------------------------------------------------------
+
+    def announce_keys(self, moduli: Iterable[int]) -> None:
+        fresh = []
+        for modulus in moduli:
+            if modulus not in self._announced_set:
+                self._announced_set.add(modulus)
+                self._announced.append(modulus)
+                fresh.append(modulus)
+        if fresh and self._started:
+            self._broadcast_announce(fresh)
+
+    def _broadcast_announce(self, moduli: list[int]) -> None:
+        frame = bytes([OP_ANNOUNCE]) + self._announce_codec.encode(list(moduli))
+        for channel in self._channels:
+            channel.send_frame(frame)
+            _hooks.note(_hooks.WIRE_SOCKET_FRAMES_OUT)
+            _hooks.note(_hooks.WIRE_SOCKET_BYTES_OUT, len(frame))
+
+    # -- delivery -------------------------------------------------------------
+
+    def begin_deliver(self, envelope: Envelope, encoded: bytes) -> int:
+        """Fan one frame out to every worker; returns a collect handle."""
+        self._ensure_started()
+        handle = self._next_handle
+        self._next_handle += 1
+        owner = _stable_index(_committee_of(envelope.sender), len(self._channels))
+        header = bytearray([OP_SEND])
+        write_varint(header, handle)
+        for index, channel in enumerate(self._channels):
+            frame = bytes(header) + bytes([1 if index == owner else 0]) + encoded
+            channel.send_frame(frame)
+            _hooks.note(_hooks.WIRE_SOCKET_FRAMES_OUT)
+            _hooks.note(_hooks.WIRE_SOCKET_BYTES_OUT, len(frame))
+        self._pending[handle] = _Pending(envelope, encoded)
+        return handle
+
+    def deliver(self, envelope: Envelope, encoded: bytes) -> bytes | None:
+        """Synchronous path: fan out and wait for this one post's reply."""
+        handle = self.begin_deliver(envelope, encoded)
+        return self.collect([handle])[handle]
+
+    def collect(
+        self,
+        handles: list[int],
+        quorum: int | None = None,
+        timeout_s: float | None = None,
+        grace_s: float | None = None,
+    ) -> dict[int, bytes | None]:
+        """Wait for replies; quorum first, then a straggler grace window.
+
+        Returns ``{handle: delivered bytes | None}``.  ``None`` means the
+        owning worker never replied inside the window — the scheduler
+        maps that onto a §5.4 fail-stop crash.  A reply whose bytes
+        differ from the coordinator's encoding raises :class:`WireError`.
+        """
+        if not handles:
+            return {}
+        timeout = timeout_s if timeout_s is not None else self.reply_timeout_s
+        if grace_s is None:
+            grace_s = max(0.05, timeout / 10.0)
+        if quorum is None:
+            quorum = len(handles)
+        quorum = max(1, min(quorum, len(handles)))
+        start = time.monotonic()
+        hard_deadline = start + timeout
+        quorum_at: float | None = None
+        while True:
+            self._drain_channels()
+            done = sum(
+                1 for h in handles if self._pending[h].reply is not None
+            )
+            if done == len(handles):
+                break
+            now = time.monotonic()
+            if done >= quorum and quorum_at is None:
+                quorum_at = now
+            deadline = hard_deadline
+            if quorum_at is not None:
+                deadline = min(hard_deadline, quorum_at + grace_s)
+            remaining = deadline - now
+            if remaining <= 0:
+                break
+            connection_wait(
+                [channel.waitable() for channel in self._channels],
+                timeout=remaining,
+            )
+        elapsed = time.monotonic() - start
+        self.stats.real_wait_s += elapsed
+        phase = self._pending[handles[0]].envelope.phase
+        per_phase = self.stats.real_s_by_phase
+        per_phase[phase] = per_phase.get(phase, 0.0) + elapsed
+        results: dict[int, bytes | None] = {}
+        for handle in handles:
+            pending = self._pending.pop(handle)
+            if pending.reply is None:
+                _hooks.note(_hooks.WIRE_SOCKET_TIMEOUTS)
+                self._note_dropped(pending.encoded)
+                results[handle] = None
+            else:
+                if pending.reply != pending.encoded:
+                    raise WireError(
+                        f"worker reply for {pending.envelope.tag!r} from "
+                        f"{pending.envelope.sender!r} is not byte-identical "
+                        "to the coordinator's encoding"
+                    )
+                results[handle] = self._note_delivered(pending.reply)
+        return results
+
+    def _drain_channels(self) -> None:
+        for channel in self._channels:
+            for frame in channel.recv_ready_frames():
+                self._process_frame(frame)
+
+    def _process_frame(self, frame: bytes) -> None:
+        _hooks.note(_hooks.WIRE_SOCKET_FRAMES_IN)
+        _hooks.note(_hooks.WIRE_SOCKET_BYTES_IN, len(frame))
+        op = frame[0]
+        if op == OP_POST:
+            handle, pos = read_varint(frame, 1)
+            pending = self._pending.get(handle)
+            if pending is not None:
+                pending.reply = bytes(frame[pos:])
+        elif op == OP_ERROR:
+            handle, pos = read_varint(frame, 1)
+            message = bytes(frame[pos:]).decode("utf-8", "replace")
+            raise WireError(f"socket worker error on post #{handle}: {message}")
+
+    def describe(self) -> str:
+        mode = self.mode_used or self.mode
+        return f"socket(workers={self.workers}, mode={mode})"

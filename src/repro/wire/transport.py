@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import ParameterError
 from repro.wire.envelope import Envelope
@@ -24,13 +25,23 @@ from repro.wire.envelope import Envelope
 
 @dataclass
 class TransportStats:
-    """Delivery counters (and the simulated clock, for SimTransport)."""
+    """Delivery counters plus the two wall clocks.
+
+    ``sim_clock_s`` accrues *modeled* waiting (SimTransport's latency and
+    bandwidth math); ``real_wait_s`` accrues *measured* waiting (how long
+    an asynchronous transport actually blocked for replies).  The per-phase
+    dicts split both by protocol phase, so a report can put the simulated
+    and the real wall time of each phase side by side.
+    """
 
     delivered: int = 0
     dropped: int = 0
     delivered_bytes: int = 0
     dropped_bytes: int = 0
     sim_clock_s: float = 0.0
+    real_wait_s: float = 0.0
+    sim_s_by_phase: dict[str, float] = field(default_factory=dict)
+    real_s_by_phase: dict[str, float] = field(default_factory=dict)
 
 
 class Transport(ABC):
@@ -38,12 +49,30 @@ class Transport(ABC):
 
     name: str = "transport"
 
+    #: Asynchronous transports resolve deliveries out of band (via
+    #: ``begin_deliver``/``collect``); the runtime drives them through the
+    #: :class:`~repro.yoso.scheduler.AsyncRoundScheduler` instead of the
+    #: inline post path.
+    is_async: bool = False
+
     def __init__(self) -> None:
         self.stats = TransportStats()
 
     @abstractmethod
     def deliver(self, envelope: Envelope, encoded: bytes) -> bytes | None:
         """Deliver one encoded post; ``None`` means the message is lost."""
+
+    def announce_keys(self, moduli: Iterable[int]) -> None:
+        """Publish public role-key moduli to any remote decoders.
+
+        Role keys are public information the ideal role assignment hands
+        out off-board; same-process transports resolve them through the
+        shared encode-time ring, so the default is a no-op.  Cross-process
+        transports broadcast them to their decoder processes.
+        """
+
+    def close(self) -> None:
+        """Release any resources (worker processes, sockets); idempotent."""
 
     def describe(self) -> str:
         return self.name
@@ -138,6 +167,9 @@ class SimTransport(Transport):
         if self.bandwidth_bytes_per_s is not None:
             delay += len(encoded) / self.bandwidth_bytes_per_s
         self.stats.sim_clock_s += delay
+        if delay:
+            per_phase = self.stats.sim_s_by_phase
+            per_phase[envelope.phase] = per_phase.get(envelope.phase, 0.0) + delay
         if self.drop.wants_drop(envelope, self._rng, self.stats.dropped):
             self._note_dropped(encoded)
             return None
@@ -156,8 +188,11 @@ def make_transport(spec: str | Transport | None) -> Transport:
     ``"memory"`` or ``None`` → :class:`InMemoryTransport`;
     ``"sim"`` → zero-loss :class:`SimTransport`;
     ``"sim:drop=0.1,seed=3,latency=0.05,jitter=0.01,phase=online,max-drops=2"``
-    → a configured :class:`SimTransport`.  An already-built transport
-    passes through unchanged.
+    → a configured :class:`SimTransport`;
+    ``"socket[:workers=K,mode=tcp|pipe|auto,timeout=S,mute=A|B]"`` → a
+    :class:`~repro.wire.socket_transport.SocketTransport` with its decoder
+    parties in separate OS processes.  An already-built transport passes
+    through unchanged.
     """
     if spec is None:
         return InMemoryTransport()
@@ -168,8 +203,10 @@ def make_transport(spec: str | Transport | None) -> Transport:
         if options:
             raise ParameterError("memory transport takes no options")
         return InMemoryTransport()
+    if name == "socket":
+        return _make_socket_transport(options)
     if name != "sim":
-        raise ParameterError(f"unknown transport {name!r} (memory|sim)")
+        raise ParameterError(f"unknown transport {name!r} (memory|sim|socket)")
     kwargs: dict[str, float | int] = {}
     drop_kwargs: dict[str, object] = {}
     for part in filter(None, options.split(",")):
@@ -194,3 +231,25 @@ def make_transport(spec: str | Transport | None) -> Transport:
             raise ParameterError(f"unknown transport option {key!r}")
     drop = DropSpec(**drop_kwargs) if drop_kwargs else None
     return SimTransport(drop=drop, **kwargs)
+
+
+def _make_socket_transport(options: str) -> Transport:
+    """Parse ``socket:...`` options (lazy import keeps sim/memory light)."""
+    from repro.wire.socket_transport import SocketTransport
+
+    kwargs: dict[str, object] = {}
+    for part in filter(None, options.split(",")):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ParameterError(f"malformed transport option {part!r}")
+        if key == "workers":
+            kwargs["workers"] = int(value)
+        elif key == "mode":
+            kwargs["mode"] = value
+        elif key == "timeout":
+            kwargs["reply_timeout_s"] = float(value)
+        elif key == "mute":
+            kwargs["mute"] = frozenset(filter(None, value.split("|")))
+        else:
+            raise ParameterError(f"unknown transport option {key!r}")
+    return SocketTransport(**kwargs)

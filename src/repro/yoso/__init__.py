@@ -10,7 +10,7 @@ meters every post (:mod:`repro.accounting`).
 """
 
 from repro.yoso.roles import Role, RoleId, RoleView
-from repro.yoso.bulletin import BulletinBoard, Post
+from repro.yoso.bulletin import BulletinBoard, EncodedPost, Post
 from repro.yoso.committees import Committee
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.adversary import (
@@ -20,6 +20,7 @@ from repro.yoso.adversary import (
     random_corruptions,
 )
 from repro.yoso.network import ProtocolEnvironment
+from repro.yoso.scheduler import AsyncRoundScheduler
 from repro.yoso.functionalities import (
     IdealBroadcast,
     IdealMpc,
@@ -36,6 +37,7 @@ __all__ = [
     "RoleId",
     "RoleView",
     "BulletinBoard",
+    "EncodedPost",
     "Post",
     "Committee",
     "IdealRoleAssignment",
@@ -44,4 +46,5 @@ __all__ = [
     "honest_adversary",
     "random_corruptions",
     "ProtocolEnvironment",
+    "AsyncRoundScheduler",
 ]

@@ -17,18 +17,16 @@ path with structural-sizer estimates and a one-time deprecation warning.
 
 from __future__ import annotations
 
-import warnings
+from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.accounting.comm import CommMeter
+from repro.accounting.comm import CommMeter, warn_fallback_once
 from repro.errors import WireEncodeError, YosoError
 from repro.observability import hooks as _hooks
 from repro.wire.codec import WireCodec, roundtrip_check
 from repro.wire.envelope import Envelope, decode_envelope, encode_envelope
 from repro.wire.registry import kind_for_tag
 from repro.wire.transport import InMemoryTransport, Transport
-
-_FALLBACK_WARNED: set[str] = set()
 
 
 class Post:
@@ -100,6 +98,27 @@ class Post:
         )
 
 
+@dataclass(frozen=True)
+class EncodedPost:
+    """A post encoded and ready for delivery, but not yet on the board.
+
+    The asynchronous path splits :meth:`BulletinBoard.post` in two:
+    :meth:`BulletinBoard.encode_post` produces this, the transport
+    resolves delivery out of band, and
+    :meth:`BulletinBoard.commit_delivered` meters and appends whatever
+    bytes actually arrived.  ``sections`` carries the per-section encoded
+    spans so the commit meters exactly like the synchronous path.
+    """
+
+    phase: str
+    sender: str
+    tag: str
+    kind: str
+    envelope: Envelope
+    encoded: bytes
+    sections: tuple[tuple[str, int], ...] | None
+
+
 class BulletinBoard:
     """Append-only, publicly readable message board with exact metering."""
 
@@ -136,32 +155,60 @@ class BulletinBoard:
         Returns ``None`` when the transport drops the message — the
         runtime treats that as the sender falling silent (fail-stop).
         """
+        prepared = self.encode_post(phase, sender, tag, payload)
+        if prepared is None:
+            return self._post_fallback(phase, sender, tag, payload)
+        delivered = self.transport.deliver(prepared.envelope, prepared.encoded)
+        if delivered is None:
+            _hooks.note(_hooks.WIRE_DROPS)
+            return None
+        return self.commit_delivered(prepared, delivered)
+
+    def encode_post(
+        self, phase: str, sender: str, tag: str, payload: Any
+    ) -> EncodedPost | None:
+        """Encode one message without delivering it.
+
+        Returns ``None`` for codec-foreign payloads (callers fall back to
+        :meth:`post`, which takes the legacy object-reference path).
+        """
         kind = kind_for_tag(tag)
         try:
             body, sections = self.codec.encode_payload(payload)
         except WireEncodeError:
-            return self._post_fallback(phase, sender, tag, payload)
+            return None
         envelope = Envelope(kind.name, sender, self.round, phase, tag, body)
         encoded = encode_envelope(envelope, kind=kind)
         if self.self_check:
             roundtrip_check(self.codec, payload)
         _hooks.note(_hooks.WIRE_POSTS)
         _hooks.note(_hooks.WIRE_ENCODED_BYTES, len(encoded))
-        delivered = self.transport.deliver(envelope, encoded)
-        if delivered is None:
-            _hooks.note(_hooks.WIRE_DROPS)
-            return None
-        if sections is not None:
-            for key, span in sections:
-                self.meter.record_exact(phase, sender, f"{tag}.{key}", span)
-            framing = len(delivered) - sum(span for _, span in sections)
-            self.meter.record_exact(phase, sender, tag, framing)
+        return EncodedPost(
+            phase, sender, tag, kind.name, envelope, encoded,
+            tuple(sections) if sections is not None else None,
+        )
+
+    def commit_delivered(self, prepared: EncodedPost, delivered: bytes) -> Post:
+        """Meter and append the delivered bytes of an encoded post."""
+        if prepared.sections is not None:
+            for key, span in prepared.sections:
+                self.meter.record_exact(
+                    prepared.phase, prepared.sender,
+                    f"{prepared.tag}.{key}", span,
+                )
+            framing = len(delivered) - sum(span for _, span in prepared.sections)
+            self.meter.record_exact(
+                prepared.phase, prepared.sender, prepared.tag, framing
+            )
         else:
-            self.meter.record_exact(phase, sender, tag, len(delivered))
+            self.meter.record_exact(
+                prepared.phase, prepared.sender, prepared.tag, len(delivered)
+            )
         _hooks.note(_hooks.BULLETIN_POSTS)
         post = Post(
-            len(self._posts), self.round, phase, sender, tag,
-            kind=kind.name, encoded=delivered, codec=self.codec,
+            len(self._posts), prepared.envelope.round, prepared.phase,
+            prepared.sender, prepared.tag,
+            kind=prepared.kind, encoded=delivered, codec=self.codec,
         )
         self._append(post)
         return post
@@ -171,15 +218,12 @@ class BulletinBoard:
     ) -> Post:
         """Legacy object-reference post for codec-foreign payloads."""
         type_name = type(payload).__name__
-        if type_name not in _FALLBACK_WARNED:
-            _FALLBACK_WARNED.add(type_name)
-            warnings.warn(
-                f"bulletin payload of type {type_name} has no wire codec; "
-                "posting by reference with structural-sizer estimates "
-                "(deprecated — register a wire codec for it)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
+        warn_fallback_once(
+            type_name,
+            f"bulletin payload of type {type_name} has no wire codec; "
+            "posting by reference with structural-sizer estimates "
+            "(deprecated — register a wire codec for it)",
+        )
         _hooks.note(_hooks.WIRE_ENCODE_FALLBACKS)
         if (
             isinstance(payload, dict)

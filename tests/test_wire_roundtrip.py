@@ -32,6 +32,7 @@ from repro.core.reencrypt import EncryptedPartial, PublicPartial
 from repro.core.resharing import EncryptedResharing, EncryptedSubshare
 from repro.wire import (
     Envelope,
+    KeyAnnouncement,
     WireCodec,
     decode_envelope,
     encode_envelope,
@@ -192,11 +193,14 @@ def _representative_payloads(keypair):
     return {
         "generic": ("debug-blob", {"note": "unregistered tag", "x": 1}),
         "setup.keys": ("setup-keys", {
-            "tpk_modulus": keypair.public.n,
-            "verification_base": 4,
-            "tsk_verifications": [9, 16, 25],
+            "te": {
+                "tpk": KeyAnnouncement(keypair.public.n),
+                "verification_base": 4,
+                "tsk_verifications": [9, 16, 25],
+            },
             "kff": {"Con-mul-1[2]": {
-                "public_modulus": 77, "encrypted_prime": [ct],
+                "public_key": KeyAnnouncement(keypair.public.n),
+                "encrypted_prime": [ct],
             }},
         }),
         "offline.beaver_a": ("Coff-A", {
@@ -229,7 +233,7 @@ def _representative_payloads(keypair):
         }),
         "online.output": ("Con-out", {"output": {8: ep}}),
         "baseline.cdn": ("Cdn-triple-A", {"triples": {0: {"ct": ct, "proof": popk}}}),
-        "baseline.cdn_aux": ("cdn-setup", {"modulus": keypair.public.n}),
+        "baseline.cdn_aux": ("cdn-setup", {"tpk": KeyAnnouncement(keypair.public.n)}),
         "it.messages": ("It-mul-1", {"mu_shares": {0: 42}}),
     }
 
@@ -390,7 +394,17 @@ class TestEnvelopeRejection:
         with pytest.raises(WireDecodeError, match="checksum mismatch"):
             decode_envelope(bytes(data))
 
-    def test_crc_matches_body(self, codec):
+    def test_crc_covers_full_frame(self, codec):
+        # v2: the checksum is over everything before it, header included.
         data = _envelope_bytes(codec)
-        envelope = decode_envelope(data)
-        assert int.from_bytes(data[-4:], "big") == zlib.crc32(envelope.body)
+        assert int.from_bytes(data[-4:], "big") == zlib.crc32(data[:-4])
+
+    def test_garbled_header_fails_loudly(self, codec):
+        # A header flip that still parses structurally (e.g. the round
+        # varint) must hit the full-frame checksum, not decode differently.
+        data = bytearray(_envelope_bytes(codec))
+        for i in range(3, len(data) - 4):
+            flipped = bytearray(data)
+            flipped[i] ^= 0x01
+            with pytest.raises(WireDecodeError):
+                decode_envelope(bytes(flipped))
