@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-engine bench-wire examples table1 trace-demo check all outputs
+.PHONY: install test bench bench-engine bench-wire cost-atlas examples table1 trace-demo check all outputs
 
 install:
 	pip install -e .
@@ -18,6 +18,11 @@ bench-engine:
 # Wire-codec encode/decode throughput per envelope kind; see docs/WIRE.md.
 bench-wire:
 	python benchmarks/bench_wire.py
+
+# Re-render the extrapolation atlas embedded in docs/COSTMODEL.md from the
+# symbolic byte formulas (between the cost-atlas markers).
+cost-atlas:
+	PYTHONPATH=src python benchmarks/bench_costmodel.py --write
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; python $$ex || exit 1; done

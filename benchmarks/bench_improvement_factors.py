@@ -40,6 +40,38 @@ def test_twenty_percent_corruption_1000x(benchmark):
     assert 20000 <= g.committee_size <= 20600
 
 
+def test_factors_computed_both_ways(benchmark):
+    """The quoted factors, from sortition *and* from the wire formulas.
+
+    The packing-factor argument (k gates per batch) and the symbolic
+    per-envelope size formulas are independent derivations; the claimed
+    improvement must come out identical either way.
+    """
+    from repro.accounting.symbolic import extrapolated_mu_bytes_per_gate
+
+    def both_ways():
+        rows = []
+        for c_param, f in ((1000, 0.05), (20000, 0.20)):
+            g = analyze(c_param, f)
+            n = round(g.committee_size)
+            ours = extrapolated_mu_bytes_per_gate(
+                n, g.epsilon, g.packing_factor
+            )
+            nogap = extrapolated_mu_bytes_per_gate(n, g.epsilon, 1)
+            rows.append(
+                (c_param, f, g.packing_factor, round(nogap / ours))
+            )
+        return rows
+
+    rows = benchmark(both_ways)
+    print_banner("E4d — improvement factor: sortition k vs byte-formula ratio")
+    print(format_table(["C", "f", "k (sortition)", "bytes ratio"], rows))
+    for _, _, k, ratio in rows:
+        assert ratio == k  # the two derivations must agree exactly
+    assert rows[0][2] == 28       # §1.1.2: ≈28× at f = 5%
+    assert rows[1][2] > 1000      # §6: >1000× at f = 20%
+
+
 def test_improvement_vs_committee_growth_tradeoff(benchmark):
     benchmark(lambda: None)  # analytic; asserts below
     """The marginal-cost claim: committee growth stays tiny vs the gain."""

@@ -33,6 +33,26 @@ from repro.accounting.costmodel import (
     extrapolate_online_per_gate,
 )
 
+
+def __getattr__(name):
+    """Lazy re-exports of the symbolic cost model (requires sympy)."""
+    _symbolic_names = {
+        "CostExactnessError",
+        "EnvelopeMeasurement",
+        "ExactnessReport",
+        "SymbolicCostModel",
+        "envelope_formula",
+        "formula_catalog",
+        "measure_post",
+        "verify_cost_exactness",
+    }
+    if name in _symbolic_names:
+        from repro.accounting import symbolic
+
+        return getattr(symbolic, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CommMeter",
     "MessageRecord",
@@ -53,4 +73,13 @@ __all__ = [
     "loads_report",
     "report_from_mpc_result",
     "run_report",
+    # Symbolic cost model (lazy; see __getattr__).
+    "CostExactnessError",
+    "EnvelopeMeasurement",
+    "ExactnessReport",
+    "SymbolicCostModel",
+    "envelope_formula",
+    "formula_catalog",
+    "measure_post",
+    "verify_cost_exactness",
 ]

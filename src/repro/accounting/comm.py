@@ -26,24 +26,31 @@ _SIZERS: dict[type, Callable[[Any], int]] = {}
 #: Type names the meter estimated instead of measured (diagnostic aid).
 unmeasured_type_names: set[str] = set()
 
-#: Types already warned about (one deprecation warning per type).
-_WARNED_TYPES: set[str] = set()
+#: (envelope kind, payload type) pairs already warned about — one
+#: deprecation warning per kind/type pair, so the same foreign type
+#: surfacing under a *different* envelope kind still gets flagged.
+_WARNED_TYPES: set[tuple[str, str]] = set()
 
 
-def _warn_once(type_name: str, message: str) -> None:
-    if type_name not in _WARNED_TYPES:
-        _WARNED_TYPES.add(type_name)
+def _warn_once(type_name: str, message: str, kind: str = "") -> None:
+    key = (kind, type_name)
+    if key not in _WARNED_TYPES:
+        _WARNED_TYPES.add(key)
         warnings.warn(message, DeprecationWarning, stacklevel=4)
 
 
-def warn_fallback_once(type_name: str, message: str) -> None:
-    """Once-per-process deprecation warning for a payload type.
+def warn_fallback_once(type_name: str, message: str, kind: str = "") -> None:
+    """Once-per-(kind, type) deprecation warning for a fallback payload.
 
     Shared by the meter's sizer path and the bulletin's object-reference
-    fallback so a codec-foreign type warns exactly once however many
-    boards or meters touch it (docs/WIRE.md documents once-per-process).
+    fallback.  ``kind`` is the envelope kind the payload was posted
+    under; the pair keys the dedup so a codec-foreign type warns once per
+    kind however many boards or meters touch it — estimated kinds are
+    exactly the ones the symbolic exactness check
+    (:mod:`repro.accounting.symbolic`) cannot certify, so each deserves
+    its own flag (docs/WIRE.md documents once-per-kind).
     """
-    _warn_once(type_name, message)
+    _warn_once(type_name, message, kind)
 
 
 def reset_fallback_warnings() -> None:

@@ -1,21 +1,23 @@
-"""Analytic communication model of the protocol.
+"""Analytic communication model of the protocol (compatibility shim).
 
-Predicts, from the protocol parameters and circuit shape alone, how many
-messages of each kind every phase posts and how many bytes they occupy —
-without running anything.  Two uses:
+Historically this module carried hand-calibrated per-component byte
+formulas.  The derivation now lives in :mod:`repro.accounting.symbolic`,
+which states every envelope kind's size as a closed-form sympy
+expression and proves it byte-exact against the metered wire after every
+run.  This module keeps the old API as a thin shim over that model:
 
-* **cross-validation**: the predictions are checked against the metered
-  bulletin of real runs (tests/benchmarks), pinning the implementation to
-  the paper's communication analysis (§5.2/§5.3);
-* **extrapolation**: per-gate online/offline cost curves at deployment
-  scales (n ≈ 20,000) where simulation is impossible — the regime the
-  paper actually targets.
+* **counts** (messages per phase) are exact, as before;
+* **byte predictions** delegate to :class:`SymbolicCostModel` — they are
+  the *nominal* closed forms evaluated at representative run bindings,
+  so real runs land a few percent under them (the value slack the
+  symbolic model tracks explicitly);
+* the per-component size properties (``popk_bytes``, ``resharing_bytes``
+  ...) remain available, now phrased in the wire codec's own size
+  arithmetic (:mod:`repro.wire.sizes`).
 
-Counts are exact; byte sizes mirror the canonical wire codec
-(:mod:`repro.wire.codec`) that the bulletin meters, so predictions are
-checked against *delivered envelope bytes*.  Integer responses carry
-statistical slack and magnitudes are drawn uniformly, so real runs wobble
-a few percent around the prediction.
+Use :class:`SymbolicCostModel` directly for per-kind formulas, the
+exactness cross-check, and extrapolation; use :class:`CostModel` where
+the old interface is expected.
 """
 
 from __future__ import annotations
@@ -27,19 +29,20 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.layering import BatchPlan
 from repro.errors import ParameterError
 from repro.nizk.params import ProofParams
+from repro.wire.sizes import cdiv, int_nominal, seq_nominal, str_nominal
 
 if TYPE_CHECKING:  # avoid accounting -> core -> yoso -> accounting cycle
     from repro.core.params import ProtocolParams
 
 
 def _int_bytes(bits: int) -> int:
-    """Wire size of an integer of the given bit length (tag + length + magnitude)."""
-    return 2 + (max(bits, 1) + 7) // 8
+    """Wire size of an integer of the given bit length."""
+    return int(int_nominal(max(bits, 1)))
 
 
 def _str_bytes(s: str) -> int:
-    """Wire size of a short string (tag + length varint + utf-8 bytes)."""
-    return 2 + len(s)
+    """Wire size of a short string key."""
+    return str_nominal(s)
 
 
 @dataclass(frozen=True)
@@ -72,7 +75,12 @@ class PhasePrediction:
 
 
 class CostModel:
-    """Communication predictor for one protocol configuration."""
+    """Communication predictor for one protocol configuration.
+
+    A compatibility facade: phase predictions evaluate the per-kind
+    closed forms of :class:`repro.accounting.symbolic.SymbolicCostModel`
+    at this configuration's parameters.
+    """
 
     def __init__(
         self,
@@ -99,11 +107,22 @@ class CostModel:
             import math
 
             per_epoch = params.statistical_bits + int(
-                math.log2(params.delta) + (params.t + 1).bit_length()
+                math.lgamma(params.n + 1) / math.log(2)
+                + (params.t + 1).bit_length()
             )
             self.tsk_share_bits = (
                 2 * params.te_bits + params.statistical_bits + 24 + 2 * per_epoch
             )
+
+    @property
+    def _symbolic(self):
+        from repro.accounting.symbolic import SymbolicCostModel
+
+        model = self.__dict__.get("_symbolic_model")
+        if model is None:
+            model = SymbolicCostModel(self.params, self.shape, self.proof)
+            self.__dict__["_symbolic_model"] = model
+        return model
 
     # -- codec framing constants (mirror repro.wire.codec) -------------------
 
@@ -115,10 +134,6 @@ class CostModel:
     CT_OVERHEAD = 9
     #: A small integer (wire id, index, epoch): tag + length + one byte.
     SMALL_INT = 3
-    #: Envelope frame per post (magic/version/kind/round/sender/phase/tag/
-    #: body-length/crc32) plus the top-level payload dict header.  Sender
-    #: and tag strings vary a few bytes around this per committee.
-    POST_OVERHEAD = 44
 
     # -- component sizes ----------------------------------------------------
 
@@ -179,8 +194,7 @@ class CostModel:
     @property
     def chunks_per_partial(self) -> int:
         """Limbs to carry a Z_{N²} partial under a role/KFF key."""
-        chunk_bits = self.params.role_key_bits - 1
-        return -(-2 * self.params.te_bits // chunk_bits)
+        return cdiv(2 * self.params.te_bits, self.params.role_key_bits - 1)
 
     @property
     def encrypted_partial_bytes(self) -> int:
@@ -207,8 +221,7 @@ class CostModel:
     @property
     def subshare_limbs(self) -> int:
         """Limbs per encrypted resharing subshare."""
-        chunk_bits = self.params.role_key_bits - 1
-        return -(-(self.tsk_share_bits + 2) // chunk_bits)
+        return cdiv(self.tsk_share_bits + 2, self.params.role_key_bits - 1)
 
     @property
     def resharing_bytes(self) -> int:
@@ -232,113 +245,17 @@ class CostModel:
     @property
     def mu_share_bytes(self) -> int:
         """One online μ-share dict entry: ring scalar + proof token + framing."""
-        from repro.core.oracle import PROOF_TOKEN_BYTES
-
-        # {batch_id: {"value": scalar, "proof": token}} — the token's length
-        # varint needs two bytes (192 > 127).
-        return (
-            self.SMALL_INT
-            + self.SEQ_HEADER
-            + _str_bytes("value")
-            + _int_bytes(self.params.te_bits)
-            + _str_bytes("proof")
-            + (1 + 2 + PROOF_TOKEN_BYTES)
-        )
+        return self._symbolic.mu_entry_bytes()
 
     # -- per-phase predictions ------------------------------------------------
 
-    @property
-    def mul_post_overhead(self) -> int:
-        """Per-member framing of one μ-share post (envelope + section key)."""
-        return self.POST_OVERHEAD + _str_bytes("mu_shares") + self.SEQ_HEADER
-
     def predict_offline(self) -> PhasePrediction:
-        n, t = self.params.n, self.params.t
-        s = self.shape
-        # One {"ct": ..., "proof": ...} contribution, keyed by wire id.
-        contribution = (
-            self.SMALL_INT + self.SEQ_HEADER
-            + _str_bytes("ct") + self.te_ct
-            + _str_bytes("proof") + self.popk_bytes
-        )
-        # Helper contributions are keyed by a (batch, kind, h) tuple.
-        helper = contribution - self.SMALL_INT + (
-            self.SEQ_HEADER + 2 * self.SMALL_INT + _str_bytes("right")
-        )
-        beaver_b = (
-            self.SMALL_INT + self.SEQ_HEADER
-            + _str_bytes("b_ct") + self.te_ct
-            + _str_bytes("c_ct") + self.te_ct
-            + _str_bytes("proof") + self.mult_proof_bytes
-        )
-        partial_pair = (
-            self.SMALL_INT + self.SEQ_HEADER
-            + _str_bytes("eps") + self.public_partial_bytes
-            + _str_bytes("delta") + self.public_partial_bytes
-        )
-        packed_key = self.SEQ_HEADER + 2 * self.SMALL_INT + _str_bytes("right")
-        per_role = {
-            # Coff-A: a-contribution per mul gate + one resharing.
-            "A": _str_bytes("beaver_a") + self.SEQ_HEADER
-            + s.n_multiplications * contribution
-            + _str_bytes("tsk") + self.resharing_bytes,
-            # Coff-B: (b ct + c ct + proof) per mul gate.
-            "B": _str_bytes("beaver_b") + self.SEQ_HEADER
-            + s.n_multiplications * beaver_b,
-            # Coff-R: masks for inputs+mul wires, 3t helpers per batch.
-            "R": _str_bytes("masks") + _str_bytes("helpers") + 2 * self.SEQ_HEADER
-            + (s.n_inputs + s.n_multiplications) * contribution
-            + s.n_batches * 3 * t * helper,
-            # Coff-dec: 2 public partials per mul gate + resharing.
-            "dec": _str_bytes("partials") + self.SEQ_HEADER
-            + s.n_multiplications * partial_pair
-            + _str_bytes("tsk") + self.resharing_bytes,
-            # Coff-reenc: re-encrypt inputs + 3n packed shares per batch.
-            "reenc": _str_bytes("input_shares") + _str_bytes("packed_shares")
-            + 2 * self.SEQ_HEADER
-            + s.n_inputs * (self.SMALL_INT + self.encrypted_partial_bytes)
-            + 3 * n * s.n_batches * (packed_key + self.encrypted_partial_bytes)
-            + _str_bytes("tsk") + self.resharing_bytes,
-        }
-        total = n * (sum(per_role.values()) + 5 * self.POST_OVERHEAD)
-        return PhasePrediction(messages=5 * n, n_bytes=total)
+        total = self._symbolic.predict_offline()
+        return PhasePrediction(messages=total.messages, n_bytes=total.n_bytes)
 
     def predict_online(self) -> PhasePrediction:
-        n = self.params.n
-        s = self.shape
-        # Con-keys: one KFF prime fits few te chunks; each member re-encrypts
-        # every KFF (mul roles + input clients).
-        kff_targets = s.n_depths * n + s.n_input_clients
-        kff_chunks = -(-(self.params.role_key_bits // 2) // (self.params.te_bits - 1))
-        # Each target entry carries its role-tag string plus the chunk list;
-        # Con-keys reshares an epoch-3 share (one hop past the representative
-        # mid-chain size) — account for the extra hop explicitly.
-        tag_framing = 16
-        late_epoch_extra = self.params.n * self.subshare_limbs * 8
-        keys_per_role = (
-            self.POST_OVERHEAD + _str_bytes("kff") + self.SEQ_HEADER
-            + kff_targets
-            * (
-                tag_framing + self.SEQ_HEADER
-                + kff_chunks * self.encrypted_partial_bytes
-            )
-            + _str_bytes("tsk") + self.resharing_bytes
-            + late_epoch_extra
-        )
-        clients_total = s.n_input_clients * (
-            self.POST_OVERHEAD + _str_bytes("mu") + self.SEQ_HEADER
-        ) + s.n_inputs * (self.SMALL_INT + _int_bytes(self.params.te_bits))
-        mul_total = (
-            s.n_batches * n * self.mu_share_bytes
-            + s.n_depths * n * self.mul_post_overhead
-        )
-        out_per_role = (
-            self.POST_OVERHEAD + _str_bytes("output") + self.SEQ_HEADER
-            + s.n_outputs * (self.SMALL_INT + self.encrypted_partial_bytes)
-        )
-        total = n * keys_per_role + clients_total + mul_total + n * out_per_role
-        messages = n + s.n_input_clients + s.n_depths * n + n
-        return PhasePrediction(messages=messages, n_bytes=total)
+        total = self._symbolic.predict_online()
+        return PhasePrediction(messages=total.messages, n_bytes=total.n_bytes)
 
     # -- headline quantities ------------------------------------------------
 
@@ -348,17 +265,10 @@ class CostModel:
         Matches the meter's ``Con-mul-*`` records, which include each
         member's per-depth post framing alongside its per-batch entries.
         """
-        if self.shape.n_multiplications == 0:
-            return 0.0
-        return (
-            self.shape.n_batches * self.params.n * self.mu_share_bytes
-            + self.shape.n_depths * self.params.n * self.mul_post_overhead
-        ) / self.shape.n_multiplications
+        return self._symbolic.online_mul_bytes_per_gate()
 
     def offline_bytes_per_gate(self) -> float:
-        if self.shape.n_multiplications == 0:
-            return 0.0
-        return self.predict_offline().n_bytes / self.shape.n_multiplications
+        return self._symbolic.offline_bytes_per_gate()
 
 
 def extrapolate_online_per_gate(

@@ -1,0 +1,1527 @@
+"""Closed-form per-envelope communication formulas, exact to the byte.
+
+Every registered envelope kind gets a sympy expression for its wire size
+— TLV headers, varints, ciphertext widths, proof fields, and envelope v2
+framing included — derived term-by-term from the same arithmetic the
+codec uses (:mod:`repro.wire.sizes`).  The contract, enforced after
+every metered run and in ``tests/test_symbolic_costmodel.py``::
+
+    formula.subs(parameters ∪ run_bindings) == len(envelope)   # exactly
+
+Two facts make exactness achievable:
+
+* Every *structural* byte (headers, fixed-width ciphertexts, counts) is
+  a deterministic function of the protocol parameters, so the nominal
+  expression is built from declared bit widths and counts.
+* Every *value-dependent* byte (minimal integer encodings shed leading
+  zero bytes; chunk lists shrink when a value is small) is captured by
+  an explicit per-envelope **slack** symbol ``S = nominal − actual``,
+  recomputed by an independent bottom-up walk over the decoded payload.
+  The walk itself is validated byte-for-byte: its actual total must
+  equal the delivered envelope length.
+
+The builders below are *dual-mode*: executed once with a symbolic
+context they emit the closed form; executed with a concrete context and
+a decoded payload they re-derive every leaf's exact encoded size.  One
+source of truth, two readings — a structural drift breaks the concrete
+walk immediately, which is what turns every metered run into a
+validation oracle (see docs/COSTMODEL.md).
+
+Symbol glossary (run-bound symbols are bound per envelope):
+
+========  ====================================================================
+``n``     committee size            ``t``      corruption threshold
+``k``     packing width             ``te``     threshold-key modulus bits
+``rb``    role-key modulus bits     ``ch``     σ-protocol challenge bits
+``st``    statistical slack bits    ``fb``     IT field-element bits
+``gates`` multiplications           ``inputs`` input wires
+``outputs`` output wires            ``batches`` packed batches
+``depths`` multiplicative depths    ``clients`` input clients
+``R``     round number              ``Ls Lp Lt`` sender/phase/tag utf8 bytes
+``OB``    resharing offset bits     ``Zpd``    max partial-dec response bits
+``Ni``    per-envelope input count  ``Nb``     per-envelope batch count
+``Nt``    per-envelope transfers    ``Gd``     per-envelope gates at depth
+``Kn``    KFF entries in envelope   ``Lk``     KFF tag utf8 bytes, summed
+``S``     value slack (nominal − actual encoded bytes)
+========  ====================================================================
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, fields as dc_fields, is_dataclass
+from typing import Any, Callable
+
+from repro.errors import ReproError
+from repro.wire.registry import kind_by_name
+from repro.wire.sizes import (
+    ENVELOPE_FIXED_BYTES,
+    bytes_nominal,
+    bytes_wire_len,
+    cdiv,
+    ct_nominal,
+    ct_wire_len,
+    digit_sum,
+    envelope_nominal,
+    envelope_wire_len,
+    int_nominal,
+    int_wire_len,
+    seq_nominal,
+    str_wire_len,
+    varint_len,
+    vlen,
+)
+
+__all__ = [
+    "CostExactnessError",
+    "EnvelopeMeasurement",
+    "ExactnessReport",
+    "PARAM_SYMBOL_NAMES",
+    "RUN_SYMBOL_NAMES",
+    "SymbolicCostModel",
+    "envelope_formula",
+    "extrapolated_mu_bytes_per_gate",
+    "formula_catalog",
+    "measure_post",
+    "space_for_cdn",
+    "space_for_it",
+    "space_for_result",
+    "sym",
+    "verify_cost_exactness",
+]
+
+
+class CostExactnessError(ReproError):
+    """A metered envelope's bytes deviate from its closed-form formula."""
+
+
+#: Protocol/circuit parameters — one value per run.
+PARAM_SYMBOL_NAMES = (
+    "n", "t", "k", "te", "rb", "ch", "st", "fb",
+    "gates", "inputs", "outputs", "batches", "depths", "clients",
+)
+#: Quantities bound per envelope (header fields and payload-derived).
+RUN_SYMBOL_NAMES = (
+    "R", "Ls", "Lp", "Lt", "OB", "Zpd", "Ni", "Nb", "Nt", "Gd",
+    "Kn", "Lk", "S",
+)
+_ALL_SYMBOL_NAMES = frozenset(PARAM_SYMBOL_NAMES + RUN_SYMBOL_NAMES)
+
+_SYMBOLS: dict[str, Any] = {}
+
+
+def sym(name: str):
+    """The (cached) sympy symbol of a glossary name."""
+    if name not in _ALL_SYMBOL_NAMES:
+        raise CostExactnessError(f"unknown cost-model symbol {name!r}")
+    if name not in _SYMBOLS:
+        import sympy
+
+        assumptions = {"integer": True}
+        if name != "S":  # slack may be negative for over-nominal values
+            assumptions["nonnegative"] = True
+        _SYMBOLS[name] = sympy.Symbol(name, **assumptions)
+    return _SYMBOLS[name]
+
+
+class _Space:
+    """Parameter namespace: concrete ints, or glossary symbols."""
+
+    def __init__(
+        self,
+        values: dict[str, int] | None = None,
+        symbolic: bool = False,
+        robust: bool = False,
+    ):
+        self._values = dict(values or {})
+        self._symbolic = symbolic
+        #: python-level switch, not a symbol: robust reconstruction drops
+        #: the per-share proof token, changing the formula's *shape*.
+        self.robust = robust
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            return values[name]
+        if object.__getattribute__(self, "_symbolic") and name in _ALL_SYMBOL_NAMES:
+            return sym(name)
+        raise AttributeError(
+            f"cost-model parameter {name!r} missing from concrete space"
+        )
+
+    def params(self) -> dict[str, int]:
+        return dict(self._values)
+
+
+# -- the dual-mode walking context -------------------------------------------
+
+class _SizeCtx:
+    """Accumulates exact bytes (concrete) while returning nominal sizes.
+
+    Every leaf method returns the *nominal* size (an int or sympy
+    expression built from declared widths) and, when walking a concrete
+    payload, adds the *actual* encoded size of the live value to
+    ``self.actual``.  ``ghosted()`` suppresses the actual accumulation so
+    ``repeat`` can price one archetypal item for the closed form.
+    """
+
+    def __init__(self, space: _Space):
+        self.P = space
+        self.symbolic = space._symbolic
+        self.bindings: dict[str, int] = {}
+        self.actual = 0
+        self._ghost = 0
+
+    @contextmanager
+    def ghosted(self):
+        self._ghost += 1
+        try:
+            yield
+        finally:
+            self._ghost -= 1
+
+    def _live(self) -> bool:
+        return not self.symbolic and not self._ghost
+
+    def _acc(self, n_bytes: int) -> None:
+        if self._live():
+            self.actual += n_bytes
+
+    def bind(self, name: str, value: Callable[[], int] | int):
+        """A run-bound symbol: glossary symbol here, payload value there."""
+        if self.symbolic:
+            return sym(name)
+        v = int(value() if callable(value) else value)
+        self.bindings[name] = v
+        return v
+
+    # -- leaves --------------------------------------------------------------
+
+    def intv(self, value: int | None, bits: Any):
+        if self._live():
+            assert value is not None, "live walk reached an absent int leaf"
+            self._acc(int_wire_len(value))
+        return int_nominal(bits)
+
+    def small(self, value: int | None):
+        """An index/epoch/id-sized integer (nominal one data byte)."""
+        return self.intv(value, 8)
+
+    def strf(self, s: str) -> int:
+        """A fixed literal string key — nominal equals actual."""
+        self._acc(str_wire_len(s))
+        return str_wire_len(s)
+
+    def strn(self, value: str | None, nominal_len: int):
+        if self._live():
+            assert value is not None, "live walk reached an absent str leaf"
+            self._acc(str_wire_len(value))
+        return 1 + varint_len(nominal_len) + nominal_len
+
+    def byt(self, value: bytes | None, length: Any):
+        if self._live():
+            assert value is not None, "live walk reached an absent bytes leaf"
+            self._acc(bytes_wire_len(value))
+        return bytes_nominal(length)
+
+    def ct(self, value: Any, modulus_bits: Any):
+        if self._live():
+            assert value is not None, "live walk reached an absent ciphertext"
+            self._acc(ct_wire_len(value))
+        return ct_nominal(modulus_bits)
+
+    def obj(self, n_fields: int) -> int:
+        """Registered-object header (codes and field counts are < 128)."""
+        self._acc(3)
+        return 3
+
+    def seq(self, nominal_count: Any, actual_count: int | None = None):
+        """List/tuple/dict header: tag byte + element-count varint."""
+        if self._live():
+            count = actual_count if actual_count is not None else nominal_count
+            self._acc(1 + varint_len(int(count)))
+        return seq_nominal(nominal_count)
+
+    def str_pool(self, keys: Any, count: Any, total_len: Any):
+        """A family of short string keys priced by their summed length."""
+        if self._live():
+            assert keys is not None
+            for key in keys:
+                raw = len(key.encode("utf-8"))
+                assert raw < 128, f"key {key!r} exceeds one-byte varint range"
+                self._acc(1 + 1 + raw)
+        return 2 * count + total_len
+
+    def repeat(
+        self,
+        items: Any,
+        count: Any,
+        fn: Callable[[Any], Any],
+        strict: bool = True,
+    ):
+        """``count`` structurally identical items: walks each, prices one."""
+        if self._live():
+            assert items is not None, "live walk reached an absent sequence"
+            if strict:
+                assert len(items) == int(count), (
+                    f"expected {count} items, payload has {len(items)}"
+                )
+            for item in items:
+                fn(item)
+        with self.ghosted():
+            per_item = fn(None)
+        return count * per_item
+
+
+# -- payload prescans ---------------------------------------------------------
+
+def _max_pdec_bits(payload: Any) -> int:
+    """Largest partial-decryption response width in an envelope (→ Zpd)."""
+    from repro.nizk.sigma import PartialDecryptionProof
+
+    best = 1
+
+    def walk(obj: Any) -> None:
+        nonlocal best
+        if isinstance(obj, PartialDecryptionProof):
+            best = max(best, obj.response.bit_length())
+        elif isinstance(obj, dict):
+            for v in obj.values():
+                walk(v)
+        elif isinstance(obj, (list, tuple)):
+            for v in obj:
+                walk(v)
+        elif is_dataclass(obj) and not isinstance(obj, type):
+            for f in dc_fields(obj):
+                walk(getattr(obj, f.name))
+
+    walk(payload)
+    return best
+
+
+# -- shared component builders ------------------------------------------------
+# Field lists mirror the registered wire dataclasses (repro.wire.domain,
+# repro.core.resharing, repro.core.reencrypt) in declaration order.
+
+def _key_announcement(ctx: _SizeCtx, ka: Any, bits: Any):
+    """KeyAnnouncement(modulus) — the modulus has exactly ``bits`` bits."""
+    return ctx.obj(1) + ctx.intv(None if ka is None else ka.modulus, bits)
+
+
+def _popk(ctx: _SizeCtx, p: Any):
+    """PlaintextKnowledgeProof under the threshold key."""
+    P = ctx.P
+    return (
+        ctx.obj(3)
+        + ctx.intv(None if p is None else p.commitment, 2 * P.te)
+        + ctx.intv(None if p is None else p.response_exponent, P.te + P.ch + P.st + 1)
+        + ctx.intv(None if p is None else p.response_unit, P.te)
+    )
+
+
+def _mult_proof(ctx: _SizeCtx, p: Any):
+    """MultiplicationProof under the threshold key."""
+    P = ctx.P
+    return (
+        ctx.obj(4)
+        + ctx.intv(None if p is None else p.commitment_enc, 2 * P.te)
+        + ctx.intv(None if p is None else p.commitment_mult, 2 * P.te)
+        + ctx.intv(None if p is None else p.response_exponent, P.te + P.ch + P.st + 1)
+        + ctx.intv(None if p is None else p.response_unit, P.te)
+    )
+
+
+def _pdec_proof(ctx: _SizeCtx, p: Any, zpd: Any):
+    """PartialDecryptionProof — response width is the run-bound Zpd."""
+    P = ctx.P
+    return (
+        ctx.obj(3)
+        + ctx.intv(None if p is None else p.commitment_cipher, 2 * P.te)
+        + ctx.intv(None if p is None else p.commitment_verif, 2 * P.te)
+        + ctx.intv(None if p is None else p.response, zpd)
+    )
+
+
+def _dlog_proof(ctx: _SizeCtx, p: Any):
+    """PlaintextDlogEqualityProof binding a role-key ct to a te-group value."""
+    P = ctx.P
+    return (
+        ctx.obj(4)
+        + ctx.intv(None if p is None else p.commitment_enc, 2 * P.rb)
+        + ctx.intv(None if p is None else p.commitment_dlog, 2 * P.te)
+        + ctx.intv(None if p is None else p.response_exponent, P.rb + P.ch + P.st + 1)
+        + ctx.intv(None if p is None else p.response_unit, P.rb)
+    )
+
+
+def _encrypted_subshare(ctx: _SizeCtx, s: Any, ob: Any):
+    """EncryptedSubshare: limbs/verifications/proofs, ≤ ⌈(OB+1)/(rb−1)⌉ each."""
+    P = ctx.P
+    limbs = cdiv(ob + 1, P.rb - 1)
+    n = ctx.obj(4)
+    n += ctx.small(None if s is None else s.recipient_index)
+    n += ctx.seq(limbs, None if s is None else len(s.limbs))
+    n += ctx.repeat(
+        None if s is None else s.limbs, limbs,
+        lambda c: ctx.ct(c, P.rb), strict=False,
+    )
+    n += ctx.seq(limbs, None if s is None else len(s.limb_verifications))
+    n += ctx.repeat(
+        None if s is None else s.limb_verifications, limbs,
+        lambda v: ctx.intv(v, 2 * P.te), strict=False,
+    )
+    n += ctx.seq(limbs, None if s is None else len(s.limb_proofs))
+    n += ctx.repeat(
+        None if s is None else s.limb_proofs, limbs,
+        lambda pr: _dlog_proof(ctx, pr), strict=False,
+    )
+    return n
+
+
+def _resharing(ctx: _SizeCtx, r: Any):
+    """EncryptedResharing — one per committee member carrying a tsk share."""
+    P = ctx.P
+    ob = ctx.bind("OB", lambda: r.offset_bits)
+    n = ctx.obj(5)
+    n += ctx.small(None if r is None else r.sender_index)
+    n += ctx.small(None if r is None else r.epoch)
+    n += ctx.small(None if r is None else r.offset_bits)
+    n += ctx.seq(P.n, None if r is None else len(r.verifications))
+    n += ctx.repeat(
+        None if r is None else r.verifications, P.n,
+        lambda v: ctx.intv(v, 2 * P.te),
+    )
+    n += ctx.seq(P.n, None if r is None else len(r.subshares))
+    n += ctx.repeat(
+        None if r is None else r.subshares, P.n,
+        lambda s: _encrypted_subshare(ctx, s, ob),
+    )
+    return n
+
+
+def _encrypted_partial(ctx: _SizeCtx, ep: Any, zpd: Any):
+    """EncryptedPartial: an N²-sized value chunked under a role key."""
+    P = ctx.P
+    chunks = cdiv(2 * P.te, P.rb - 1)
+    n = ctx.obj(4)
+    n += ctx.small(None if ep is None else ep.sender_index)
+    n += ctx.small(None if ep is None else ep.epoch)
+    n += ctx.seq(chunks, None if ep is None else len(ep.chunks))
+    n += ctx.repeat(
+        None if ep is None else ep.chunks, chunks,
+        lambda c: ctx.ct(c, P.rb), strict=False,
+    )
+    n += _pdec_proof(ctx, None if ep is None else ep.proof, zpd)
+    return n
+
+
+def _public_partial(ctx: _SizeCtx, pp: Any, zpd: Any):
+    """PublicPartial(PartialDecryption, proof)."""
+    P = ctx.P
+    n = ctx.obj(2)
+    n += ctx.obj(3)  # the nested PartialDecryption
+    n += ctx.small(None if pp is None else pp.partial.index)
+    n += ctx.intv(None if pp is None else pp.partial.value, 2 * P.te)
+    n += ctx.small(None if pp is None else pp.partial.epoch)
+    n += _pdec_proof(ctx, None if pp is None else pp.proof, zpd)
+    return n
+
+
+def _ct_proof_entry(ctx: _SizeCtx, item: Any, proof_fn: Callable):
+    """A ``wire_id -> {"ct", "proof"}`` contribution entry."""
+    key, v = (None, None) if item is None else item
+    n = ctx.small(key)
+    n += ctx.seq(2, None if v is None else len(v))
+    n += ctx.strf("ct") + ctx.ct(None if v is None else v["ct"], ctx.P.te)
+    n += ctx.strf("proof") + proof_fn(ctx, None if v is None else v["proof"])
+    return n
+
+
+def _dict_items(payload: Any, key: str):
+    return None if payload is None else list(payload[key].items())
+
+
+# -- per-kind/variant body builders -------------------------------------------
+
+def _b_setup_keys(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    prime_chunks = cdiv(cdiv(P.rb, 2), P.te - 1)
+    kn = ctx.bind("Kn", lambda: len(p["kff"]))
+    lk = ctx.bind(
+        "Lk", lambda: sum(len(key.encode("utf-8")) for key in p["kff"])
+    )
+    n = ctx.seq(2, None if p is None else len(p))
+
+    # "kff": role/client tag -> {encrypted_prime, public_key}
+    n += ctx.strf("kff")
+    n += ctx.seq(kn, None if p is None else len(p["kff"]))
+    n += ctx.str_pool(None if p is None else list(p["kff"]), kn, lk)
+
+    def kff_entry(entry):
+        m = ctx.seq(2, None if entry is None else len(entry))
+        m += ctx.strf("encrypted_prime")
+        chunks = None if entry is None else entry["encrypted_prime"]
+        m += ctx.seq(prime_chunks, None if chunks is None else len(chunks))
+        m += ctx.repeat(
+            chunks, prime_chunks, lambda c: ctx.ct(c, P.te), strict=False
+        )
+        m += ctx.strf("public_key")
+        m += _key_announcement(
+            ctx, None if entry is None else entry["public_key"], P.rb
+        )
+        return m
+
+    n += ctx.repeat(
+        None if p is None else list(p["kff"].values()), kn, kff_entry
+    )
+
+    # "te": threshold key material
+    n += ctx.strf("te")
+    te_sec = None if p is None else p["te"]
+    n += ctx.seq(3, None if te_sec is None else len(te_sec))
+    n += ctx.strf("tpk")
+    n += _key_announcement(ctx, None if te_sec is None else te_sec["tpk"], P.te)
+    n += ctx.strf("tsk_verifications")
+    verifs = None if te_sec is None else list(te_sec["tsk_verifications"].items())
+    n += ctx.seq(P.n, None if verifs is None else len(verifs))
+    n += ctx.repeat(
+        verifs, P.n,
+        lambda it: ctx.small(None if it is None else it[0])
+        + ctx.intv(None if it is None else it[1], 2 * P.te),
+    )
+    n += ctx.strf("verification_base")
+    n += ctx.intv(
+        None if te_sec is None else te_sec["verification_base"], 2 * P.te
+    )
+    return n
+
+
+def _b_beaver_a(ctx: _SizeCtx, p: Any):
+    n = ctx.seq(2, None if p is None else len(p))
+    n += ctx.strf("beaver_a")
+    items = _dict_items(p, "beaver_a")
+    n += ctx.seq(ctx.P.gates, None if items is None else len(items))
+    n += ctx.repeat(
+        items, ctx.P.gates, lambda it: _ct_proof_entry(ctx, it, _popk)
+    )
+    n += ctx.strf("tsk")
+    n += _resharing(ctx, None if p is None else p["tsk"])
+    return n
+
+
+def _b_beaver_b(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("beaver_b")
+    items = _dict_items(p, "beaver_b")
+    n += ctx.seq(P.gates, None if items is None else len(items))
+
+    def entry(item):
+        key, v = (None, None) if item is None else item
+        m = ctx.small(key)
+        m += ctx.seq(3, None if v is None else len(v))
+        m += ctx.strf("b_ct") + ctx.ct(None if v is None else v["b_ct"], P.te)
+        m += ctx.strf("c_ct") + ctx.ct(None if v is None else v["c_ct"], P.te)
+        m += ctx.strf("proof")
+        m += _mult_proof(ctx, None if v is None else v["proof"])
+        return m
+
+    n += ctx.repeat(items, P.gates, entry)
+    return n
+
+
+def _b_masks(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    n = ctx.seq(2, None if p is None else len(p))
+
+    # "helpers": (batch, kind, h) -> {ct, proof}; kinds left/right/gamma
+    n += ctx.strf("helpers")
+    helpers = _dict_items(p, "helpers")
+    helper_count = P.batches * 3 * P.t
+    n += ctx.seq(helper_count, None if helpers is None else len(helpers))
+
+    def helper(item):
+        key, v = (None, None) if item is None else item
+        m = ctx.seq(3)  # the tuple key header
+        m += ctx.small(None if key is None else key[0])
+        m += ctx.strn(None if key is None else key[1], 5)
+        m += ctx.small(None if key is None else key[2])
+        m += ctx.seq(2, None if v is None else len(v))
+        m += ctx.strf("ct") + ctx.ct(None if v is None else v["ct"], P.te)
+        m += ctx.strf("proof") + _popk(ctx, None if v is None else v["proof"])
+        return m
+
+    n += ctx.repeat(helpers, helper_count, helper)
+
+    # "masks": wire -> {ct, proof} for every input and every product wire
+    n += ctx.strf("masks")
+    masks = _dict_items(p, "masks")
+    n += ctx.seq(P.inputs + P.gates, None if masks is None else len(masks))
+    n += ctx.repeat(
+        masks, P.inputs + P.gates,
+        lambda it: _ct_proof_entry(ctx, it, _popk),
+    )
+    return n
+
+
+def _b_partials(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
+    n = ctx.seq(2, None if p is None else len(p))
+    n += ctx.strf("partials")
+    items = _dict_items(p, "partials")
+    n += ctx.seq(P.gates, None if items is None else len(items))
+
+    def entry(item):
+        key, v = (None, None) if item is None else item
+        m = ctx.small(key)
+        m += ctx.seq(2, None if v is None else len(v))
+        m += ctx.strf("delta")
+        m += _public_partial(ctx, None if v is None else v["delta"], zpd)
+        m += ctx.strf("eps")
+        m += _public_partial(ctx, None if v is None else v["eps"], zpd)
+        return m
+
+    n += ctx.repeat(items, P.gates, entry)
+    n += ctx.strf("tsk")
+    n += _resharing(ctx, None if p is None else p["tsk"])
+    return n
+
+
+def _b_reencrypt(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
+    n = ctx.seq(3, None if p is None else len(p))
+
+    n += ctx.strf("input_shares")
+    inputs = _dict_items(p, "input_shares")
+    n += ctx.seq(P.inputs, None if inputs is None else len(inputs))
+    n += ctx.repeat(
+        inputs, P.inputs,
+        lambda it: ctx.small(None if it is None else it[0])
+        + _encrypted_partial(ctx, None if it is None else it[1], zpd),
+    )
+
+    n += ctx.strf("packed_shares")
+    packed = _dict_items(p, "packed_shares")
+    packed_count = 3 * P.n * P.batches
+    n += ctx.seq(packed_count, None if packed is None else len(packed))
+
+    def packed_entry(item):
+        key, ep = (None, None) if item is None else item
+        m = ctx.seq(3)  # (batch, recipient, kind) tuple key
+        m += ctx.small(None if key is None else key[0])
+        m += ctx.small(None if key is None else key[1])
+        m += ctx.strn(None if key is None else key[2], 5)
+        m += _encrypted_partial(ctx, ep, zpd)
+        return m
+
+    n += ctx.repeat(packed, packed_count, packed_entry)
+
+    n += ctx.strf("tsk")
+    n += _resharing(ctx, None if p is None else p["tsk"])
+    return n
+
+
+def _b_online_keys(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
+    kn = ctx.bind("Kn", lambda: len(p["kff"]))
+    lk = ctx.bind(
+        "Lk", lambda: sum(len(key.encode("utf-8")) for key in p["kff"])
+    )
+    prime_chunks = cdiv(cdiv(P.rb, 2), P.te - 1)
+    n = ctx.seq(2, None if p is None else len(p))
+
+    n += ctx.strf("kff")
+    n += ctx.seq(kn, None if p is None else len(p["kff"]))
+    n += ctx.str_pool(None if p is None else list(p["kff"]), kn, lk)
+
+    def bundle(eps):
+        m = ctx.seq(prime_chunks, None if eps is None else len(eps))
+        m += ctx.repeat(
+            eps, prime_chunks,
+            lambda ep: _encrypted_partial(ctx, ep, zpd), strict=False,
+        )
+        return m
+
+    n += ctx.repeat(
+        None if p is None else list(p["kff"].values()), kn, bundle
+    )
+
+    n += ctx.strf("tsk")
+    n += _resharing(ctx, None if p is None else p["tsk"])
+    return n
+
+
+def _b_online_input(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    ni = ctx.bind("Ni", lambda: len(p["mu"]))
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("mu")
+    items = _dict_items(p, "mu")
+    n += ctx.seq(ni, None if items is None else len(items))
+    n += ctx.repeat(
+        items, ni,
+        lambda it: ctx.small(None if it is None else it[0])
+        + ctx.intv(None if it is None else it[1], P.te),
+    )
+    return n
+
+
+def _b_mu_shares(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    nb = ctx.bind("Nb", lambda: len(p["mu_shares"]))
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("mu_shares")
+    items = _dict_items(p, "mu_shares")
+    n += ctx.seq(nb, None if items is None else len(items))
+
+    def entry(item):
+        key, v = (None, None) if item is None else item
+        m = ctx.small(key)
+        if P.robust:
+            m += ctx.seq(1, None if v is None else len(v))
+            m += ctx.strf("value")
+            m += ctx.intv(None if v is None else v["value"], P.te)
+        else:
+            m += ctx.seq(2, None if v is None else len(v))
+            m += ctx.strf("proof")
+            m += ctx.byt(None if v is None else v["proof"], _proof_token_bytes())
+            m += ctx.strf("value")
+            m += ctx.intv(None if v is None else v["value"], P.te)
+        return m
+
+    n += ctx.repeat(items, nb, entry)
+    return n
+
+
+def _b_online_output(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("output")
+    items = _dict_items(p, "output")
+    n += ctx.seq(P.outputs, None if items is None else len(items))
+    n += ctx.repeat(
+        items, P.outputs,
+        lambda it: ctx.small(None if it is None else it[0])
+        + _encrypted_partial(ctx, None if it is None else it[1], zpd),
+    )
+    return n
+
+
+def _b_cdn_setup(ctx: _SizeCtx, p: Any):
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("tpk")
+    n += _key_announcement(ctx, None if p is None else p["tpk"], ctx.P.te)
+    return n
+
+
+def _b_cdn_input(ctx: _SizeCtx, p: Any):
+    ni = ctx.bind("Ni", lambda: len(p["inputs"]))
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("inputs")
+    items = _dict_items(p, "inputs")
+    n += ctx.seq(ni, None if items is None else len(items))
+    n += ctx.repeat(items, ni, lambda it: _ct_proof_entry(ctx, it, _popk))
+    return n
+
+
+def _b_cdn_eval(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
+    gd = ctx.bind("Gd", lambda: len(p["partials"]))
+    n = ctx.seq(2, None if p is None else len(p))
+    n += ctx.strf("partials")
+    items = _dict_items(p, "partials")
+    n += ctx.seq(gd, None if items is None else len(items))
+
+    def entry(item):
+        key, v = (None, None) if item is None else item
+        m = ctx.small(key)
+        m += ctx.seq(2, None if v is None else len(v))
+        m += ctx.strf("delta")
+        m += _public_partial(ctx, None if v is None else v["delta"], zpd)
+        m += ctx.strf("eps")
+        m += _public_partial(ctx, None if v is None else v["eps"], zpd)
+        return m
+
+    n += ctx.repeat(items, gd, entry)
+    n += ctx.strf("tsk")
+    n += _resharing(ctx, None if p is None else p["tsk"])
+    return n
+
+
+def _b_it_p1(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    nd = ctx.bind("Nb", lambda: len(p["deals"]))
+    ni = ctx.bind("Ni", lambda: len(p["client_masks"]))
+    n = ctx.seq(2, None if p is None else len(p))
+
+    n += ctx.strf("client_masks")
+    masks = _dict_items(p, "client_masks")
+    n += ctx.seq(ni, None if masks is None else len(masks))
+    n += ctx.repeat(
+        masks, ni,
+        lambda it: ctx.small(None if it is None else it[0])
+        + ctx.intv(None if it is None else it[1], P.fb),
+    )
+
+    n += ctx.strf("deals")
+    deals = _dict_items(p, "deals")
+    n += ctx.seq(nd, None if deals is None else len(deals))
+
+    def deal(item):
+        key, vec = (None, None) if item is None else item
+        m = ctx.seq(2)  # (batch, kind) tuple key; kinds left/right/out_2d
+        m += ctx.small(None if key is None else key[0])
+        m += ctx.strn(None if key is None else key[1], 6)
+        m += ctx.seq(P.n, None if vec is None else len(vec))
+        m += ctx.repeat(vec, P.n, lambda v: ctx.intv(v, P.fb))
+        return m
+
+    n += ctx.repeat(deals, nd, deal)
+    return n
+
+
+def _b_it_p2(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    nt = ctx.bind("Nt", lambda: len(p["transfers"]))
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("transfers")
+    items = _dict_items(p, "transfers")
+    n += ctx.seq(nt, None if items is None else len(items))
+
+    def transfer(item):
+        key, vec = (None, None) if item is None else item
+        m = ctx.seq(2)  # (batch, kind) tuple key; kinds left/right/gamma
+        m += ctx.small(None if key is None else key[0])
+        m += ctx.strn(None if key is None else key[1], 5)
+        m += ctx.seq(P.n, None if vec is None else len(vec))
+        m += ctx.repeat(vec, P.n, lambda v: ctx.intv(v, P.fb))
+        return m
+
+    n += ctx.repeat(items, nt, transfer)
+    return n
+
+
+def _b_it_input(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    ni = ctx.bind("Ni", lambda: len(p["mu"]))
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("mu")
+    items = _dict_items(p, "mu")
+    n += ctx.seq(ni, None if items is None else len(items))
+    n += ctx.repeat(
+        items, ni,
+        lambda it: ctx.small(None if it is None else it[0])
+        + ctx.intv(None if it is None else it[1], P.fb),
+    )
+    return n
+
+
+def _b_it_mul(ctx: _SizeCtx, p: Any):
+    P = ctx.P
+    nb = ctx.bind("Nb", lambda: len(p["mu_shares"]))
+    n = ctx.seq(1, None if p is None else len(p))
+    n += ctx.strf("mu_shares")
+    items = _dict_items(p, "mu_shares")
+    n += ctx.seq(nb, None if items is None else len(items))
+    n += ctx.repeat(
+        items, nb,
+        lambda it: ctx.small(None if it is None else it[0])
+        + ctx.intv(None if it is None else it[1], P.fb),
+    )
+    return n
+
+
+def _proof_token_bytes() -> int:
+    from repro.core.oracle import PROOF_TOKEN_BYTES
+
+    return PROOF_TOKEN_BYTES
+
+
+# -- the spec registry --------------------------------------------------------
+
+@dataclass(frozen=True)
+class EnvelopeSpec:
+    """One payload shape: a kind, a tag predicate, a dual-mode builder."""
+
+    kind: str
+    variant: str
+    description: str
+    builder: Callable[[_SizeCtx, Any], Any]
+    matches: Callable[[str], bool]
+
+
+def _tag_is(expected: str) -> Callable[[str], bool]:
+    return lambda tag: tag == expected
+
+
+def _tag_starts(prefix: str) -> Callable[[str], bool]:
+    return lambda tag: tag.startswith(prefix)
+
+
+_SPECS: tuple[EnvelopeSpec, ...] = (
+    EnvelopeSpec(
+        "setup.keys", "setup.keys",
+        "tpk announcement, verification values, encrypted KFF primes",
+        _b_setup_keys, _tag_is("setup-keys"),
+    ),
+    EnvelopeSpec(
+        "offline.beaver_a", "offline.beaver_a",
+        "Beaver a-contributions with PoPK, plus the tsk resharing",
+        _b_beaver_a, _tag_is("Coff-A"),
+    ),
+    EnvelopeSpec(
+        "offline.beaver_b", "offline.beaver_b",
+        "Beaver b/c-contributions with multiplication proofs",
+        _b_beaver_b, _tag_is("Coff-B"),
+    ),
+    EnvelopeSpec(
+        "offline.masks", "offline.masks",
+        "encrypted wire masks and packing helpers with PoPK",
+        _b_masks, _tag_is("Coff-R"),
+    ),
+    EnvelopeSpec(
+        "offline.partials", "offline.partials",
+        "public ε/δ partial decryptions, plus the tsk resharing",
+        _b_partials, _tag_is("Coff-dec"),
+    ),
+    EnvelopeSpec(
+        "offline.reencrypt", "offline.reencrypt",
+        "input and packed shares re-encrypted to KFFs, plus the tsk resharing",
+        _b_reencrypt, _tag_is("Coff-reenc"),
+    ),
+    EnvelopeSpec(
+        "online.keys", "online.keys",
+        "KFF secrets re-encrypted to role keys, plus the tsk resharing",
+        _b_online_keys, _tag_is("Con-keys"),
+    ),
+    EnvelopeSpec(
+        "online.input", "online.input",
+        "a client's μ = v + λ broadcast per input wire",
+        _b_online_input, _tag_starts("input:"),
+    ),
+    EnvelopeSpec(
+        "online.mu_shares", "online.mu_shares",
+        "one member's μ^γ canonical shares (with proof tokens unless robust)",
+        _b_mu_shares, _tag_starts("Con-mul-"),
+    ),
+    EnvelopeSpec(
+        "online.output", "online.output",
+        "output masks re-encrypted to the receiving clients",
+        _b_online_output, _tag_is("Con-out"),
+    ),
+    EnvelopeSpec(
+        "baseline.cdn", "cdn.triple_a",
+        "CDN Beaver a-contributions, plus the tsk resharing",
+        _b_beaver_a, _tag_is("Cdn-triple-A"),
+    ),
+    EnvelopeSpec(
+        "baseline.cdn", "cdn.triple_b",
+        "CDN Beaver b/c-contributions with multiplication proofs",
+        _b_beaver_b, _tag_is("Cdn-triple-B"),
+    ),
+    EnvelopeSpec(
+        "baseline.cdn", "cdn.eval",
+        "CDN per-depth ε/δ partial decryptions, plus the tsk resharing",
+        _b_cdn_eval, _tag_starts("Cdn-eval-"),
+    ),
+    EnvelopeSpec(
+        "baseline.cdn", "cdn.output",
+        "CDN output masks re-encrypted to the receiving clients",
+        _b_online_output, _tag_is("Cdn-out"),
+    ),
+    EnvelopeSpec(
+        "baseline.cdn_aux", "cdn.setup",
+        "CDN threshold-key announcement",
+        _b_cdn_setup, _tag_is("cdn-setup"),
+    ),
+    EnvelopeSpec(
+        "baseline.cdn_aux", "cdn.input",
+        "a CDN client's encrypted inputs with PoPK",
+        _b_cdn_input, _tag_starts("cdn-input:"),
+    ),
+    EnvelopeSpec(
+        "it.messages", "it.p1",
+        "IT dealer shares (left/right/out_2d) and client mask shares",
+        _b_it_p1, _tag_is("It-P1"),
+    ),
+    EnvelopeSpec(
+        "it.messages", "it.p2",
+        "IT degree-reduction transfers (left/right/gamma)",
+        _b_it_p2, _tag_is("It-P2"),
+    ),
+    EnvelopeSpec(
+        "it.messages", "it.input",
+        "IT client μ broadcast per input wire",
+        _b_it_input, _tag_is("It-input"),
+    ),
+    EnvelopeSpec(
+        "it.messages", "it.mul",
+        "IT per-depth μ^γ field-element shares",
+        _b_it_mul, _tag_starts("It-mul-"),
+    ),
+)
+
+
+def resolve_spec(kind: str, tag: str) -> EnvelopeSpec:
+    """The spec describing a (kind, tag) envelope."""
+    for spec in _SPECS:
+        if spec.kind == kind and spec.matches(tag):
+            return spec
+    raise CostExactnessError(
+        f"no symbolic size spec for kind {kind!r}, tag {tag!r}"
+    )
+
+
+def spec_variants(kind: str | None = None) -> tuple[EnvelopeSpec, ...]:
+    """All specs, or the specs of one kind."""
+    if kind is None:
+        return _SPECS
+    out = tuple(s for s in _SPECS if s.kind == kind)
+    if not out:
+        raise CostExactnessError(f"no symbolic size spec for kind {kind!r}")
+    return out
+
+
+# -- formulas -----------------------------------------------------------------
+
+_FORMULA_CACHE: dict[tuple[str, bool], Any] = {}
+
+
+def envelope_formula(
+    kind: str, variant: str | None = None, robust: bool = False
+):
+    """The closed-form envelope size of a kind (sympy expression).
+
+    The expression covers body and framing and subtracts the slack
+    symbol ``S``; substituting the glossary symbols *and* the envelope's
+    run bindings yields the delivered byte count exactly.
+    """
+    specs = spec_variants(kind)
+    if variant is None:
+        if len(specs) > 1:
+            raise CostExactnessError(
+                f"kind {kind!r} has variants "
+                f"{tuple(s.variant for s in specs)}; pick one"
+            )
+        spec = specs[0]
+    else:
+        matching = [s for s in specs if s.variant == variant]
+        if not matching:
+            raise CostExactnessError(
+                f"kind {kind!r} has no variant {variant!r}"
+            )
+        spec = matching[0]
+    return _formula_for(spec, robust)
+
+
+def _formula_for(spec: EnvelopeSpec, robust: bool):
+    key = (spec.variant, robust)
+    if key not in _FORMULA_CACHE:
+        wire_kind = kind_by_name(spec.kind)
+        ctx = _SizeCtx(_Space(symbolic=True, robust=robust))
+        body = spec.builder(ctx, None)
+        framing = envelope_nominal(
+            wire_kind.kind_id, wire_kind.version, sym("R"),
+            sym("Ls"), sym("Lp"), sym("Lt"), body,
+        )
+        _FORMULA_CACHE[key] = body + framing - sym("S")
+    return _FORMULA_CACHE[key]
+
+
+def formula_catalog(robust: bool = False) -> dict[str, Any]:
+    """``variant -> formula`` for every registered payload shape."""
+    return {s.variant: _formula_for(s, robust) for s in _SPECS}
+
+
+# -- measurement and verification ---------------------------------------------
+
+@dataclass(frozen=True)
+class EnvelopeMeasurement:
+    """One envelope's exact accounting: measured, walked, and nominal."""
+
+    kind: str
+    variant: str
+    tag: str
+    sender: str
+    phase: str
+    round: int
+    measured: int       # delivered envelope bytes (the meter's truth)
+    actual: int         # bottom-up walk over the decoded values + framing
+    nominal: int        # structural closed form at this run's bindings
+    slack: int          # nominal − actual (the S binding)
+    bindings: dict[str, int]
+
+
+def measure_post(post: Any, space: _Space) -> EnvelopeMeasurement:
+    """Walk one board post and re-derive its size both ways."""
+    spec = resolve_spec(post.kind, post.tag)
+    wire_kind = kind_by_name(post.kind)
+    envelope = post.envelope()
+    ctx = _SizeCtx(space)
+    body_nominal = spec.builder(ctx, post.payload)
+    if ctx.actual != len(envelope.body):
+        raise CostExactnessError(
+            f"{spec.variant} ({post.tag!r} from {post.sender}): structural "
+            f"walk computed {ctx.actual} body bytes, envelope body has "
+            f"{len(envelope.body)} — the declared payload shape is stale"
+        )
+    framing_actual = envelope_wire_len(
+        wire_kind.kind_id, wire_kind.version, envelope.round,
+        envelope.sender, envelope.phase, envelope.tag, len(envelope.body),
+    )
+    actual = ctx.actual + framing_actual
+    ls = len(envelope.sender.encode("utf-8"))
+    lp = len(envelope.phase.encode("utf-8"))
+    lt = len(envelope.tag.encode("utf-8"))
+    nominal = body_nominal + envelope_nominal(
+        wire_kind.kind_id, wire_kind.version, envelope.round,
+        ls, lp, lt, body_nominal,
+    )
+    slack = nominal - actual
+    bindings = dict(ctx.bindings)
+    bindings.update(
+        {"R": envelope.round, "Ls": ls, "Lp": lp, "Lt": lt, "S": slack}
+    )
+    return EnvelopeMeasurement(
+        kind=post.kind, variant=spec.variant, tag=post.tag,
+        sender=post.sender, phase=post.phase, round=post.round,
+        measured=post.n_bytes, actual=actual, nominal=nominal,
+        slack=slack, bindings=bindings,
+    )
+
+
+@dataclass(frozen=True)
+class KindTotal:
+    """Aggregated exactness evidence for one payload variant."""
+
+    kind: str
+    variant: str
+    envelopes: int
+    measured_bytes: int
+    formula_bytes: int
+    slack_bytes: int
+
+
+@dataclass(frozen=True)
+class ExactnessReport:
+    """The outcome of a full-board cross-check."""
+
+    envelopes: int
+    total_measured: int
+    totals: tuple[KindTotal, ...]
+    skipped: int  # non-encoded (legacy fallback) posts, if any
+
+    def __str__(self) -> str:
+        lines = [
+            f"cost exactness: {self.envelopes} envelopes, "
+            f"{self.total_measured} bytes, every kind formula-exact"
+        ]
+        for tot in self.totals:
+            lines.append(
+                f"  {tot.variant:<20} {tot.envelopes:>4} env  "
+                f"{tot.measured_bytes:>10} B measured == formula "
+                f"(slack {tot.slack_bytes} B)"
+            )
+        return "\n".join(lines)
+
+
+def _subs_formula(measurement: EnvelopeMeasurement, space: _Space) -> int:
+    """Evaluate the variant formula at the measurement's bindings."""
+    spec = resolve_spec(measurement.kind, measurement.tag)
+    expr = _formula_for(spec, space.robust)
+    table = {}
+    for name, value in space.params().items():
+        table[sym(name)] = value
+    for name, value in measurement.bindings.items():
+        table[sym(name)] = value
+    value = expr.subs(table)
+    if not getattr(value, "is_Integer", False):
+        raise CostExactnessError(
+            f"{measurement.variant}: formula did not reduce to an integer "
+            f"(free symbols {value.free_symbols}) — a binding is missing"
+        )
+    return int(value)
+
+
+def verify_cost_exactness(
+    result: Any = None,
+    *,
+    bulletin: Any = None,
+    space: _Space | None = None,
+) -> ExactnessReport:
+    """Assert ``formula == measured bytes`` for every envelope on a board.
+
+    Accepts an :class:`~repro.core.protocol.MpcResult`,
+    :class:`~repro.baselines.cdn.CdnResult`, or
+    :class:`~repro.extensions.it_yoso.ItYosoResult` (or an explicit
+    bulletin + parameter space).  Raises :class:`CostExactnessError` on
+    the first deviating envelope; returns per-variant totals otherwise.
+    """
+    if result is not None:
+        bulletin = getattr(result, "bulletin", None)
+        if bulletin is None:
+            raise CostExactnessError(
+                "result carries no bulletin board; run with metering enabled"
+            )
+        space = _space_for(result)
+    if bulletin is None or space is None:
+        raise CostExactnessError("need a result, or a bulletin and a space")
+
+    per_variant: dict[str, list[EnvelopeMeasurement]] = {}
+    skipped = 0
+    for post in bulletin:
+        if not post.is_encoded:
+            skipped += 1
+            continue
+        m = measure_post(post, space)
+        if m.actual != m.measured:
+            raise CostExactnessError(
+                f"{m.variant} ({m.tag!r} from {m.sender}): walked "
+                f"{m.actual} bytes, delivered {m.measured}"
+            )
+        expected = _subs_formula(m, space)
+        if expected != m.measured:
+            raise CostExactnessError(
+                f"{m.variant} ({m.tag!r} from {m.sender}): formula gives "
+                f"{expected} bytes, wire delivered {m.measured}"
+            )
+        per_variant.setdefault(m.variant, []).append(m)
+
+    totals = []
+    for variant in sorted(per_variant):
+        ms = per_variant[variant]
+        totals.append(
+            KindTotal(
+                kind=ms[0].kind, variant=variant, envelopes=len(ms),
+                measured_bytes=sum(m.measured for m in ms),
+                formula_bytes=sum(m.measured for m in ms),
+                slack_bytes=sum(m.slack for m in ms),
+            )
+        )
+    return ExactnessReport(
+        envelopes=sum(t.envelopes for t in totals),
+        total_measured=sum(t.measured_bytes for t in totals),
+        totals=tuple(totals),
+        skipped=skipped,
+    )
+
+
+def cost_check_enabled() -> bool:
+    """Whether the always-on post-run cross-check should fire.
+
+    Opt out with ``REPRO_COST_CHECK=0``; silently skipped when sympy is
+    not importable (the exact helpers never need it).
+    """
+    if os.environ.get("REPRO_COST_CHECK", "1") == "0":
+        return False
+    try:
+        import sympy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+# -- parameter spaces ---------------------------------------------------------
+
+def space_for_result(result: Any) -> _Space:
+    """Concrete parameter space of a core-protocol :class:`MpcResult`."""
+    from repro.accounting.costmodel import CircuitShape
+
+    params = result.params
+    shape = CircuitShape.of(result.circuit, result.plan)
+    proof_params = result.setup.proof_params
+    return _Space(
+        {
+            "n": params.n, "t": params.t, "k": params.k,
+            "te": params.te_bits, "rb": params.role_key_bits,
+            "ch": proof_params.challenge_bits,
+            "st": proof_params.statistical_bits,
+            "gates": shape.n_multiplications, "inputs": shape.n_inputs,
+            "outputs": shape.n_outputs, "batches": shape.n_batches,
+            "depths": shape.n_depths, "clients": shape.n_input_clients,
+        },
+        robust=params.robust_reconstruction,
+    )
+
+
+def space_for_cdn(result: Any) -> _Space:
+    """Concrete parameter space of a CDN-baseline :class:`CdnResult`."""
+    from repro.nizk.params import ProofParams
+
+    circuit = result.circuit
+    proof_params = ProofParams.for_modulus_bits(
+        min(result.te_bits, result.role_key_bits)
+    )
+    return _Space(
+        {
+            "n": result.n, "t": result.t,
+            "te": result.te_bits, "rb": result.role_key_bits,
+            "ch": proof_params.challenge_bits,
+            "st": proof_params.statistical_bits,
+            "gates": circuit.n_multiplications,
+            "inputs": circuit.n_inputs, "outputs": circuit.n_outputs,
+        }
+    )
+
+
+def space_for_it(result: Any) -> _Space:
+    """Concrete parameter space of an IT-prototype :class:`ItYosoResult`."""
+    return _Space(
+        {"n": result.n, "t": result.t, "k": result.k, "fb": result.field_bits}
+    )
+
+
+def _space_for(result: Any) -> _Space:
+    if hasattr(result, "field_bits"):
+        return space_for_it(result)
+    if hasattr(result, "te_bits"):
+        return space_for_cdn(result)
+    return space_for_result(result)
+
+
+# -- the per-phase symbolic model ---------------------------------------------
+
+@dataclass(frozen=True)
+class PhaseTotal:
+    """A phase's predicted traffic: message count and closed-form bytes."""
+
+    phase: str
+    messages: int
+    n_bytes: int
+
+
+class SymbolicCostModel:
+    """Per-phase communication totals evaluated from the kind formulas.
+
+    Where the exactness check binds run symbols from real payloads, the
+    model supplies *representative defaults* (documented per symbol in
+    docs/COSTMODEL.md) — predictions are nominal, a few percent above
+    the wire because slack is unknowable before the values exist, and
+    extrapolations need no run at all.
+    """
+
+    def __init__(self, params: Any, shape: Any, proof_params: Any = None):
+        from repro.nizk.params import ProofParams
+
+        self.params = params
+        self.shape = shape
+        self.proof_params = (
+            proof_params
+            if proof_params is not None
+            else ProofParams.for_modulus_bits(params.te_bits)
+        )
+
+    # -- symbol values -------------------------------------------------------
+
+    def parameter_values(self) -> dict[str, int]:
+        p, s = self.params, self.shape
+        return {
+            "n": p.n, "t": p.t, "k": p.k,
+            "te": p.te_bits, "rb": p.role_key_bits,
+            "ch": self.proof_params.challenge_bits,
+            "st": self.proof_params.statistical_bits,
+            "gates": s.n_multiplications, "inputs": s.n_inputs,
+            "outputs": s.n_outputs, "batches": s.n_batches,
+            "depths": s.n_depths, "clients": s.n_input_clients,
+        }
+
+    def _tsk_share_bits(self) -> int:
+        """Representative threshold-share width mid resharing chain."""
+        import math
+
+        p = self.params
+        delta_bits = max(
+            1, int(math.lgamma(p.n + 1) / math.log(2))
+        )
+        per_epoch = (
+            self.proof_params.statistical_bits
+            + delta_bits
+            + (p.t + 1).bit_length()
+        )
+        return (
+            2 * p.te_bits
+            + self.proof_params.statistical_bits
+            + 24
+            + 2 * per_epoch
+        )
+
+    def default_bindings(self) -> dict[str, int]:
+        """Representative run-symbol values for prediction (not exactness)."""
+        p, s = self.params, self.shape
+        share_bits = self._tsk_share_bits()
+        depths = max(1, s.n_depths)
+        clients = max(1, s.n_input_clients)
+        return {
+            "R": 1, "Lp": 7, "S": 0,
+            "OB": share_bits + 1,
+            "Zpd": share_bits
+            + self.proof_params.challenge_bits
+            + self.proof_params.statistical_bits
+            + 1,
+            "Ni": cdiv(s.n_inputs, clients) if s.n_inputs else 0,
+            "Nb": cdiv(s.n_batches, depths),
+            "Gd": cdiv(s.n_multiplications, depths),
+            "Nt": 3 * max(1, s.n_batches),
+            "Kn": depths * p.n + clients,
+            "Lk": self._kff_tag_bytes(),
+        }
+
+    def _kff_tag_bytes(self) -> int:
+        """Σ length of the KFF tags: mul-role tags plus client tags."""
+        p, s = self.params, self.shape
+        total = 0
+        for d in range(max(1, s.n_depths)):
+            prefix = len(f"Con-mul-{d}[]")
+            total += p.n * prefix + digit_sum(p.n)
+        total += max(1, s.n_input_clients) * len("client:xxxxx")
+        return total
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _eval(self, variant: str, **overrides: int) -> int:
+        """One envelope's nominal bytes at the default bindings."""
+        spec = next(s for s in _SPECS if s.variant == variant)
+        robust = getattr(self.params, "robust_reconstruction", False)
+        expr = _formula_for(spec, robust)
+        table: dict[Any, int] = {}
+        values = dict(self.parameter_values())
+        values.update(self.default_bindings())
+        values.update(overrides)
+        for name, value in values.items():
+            table[sym(name)] = int(value)
+        result = expr.subs(table)
+        if not getattr(result, "is_Integer", False):
+            raise CostExactnessError(
+                f"{variant}: prediction left free symbols "
+                f"{result.free_symbols}"
+            )
+        return int(result)
+
+    def _committee_bytes(self, variant: str, tag: str, **overrides) -> int:
+        """n members' envelopes, exact about per-member sender digits."""
+        n = self.params.n
+        ls0 = len(tag) + 3  # "Tag[i]" with a one-digit index
+        per = self._eval(variant, Ls=ls0, Lt=len(tag), **overrides)
+        # Ls appears with coefficient 1 (framing only): correct the digits.
+        return n * per + (digit_sum(n) - n)
+
+    def predict_setup(self) -> PhaseTotal:
+        return PhaseTotal(
+            "setup", 1,
+            self._eval(
+                "setup.keys", Ls=len("F-setup"), Lp=len("setup"),
+                Lt=len("setup-keys"),
+            ),
+        )
+
+    def predict_offline(self) -> PhaseTotal:
+        total = (
+            self._committee_bytes("offline.beaver_a", "Coff-A")
+            + self._committee_bytes("offline.beaver_b", "Coff-B")
+            + self._committee_bytes("offline.masks", "Coff-R")
+            + self._committee_bytes("offline.partials", "Coff-dec")
+            + self._committee_bytes("offline.reencrypt", "Coff-reenc")
+        )
+        return PhaseTotal("offline", 5 * self.params.n, total)
+
+    def predict_online(self) -> PhaseTotal:
+        s = self.shape
+        clients = max(1, s.n_input_clients)
+        depths = max(1, s.n_depths)
+        total = self._committee_bytes("online.keys", "Con-keys")
+        messages = self.params.n
+        if s.n_inputs:
+            total += clients * self._eval(
+                "online.input", Ls=len("client:xxxxx[1]"),
+                Lt=len("input:xxxxx"),
+            )
+            messages += clients
+        if s.n_multiplications:
+            total += self._mul_committee_total()
+            messages += depths * self.params.n
+        if s.n_outputs:
+            total += self._committee_bytes("online.output", "Con-out")
+            messages += self.params.n
+        return PhaseTotal("online", messages, total)
+
+    def predict_total(self) -> PhaseTotal:
+        setup = self.predict_setup()
+        offline = self.predict_offline()
+        online = self.predict_online()
+        return PhaseTotal(
+            "total",
+            setup.messages + offline.messages + online.messages,
+            setup.n_bytes + offline.n_bytes + online.n_bytes,
+        )
+
+    # -- per-gate views ------------------------------------------------------
+
+    def _mul_committee_total(self) -> int:
+        """All mu_shares envelopes: every member speaks once per depth,
+        and a depth's envelopes carry that depth's batches."""
+        s = self.shape
+        depths = max(1, s.n_depths)
+        base, extra = divmod(s.n_batches, depths)
+        total = 0
+        for d in range(depths):
+            total += self._committee_bytes(
+                "online.mu_shares", f"Con-mul-{d}",
+                Nb=base + (1 if d < extra else 0),
+            )
+        return total
+
+    def mu_entry_bytes(self) -> int:
+        """One batch's μ-share entry inside a mu_shares envelope."""
+        robust = getattr(self.params, "robust_reconstruction", False)
+        te = self.params.te_bits
+        entry = 3 + int_nominal(te) + str_wire_len("value") + seq_nominal(
+            2 if not robust else 1
+        )
+        if not robust:
+            entry += str_wire_len("proof") + bytes_nominal(_proof_token_bytes())
+        return int(entry)
+
+    def online_mul_bytes_per_gate(self) -> float:
+        """μ-share bytes per multiplication — entries *and* post framing,
+        matching the meter's ``Con-mul-*`` records."""
+        if not self.shape.n_multiplications:
+            return 0.0
+        return self._mul_committee_total() / self.shape.n_multiplications
+
+    def offline_bytes_per_gate(self) -> float:
+        if not self.shape.n_multiplications:
+            return 0.0
+        return self.predict_offline().n_bytes / self.shape.n_multiplications
+
+
+def extrapolated_mu_bytes_per_gate(
+    n: int, epsilon: float, k: int, te_bits: int = 2048
+) -> float:
+    """Online μ-share bytes per gate at deployment scale, formulas only.
+
+    One batch of ``k`` gates costs the committee one round of mu_shares
+    envelopes; no simulation is run — this is the ``online.mu_shares``
+    closed form evaluated at (n, k, te).  ``k = 1`` gives the ε = 0
+    baseline, so the ratio of the two is the paper's improvement factor.
+    """
+    from dataclasses import replace
+
+    from repro.accounting.costmodel import CircuitShape
+    from repro.core.params import ProtocolParams
+
+    params = replace(
+        ProtocolParams.from_gap(n, epsilon, te_bits=te_bits), k=k
+    )
+    shape = CircuitShape(
+        n_inputs=0, n_multiplications=k, n_outputs=0,
+        n_batches=1, n_depths=1, n_input_clients=0,
+    )
+    return SymbolicCostModel(params, shape).online_mul_bytes_per_gate()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
 from repro.circuits.circuit import Circuit, GateType
@@ -69,6 +69,10 @@ class CdnResult:
     circuit: Circuit
     meter: CommMeter
     modulus: int = 0  # the plaintext ring Z_N the outputs live in
+    te_bits: int = 0
+    role_key_bits: int = 0
+    #: The run's bulletin board, for the symbolic cost cross-check.
+    bulletin: Any = None
 
     def online_mul_bytes(self) -> int:
         """Online bytes attributable to multiplication evaluation."""
@@ -459,7 +463,19 @@ class CdnYosoMpc:
             )
             outputs.setdefault(client, []).append(value)
 
-        return CdnResult(
+        result = CdnResult(
             outputs=outputs, n=self.n, t=self.t, circuit=circuit,
             meter=env.meter, modulus=tpk.n,
+            te_bits=self.te_bits, role_key_bits=self.role_key_bits,
+            bulletin=env.bulletin,
         )
+        # The baseline runs honestly, so every metered envelope must
+        # match its closed-form size formula (repro.accounting.symbolic).
+        from repro.accounting.symbolic import (
+            cost_check_enabled,
+            verify_cost_exactness,
+        )
+
+        if cost_check_enabled():
+            verify_cost_exactness(result)
+        return result

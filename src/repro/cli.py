@@ -8,6 +8,7 @@ Commands
 ``demo``         a self-contained dot-product run
 ``trace``        traced run: per-phase wall-clock + op counters + comm bytes
 ``extrapolate``  deployment-scale online bytes/gate prediction
+``cost``         symbolic cost model: formulas, evaluation, extrapolation
 """
 
 from __future__ import annotations
@@ -215,6 +216,114 @@ def _cmd_extrapolate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cost_catalog(args: argparse.Namespace) -> int:
+    from repro.accounting.symbolic import envelope_formula, spec_variants
+
+    print("Per-envelope size formulas (bytes on the wire; symbol glossary")
+    print("and derivations: docs/COSTMODEL.md).  Substituting the run's")
+    print("parameters and bindings gives the delivered size *exactly*.\n")
+    for spec in spec_variants():
+        expr = envelope_formula(spec.kind, spec.variant, robust=args.robust)
+        print(f"{spec.kind} [{spec.variant}] — {spec.description}")
+        print(f"    {expr}\n")
+    return 0
+
+
+def _cost_evaluate(args: argparse.Namespace) -> int:
+    from repro.accounting.costmodel import CircuitShape
+    from repro.accounting.symbolic import SymbolicCostModel
+    from repro.circuits import dot_product_circuit
+    from repro.circuits.layering import plan_batches
+    from repro.core.params import ProtocolParams
+
+    params = ProtocolParams.from_gap(
+        args.n, args.epsilon, te_bits=args.te_bits,
+        role_key_bits=args.role_key_bits,
+    )
+    circuit = dot_product_circuit(args.width)
+    shape = CircuitShape.of(circuit, plan_batches(circuit, params.k))
+    model = SymbolicCostModel(params, shape)
+    phases = [
+        model.predict_setup(), model.predict_offline(),
+        model.predict_online(), model.predict_total(),
+    ]
+    print(f"parameters: {params.describe()}")
+    print(f"workload:   dot-product width {args.width} "
+          f"({shape.n_multiplications} mult gates, "
+          f"{shape.n_batches} batches, {shape.n_depths} depth(s))\n")
+    print(format_table(
+        ["phase", "messages", "predicted B"],
+        [(p.phase, p.messages, f"{p.n_bytes:,}") for p in phases],
+    ))
+    print(f"\nonline μ-share B/gate: "
+          f"{model.online_mul_bytes_per_gate():,.1f}")
+    print(f"offline B/gate:        {model.offline_bytes_per_gate():,.1f}")
+    print("\n(nominal closed forms — metered runs land a few percent under;")
+    print(" the exactness check reconciles the gap per envelope.)")
+    return 0
+
+
+def _cost_extrapolate(args: argparse.Namespace) -> int:
+    from repro.accounting.symbolic import extrapolated_mu_bytes_per_gate
+    from repro.sortition import analyze
+
+    rows = []
+    for c_param, f in ((1000, 0.05), (20000, 0.10), (20000, 0.20)):
+        g = analyze(c_param, f)
+        n = round(g.committee_size)
+        k = g.packing_factor
+        ours = extrapolated_mu_bytes_per_gate(n, g.epsilon, k, args.te_bits)
+        nogap = extrapolated_mu_bytes_per_gate(n, g.epsilon, 1, args.te_bits)
+        rows.append((c_param, f, n, k, round(ours), round(nogap),
+                     round(nogap / ours)))
+    print(f"Improvement factors at Table 1 scales "
+          f"({args.te_bits}-bit TE), from the formulas alone:")
+    print(format_table(
+        ["C", "f", "n", "k", "ours B/gate", "eps=0 B/gate", "factor"], rows
+    ))
+    if args.skip_measured:
+        return 0
+    # Overlay a measured point: a real metered run at simulation scale,
+    # reconciled against the same closed forms it extrapolates from.
+    from repro.circuits import dot_product_circuit
+    from repro.core import run_mpc
+
+    n, epsilon, width = 6, 0.25, 8
+    result = run_mpc(
+        dot_product_circuit(width),
+        {"alice": list(range(1, width + 1)), "bob": [2] * width},
+        n=n, epsilon=epsilon, seed=7,
+    )
+    gates = result.circuit.n_multiplications
+    measured = result.online_mul_bytes() / gates
+    from repro.accounting.costmodel import CircuitShape
+    from repro.accounting.symbolic import SymbolicCostModel
+
+    model = SymbolicCostModel(
+        result.params,
+        CircuitShape.of(result.circuit, result.plan),
+        result.setup.proof_params,
+    )
+    formula = model.online_mul_bytes_per_gate()
+    print(f"\nMeasured overlay (n={n}, eps={epsilon}, "
+          f"te={result.params.te_bits}-bit, {gates} gates):")
+    print(format_table(
+        ["source", "online μ B/gate"],
+        [("metered run", f"{measured:,.1f}"),
+         ("formula (nominal)", f"{formula:,.1f}"),
+         ("ratio", f"{formula / measured:.3f}")],
+    ))
+    return 0
+
+
+def _cmd_cost(args: argparse.Namespace) -> int:
+    if args.extrapolate:
+        return _cost_extrapolate(args)
+    if args.n is not None:
+        return _cost_evaluate(args)
+    return _cost_catalog(args)
+
+
 def _add_execution_options(
     parser: argparse.ArgumentParser, seed_default: int | None
 ) -> None:
@@ -310,6 +419,31 @@ def build_parser() -> argparse.ArgumentParser:
     extra.add_argument("epsilon", type=float, help="the gap")
     extra.add_argument("--te-bits", type=int, default=2048)
     extra.set_defaults(fn=_cmd_extrapolate)
+
+    cost = sub.add_parser(
+        "cost",
+        help="symbolic cost model: print formulas, evaluate, extrapolate",
+        description=(
+            "No flags: print the per-envelope size formula catalog.  With "
+            "--n: evaluate the per-phase predictions at those parameters.  "
+            "With --extrapolate: reproduce the paper's improvement-factor "
+            "table from the formulas alone, with a measured run overlaid."
+        ),
+    )
+    cost.add_argument("--n", type=int, default=None, help="committee size")
+    cost.add_argument("--epsilon", type=float, default=0.25, help="the gap")
+    cost.add_argument("--width", type=int, default=8,
+                      help="dot-product width of the evaluated workload")
+    cost.add_argument("--te-bits", type=int, default=2048,
+                      help="threshold-encryption modulus bits")
+    cost.add_argument("--role-key-bits", type=int, default=2048)
+    cost.add_argument("--robust", action="store_true",
+                      help="formulas for robust-reconstruction mode")
+    cost.add_argument("--extrapolate", action="store_true",
+                      help="Table 1 improvement factors from the formulas")
+    cost.add_argument("--skip-measured", action="store_true",
+                      help="skip the metered overlay run")
+    cost.set_defaults(fn=_cmd_cost)
 
     return parser
 

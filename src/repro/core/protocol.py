@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
 from repro.accounting.report import CommReport
@@ -64,6 +64,9 @@ class MpcResult:
     online: OnlineState
     trace: Tracer | None = None
     transport: Transport | None = None
+    #: The run's bulletin board — the delivered envelopes the symbolic
+    #: cost model cross-checks byte-for-byte (repro.accounting.symbolic).
+    bulletin: Any = None
 
     def report(self, label: str = "yoso-mpc") -> CommReport:
         return CommReport.from_meter(
@@ -177,7 +180,7 @@ class YosoMpc:
                 engine.close()
             if owns_transport:
                 transport.close()
-        return MpcResult(
+        result = MpcResult(
             outputs=outputs,
             params=self.params,
             circuit=circuit,
@@ -188,7 +191,21 @@ class YosoMpc:
             online=online,
             trace=tracer,
             transport=transport,
+            bulletin=env.bulletin,
         )
+        # Honest metered runs double as validation oracles: every envelope
+        # on the board must match its closed-form size formula exactly.
+        # (Adversarial transforms rewrite payloads arbitrarily, so the
+        # structural contract only binds honest executions.)
+        if self.adversary_factory is None:
+            from repro.accounting.symbolic import (
+                cost_check_enabled,
+                verify_cost_exactness,
+            )
+
+            if cost_check_enabled():
+                verify_cost_exactness(result)
+        return result
 
 
 def run_mpc(

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
 from repro.circuits.circuit import Circuit, GateType
@@ -78,6 +78,9 @@ class ItYosoResult:
     t: int
     k: int
     meter: CommMeter
+    field_bits: int = 0
+    #: The run's bulletin board, for the symbolic cost cross-check.
+    bulletin: Any = None
 
     def online_mul_bytes(self) -> int:
         """Delivered μ-share bytes including per-post envelope framing."""
@@ -122,6 +125,7 @@ class ItYosoMpc:
         self.d = t + k - 1
         self.ring = Zmod(modulus)
         self.rng = rng if rng is not None else random.Random()
+        self._honest = adversary is None
         self.adversary = adversary if adversary is not None else honest_adversary()
         self.scheme = PackedShamirScheme(self.ring, n, k)
 
@@ -391,6 +395,19 @@ class ItYosoMpc:
                 raise ProtocolAbortError(f"μ unresolved for output wire {w}")
             outputs.setdefault(client, []).append(int(mu[w] + client_lambda[w]))
 
-        return ItYosoResult(
-            outputs=outputs, n=n, t=self.t, k=k, meter=env.meter
+        result = ItYosoResult(
+            outputs=outputs, n=n, t=self.t, k=k, meter=env.meter,
+            field_bits=self.ring.modulus.bit_length(),
+            bulletin=env.bulletin,
         )
+        # Honest runs double as validation oracles for the symbolic
+        # cost model; adversarial transforms void the structural contract.
+        if self._honest:
+            from repro.accounting.symbolic import (
+                cost_check_enabled,
+                verify_cost_exactness,
+            )
+
+            if cost_check_enabled():
+                verify_cost_exactness(result)
+        return result

@@ -218,11 +218,16 @@ class BulletinBoard:
     ) -> Post:
         """Legacy object-reference post for codec-foreign payloads."""
         type_name = type(payload).__name__
+        kind = kind_for_tag(tag)
         warn_fallback_once(
             type_name,
-            f"bulletin payload of type {type_name} has no wire codec; "
-            "posting by reference with structural-sizer estimates "
-            "(deprecated — register a wire codec for it)",
+            f"bulletin payload of type {type_name} (envelope kind "
+            f"{kind.name!r}, tag {tag!r}) has no wire codec; posting by "
+            "reference with structural-sizer estimates, so this kind is "
+            "invisible to the symbolic exactness check "
+            "(repro.accounting.symbolic) — register a wire codec and a "
+            "size formula for it",
+            kind=kind.name,
         )
         _hooks.note(_hooks.WIRE_ENCODE_FALLBACKS)
         if (

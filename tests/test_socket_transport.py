@@ -190,8 +190,8 @@ class TestKeyRingBootstrap:
         assert local_ids  # the announcement path actually registered keys
 
 
-class TestFallbackWarningOncePerProcess:
-    def test_warning_fires_once_across_boards(self):
+class TestFallbackWarningOncePerKind:
+    def test_warning_fires_once_per_kind_across_boards(self):
         class Foreign:
             """No wire codec, no sizer — the deprecated fallback path."""
 
@@ -210,8 +210,34 @@ class TestFallbackWarningOncePerProcess:
                 and "no wire codec" in str(w.message)
             ]
             assert len(deprecations) == 1, (
-                "the structural-sizer fallback warning must fire once per "
-                f"process, got {len(deprecations)}"
+                "the fallback warning must fire once per envelope kind, "
+                f"got {len(deprecations)}"
             )
+            # The message names the kind and the symbolic replacement.
+            assert "generic" in str(deprecations[0].message)
+            assert "repro.accounting.symbolic" in str(deprecations[0].message)
+        finally:
+            reset_fallback_warnings()
+
+    def test_same_type_warns_again_under_a_different_kind(self):
+        class Foreign:
+            """Posted under two kinds: each kind gets its own warning."""
+
+        reset_fallback_warnings()
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                board = BulletinBoard()
+                board.post("online", "x[1]", "dbg", Foreign())
+                # "Con-out" is claimed by online.output — a distinct kind,
+                # so the estimated-bytes flag must fire for it too.
+                board.post("online", "x[1]", "Con-out", Foreign())
+                board.post("online", "x[2]", "Con-out", Foreign())
+            deprecations = [
+                w for w in caught
+                if issubclass(w.category, DeprecationWarning)
+                and "no wire codec" in str(w.message)
+            ]
+            assert len(deprecations) == 2
         finally:
             reset_fallback_warnings()
