@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-engine bench-wire cost-atlas examples table1 trace-demo check all outputs
+.PHONY: install test bench bench-engine bench-wire bench-service cost-atlas examples table1 trace-demo service-demo check all outputs
 
 install:
 	pip install -e .
@@ -19,6 +19,11 @@ bench-engine:
 bench-wire:
 	python benchmarks/bench_wire.py
 
+# Client-aided service experiment (ingest rate, online B/gate, resharing
+# latency under churn + crash) -> BENCH_service.json; see docs/SERVICE.md.
+bench-service:
+	python benchmarks/bench_service.py
+
 # Re-render the extrapolation atlas embedded in docs/COSTMODEL.md from the
 # symbolic byte formulas (between the cost-atlas markers).
 cost-atlas:
@@ -36,6 +41,14 @@ trace-demo:
 	python -c "from repro.observability import validate_trace_jsonl; \
 	validate_trace_jsonl(open('trace_demo.jsonl').read()); \
 	print('trace_demo.jsonl: schema OK')"
+
+# The service headline: 10^5 client submissions ingested, two aggregate
+# epochs evaluated, the threshold key reshared under churn + one crash.
+service-demo:
+	python -m repro serve --workload statistics --clients 100000 \
+		--epochs 2 --churn 0.1 --crash
+	python -m repro serve --workload auction --clients 2000 \
+		--epochs 2 --churn 0.1 --crash
 
 check: test trace-demo
 

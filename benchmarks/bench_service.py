@@ -1,0 +1,135 @@
+"""Service experiment: ingest throughput, epoch latency, resharing cost.
+
+Runs the client-aided service (``repro.service``) end to end for both
+aggregate workloads and writes ``BENCH_service.json`` with the headline
+numbers the service docs quote:
+
+* **ingest rate** — validated submissions per second through the batched
+  pipeline (Σ-proof checks flattened into engine ``pow_many`` batches);
+* **online bytes/gate** — the inner committee MPC's per-multiplication
+  online cost for the aggregate circuit (the panel-sized evaluation the
+  10^4–10^6 client ciphertexts collapse into);
+* **resharing latency** — handing the threshold key to the next epoch's
+  committee while the client set churns and one member fail-stops.
+
+Client-side build cost (encrypt + prove) is reported separately: in the
+deployed model it is paid by the clients, not the service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from repro.errors import ServiceOverloaded
+from repro.service import MpcService, ServiceClient, ServiceConfig
+
+
+def run_workload(name, clients, epochs, churn, seed, crash):
+    cfg = ServiceConfig(workload=name, seed=seed)
+    svc = MpcService(cfg)
+    rng = random.Random(seed + 1)
+    vmax = cfg.auction_levels if name == "auction" else 100
+    rows = []
+    build_rates = []
+    try:
+        for index in range(epochs):
+            announcement = svc.open_epoch()
+            offset = round(index * churn * clients)
+
+            started = time.perf_counter()
+            batch = [
+                ServiceClient(
+                    f"client-{i:07d}", announcement, rng=rng
+                ).build_input(rng.randrange(vmax))
+                for i in range(offset, offset + clients)
+            ]
+            build_rates.append(clients / (time.perf_counter() - started))
+
+            for payload in batch:
+                try:
+                    svc.submit(payload)
+                except ServiceOverloaded:
+                    svc.ingest()
+                    svc.submit(payload)
+            svc.ingest()
+
+            summary = svc.close_epoch(
+                crash=cfg.n if crash and index == 0 else None
+            )
+            rows.append({
+                "epoch": summary.epoch,
+                "population": summary.population,
+                "rejections": summary.rejections,
+                "ingest_rate": round(summary.ingest_rate, 1),
+                "ingest_seconds": round(summary.ingest_seconds, 3),
+                "evaluate_seconds": round(summary.evaluate_seconds, 3),
+                "reshare_seconds": round(summary.reshare_seconds, 3),
+                "reshare_contributors": list(summary.reshare_contributors),
+                "online_bytes_per_gate": round(
+                    summary.online_bytes_per_gate, 1
+                ),
+                "decoded": summary.decoded,
+                "board_bytes": summary.board_bytes,
+            })
+            print(f"  {name} epoch {summary.epoch}: "
+                  f"{summary.population} accepted at "
+                  f"{summary.ingest_rate:,.0f}/s, "
+                  f"evaluate {summary.evaluate_seconds:.2f}s, "
+                  f"reshare {summary.reshare_seconds:.3f}s "
+                  f"({len(summary.reshare_contributors)} contributors), "
+                  f"{summary.online_bytes_per_gate:,.0f} online B/gate")
+    finally:
+        svc.close()
+    return {
+        "committee": {"n": cfg.n, "t": svc.t, "epsilon": cfg.epsilon},
+        "client_build_rate": round(sum(build_rates) / len(build_rates), 1),
+        "epochs": rows,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=20000,
+                        help="submissions per epoch (default: 20000)")
+    parser.add_argument("--auction-clients", type=int, default=2000,
+                        help="submissions per auction epoch")
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--churn", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--quick", action="store_true",
+                        help="1000/500 clients (CI smoke)")
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.clients, args.auction_clients = 1000, 500
+
+    print(f"service benchmark: {args.clients} statistics clients, "
+          f"{args.auction_clients} auction clients, {args.epochs} epochs, "
+          f"{args.churn:.0%} churn, one epoch-0 fail-stop crash")
+    report = {
+        "te_bits": 64,
+        "epochs": args.epochs,
+        "churn": args.churn,
+        "workloads": {
+            "statistics": run_workload(
+                "statistics", args.clients, args.epochs, args.churn,
+                args.seed, crash=True,
+            ),
+            "auction": run_workload(
+                "auction", args.auction_clients, args.epochs, args.churn,
+                args.seed + 1, crash=True,
+            ),
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

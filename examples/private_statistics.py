@@ -6,36 +6,32 @@ they post-process mean and variance in the clear.  No party's individual
 value is revealed — and the computation is executed by anonymous
 speak-once committees, so there is no long-lived party to compromise.
 
+The circuit and the run/decode logic live in
+:mod:`repro.circuits.workloads` (shared with the ``repro serve``
+statistics workload); this script only supplies the demo measurements.
+
 Run:  python examples/private_statistics.py
 """
 
-from repro.circuits import statistics_circuit
-from repro.core import run_mpc
+from repro.circuits import run_private_statistics
 
 
 def main() -> None:
     measurements = [23, 29, 31, 37, 41]  # each held by a different party
     n_parties = len(measurements)
 
-    circuit = statistics_circuit(n_parties, recipient="analyst")
-    inputs = {f"party{i}": [value] for i, value in enumerate(measurements)}
-
-    result = run_mpc(circuit, inputs, n=6, epsilon=0.2, seed=7)
-    s, q = result.outputs["analyst"]
-
-    mean = s / n_parties
-    variance = (q - s * s) / n_parties**2
+    outcome = run_private_statistics(measurements, n=6, epsilon=0.2, seed=7)
     true_mean = sum(measurements) / n_parties
     true_var = sum((x - true_mean) ** 2 for x in measurements) / n_parties
 
     print(f"parties:       {n_parties}")
-    print(f"S  (sum):      {s}")
-    print(f"Q  (n·Σx²):    {q}")
-    print(f"mean:          {mean}   (true: {true_mean})")
-    print(f"variance:      {variance}   (true: {true_var})")
-    assert mean == true_mean and abs(variance - true_var) < 1e-9
+    print(f"S  (sum):      {outcome.s}")
+    print(f"Q  (n·Σx²):    {outcome.q}")
+    print(f"mean:          {outcome.mean}   (true: {true_mean})")
+    print(f"variance:      {outcome.variance}   (true: {true_var})")
+    assert outcome.mean == true_mean and abs(outcome.variance - true_var) < 1e-9
 
-    report = result.report("private-statistics")
+    report = outcome.result.report("private-statistics")
     print("\nper-phase communication:")
     for phase in sorted(report.phase_bytes):
         print(

@@ -6,43 +6,34 @@ evaluation happens inside the YOSO MPC protocol: comparisons compile to a
 multiplication-heavy circuit, exactly the workload the paper's packing
 batches efficiently, and no bidder ever talks to another bidder.
 
+The circuit and the run/decode logic live in
+:mod:`repro.circuits.workloads` (shared with the ``repro serve`` auction
+workload); this script only supplies the demo bids and prints the result.
+
 Run:  python examples/sealed_bid_auction.py      (takes ~1 min: the
       comparison circuit is ~70 multiplications across several depths)
 """
 
-from repro.circuits import second_price_auction_circuit
-from repro.core import run_mpc
+from repro.circuits import run_sealed_bid_auction
 
 BITS = 3
 BIDS = {"dana": 5, "erin": 7, "frank": 3}
 
 
-def to_bits(value: int, n: int) -> list[int]:
-    return [int(x) for x in format(value, f"0{n}b")]
-
-
 def main() -> None:
-    bidders = list(BIDS)
-    circuit = second_price_auction_circuit(BITS, bidders)
+    outcome = run_sealed_bid_auction(BIDS, BITS, n=5, epsilon=0.25, seed=2026)
+    result = outcome.result
+    circuit = result.circuit
     print(
         f"auction circuit: {circuit.n_multiplications} multiplications, "
         f"{len(circuit.gates)} gates, "
         f"{len(set(d for d in circuit.depths() if d))} mult. depths"
     )
 
-    result = run_mpc(
-        circuit,
-        {name: to_bits(bid, BITS) for name, bid in BIDS.items()},
-        n=5, epsilon=0.25, seed=2026,
-    )
-    outputs = result.outputs["auctioneer"]
-    price, flags = outputs[0], outputs[1:]
-    winners = [name for name, flag in zip(bidders, flags) if flag == 1]
-
     print(f"\nbids (private!):  {BIDS}")
-    print(f"winner(s):        {winners}")
-    print(f"price (Vickrey):  {price}")
-    assert winners == ["erin"] and price == 5
+    print(f"winner(s):        {list(outcome.winners)}")
+    print(f"price (Vickrey):  {outcome.price}")
+    assert outcome.winners == ("erin",) and outcome.price == 5
 
     print("\ncommunication by phase (bytes):")
     for phase, total in sorted(result.meter.by_phase().items()):

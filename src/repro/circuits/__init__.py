@@ -44,6 +44,14 @@ from repro.circuits.library import (
     statistics_circuit,
     random_circuit,
 )
+from repro.circuits.workloads import (
+    AuctionOutcome,
+    StatisticsOutcome,
+    grouped_statistics_circuit,
+    histogram_second_price_circuit,
+    run_private_statistics,
+    run_sealed_bid_auction,
+)
 
 __all__ = [
     "Circuit",
@@ -79,4 +87,10 @@ __all__ = [
     "polynomial_eval_circuit",
     "statistics_circuit",
     "random_circuit",
+    "AuctionOutcome",
+    "StatisticsOutcome",
+    "grouped_statistics_circuit",
+    "histogram_second_price_circuit",
+    "run_private_statistics",
+    "run_sealed_bid_auction",
 ]

@@ -1,0 +1,221 @@
+"""Reusable aggregate workloads: circuits plus end-to-end runners.
+
+Two families live here:
+
+* **Per-party demos** — the sealed-bid auction and private-statistics
+  computations the ``examples/`` scripts used to inline (each had its own
+  copy of the bit encoding and output decoding; this module is the single
+  home).  ``run_sealed_bid_auction`` and ``run_private_statistics`` run
+  the full YOSO MPC and decode the outputs.
+
+* **Service aggregates** — the panel-sized circuits the client-aided
+  service (:mod:`repro.service`) evaluates over homomorphically collapsed
+  client submissions: :func:`grouped_statistics_circuit` combines
+  per-panelist partial sums into population statistics, and
+  :func:`histogram_second_price_circuit` resolves a Vickrey auction from
+  a per-level bid histogram.  Both keep the input per panel member small
+  (the 10^4–10^6 client inputs are aggregated *before* the MPC, in the
+  ciphertext domain), which is exactly the client-aided division of
+  labour the paper targets.
+
+``run_mpc`` is imported lazily so the circuits package stays importable
+below the protocol layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.circuits.bitwise import second_price_auction_circuit
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.circuit import Circuit
+from repro.circuits.library import statistics_circuit
+from repro.errors import CircuitError
+
+__all__ = [
+    "AuctionOutcome",
+    "StatisticsOutcome",
+    "grouped_statistics_circuit",
+    "histogram_second_price_circuit",
+    "run_private_statistics",
+    "run_sealed_bid_auction",
+    "to_bits",
+]
+
+
+def to_bits(value: int, n_bits: int) -> list[int]:
+    """MSB-first fixed-width bit vector of ``value``."""
+    if value < 0 or value >= 1 << n_bits:
+        raise CircuitError(f"value {value} does not fit in {n_bits} bits")
+    return [int(x) for x in format(value, f"0{n_bits}b")]
+
+
+# -- per-party demo runners ---------------------------------------------------
+
+@dataclass(frozen=True)
+class AuctionOutcome:
+    """Decoded auction result plus the underlying MPC run."""
+
+    winners: tuple[str, ...]
+    price: int
+    result: Any
+
+
+@dataclass(frozen=True)
+class StatisticsOutcome:
+    """Decoded statistics (S, Q = n·Σx²) plus derived moments and the run."""
+
+    s: int
+    q: int
+    mean: float
+    variance: float
+    result: Any
+
+
+def run_sealed_bid_auction(
+    bids: Mapping[str, int],
+    bits: int,
+    *,
+    n: int = 5,
+    epsilon: float = 0.25,
+    seed: int = 2026,
+    recipient: str = "auctioneer",
+    **run_kwargs: Any,
+) -> AuctionOutcome:
+    """Run the second-price auction MPC over per-bidder bit inputs."""
+    from repro.core import run_mpc
+
+    bidders = list(bids)
+    circuit = second_price_auction_circuit(bits, bidders, recipient=recipient)
+    result = run_mpc(
+        circuit,
+        {name: to_bits(bid, bits) for name, bid in bids.items()},
+        n=n, epsilon=epsilon, seed=seed, **run_kwargs,
+    )
+    outputs = result.outputs[recipient]
+    price, flags = outputs[0], outputs[1:]
+    winners = tuple(name for name, flag in zip(bidders, flags) if flag == 1)
+    return AuctionOutcome(winners=winners, price=price, result=result)
+
+
+def run_private_statistics(
+    measurements: Sequence[int],
+    *,
+    n: int = 6,
+    epsilon: float = 0.2,
+    seed: int = 7,
+    recipient: str = "analyst",
+    **run_kwargs: Any,
+) -> StatisticsOutcome:
+    """Run the per-party statistics MPC (one measurement per party)."""
+    from repro.core import run_mpc
+
+    n_parties = len(measurements)
+    circuit = statistics_circuit(n_parties, recipient=recipient)
+    inputs = {f"party{i}": [value] for i, value in enumerate(measurements)}
+    result = run_mpc(circuit, inputs, n=n, epsilon=epsilon, seed=seed,
+                     **run_kwargs)
+    s, q = result.outputs[recipient]
+    mean = s / n_parties
+    variance = (q - s * s) / n_parties**2
+    return StatisticsOutcome(
+        s=s, q=q, mean=mean, variance=variance, result=result
+    )
+
+
+# -- service aggregate circuits -----------------------------------------------
+
+def grouped_statistics_circuit(
+    n_groups: int, population: int, recipient: str = "analyst"
+) -> Circuit:
+    """Population statistics from per-panelist partial sums.
+
+    Panel member ``g`` inputs ``[s_g, q_g]`` — the decrypted sums of its
+    slice of the client submissions (``Σ x`` and ``Σ x²``).  Outputs, for
+    population size ``N``::
+
+        S = Σ_g s_g            the population sum
+        Q = N · Σ_g q_g        the scaled second moment (as in
+                               ``statistics_circuit``)
+        V = Q − S²             so variance = V / N², mean = S / N
+
+    The single multiplication ``S²`` keeps the aggregate an honest MPC
+    workload rather than a purely linear pass.
+    """
+    if n_groups < 1:
+        raise CircuitError("need at least one panel group")
+    if population < 1:
+        raise CircuitError("population must be positive")
+    b = CircuitBuilder()
+    s_parts = []
+    q_parts = []
+    for g in range(n_groups):
+        s_g, q_g = b.inputs(f"panel{g}", 2)
+        s_parts.append(s_g)
+        q_parts.append(q_g)
+    s = b.sum(s_parts)
+    q = b.cmul(population, b.sum(q_parts))
+    v = b.sub(q, b.mul(s, s))
+    b.output(s, recipient)
+    b.output(q, recipient)
+    b.output(v, recipient)
+    return b.build()
+
+
+def histogram_second_price_circuit(
+    levels: int, recipient: str = "auctioneer"
+) -> Circuit:
+    """Vickrey outcome from a per-level bid histogram.
+
+    Panel member ``j`` (one per bid level ``j = 0..levels−1``) inputs
+    ``[c_j, e_j, g_j]``: the number of bids at level ``j``, an indicator
+    ``e_j = [c_j > 0]``, and a tie indicator ``g_j = [c_j > 1]``.
+    Outputs::
+
+        price         the Vickrey price: the top level on a top-level
+                      tie, otherwise the second-highest non-empty level
+        winner_level  the highest non-empty level (the winning bid)
+        winner_count  how many bids sit at the winning level
+
+    The selection uses suffix products of the complement indicators, the
+    same prefix trick as the per-bidder auction circuit, but over bid
+    *levels*, so the multiplication count scales with the histogram width
+    — not with the (arbitrarily large) number of clients.
+    """
+    if levels < 2:
+        raise CircuitError("need at least two bid levels")
+    b = CircuitBuilder()
+    counts, present, ties = [], [], []
+    for j in range(levels):
+        c_j, e_j, g_j = b.inputs(f"level{j}", 3)
+        counts.append(c_j)
+        present.append(e_j)
+        ties.append(g_j)
+
+    one = b.cadd(1, b.cmul(0, present[0]))  # constant 1 wire
+
+    def top_selectors(flags):
+        """``top_j = flags_j · Π_{i>j} (1 − flags_i)`` for every level."""
+        suffix = one  # Π over the empty suffix
+        tops = [None] * levels
+        for j in range(levels - 1, -1, -1):
+            tops[j] = b.mul(flags[j], suffix)
+            if j:
+                suffix = b.mul(suffix, b.sub(one, flags[j]))
+        return tops
+
+    top = top_selectors(present)
+    winner_level = b.sum([b.cmul(j, top[j]) for j in range(levels)])
+    winner_count = b.sum([b.mul(counts[j], top[j]) for j in range(levels)])
+    tie = b.sum([b.mul(ties[j], top[j]) for j in range(levels)])
+
+    rest = [b.sub(present[j], top[j]) for j in range(levels)]
+    top2 = top_selectors(rest)
+    price2 = b.sum([b.cmul(j, top2[j]) for j in range(levels)])
+    price = b.add(price2, b.mul(tie, b.sub(winner_level, price2)))
+
+    b.output(price, recipient)
+    b.output(winner_level, recipient)
+    b.output(winner_count, recipient)
+    return b.build()

@@ -9,6 +9,9 @@ Commands
 ``trace``        traced run: per-phase wall-clock + op counters + comm bytes
 ``extrapolate``  deployment-scale online bytes/gate prediction
 ``cost``         symbolic cost model: formulas, evaluation, extrapolation
+``serve``        client-aided service: epochs of ingest → evaluate → reshare
+``announce``     write the epoch-0 announcement a ``serve`` run will open
+``submit``       build one client submission from an announcement file
 """
 
 from __future__ import annotations
@@ -324,6 +327,188 @@ def _cmd_cost(args: argparse.Namespace) -> int:
     return _cost_catalog(args)
 
 
+def _service_config(args) -> "ServiceConfig":
+    from repro.service import ServiceConfig
+
+    return ServiceConfig(
+        workload=args.workload,
+        n=args.n,
+        epsilon=args.epsilon,
+        te_bits=args.te_bits,
+        role_key_bits=args.role_key_bits,
+        statistics_groups=args.groups,
+        auction_levels=args.levels,
+        queue_capacity=args.queue_capacity,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        transport=args.transport or "memory",
+    )
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    """The service parameters that must agree between serve and announce.
+
+    ``announce`` + ``submit`` + ``serve`` form the cross-process flow: key
+    generation is deterministic in ``--seed`` (safe-prime fixtures plus a
+    seeded RNG), so ``announce`` with the same parameters writes the very
+    announcement a later ``serve`` opens, and submissions built against it
+    verify there.
+    """
+    parser.add_argument("--workload", choices=("statistics", "auction"),
+                        default="statistics")
+    parser.add_argument("--n", type=int, default=5, help="committee size")
+    parser.add_argument("--epsilon", type=float, default=0.25,
+                        help="sortition corruption gap")
+    parser.add_argument("--te-bits", type=int, default=64)
+    parser.add_argument("--role-key-bits", type=int, default=64)
+    parser.add_argument("--groups", type=int, default=4,
+                        help="statistics aggregation groups (panel width)")
+    parser.add_argument("--levels", type=int, default=8,
+                        help="auction bid levels (slots per submission)")
+    parser.add_argument("--queue-capacity", type=int, default=8192)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--transport", default=None, metavar="SPEC",
+                        help="bulletin transport spec (default: memory)")
+
+
+def _summary_dict(summary) -> dict:
+    return {
+        "epoch": summary.epoch,
+        "workload": summary.workload,
+        "population": summary.population,
+        "rejections": summary.rejections,
+        "outputs": list(summary.result.outputs),
+        "decoded": summary.decoded,
+        "contributors": list(summary.contributors),
+        "reshare_contributors": list(summary.reshare_contributors),
+        "ingest_seconds": round(summary.ingest_seconds, 3),
+        "ingest_rate": round(summary.ingest_rate, 1),
+        "evaluate_seconds": round(summary.evaluate_seconds, 3),
+        "reshare_seconds": round(summary.reshare_seconds, 3),
+        "online_bytes_per_gate": round(summary.online_bytes_per_gate, 1),
+        "board_bytes": summary.board_bytes,
+    }
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import glob
+    import os
+    import random
+
+    from repro.errors import ServiceOverloaded
+    from repro.service import MpcService, ServiceClient
+
+    svc = MpcService(_service_config(args))
+    client_rng = random.Random(args.seed + 1)
+    summaries = []
+
+    def submit_with_backpressure(item):
+        try:
+            svc.submit(item)
+        except ServiceOverloaded:
+            svc.ingest()  # drain the full queue, then retry once
+            svc.submit(item)
+
+    try:
+        for index in range(args.epochs):
+            announcement = svc.open_epoch()
+            print(f"epoch {announcement.epoch}: workload "
+                  f"{announcement.workload!r}, {announcement.slots} slot(s), "
+                  f"committee n={args.n} t={svc.t}")
+            if index == 0 and args.announce_out:
+                with open(args.announce_out, "wb") as fh:
+                    fh.write(svc.board.codec.encode(announcement))
+                print(f"  announcement written to {args.announce_out}")
+            if index == 0 and args.submissions:
+                pattern = os.path.join(args.submissions, "*.bin")
+                for path in sorted(glob.glob(pattern)):
+                    with open(path, "rb") as fh:
+                        submit_with_backpressure(fh.read())
+                print(f"  queued {len(glob.glob(pattern))} submission file(s) "
+                      f"from {args.submissions}")
+
+            # Simulated client population; each epoch replaces a `--churn`
+            # fraction of ids (new clients join, old ones leave).
+            offset = round(index * args.churn * args.clients)
+            vmax = args.levels if args.workload == "auction" else 100
+            for i in range(offset, offset + args.clients):
+                client = ServiceClient(
+                    f"client-{i:07d}", announcement, rng=client_rng
+                )
+                submit_with_backpressure(
+                    client.build_input(client_rng.randrange(vmax))
+                )
+            svc.ingest()
+
+            crash = args.n if args.crash and index == 0 else None
+            if crash is not None:
+                print(f"  fail-stop: crashing committee member {crash}")
+            summary = svc.close_epoch(crash=crash)
+            summaries.append(_summary_dict(summary))
+            rejected = sum(summary.rejections.values())
+            print(f"  accepted {summary.population} "
+                  f"(rejected {rejected}: {summary.rejections or '{}'}) at "
+                  f"{summary.ingest_rate:,.0f} submissions/s")
+            print(f"  result: {summary.decoded}")
+            print(f"  inner MPC: {summary.online_bytes_per_gate:,.0f} online "
+                  f"B/gate; reshared to epoch {svc.epoch} via "
+                  f"{len(summary.reshare_contributors)} contributors; "
+                  f"board {summary.board_bytes:,} B")
+    finally:
+        svc.close()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"epochs": summaries}, fh, indent=2)
+            fh.write("\n")
+        print(f"summaries written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_announce(args: argparse.Namespace) -> int:
+    from repro.service import MpcService
+
+    svc = MpcService(_service_config(args))
+    try:
+        announcement = svc.open_epoch()
+        encoded = svc.board.codec.encode(announcement)
+    finally:
+        svc.close()
+    with open(args.out, "wb") as fh:
+        fh.write(encoded)
+    print(f"epoch {announcement.epoch} announcement "
+          f"({announcement.workload!r}, {announcement.slots} slot(s), "
+          f"{announcement.key.modulus.bit_length()}-bit key) "
+          f"written to {args.out}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.service import EpochAnnouncement, ServiceClient
+    from repro.wire import WireCodec
+
+    codec = WireCodec()
+    with open(args.announce, "rb") as fh:
+        announcement = codec.decode(fh.read())
+    if not isinstance(announcement, EpochAnnouncement):
+        print(f"error: {args.announce} is not an epoch announcement",
+              file=sys.stderr)
+        return 1
+    rng = random.Random(args.seed) if args.seed is not None else None
+    client = ServiceClient(args.client_id, announcement, rng=rng)
+    payload = client.build_input(args.value)
+    encoded = codec.encode(payload)
+    with open(args.out, "wb") as fh:
+        fh.write(encoded)
+    print(f"submission for client {args.client_id!r} "
+          f"(epoch {announcement.epoch}, {len(payload.ciphertexts)} slot(s), "
+          f"{len(encoded)} B) written to {args.out}")
+    return 0
+
+
 def _add_execution_options(
     parser: argparse.ArgumentParser, seed_default: int | None
 ) -> None:
@@ -444,6 +629,56 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--skip-measured", action="store_true",
                       help="skip the metered overlay run")
     cost.set_defaults(fn=_cmd_cost)
+
+    serve = sub.add_parser(
+        "serve",
+        help="client-aided service: epochs of ingest → evaluate → reshare",
+        description=(
+            "Run the long-lived MPC service: announce an epoch, ingest "
+            "batched client submissions (simulated in-process and/or read "
+            "from --submissions files), evaluate the aggregate workload "
+            "under YOSO MPC, publish the result, and reshare the threshold "
+            "key to the next epoch's committee.  Every envelope on the "
+            "service board is checked against its symbolic size formula."
+        ),
+    )
+    _add_service_options(serve)
+    serve.add_argument("--clients", type=int, default=1000,
+                       help="simulated clients per epoch (default: 1000)")
+    serve.add_argument("--epochs", type=int, default=2)
+    serve.add_argument("--churn", type=float, default=0.1,
+                       help="client turnover fraction per epoch")
+    serve.add_argument("--crash", action="store_true",
+                       help="fail-stop one committee member in epoch 0")
+    serve.add_argument("--submissions", metavar="DIR",
+                       help="ingest *.bin submission files (epoch 0)")
+    serve.add_argument("--announce-out", metavar="FILE",
+                       help="write the epoch-0 announcement bytes here")
+    serve.add_argument("--json", metavar="FILE",
+                       help="write per-epoch summaries here")
+    serve.set_defaults(fn=_cmd_serve)
+
+    announce = sub.add_parser(
+        "announce",
+        help="write the epoch-0 announcement a `serve` run will open",
+    )
+    _add_service_options(announce)
+    announce.add_argument("--out", required=True, metavar="FILE")
+    announce.set_defaults(fn=_cmd_announce)
+
+    submit = sub.add_parser(
+        "submit",
+        help="build one client submission from an announcement file",
+    )
+    submit.add_argument("--announce", required=True, metavar="FILE",
+                        help="announcement bytes from `repro announce`")
+    submit.add_argument("--client-id", required=True)
+    submit.add_argument("--value", type=int, required=True,
+                        help="the private input (a measurement or bid level)")
+    submit.add_argument("--seed", type=int, default=None,
+                        help="seed the client's randomness (for tests)")
+    submit.add_argument("--out", required=True, metavar="FILE")
+    submit.set_defaults(fn=_cmd_submit)
 
     return parser
 

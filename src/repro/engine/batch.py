@@ -124,6 +124,52 @@ def teval_many(
     return out
 
 
+def verify_plaintext_knowledge_many(
+    public: PaillierPublicKey,
+    items: Sequence[tuple],
+    params=None,
+    engine: CryptoEngine | None = None,
+) -> list[bool]:
+    """Batch-verify plaintext-knowledge proofs; one engine batch of pows.
+
+    ``items`` is a sequence of ``(ciphertext, proof, context)`` triples.
+    Equivalent to ``[proof.verify(public, ct, params, context) ...]`` —
+    the two Z_{N²} exponentiations per proof (the entire cost) flatten
+    into a single :meth:`CryptoEngine.pow_many` call.  Items failing the
+    cheap range checks are reported False without costing a pow, exactly
+    as the single-value path short-circuits.
+    """
+    from repro.nizk.params import DEFAULT_PARAMS
+    from repro.nizk.sigma import PlaintextKnowledgeProof
+
+    if params is None:
+        params = DEFAULT_PARAMS
+    n, n2 = public.n, public.n_squared
+    results: list[bool] = [False] * len(items)
+    jobs = []
+    pending = []  # (item index, proof, lhs factor of the (1+zN) term)
+    for index, (ciphertext, proof, context) in enumerate(items):
+        if ciphertext.public != public:
+            raise EncryptionError("ciphertext under a different public key")
+        if not (0 < proof.commitment < n2 and 0 < proof.response_unit < n):
+            continue
+        e = PlaintextKnowledgeProof._challenge(
+            public, ciphertext, proof.commitment, params, context
+        )
+        jobs.append((proof.response_unit, n, n2))
+        jobs.append((ciphertext.value, e, n2))
+        pending.append((index, proof))
+    powers = _engine(engine).pow_many(jobs)
+    _hooks.note(_hooks.PAILLIER_EXP, len(jobs))
+    for slot, (index, proof) in enumerate(pending):
+        unit_pow = powers[2 * slot]
+        ct_pow = powers[2 * slot + 1]
+        lhs = (1 + proof.response_exponent % n2 * n) % n2 * unit_pow % n2
+        rhs = proof.commitment * ct_pow % n2
+        results[index] = lhs == rhs
+    return results
+
+
 def scalar_mul_many(
     ciphertexts: Sequence[PaillierCiphertext],
     scalars: Sequence[int],

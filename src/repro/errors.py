@@ -87,3 +87,40 @@ class ProtocolAbortError(ReproError):
 
 class SortitionError(ReproError, ValueError):
     """The requested sortition parameters are infeasible (the ⊥ rows)."""
+
+
+class ServiceError(ReproError):
+    """The client-aided MPC service hit a lifecycle invariant violation."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The ingest queue is full; the submission was shed, not queued."""
+
+
+class SubmissionRejected(ServiceError):
+    """A client submission failed validation and was dropped.
+
+    Subclasses pin down the *reason*; the adversarial-ingest tests demand
+    each failure mode surfaces as a distinct type so operators can count
+    them separately (and so a bad proof is never conflated with a replay).
+    """
+
+
+class MalformedSubmissionError(SubmissionRejected):
+    """The submission body is structurally broken (wrong shape/types)."""
+
+
+class InvalidProofError(SubmissionRejected):
+    """A plaintext-knowledge Σ-proof in the submission failed to verify."""
+
+
+class EpochMismatchError(SubmissionRejected):
+    """The submission targets a different epoch than the open window."""
+
+
+class ReplayedClientError(SubmissionRejected):
+    """The client id already has an accepted submission this epoch."""
+
+
+class OversizedCiphertextError(SubmissionRejected):
+    """A ciphertext is not under the epoch's announced public key."""

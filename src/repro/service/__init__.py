@@ -1,0 +1,67 @@
+"""The client-aided MPC service (docs/SERVICE.md).
+
+Clients post encrypted inputs once and disappear; epoch committees
+aggregate homomorphically, evaluate the workload circuit under YOSO MPC,
+publish the result, and reshare the threshold key to the next committee
+— the long-lived-service shape of the paper's client-aided model.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.epoch import (
+    CommitteeMember,
+    EpochCoordinator,
+    EpochState,
+    ServiceCommittee,
+)
+from repro.service.ingest import (
+    EpochLedger,
+    IngestPipeline,
+    IngestQueue,
+    Rejection,
+)
+from repro.service.service import EpochSummary, MpcService, ServiceConfig
+from repro.service.wire import (
+    ClientInput,
+    EpochAnnouncement,
+    EpochResult,
+    client_input_tag,
+    epoch_tag,
+    proof_context,
+    reshare_tag,
+    result_tag,
+)
+from repro.service.workloads import (
+    AuctionWorkload,
+    ServiceWorkload,
+    StatisticsWorkload,
+    encode_slots,
+    make_workload,
+)
+
+__all__ = [
+    "AuctionWorkload",
+    "ClientInput",
+    "CommitteeMember",
+    "EpochAnnouncement",
+    "EpochCoordinator",
+    "EpochLedger",
+    "EpochResult",
+    "EpochState",
+    "EpochSummary",
+    "IngestPipeline",
+    "IngestQueue",
+    "MpcService",
+    "Rejection",
+    "ServiceClient",
+    "ServiceCommittee",
+    "ServiceConfig",
+    "ServiceWorkload",
+    "StatisticsWorkload",
+    "client_input_tag",
+    "encode_slots",
+    "epoch_tag",
+    "make_workload",
+    "proof_context",
+    "reshare_tag",
+    "result_tag",
+]

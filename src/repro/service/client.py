@@ -1,0 +1,105 @@
+"""The client side of the service: build one submission from one post.
+
+A service client never joins the MPC.  It reads the epoch announcement
+from the bulletin board (everything it needs — epoch number, workload,
+slot count, and the epoch public key as a wire
+:class:`~repro.wire.codec.KeyAnnouncement` — is in that single payload),
+encrypts its slot values under the epoch key, attaches one
+plaintext-knowledge Σ-proof per slot, and posts the resulting
+:class:`~repro.service.wire.ClientInput`.  That one utterance is its
+whole participation, the client-aided division of labour the paper
+inherits from Ohata–Nuida.
+
+Proof contexts bind each proof to ``(epoch, client id, slot)``; the
+challenge parameters derive from the announced modulus itself
+(``ProofParams.for_modulus_bits(modulus.bit_length())``), so client and
+service agree on them with no side channel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.engine.batch import encrypt_many
+from repro.errors import MalformedSubmissionError
+from repro.nizk.params import ProofParams
+from repro.nizk.sigma import PlaintextKnowledgeProof
+from repro.service.wire import (
+    ClientInput,
+    EpochAnnouncement,
+    client_input_tag,
+    proof_context,
+)
+from repro.service.workloads import encode_slots
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Builds epoch-bound submissions from the epoch announcement alone."""
+
+    def __init__(
+        self,
+        client_id: str,
+        announcement: EpochAnnouncement,
+        rng: random.Random | None = None,
+        params: ProofParams | None = None,
+    ):
+        if not isinstance(client_id, str) or not client_id:
+            raise MalformedSubmissionError("client id must be non-empty text")
+        self.client_id = client_id
+        self.announcement = announcement
+        self.public = announcement.key.public_key()
+        self.rng = rng
+        self.params = (
+            params
+            if params is not None
+            else ProofParams.for_modulus_bits(self.public.n.bit_length())
+        )
+
+    @property
+    def tag(self) -> str:
+        """The bulletin tag this client's submission travels under."""
+        return client_input_tag(self.announcement.epoch, self.client_id)
+
+    def build_input(self, value: int) -> ClientInput:
+        """Encode ``value`` for the announced workload, encrypt, and prove."""
+        return self.build_from_slots(
+            encode_slots(
+                self.announcement.workload, self.announcement.slots, value
+            )
+        )
+
+    def build_from_slots(self, slot_values: Sequence[int]) -> ClientInput:
+        """A submission from already-encoded slot plaintexts."""
+        if len(slot_values) != self.announcement.slots:
+            raise MalformedSubmissionError(
+                f"workload {self.announcement.workload!r} expects "
+                f"{self.announcement.slots} slots, got {len(slot_values)}"
+            )
+        epoch = self.announcement.epoch
+        randomizers = [
+            self.public.random_unit(self.rng) for _ in slot_values
+        ]
+        ciphertexts = encrypt_many(self.public, list(slot_values), randomizers)
+        proofs = tuple(
+            PlaintextKnowledgeProof.prove(
+                self.public,
+                ciphertext,
+                message,
+                randomness,
+                self.params,
+                rng=self.rng,
+                context=proof_context(epoch, self.client_id, slot),
+            )
+            for slot, (ciphertext, message, randomness) in enumerate(
+                zip(ciphertexts, slot_values, randomizers)
+            )
+        )
+        return ClientInput(
+            client_id=self.client_id,
+            epoch=epoch,
+            ciphertexts=tuple(ciphertexts),
+            proofs=proofs,
+        )

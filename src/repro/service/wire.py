@@ -1,0 +1,185 @@
+"""Wire kinds and payload dataclasses for the client-aided service.
+
+The service speaks four envelope kinds on top of the existing bulletin
+format (docs/SERVICE.md):
+
+* ``service.client_input`` — a client's single utterance: slot
+  ciphertexts under the epoch key plus one plaintext-knowledge Σ-proof
+  per slot, bound to the epoch and client id through the proof context;
+* ``service.epoch`` — the coordinator opens an epoch: workload name,
+  slot count, input window, the epoch public key as a mid-stream
+  :class:`KeyAnnouncement`, and the threshold verification base;
+* ``service.result`` — the published aggregate outputs plus the
+  committee members whose partial decryptions produced them;
+* ``service.reshare`` — one committee member's encrypted resharing of
+  its threshold key share to the next epoch's committee (the payload is
+  the existing :class:`repro.core.resharing.EncryptedResharing`).
+
+Everything here depends only on the wire/crypto layers below it, so the
+registry and codec can lazy-import this module from a fresh decoding
+process without pulling in the service runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MalformedSubmissionError
+from repro.nizk.sigma import PlaintextKnowledgeProof
+from repro.paillier.paillier import PaillierCiphertext
+from repro.wire.codec import KeyAnnouncement, register_wire_dataclass
+from repro.wire.registry import register_kind
+
+# -- bulletin tags -----------------------------------------------------------
+
+CLIENT_INPUT_PREFIX = "svc-input:"
+EPOCH_PREFIX = "svc-epoch-"
+RESULT_PREFIX = "svc-result-"
+RESHARE_PREFIX = "svc-reshare-"
+
+
+def client_input_tag(epoch: int, client_id: str) -> str:
+    return f"{CLIENT_INPUT_PREFIX}{epoch}:{client_id}"
+
+
+def epoch_tag(epoch: int) -> str:
+    return f"{EPOCH_PREFIX}{epoch}"
+
+
+def result_tag(epoch: int) -> str:
+    return f"{RESULT_PREFIX}{epoch}"
+
+
+def reshare_tag(epoch: int, sender_index: int) -> str:
+    return f"{RESHARE_PREFIX}{epoch}-{sender_index}"
+
+
+def proof_context(epoch: int, client_id: str, slot: int) -> str:
+    """Fiat–Shamir context binding a slot proof to (epoch, client, slot).
+
+    Replaying another epoch's ciphertext+proof pair, or another client's,
+    changes the context and therefore the challenge — the proof fails
+    verification instead of needing a bespoke replay rule.
+    """
+    return f"svc:{epoch}:{client_id}:{slot}"
+
+
+# -- payload dataclasses -----------------------------------------------------
+
+@dataclass(frozen=True)
+class ClientInput:
+    """One client's complete submission for one epoch."""
+
+    client_id: str
+    epoch: int
+    ciphertexts: tuple[PaillierCiphertext, ...]
+    proofs: tuple[PlaintextKnowledgeProof, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.client_id, str) or not self.client_id:
+            raise MalformedSubmissionError("client id must be non-empty text")
+        if not isinstance(self.epoch, int) or self.epoch < 0:
+            raise MalformedSubmissionError("epoch must be a natural number")
+        if not (
+            isinstance(self.ciphertexts, tuple)
+            and self.ciphertexts
+            and all(isinstance(c, PaillierCiphertext) for c in self.ciphertexts)
+        ):
+            raise MalformedSubmissionError(
+                "ciphertexts must be a non-empty tuple of Paillier ciphertexts"
+            )
+        if not (
+            isinstance(self.proofs, tuple)
+            and all(isinstance(p, PlaintextKnowledgeProof) for p in self.proofs)
+        ):
+            raise MalformedSubmissionError(
+                "proofs must be a tuple of plaintext-knowledge proofs"
+            )
+        if len(self.proofs) != len(self.ciphertexts):
+            raise MalformedSubmissionError(
+                f"{len(self.ciphertexts)} ciphertexts but "
+                f"{len(self.proofs)} proofs"
+            )
+
+
+@dataclass(frozen=True)
+class EpochAnnouncement:
+    """The coordinator's opening post for one epoch."""
+
+    epoch: int
+    workload: str
+    slots: int
+    input_window: int
+    key: KeyAnnouncement
+    verification_base: int
+
+    def __post_init__(self):
+        if not isinstance(self.epoch, int) or self.epoch < 0:
+            raise MalformedSubmissionError("epoch must be a natural number")
+        if not isinstance(self.workload, str) or not self.workload:
+            raise MalformedSubmissionError("workload name must be non-empty")
+        if not isinstance(self.slots, int) or self.slots < 1:
+            raise MalformedSubmissionError("slot count must be positive")
+        if not isinstance(self.input_window, int) or self.input_window < 1:
+            raise MalformedSubmissionError("input window must be positive")
+        if not isinstance(self.key, KeyAnnouncement):
+            raise MalformedSubmissionError("epoch key must be a KeyAnnouncement")
+        if not isinstance(self.verification_base, int) or (
+            self.verification_base < 1
+        ):
+            raise MalformedSubmissionError("verification base must be positive")
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """The published outcome of one epoch's aggregate evaluation."""
+
+    epoch: int
+    workload: str
+    outputs: tuple[int, ...]
+    contributors: tuple[int, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.epoch, int) or self.epoch < 0:
+            raise MalformedSubmissionError("epoch must be a natural number")
+        if not isinstance(self.workload, str) or not self.workload:
+            raise MalformedSubmissionError("workload name must be non-empty")
+        if not (
+            isinstance(self.outputs, tuple)
+            and all(isinstance(v, int) for v in self.outputs)
+        ):
+            raise MalformedSubmissionError("outputs must be a tuple of ints")
+        if not (
+            isinstance(self.contributors, tuple)
+            and all(isinstance(v, int) for v in self.contributors)
+        ):
+            raise MalformedSubmissionError("contributors must be int indices")
+
+
+# -- registrations -----------------------------------------------------------
+
+#: Codec object codes (16–19 are the re-encryption/resharing payloads).
+CLIENT_INPUT_CODE = 20
+EPOCH_ANNOUNCEMENT_CODE = 21
+EPOCH_RESULT_CODE = 22
+
+register_wire_dataclass(CLIENT_INPUT_CODE, ClientInput)
+register_wire_dataclass(EPOCH_ANNOUNCEMENT_CODE, EpochAnnouncement)
+register_wire_dataclass(EPOCH_RESULT_CODE, EpochResult)
+
+register_kind(
+    "service.client_input", 30, tag_prefix=CLIENT_INPUT_PREFIX,
+    description="client submission: slot ciphertexts + knowledge proofs",
+)
+register_kind(
+    "service.epoch", 31, tag_prefix=EPOCH_PREFIX,
+    description="epoch opening: workload, window, epoch key announcement",
+)
+register_kind(
+    "service.result", 32, tag_prefix=RESULT_PREFIX,
+    description="published aggregate outputs for one epoch",
+)
+register_kind(
+    "service.reshare", 33, tag_prefix=RESHARE_PREFIX,
+    description="encrypted threshold-share resharing to the next committee",
+)

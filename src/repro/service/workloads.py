@@ -1,0 +1,247 @@
+"""Service-side workload adapters: slot encoding, aggregation, evaluation.
+
+A :class:`ServiceWorkload` describes one aggregate computation end to end:
+
+* ``encode`` — how a client turns its private value into the slot
+  plaintexts it encrypts (also exposed as :func:`encode_slots` so the
+  lightweight :class:`~repro.service.client.ServiceClient` needs nothing
+  but the epoch announcement);
+* ``aggregate`` — how the coordinator collapses the accepted slot
+  ciphertext columns homomorphically (this is where 10^4–10^6 client
+  submissions shrink to a panel-sized vector, entirely in Z*_{N²});
+* ``panel_inputs`` / ``circuit`` — how the threshold-decrypted aggregates
+  feed the committee-evaluated MPC circuit from
+  :mod:`repro.circuits.workloads`;
+* ``decode_outputs`` — how the published circuit outputs read back as the
+  workload's answer.
+
+Trust note (docs/SERVICE.md): the per-group aggregates are threshold-
+decrypted before the final MPC, so the service reveals partial sums
+(statistics) or the bid histogram (auction) — coarse aggregates, never an
+individual submission.  The Σ-proof guarantees plaintext *knowledge*, not
+slot consistency (a statistics client could submit x² ≠ x·x); both are
+documented simplifications of the client-aided model, not silent gaps.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+from repro.circuits.workloads import (
+    grouped_statistics_circuit,
+    histogram_second_price_circuit,
+)
+from repro.errors import MalformedSubmissionError, ParameterError, ServiceError
+from repro.paillier.paillier import PaillierCiphertext
+from repro.paillier.threshold import ThresholdPublicKey
+
+__all__ = [
+    "AuctionWorkload",
+    "ServiceWorkload",
+    "StatisticsWorkload",
+    "WORKLOAD_NAMES",
+    "encode_slots",
+    "make_workload",
+]
+
+WORKLOAD_NAMES = ("statistics", "auction")
+
+#: Statistics inputs must stay below this so (population · max)² fits the
+#: inner MPC ring for populations up to ~10^6 (see class docstring).
+STATISTICS_MAX_VALUE = 1024
+
+
+def encode_slots(workload: str, slots: int, value: int) -> list[int]:
+    """Client-side slot plaintexts for ``value`` under ``workload``.
+
+    Everything a client needs is in the epoch announcement: the workload
+    name and the slot count (which, for the auction, *is* the number of
+    bid levels).
+    """
+    if not isinstance(value, int):
+        raise MalformedSubmissionError("submission value must be an int")
+    if workload == "statistics":
+        if not 0 <= value < STATISTICS_MAX_VALUE:
+            raise MalformedSubmissionError(
+                f"statistics value must be in [0, {STATISTICS_MAX_VALUE})"
+            )
+        return [value, value * value]
+    if workload == "auction":
+        if not 0 <= value < slots:
+            raise MalformedSubmissionError(
+                f"bid must be a level in [0, {slots})"
+            )
+        return [1 if j == value else 0 for j in range(slots)]
+    raise ParameterError(f"unknown workload {workload!r}")
+
+
+def _column_sum(
+    tpk: ThresholdPublicKey, ciphertexts: Sequence[PaillierCiphertext]
+) -> PaillierCiphertext:
+    """Homomorphic sum of a ciphertext column (Enc(0;1) when empty)."""
+    n2 = tpk.n_squared
+    acc = 1  # = (1 + 0·N) · 1^N, the deterministic encryption of zero
+    for ciphertext in ciphertexts:
+        acc = acc * ciphertext.value % n2
+    return PaillierCiphertext(tpk.paillier, acc)
+
+
+class ServiceWorkload(ABC):
+    """One aggregate computation the service can run every epoch."""
+
+    name: str
+    recipient: str
+
+    @abstractmethod
+    def slots(self) -> int:
+        """Ciphertext slots per client submission."""
+
+    def encode(self, value: int) -> list[int]:
+        return encode_slots(self.name, self.slots(), value)
+
+    @abstractmethod
+    def aggregate(
+        self,
+        tpk: ThresholdPublicKey,
+        columns: Sequence[Sequence[PaillierCiphertext]],
+    ) -> list[PaillierCiphertext]:
+        """Collapse per-slot ciphertext columns into the decryption vector."""
+
+    @abstractmethod
+    def panel_inputs(
+        self, totals: Sequence[int], population: int
+    ) -> dict[str, list[int]]:
+        """Decrypted aggregates → per-panel-member MPC inputs."""
+
+    @abstractmethod
+    def circuit(self, population: int):
+        """The committee-evaluated aggregate circuit."""
+
+    @abstractmethod
+    def decode_outputs(
+        self, outputs: Sequence[int], population: int
+    ) -> dict[str, Any]:
+        """Published circuit outputs → the workload's answer."""
+
+
+class StatisticsWorkload(ServiceWorkload):
+    """Population mean/variance over one private measurement per client.
+
+    Clients submit ``[x, x²]``; the coordinator splits the accepted
+    submissions into ``groups`` slices and homomorphically sums each
+    slice's two columns, so the committee threshold-decrypts just ``2G``
+    values however many clients took part.  The decrypted partial sums
+    feed :func:`grouped_statistics_circuit`, whose outputs (S, Q, V)
+    post-process to mean and variance in the clear.
+
+    Value bound: with x < 2^10 and population ≤ 10^6, both Q = N·Σx² and
+    S² stay below ~2^60 < N_TE, so nothing wraps in either ring.
+    """
+
+    name = "statistics"
+    recipient = "analyst"
+
+    def __init__(self, groups: int = 4):
+        if groups < 1:
+            raise ParameterError("need at least one aggregation group")
+        self.groups = groups
+
+    def slots(self) -> int:
+        return 2
+
+    def effective_groups(self, population: int) -> int:
+        return max(1, min(self.groups, population))
+
+    def aggregate(self, tpk, columns):
+        population = len(columns[0])
+        g_count = self.effective_groups(population)
+        bounds = [population * g // g_count for g in range(g_count + 1)]
+        out = []
+        for g in range(g_count):
+            lo, hi = bounds[g], bounds[g + 1]
+            out.append(_column_sum(tpk, columns[0][lo:hi]))
+            out.append(_column_sum(tpk, columns[1][lo:hi]))
+        return out
+
+    def panel_inputs(self, totals, population):
+        g_count = self.effective_groups(population)
+        return {
+            f"panel{g}": [totals[2 * g], totals[2 * g + 1]]
+            for g in range(g_count)
+        }
+
+    def circuit(self, population: int):
+        return grouped_statistics_circuit(
+            self.effective_groups(population), population,
+            recipient=self.recipient,
+        )
+
+    def decode_outputs(self, outputs, population):
+        s, q, v = outputs
+        return {
+            "population": population,
+            "sum": s,
+            "scaled_second_moment": q,
+            "mean": s / population,
+            "variance": v / population**2,
+        }
+
+
+class AuctionWorkload(ServiceWorkload):
+    """Sealed-bid Vickrey auction over a fixed grid of bid levels.
+
+    Clients one-hot encode their bid over ``levels`` slots; the
+    coordinator homomorphically sums each level's column into a bid
+    histogram, the committee decrypts the ``levels`` counts, and
+    :func:`histogram_second_price_circuit` resolves winner level, winner
+    count, and the Vickrey price.  The MPC cost scales with the histogram
+    width, not the number of bidders.
+    """
+
+    name = "auction"
+    recipient = "auctioneer"
+
+    def __init__(self, levels: int = 8):
+        if levels < 2:
+            raise ParameterError("need at least two bid levels")
+        self.levels = levels
+
+    def slots(self) -> int:
+        return self.levels
+
+    def aggregate(self, tpk, columns):
+        return [_column_sum(tpk, column) for column in columns]
+
+    def panel_inputs(self, totals, population):
+        return {
+            f"level{j}": [c, 1 if c > 0 else 0, 1 if c > 1 else 0]
+            for j, c in enumerate(totals)
+        }
+
+    def circuit(self, population: int):
+        return histogram_second_price_circuit(
+            self.levels, recipient=self.recipient
+        )
+
+    def decode_outputs(self, outputs, population):
+        price, winner_level, winner_count = outputs
+        return {
+            "population": population,
+            "price": price,
+            "winner_level": winner_level,
+            "winner_count": winner_count,
+        }
+
+
+def make_workload(
+    name: str, *, statistics_groups: int = 4, auction_levels: int = 8
+) -> ServiceWorkload:
+    """Instantiate a workload by its announced name."""
+    if name == "statistics":
+        return StatisticsWorkload(groups=statistics_groups)
+    if name == "auction":
+        return AuctionWorkload(levels=auction_levels)
+    raise ServiceError(
+        f"unknown workload {name!r}; known: {', '.join(WORKLOAD_NAMES)}"
+    )

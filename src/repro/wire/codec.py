@@ -223,6 +223,7 @@ def _ensure_domain_codecs() -> None:
     import repro.wire.domain  # noqa: F401
     import repro.core.reencrypt  # noqa: F401
     import repro.core.resharing  # noqa: F401
+    import repro.service.wire  # noqa: F401
 
 
 # -- the codec ---------------------------------------------------------------

@@ -60,6 +60,7 @@ def ensure_standard_kinds() -> None:
     import repro.core.setup  # noqa: F401
     import repro.baselines.cdn  # noqa: F401
     import repro.extensions.it_yoso  # noqa: F401
+    import repro.service.wire  # noqa: F401
 
 
 def register_kind(

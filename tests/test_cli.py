@@ -110,3 +110,59 @@ class TestExtrapolateCommand:
 
     def test_bad_epsilon_is_an_error(self, capsys):
         assert main(["extrapolate", "100", "0.9"]) == 1
+
+
+class TestServiceCommands:
+    def test_announce_submit_serve_chain(self, tmp_path, capsys):
+        # announce: write the epoch-0 announcement a detached client needs.
+        ann_path = tmp_path / "ann.bin"
+        assert main([
+            "announce", "--workload", "auction", "--levels", "4",
+            "--seed", "42", "--out", str(ann_path),
+        ]) == 0
+        assert "announcement" in capsys.readouterr().out
+
+        # submit: build one out-of-process submission against that file.
+        subs = tmp_path / "subs"
+        subs.mkdir()
+        assert main([
+            "submit", "--announce", str(ann_path), "--client-id", "ext-001",
+            "--value", "3", "--seed", "9", "--out", str(subs / "ext-001.bin"),
+        ]) == 0
+        assert "ext-001" in capsys.readouterr().out
+
+        # serve: same seed reproduces the same epoch key, so the detached
+        # submission lands alongside the simulated clients.
+        report_path = tmp_path / "serve.json"
+        check_path = tmp_path / "ann-check.bin"
+        assert main([
+            "serve", "--workload", "auction", "--levels", "4",
+            "--seed", "42", "--clients", "5", "--epochs", "1",
+            "--submissions", str(subs), "--announce-out", str(check_path),
+            "--json", str(report_path),
+        ]) == 0
+        assert check_path.read_bytes() == ann_path.read_bytes()
+        row = json.loads(report_path.read_text())["epochs"][0]
+        assert row["population"] == 6          # 5 simulated + 1 file
+        assert row["rejections"] == {}
+        assert len(row["reshare_contributors"]) == 5
+        assert row["decoded"]["winner_count"] >= 1
+
+    def test_submit_rejects_non_announcement(self, tmp_path, capsys):
+        from repro.wire import WireCodec
+
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(WireCodec().encode(123))
+        assert main([
+            "submit", "--announce", str(bad), "--client-id", "x",
+            "--value", "1", "--out", str(tmp_path / "out.bin"),
+        ]) == 1
+        assert "not an epoch announcement" in capsys.readouterr().err
+
+    def test_submit_missing_announcement_is_an_error(self, tmp_path, capsys):
+        assert main([
+            "submit", "--announce", str(tmp_path / "nope.bin"),
+            "--client-id", "x", "--value", "1",
+            "--out", str(tmp_path / "out.bin"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err

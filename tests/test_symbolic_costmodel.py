@@ -175,7 +175,7 @@ class TestFormulas:
     def test_catalog_covers_every_variant(self):
         catalog = formula_catalog()
         assert set(catalog) == {s.variant for s in spec_variants()}
-        assert len(catalog) == 20
+        assert len(catalog) == 24
 
     def test_formulas_close_over_the_glossary(self):
         """Free symbols of every formula come from the documented glossary."""

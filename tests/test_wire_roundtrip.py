@@ -17,6 +17,7 @@ import repro.core.online  # noqa: F401
 import repro.core.setup  # noqa: F401
 import repro.baselines.cdn  # noqa: F401
 import repro.extensions.it_yoso  # noqa: F401
+import repro.service.wire  # noqa: F401
 
 from repro.errors import WireDecodeError, WireEncodeError
 from repro.paillier import generate_keypair
@@ -30,6 +31,7 @@ from repro.nizk.sigma import (
 )
 from repro.core.reencrypt import EncryptedPartial, PublicPartial
 from repro.core.resharing import EncryptedResharing, EncryptedSubshare
+from repro.service.wire import ClientInput, EpochAnnouncement, EpochResult
 from repro.wire import (
     Envelope,
     KeyAnnouncement,
@@ -235,6 +237,16 @@ def _representative_payloads(keypair):
         "baseline.cdn": ("Cdn-triple-A", {"triples": {0: {"ct": ct, "proof": popk}}}),
         "baseline.cdn_aux": ("cdn-setup", {"tpk": KeyAnnouncement(keypair.public.n)}),
         "it.messages": ("It-mul-1", {"mu_shares": {0: 42}}),
+        "service.client_input": ("svc-input:4:client-0000009", ClientInput(
+            "client-0000009", 4, (ct, ct), (popk, popk),
+        )),
+        "service.epoch": ("svc-epoch-4", EpochAnnouncement(
+            4, "statistics", 2, 1, KeyAnnouncement(keypair.public.n), 9,
+        )),
+        "service.result": ("svc-result-4", EpochResult(
+            4, "auction", (3, 1, 2), (1, 2, 4),
+        )),
+        "service.reshare": ("svc-reshare-4-2", {"tsk": resh}),
     }
 
 
