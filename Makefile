@@ -1,12 +1,21 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench bench-engine bench-wire bench-service cost-atlas examples table1 trace-demo service-demo check all outputs
+.PHONY: install test lint bench bench-engine bench-wire bench-service cost-atlas examples table1 trace-demo service-demo check all outputs
 
 install:
 	pip install -e .
 
 test:
 	pytest tests/
+
+# Protocol static analysis (docs/ANALYSIS.md) plus ruff/mypy when
+# installed (CI always has them via the dev extras).
+lint:
+	PYTHONPATH=src python -m repro.cli lint src/repro
+	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks \
+		|| echo "ruff not installed; skipping"
+	@command -v mypy >/dev/null 2>&1 && mypy \
+		|| echo "mypy not installed; skipping"
 
 bench:
 	pytest benchmarks/ --benchmark-only -s
@@ -50,7 +59,7 @@ service-demo:
 	python -m repro serve --workload auction --clients 2000 \
 		--epochs 2 --churn 0.1 --crash
 
-check: test trace-demo
+check: lint test trace-demo
 
 outputs:
 	pytest tests/ 2>&1 | tee test_output.txt

@@ -16,7 +16,7 @@ from repro.accounting import (
 )
 from repro.sortition import analyze
 
-from conftest import SWEEP_NS, print_banner
+from conftest import print_banner
 
 
 def test_model_vs_measurement(benchmark, ours_sweep, sweep_circuit):

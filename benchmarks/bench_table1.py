@@ -7,8 +7,8 @@ the analysis kernel.
 """
 
 from repro.accounting import format_table
-from repro.sortition import TABLE1_PAPER, analyze, generate_table1
 from repro.errors import SortitionError
+from repro.sortition import TABLE1_PAPER, analyze, generate_table1
 
 from conftest import print_banner
 

@@ -23,10 +23,10 @@ from types import SimpleNamespace
 
 # Phase-module imports register every envelope kind (same side effect a
 # protocol run relies on).
+import repro.baselines.cdn  # noqa: F401
 import repro.core.offline  # noqa: F401
 import repro.core.online  # noqa: F401
 import repro.core.setup  # noqa: F401
-import repro.baselines.cdn  # noqa: F401
 import repro.extensions.it_yoso  # noqa: F401
 import repro.service.wire  # noqa: F401
 

@@ -16,7 +16,7 @@ import dataclasses
 import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 #: Registered sizers: payload type -> bytes function (subclasses included).
 #: Deprecated for bulletin payloads — the board now meters encoded wire

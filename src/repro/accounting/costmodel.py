@@ -29,7 +29,7 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.layering import BatchPlan
 from repro.errors import ParameterError
 from repro.nizk.params import ProofParams
-from repro.wire.sizes import cdiv, int_nominal, seq_nominal, str_nominal
+from repro.wire.sizes import cdiv, int_nominal, str_nominal
 
 if TYPE_CHECKING:  # avoid accounting -> core -> yoso -> accounting cycle
     from repro.core.params import ProtocolParams

@@ -58,7 +58,6 @@ from typing import Any, Callable
 from repro.errors import ReproError
 from repro.wire.registry import kind_by_name
 from repro.wire.sizes import (
-    ENVELOPE_FIXED_BYTES,
     bytes_nominal,
     bytes_wire_len,
     cdiv,
@@ -114,7 +113,7 @@ _ALL_SYMBOL_NAMES = frozenset(PARAM_SYMBOL_NAMES + RUN_SYMBOL_NAMES)
 _SYMBOLS: dict[str, Any] = {}
 
 
-def sym(name: str):
+def sym(name: str) -> Any:
     """The (cached) sympy symbol of a glossary name."""
     if name not in _ALL_SYMBOL_NAMES:
         raise CostExactnessError(f"unknown cost-model symbol {name!r}")
@@ -136,14 +135,14 @@ class _Space:
         values: dict[str, int] | None = None,
         symbolic: bool = False,
         robust: bool = False,
-    ):
+    ) -> None:
         self._values = dict(values or {})
         self._symbolic = symbolic
         #: python-level switch, not a symbol: robust reconstruction drops
         #: the per-share proof token, changing the formula's *shape*.
         self.robust = robust
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         if name.startswith("_"):
             raise AttributeError(name)
         values = object.__getattribute__(self, "_values")
@@ -171,7 +170,7 @@ class _SizeCtx:
     ``repeat`` can price one archetypal item for the closed form.
     """
 
-    def __init__(self, space: _Space):
+    def __init__(self, space: _Space) -> None:
         self.P = space
         self.symbolic = space._symbolic
         self.bindings: dict[str, int] = {}
@@ -179,7 +178,7 @@ class _SizeCtx:
         self._ghost = 0
 
     @contextmanager
-    def ghosted(self):
+    def ghosted(self) -> Any:
         self._ghost += 1
         try:
             yield
@@ -193,7 +192,7 @@ class _SizeCtx:
         if self._live():
             self.actual += n_bytes
 
-    def bind(self, name: str, value: Callable[[], int] | int):
+    def bind(self, name: str, value: Callable[[], int] | int) -> Any:
         """A run-bound symbol: glossary symbol here, payload value there."""
         if self.symbolic:
             return sym(name)
@@ -203,13 +202,13 @@ class _SizeCtx:
 
     # -- leaves --------------------------------------------------------------
 
-    def intv(self, value: int | None, bits: Any):
+    def intv(self, value: int | None, bits: Any) -> Any:
         if self._live():
             assert value is not None, "live walk reached an absent int leaf"
             self._acc(int_wire_len(value))
         return int_nominal(bits)
 
-    def small(self, value: int | None):
+    def small(self, value: int | None) -> Any:
         """An index/epoch/id-sized integer (nominal one data byte)."""
         return self.intv(value, 8)
 
@@ -218,26 +217,26 @@ class _SizeCtx:
         self._acc(str_wire_len(s))
         return str_wire_len(s)
 
-    def strn(self, value: str | None, nominal_len: int):
+    def strn(self, value: str | None, nominal_len: int) -> Any:
         if self._live():
             assert value is not None, "live walk reached an absent str leaf"
             self._acc(str_wire_len(value))
         return 1 + varint_len(nominal_len) + nominal_len
 
-    def strv(self, value: str | None, nominal_len: Any):
+    def strv(self, value: str | None, nominal_len: Any) -> Any:
         """A string priced by a run-bound length — nominal is exact."""
         if self._live():
             assert value is not None, "live walk reached an absent str leaf"
             self._acc(str_wire_len(value))
         return 1 + vlen(nominal_len) + nominal_len
 
-    def byt(self, value: bytes | None, length: Any):
+    def byt(self, value: bytes | None, length: Any) -> Any:
         if self._live():
             assert value is not None, "live walk reached an absent bytes leaf"
             self._acc(bytes_wire_len(value))
         return bytes_nominal(length)
 
-    def ct(self, value: Any, modulus_bits: Any):
+    def ct(self, value: Any, modulus_bits: Any) -> Any:
         if self._live():
             assert value is not None, "live walk reached an absent ciphertext"
             self._acc(ct_wire_len(value))
@@ -248,14 +247,14 @@ class _SizeCtx:
         self._acc(3)
         return 3
 
-    def seq(self, nominal_count: Any, actual_count: int | None = None):
+    def seq(self, nominal_count: Any, actual_count: int | None = None) -> Any:
         """List/tuple/dict header: tag byte + element-count varint."""
         if self._live():
             count = actual_count if actual_count is not None else nominal_count
             self._acc(1 + varint_len(int(count)))
         return seq_nominal(nominal_count)
 
-    def str_pool(self, keys: Any, count: Any, total_len: Any):
+    def str_pool(self, keys: Any, count: Any, total_len: Any) -> Any:
         """A family of short string keys priced by their summed length."""
         if self._live():
             assert keys is not None
@@ -271,7 +270,7 @@ class _SizeCtx:
         count: Any,
         fn: Callable[[Any], Any],
         strict: bool = True,
-    ):
+    ) -> Any:
         """``count`` structurally identical items: walks each, prices one."""
         if self._live():
             assert items is not None, "live walk reached an absent sequence"
@@ -316,12 +315,12 @@ def _max_pdec_bits(payload: Any) -> int:
 # Field lists mirror the registered wire dataclasses (repro.wire.domain,
 # repro.core.resharing, repro.core.reencrypt) in declaration order.
 
-def _key_announcement(ctx: _SizeCtx, ka: Any, bits: Any):
+def _key_announcement(ctx: _SizeCtx, ka: Any, bits: Any) -> Any:
     """KeyAnnouncement(modulus) — the modulus has exactly ``bits`` bits."""
     return ctx.obj(1) + ctx.intv(None if ka is None else ka.modulus, bits)
 
 
-def _popk(ctx: _SizeCtx, p: Any):
+def _popk(ctx: _SizeCtx, p: Any) -> Any:
     """PlaintextKnowledgeProof under the threshold key."""
     P = ctx.P
     return (
@@ -332,7 +331,7 @@ def _popk(ctx: _SizeCtx, p: Any):
     )
 
 
-def _mult_proof(ctx: _SizeCtx, p: Any):
+def _mult_proof(ctx: _SizeCtx, p: Any) -> Any:
     """MultiplicationProof under the threshold key."""
     P = ctx.P
     return (
@@ -344,7 +343,7 @@ def _mult_proof(ctx: _SizeCtx, p: Any):
     )
 
 
-def _pdec_proof(ctx: _SizeCtx, p: Any, zpd: Any):
+def _pdec_proof(ctx: _SizeCtx, p: Any, zpd: Any) -> Any:
     """PartialDecryptionProof — response width is the run-bound Zpd."""
     P = ctx.P
     return (
@@ -355,7 +354,7 @@ def _pdec_proof(ctx: _SizeCtx, p: Any, zpd: Any):
     )
 
 
-def _dlog_proof(ctx: _SizeCtx, p: Any):
+def _dlog_proof(ctx: _SizeCtx, p: Any) -> Any:
     """PlaintextDlogEqualityProof binding a role-key ct to a te-group value."""
     P = ctx.P
     return (
@@ -367,7 +366,7 @@ def _dlog_proof(ctx: _SizeCtx, p: Any):
     )
 
 
-def _encrypted_subshare(ctx: _SizeCtx, s: Any, ob: Any):
+def _encrypted_subshare(ctx: _SizeCtx, s: Any, ob: Any) -> Any:
     """EncryptedSubshare: limbs/verifications/proofs, ≤ ⌈(OB+1)/(rb−1)⌉ each."""
     P = ctx.P
     limbs = cdiv(ob + 1, P.rb - 1)
@@ -391,7 +390,7 @@ def _encrypted_subshare(ctx: _SizeCtx, s: Any, ob: Any):
     return n
 
 
-def _resharing(ctx: _SizeCtx, r: Any):
+def _resharing(ctx: _SizeCtx, r: Any) -> Any:
     """EncryptedResharing — one per committee member carrying a tsk share."""
     P = ctx.P
     ob = ctx.bind("OB", lambda: r.offset_bits)
@@ -412,7 +411,7 @@ def _resharing(ctx: _SizeCtx, r: Any):
     return n
 
 
-def _encrypted_partial(ctx: _SizeCtx, ep: Any, zpd: Any):
+def _encrypted_partial(ctx: _SizeCtx, ep: Any, zpd: Any) -> Any:
     """EncryptedPartial: an N²-sized value chunked under a role key."""
     P = ctx.P
     chunks = cdiv(2 * P.te, P.rb - 1)
@@ -428,7 +427,7 @@ def _encrypted_partial(ctx: _SizeCtx, ep: Any, zpd: Any):
     return n
 
 
-def _public_partial(ctx: _SizeCtx, pp: Any, zpd: Any):
+def _public_partial(ctx: _SizeCtx, pp: Any, zpd: Any) -> Any:
     """PublicPartial(PartialDecryption, proof)."""
     P = ctx.P
     n = ctx.obj(2)
@@ -440,7 +439,7 @@ def _public_partial(ctx: _SizeCtx, pp: Any, zpd: Any):
     return n
 
 
-def _ct_proof_entry(ctx: _SizeCtx, item: Any, proof_fn: Callable):
+def _ct_proof_entry(ctx: _SizeCtx, item: Any, proof_fn: Callable) -> Any:
     """A ``wire_id -> {"ct", "proof"}`` contribution entry."""
     key, v = (None, None) if item is None else item
     n = ctx.small(key)
@@ -450,13 +449,13 @@ def _ct_proof_entry(ctx: _SizeCtx, item: Any, proof_fn: Callable):
     return n
 
 
-def _dict_items(payload: Any, key: str):
+def _dict_items(payload: Any, key: str) -> Any:
     return None if payload is None else list(payload[key].items())
 
 
 # -- per-kind/variant body builders -------------------------------------------
 
-def _b_setup_keys(ctx: _SizeCtx, p: Any):
+def _b_setup_keys(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     prime_chunks = cdiv(cdiv(P.rb, 2), P.te - 1)
     kn = ctx.bind("Kn", lambda: len(p["kff"]))
@@ -470,7 +469,7 @@ def _b_setup_keys(ctx: _SizeCtx, p: Any):
     n += ctx.seq(kn, None if p is None else len(p["kff"]))
     n += ctx.str_pool(None if p is None else list(p["kff"]), kn, lk)
 
-    def kff_entry(entry):
+    def kff_entry(entry: Any) -> Any:
         m = ctx.seq(2, None if entry is None else len(entry))
         m += ctx.strf("encrypted_prime")
         chunks = None if entry is None else entry["encrypted_prime"]
@@ -509,7 +508,7 @@ def _b_setup_keys(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_beaver_a(ctx: _SizeCtx, p: Any):
+def _b_beaver_a(ctx: _SizeCtx, p: Any) -> Any:
     n = ctx.seq(2, None if p is None else len(p))
     n += ctx.strf("beaver_a")
     items = _dict_items(p, "beaver_a")
@@ -522,14 +521,14 @@ def _b_beaver_a(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_beaver_b(ctx: _SizeCtx, p: Any):
+def _b_beaver_b(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     n = ctx.seq(1, None if p is None else len(p))
     n += ctx.strf("beaver_b")
     items = _dict_items(p, "beaver_b")
     n += ctx.seq(P.gates, None if items is None else len(items))
 
-    def entry(item):
+    def entry(item: Any) -> Any:
         key, v = (None, None) if item is None else item
         m = ctx.small(key)
         m += ctx.seq(3, None if v is None else len(v))
@@ -543,7 +542,7 @@ def _b_beaver_b(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_masks(ctx: _SizeCtx, p: Any):
+def _b_masks(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     n = ctx.seq(2, None if p is None else len(p))
 
@@ -553,7 +552,7 @@ def _b_masks(ctx: _SizeCtx, p: Any):
     helper_count = P.batches * 3 * P.t
     n += ctx.seq(helper_count, None if helpers is None else len(helpers))
 
-    def helper(item):
+    def helper(item: Any) -> Any:
         key, v = (None, None) if item is None else item
         m = ctx.seq(3)  # the tuple key header
         m += ctx.small(None if key is None else key[0])
@@ -577,7 +576,7 @@ def _b_masks(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_partials(ctx: _SizeCtx, p: Any):
+def _b_partials(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
     n = ctx.seq(2, None if p is None else len(p))
@@ -585,7 +584,7 @@ def _b_partials(ctx: _SizeCtx, p: Any):
     items = _dict_items(p, "partials")
     n += ctx.seq(P.gates, None if items is None else len(items))
 
-    def entry(item):
+    def entry(item: Any) -> Any:
         key, v = (None, None) if item is None else item
         m = ctx.small(key)
         m += ctx.seq(2, None if v is None else len(v))
@@ -601,7 +600,7 @@ def _b_partials(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_reencrypt(ctx: _SizeCtx, p: Any):
+def _b_reencrypt(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
     n = ctx.seq(3, None if p is None else len(p))
@@ -620,7 +619,7 @@ def _b_reencrypt(ctx: _SizeCtx, p: Any):
     packed_count = 3 * P.n * P.batches
     n += ctx.seq(packed_count, None if packed is None else len(packed))
 
-    def packed_entry(item):
+    def packed_entry(item: Any) -> Any:
         key, ep = (None, None) if item is None else item
         m = ctx.seq(3)  # (batch, recipient, kind) tuple key
         m += ctx.small(None if key is None else key[0])
@@ -636,7 +635,7 @@ def _b_reencrypt(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_online_keys(ctx: _SizeCtx, p: Any):
+def _b_online_keys(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
     kn = ctx.bind("Kn", lambda: len(p["kff"]))
@@ -650,7 +649,7 @@ def _b_online_keys(ctx: _SizeCtx, p: Any):
     n += ctx.seq(kn, None if p is None else len(p["kff"]))
     n += ctx.str_pool(None if p is None else list(p["kff"]), kn, lk)
 
-    def bundle(eps):
+    def bundle(eps: Any) -> Any:
         m = ctx.seq(prime_chunks, None if eps is None else len(eps))
         m += ctx.repeat(
             eps, prime_chunks,
@@ -667,7 +666,7 @@ def _b_online_keys(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_online_input(ctx: _SizeCtx, p: Any):
+def _b_online_input(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     ni = ctx.bind("Ni", lambda: len(p["mu"]))
     n = ctx.seq(1, None if p is None else len(p))
@@ -682,7 +681,7 @@ def _b_online_input(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_mu_shares(ctx: _SizeCtx, p: Any):
+def _b_mu_shares(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     nb = ctx.bind("Nb", lambda: len(p["mu_shares"]))
     n = ctx.seq(1, None if p is None else len(p))
@@ -690,7 +689,7 @@ def _b_mu_shares(ctx: _SizeCtx, p: Any):
     items = _dict_items(p, "mu_shares")
     n += ctx.seq(nb, None if items is None else len(items))
 
-    def entry(item):
+    def entry(item: Any) -> Any:
         key, v = (None, None) if item is None else item
         m = ctx.small(key)
         if P.robust:
@@ -709,7 +708,7 @@ def _b_mu_shares(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_online_output(ctx: _SizeCtx, p: Any):
+def _b_online_output(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
     n = ctx.seq(1, None if p is None else len(p))
@@ -724,14 +723,14 @@ def _b_online_output(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_cdn_setup(ctx: _SizeCtx, p: Any):
+def _b_cdn_setup(ctx: _SizeCtx, p: Any) -> Any:
     n = ctx.seq(1, None if p is None else len(p))
     n += ctx.strf("tpk")
     n += _key_announcement(ctx, None if p is None else p["tpk"], ctx.P.te)
     return n
 
 
-def _b_cdn_input(ctx: _SizeCtx, p: Any):
+def _b_cdn_input(ctx: _SizeCtx, p: Any) -> Any:
     ni = ctx.bind("Ni", lambda: len(p["inputs"]))
     n = ctx.seq(1, None if p is None else len(p))
     n += ctx.strf("inputs")
@@ -741,7 +740,7 @@ def _b_cdn_input(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_cdn_eval(ctx: _SizeCtx, p: Any):
+def _b_cdn_eval(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     zpd = ctx.bind("Zpd", lambda: _max_pdec_bits(p))
     gd = ctx.bind("Gd", lambda: len(p["partials"]))
@@ -750,7 +749,7 @@ def _b_cdn_eval(ctx: _SizeCtx, p: Any):
     items = _dict_items(p, "partials")
     n += ctx.seq(gd, None if items is None else len(items))
 
-    def entry(item):
+    def entry(item: Any) -> Any:
         key, v = (None, None) if item is None else item
         m = ctx.small(key)
         m += ctx.seq(2, None if v is None else len(v))
@@ -766,7 +765,7 @@ def _b_cdn_eval(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_it_p1(ctx: _SizeCtx, p: Any):
+def _b_it_p1(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     nd = ctx.bind("Nb", lambda: len(p["deals"]))
     ni = ctx.bind("Ni", lambda: len(p["client_masks"]))
@@ -785,7 +784,7 @@ def _b_it_p1(ctx: _SizeCtx, p: Any):
     deals = _dict_items(p, "deals")
     n += ctx.seq(nd, None if deals is None else len(deals))
 
-    def deal(item):
+    def deal(item: Any) -> Any:
         key, vec = (None, None) if item is None else item
         m = ctx.seq(2)  # (batch, kind) tuple key; kinds left/right/out_2d
         m += ctx.small(None if key is None else key[0])
@@ -798,7 +797,7 @@ def _b_it_p1(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_it_p2(ctx: _SizeCtx, p: Any):
+def _b_it_p2(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     nt = ctx.bind("Nt", lambda: len(p["transfers"]))
     n = ctx.seq(1, None if p is None else len(p))
@@ -806,7 +805,7 @@ def _b_it_p2(ctx: _SizeCtx, p: Any):
     items = _dict_items(p, "transfers")
     n += ctx.seq(nt, None if items is None else len(items))
 
-    def transfer(item):
+    def transfer(item: Any) -> Any:
         key, vec = (None, None) if item is None else item
         m = ctx.seq(2)  # (batch, kind) tuple key; kinds left/right/gamma
         m += ctx.small(None if key is None else key[0])
@@ -819,7 +818,7 @@ def _b_it_p2(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_it_input(ctx: _SizeCtx, p: Any):
+def _b_it_input(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     ni = ctx.bind("Ni", lambda: len(p["mu"]))
     n = ctx.seq(1, None if p is None else len(p))
@@ -834,7 +833,7 @@ def _b_it_input(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_it_mul(ctx: _SizeCtx, p: Any):
+def _b_it_mul(ctx: _SizeCtx, p: Any) -> Any:
     P = ctx.P
     nb = ctx.bind("Nb", lambda: len(p["mu_shares"]))
     n = ctx.seq(1, None if p is None else len(p))
@@ -849,7 +848,7 @@ def _b_it_mul(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_client_input(ctx: _SizeCtx, p: Any):
+def _b_client_input(ctx: _SizeCtx, p: Any) -> Any:
     """ClientInput(client_id, epoch, ciphertexts, proofs) — one per client."""
     P = ctx.P
     lc = ctx.bind("Lc", lambda: len(p.client_id.encode("utf-8")))
@@ -869,7 +868,7 @@ def _b_client_input(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_epoch_announcement(ctx: _SizeCtx, p: Any):
+def _b_epoch_announcement(ctx: _SizeCtx, p: Any) -> Any:
     """EpochAnnouncement — the coordinator's epoch-opening post."""
     P = ctx.P
     lw = ctx.bind("Lw", lambda: len(p.workload.encode("utf-8")))
@@ -883,7 +882,7 @@ def _b_epoch_announcement(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_epoch_result(ctx: _SizeCtx, p: Any):
+def _b_epoch_result(ctx: _SizeCtx, p: Any) -> Any:
     """EpochResult — published aggregate outputs plus contributor indices."""
     P = ctx.P
     lw = ctx.bind("Lw", lambda: len(p.workload.encode("utf-8")))
@@ -903,7 +902,7 @@ def _b_epoch_result(ctx: _SizeCtx, p: Any):
     return n
 
 
-def _b_service_reshare(ctx: _SizeCtx, p: Any):
+def _b_service_reshare(ctx: _SizeCtx, p: Any) -> Any:
     """One member's encrypted tsk resharing to the next epoch's committee."""
     n = ctx.seq(1, None if p is None else len(p))
     n += ctx.strf("tsk")
@@ -1089,7 +1088,7 @@ _FORMULA_CACHE: dict[tuple[str, bool], Any] = {}
 
 def envelope_formula(
     kind: str, variant: str | None = None, robust: bool = False
-):
+) -> Any:
     """The closed-form envelope size of a kind (sympy expression).
 
     The expression covers body and framing and subtracts the slack
@@ -1114,7 +1113,7 @@ def envelope_formula(
     return _formula_for(spec, robust)
 
 
-def _formula_for(spec: EnvelopeSpec, robust: bool):
+def _formula_for(spec: EnvelopeSpec, robust: bool) -> Any:
     key = (spec.variant, robust)
     if key not in _FORMULA_CACHE:
         wire_kind = kind_by_name(spec.kind)
@@ -1443,7 +1442,7 @@ class SymbolicCostModel:
     extrapolations need no run at all.
     """
 
-    def __init__(self, params: Any, shape: Any, proof_params: Any = None):
+    def __init__(self, params: Any, shape: Any, proof_params: Any = None) -> None:
         from repro.nizk.params import ProofParams
 
         self.params = params
@@ -1540,7 +1539,7 @@ class SymbolicCostModel:
             )
         return int(result)
 
-    def _committee_bytes(self, variant: str, tag: str, **overrides) -> int:
+    def _committee_bytes(self, variant: str, tag: str, **overrides: int) -> int:
         """n members' envelopes, exact about per-member sender digits."""
         n = self.params.n
         ls0 = len(tag) + 3  # "Tag[i]" with a one-digit index

@@ -1,0 +1,39 @@
+"""Protocol static analysis: the ``repro lint`` rule packs.
+
+The load-bearing invariants of this codebase — byte-identical transcripts
+at any worker count, formula == delivered bytes for every envelope kind,
+and the YOSO speak-once role discipline — are enforced dynamically by the
+test suite.  This package enforces their *syntactic shadows* statically,
+so a regression surfaces as a ``file:line`` diagnostic at commit time
+instead of a flaky cross-process mismatch hours later.
+
+Three rule packs (docs/ANALYSIS.md has the full catalog):
+
+* **determinism** (``DET``) — unseeded RNG, wall-clock reads, OS entropy
+  outside the crypto allowlist, float arithmetic in exact-arithmetic
+  packages;
+* **YOSO discipline** (``YOSO``) — role programs that could post to the
+  bulletin more than once per activation, or that keep computing after
+  their single utterance;
+* **wire contract** (``WIRE``) — envelope kinds whose registration,
+  symbolic size formula, and round-trip test coverage have drifted apart,
+  and wire dataclasses with non-encodable fields.
+
+Everything is AST-based: no module under analysis is ever imported.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.diagnostics import RULES, Finding, RuleInfo, format_finding
+from repro.analysis.runner import lint_paths
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "RuleInfo",
+    "format_finding",
+    "lint_paths",
+    "load_config",
+]

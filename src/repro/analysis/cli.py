@@ -1,0 +1,88 @@
+"""The ``repro lint`` subcommand.
+
+Thin shell over :func:`repro.analysis.runner.lint_paths`: resolve the
+configuration, lint the requested paths (default ``src/repro`` plus the
+round-trip test's directory convention: just ``src/repro``), and print
+``file:line: CODE message`` diagnostics with fix hints.  Exit status is
+the finding count clamped to 1, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.analysis.config import load_config
+from repro.analysis.diagnostics import RULES, format_finding
+from repro.analysis.runner import lint_paths, write_baseline
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="diagnostic output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-hints", action="store_true",
+        help="omit the fix-hint line under each diagnostic",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", type=Path,
+        help="record current findings to FILE and exit 0",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.code}  {rule.title}")
+            print(f"    fix: {rule.hint}")
+        return 0
+
+    paths = args.paths or [Path("src/repro")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"repro lint: no such path: {path}")
+        return 2
+
+    config = load_config(paths[0])
+    if args.write_baseline is not None:
+        findings = lint_paths(paths, config, apply_baseline=False)
+        write_baseline(findings, args.write_baseline)
+        print(
+            f"wrote {len(findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    findings = lint_paths(paths, config)
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "code": f.code,
+                        "message": f.message,
+                    }
+                    for f in findings
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(format_finding(finding, hint=not args.no_hints))
+        plural = "" if len(findings) == 1 else "s"
+        print(f"repro lint: {len(findings)} finding{plural}")
+    return 1 if findings else 0

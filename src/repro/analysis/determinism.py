@@ -1,0 +1,133 @@
+"""Determinism rule pack (DET001–DET004).
+
+The transcript contract (PR 2, docs/PROTOCOL.md) is that a fixed seed
+yields a byte-identical bulletin at any worker count, on any transport.
+Syntactically that means: no hidden entropy (module-level RNG, OS
+randomness outside the crypto seams), no clock reads feeding values, and
+no floats anywhere near the exact Z_N arithmetic.  The rules here flag
+the *sources*; whether a given read actually reaches the wire is the
+suppression comment's burden of proof.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Finding
+from repro.analysis.visitor import SourceModule
+
+#: ``random.<fn>`` module-level calls sharing the hidden global Mersenne
+#: Twister state — the canonical nondeterminism bug.
+_MODULE_RNG = frozenset(
+    {
+        "betavariate", "binomialvariate", "choice", "choices",
+        "expovariate", "gammavariate", "gauss", "getrandbits",
+        "lognormvariate", "normalvariate", "paretovariate", "randbytes",
+        "randint", "random", "randrange", "sample", "seed", "shuffle",
+        "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+    }
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.process_time", "time.process_time_ns",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+_OS_ENTROPY = frozenset(
+    {
+        "os.urandom", "os.getrandom",
+        "random.SystemRandom",
+        "uuid.uuid1", "uuid.uuid4",
+    }
+)
+
+#: ``math`` functions that stay in Z (safe inside exact-arithmetic code).
+_INT_SAFE_MATH = frozenset(
+    {
+        "ceil", "comb", "factorial", "floor", "gcd", "isqrt", "lcm",
+        "perm", "prod", "trunc",
+    }
+)
+
+
+def check_determinism(
+    module: SourceModule, config: LintConfig
+) -> list[Finding]:
+    findings: list[Finding] = []
+    path = module.display_path
+    float_scope = config.in_float_scope(module.path)
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = module.resolve_call(node.func)
+            if name is None:
+                continue
+            findings.extend(
+                _check_call(node, name, path, float_scope)
+            )
+        elif (
+            float_scope
+            and isinstance(node, ast.Constant)
+            and isinstance(node.value, (float, complex))
+        ):
+            findings.append(
+                Finding(
+                    path, node.lineno, "DET004",
+                    f"float literal {node.value!r} in an exact-arithmetic "
+                    f"package",
+                )
+            )
+    return findings
+
+
+def _check_call(
+    node: ast.Call, name: str, path: str, float_scope: bool
+) -> list[Finding]:
+    line = node.lineno
+    head, _, tail = name.rpartition(".")
+
+    if head == "random" and tail in _MODULE_RNG:
+        return [
+            Finding(
+                path, line, "DET001",
+                f"module-level RNG call random.{tail}() uses the hidden "
+                f"global state",
+            )
+        ]
+    if name == "random.Random" and not node.args:
+        return [
+            Finding(
+                path, line, "DET001",
+                "random.Random() without a seed is entropy-seeded",
+            )
+        ]
+    if name in _WALL_CLOCK:
+        return [
+            Finding(path, line, "DET002", f"wall-clock read {name}()")
+        ]
+    if name in _OS_ENTROPY or head == "secrets" or name == "secrets":
+        return [
+            Finding(
+                path, line, "DET003",
+                f"OS entropy source {name}() outside the crypto allowlist",
+            )
+        ]
+    if float_scope and (
+        name == "float"
+        or (head == "math" and tail not in _INT_SAFE_MATH)
+    ):
+        return [
+            Finding(
+                path, line, "DET004",
+                f"float-producing call {name}() in an exact-arithmetic "
+                f"package",
+            )
+        ]
+    return []

@@ -1,0 +1,135 @@
+"""Finding and rule-catalog types shared by every rule pack.
+
+A :class:`Finding` is one diagnostic: a file, a line, a rule code, and a
+message.  The catalog in :data:`RULES` is the single source of truth for
+the codes — the CLI's ``--list-rules``, the fix hints appended to every
+diagnostic, and docs/ANALYSIS.md all render from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic, ordered for stable ``file:line`` output."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def baseline_key(self) -> str:
+        """The identity used by baseline files (line numbers drift)."""
+        return f"{self.path}:{self.code}:{self.message}"
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Catalog entry: what a code means and how to fix a finding."""
+
+    code: str
+    title: str
+    hint: str
+
+
+_CATALOG = (
+    RuleInfo(
+        "DET001",
+        "unseeded RNG",
+        "route randomness through a seeded random.Random carried by the "
+        "run (the repro.rng seams); module-level random.* calls and "
+        "random.Random() without a seed break transcript determinism",
+    ),
+    RuleInfo(
+        "DET002",
+        "wall-clock read",
+        "protocol logic must not read clocks; keep time.*/datetime.* to "
+        "metrics and transport deadlines, and suppress with a "
+        "justification where the read provably never reaches the wire",
+    ),
+    RuleInfo(
+        "DET003",
+        "OS entropy outside the crypto allowlist",
+        "os.urandom/secrets/SystemRandom belong in key generation and "
+        "Σ-protocol challenge sampling only (the [tool.repro-lint] "
+        "allowlist); everywhere else use the run's seeded RNG",
+    ),
+    RuleInfo(
+        "DET004",
+        "float arithmetic in an exact-arithmetic package",
+        "fields/, sharing/, paillier/ and nizk/ compute over Z_N exactly; "
+        "floats round, so move the float work out of the package or "
+        "replace it with integer arithmetic",
+    ),
+    RuleInfo(
+        "YOSO001",
+        "role may speak more than once per activation",
+        "a YOSO role gets one utterance: merge the posts into one "
+        "bundled payload dict, or split the work across two committees",
+    ),
+    RuleInfo(
+        "YOSO002",
+        "speak inside a loop",
+        "hoist the speak out of the loop and accumulate the per-item "
+        "payloads into one dict posted once",
+    ),
+    RuleInfo(
+        "YOSO003",
+        "statement after the role's single utterance",
+        "view.speak(...) must be the role program's final act — the "
+        "runtime erases the role's secrets at that point, so any state "
+        "mutated afterwards silently diverges from the YOSO model",
+    ),
+    RuleInfo(
+        "WIRE001",
+        "conflicting envelope-kind registration",
+        "every register_kind needs a unique (name, id) pair and every "
+        "register_wire_dataclass a unique code; pick the next free id "
+        "(docs/WIRE.md lists the allocation)",
+    ),
+    RuleInfo(
+        "WIRE002",
+        "envelope kind without a symbolic size formula",
+        "add an EnvelopeSpec for the kind in repro/accounting/symbolic.py "
+        "(and delete specs whose kind is no longer registered) — every "
+        "metered run asserts formula == delivered bytes",
+    ),
+    RuleInfo(
+        "WIRE003",
+        "envelope kind missing from the round-trip test",
+        "add a representative payload for the kind to "
+        "tests/test_wire_roundtrip.py so encode(decode(b)) == b is "
+        "exercised for it",
+    ),
+    RuleInfo(
+        "WIRE004",
+        "wire dataclass field is not wire-encodable",
+        "registered dataclass fields must be int/str/bytes/bool, "
+        "containers of those, ciphertexts, or other registered wire "
+        "dataclasses — the canonical codec has no tag for anything else",
+    ),
+    RuleInfo(
+        "LNT001",
+        "suppression without a justification",
+        "write '# repro-lint: disable=CODE -- why this is sound'; a bare "
+        "disable hides a finding without recording the argument",
+    ),
+    RuleInfo(
+        "LNT002",
+        "suppression that matches no finding",
+        "the disabled rule no longer fires here — delete the stale "
+        "comment so real suppressions stay auditable",
+    ),
+)
+
+RULES: dict[str, RuleInfo] = {r.code: r for r in _CATALOG}
+
+
+def format_finding(finding: Finding, hint: bool = True) -> str:
+    """Render one diagnostic as ``file:line: CODE message``."""
+    text = f"{finding.path}:{finding.line}: {finding.code} {finding.message}"
+    if hint and finding.code in RULES:
+        text += f"\n    fix: {RULES[finding.code].hint}"
+    return text

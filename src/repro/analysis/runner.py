@@ -1,0 +1,127 @@
+"""Lint orchestration: collect → run packs → allowlist → suppress.
+
+``lint_paths`` is the single entry point the CLI and the test-suite
+share.  Pipeline, in order:
+
+1. parse every ``*.py`` under the given paths (never importing it);
+2. run the file-scope packs (determinism, YOSO) per module and the
+   project-scope pack (wire contract) once over the whole set;
+3. drop findings allowlisted for their file in ``[tool.repro-lint]``;
+4. apply inline ``# repro-lint: disable=`` comments, marking each
+   suppression used — an unjustified one becomes LNT001, an unused
+   justified one LNT002, so the suppression inventory audits itself;
+5. drop findings recorded in the baseline file, if one is configured.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.determinism import check_determinism
+from repro.analysis.diagnostics import Finding
+from repro.analysis.visitor import SourceModule, collect_modules
+from repro.analysis.wire_contract import check_wire_contract
+from repro.analysis.yoso import check_yoso_discipline
+from repro.errors import AnalysisError
+
+_FILE_PACKS = (check_determinism, check_yoso_discipline)
+
+
+def load_baseline(config: LintConfig) -> set[str]:
+    """The baseline's finding keys, or the empty set if unconfigured."""
+    if config.baseline is None:
+        return set()
+    path = config.root / config.baseline
+    if not path.is_file():
+        return set()
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"unreadable baseline {path}: {exc}") from exc
+    if not (
+        isinstance(entries, list)
+        and all(isinstance(e, str) for e in entries)
+    ):
+        raise AnalysisError(
+            f"baseline {path} must be a JSON list of finding keys"
+        )
+    return set(entries)
+
+
+def write_baseline(findings: list[Finding], path: Path) -> None:
+    """Record the given findings as the accepted baseline."""
+    keys = sorted({f.baseline_key() for f in findings})
+    path.write_text(
+        json.dumps(keys, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def lint_modules(
+    modules: list[SourceModule], config: LintConfig
+) -> list[Finding]:
+    """Raw findings of every pack, before suppression handling."""
+    findings: list[Finding] = []
+    for module in modules:
+        for pack in _FILE_PACKS:
+            findings.extend(pack(module, config))
+    findings.extend(check_wire_contract(modules, config))
+    return findings
+
+
+def lint_paths(
+    paths: list[Path],
+    config: LintConfig | None = None,
+    apply_baseline: bool = True,
+) -> list[Finding]:
+    """Lint files/directories and return the surviving findings, sorted.
+
+    With ``apply_baseline=False`` the configured baseline is ignored —
+    used by ``--write-baseline`` to re-record the full finding set.
+    """
+    if config is None:
+        config = load_config(paths[0] if paths else None)
+    modules = collect_modules(paths)
+    by_path = {m.display_path: m for m in modules}
+
+    survivors: list[Finding] = []
+    for finding in lint_modules(modules, config):
+        module = by_path.get(finding.path)
+        if module is None:
+            continue  # e.g. wire findings anchored outside the lint set
+        if config.is_allowed(finding.code, module.path):
+            continue
+        if module.suppressed(finding):
+            continue
+        survivors.append(finding)
+
+    # The suppression inventory audits itself: every disable comment
+    # must carry a justification (LNT001) and must have absorbed at
+    # least one finding this run (LNT002).
+    for module in modules:
+        for sup in module.suppressions:
+            if sup.justification is None:
+                survivors.append(
+                    Finding(
+                        module.display_path, sup.line, "LNT001",
+                        f"suppression of {', '.join(sup.codes)} has no "
+                        f"'-- justification'",
+                    )
+                )
+            elif not sup.used:
+                survivors.append(
+                    Finding(
+                        module.display_path, sup.line, "LNT002",
+                        f"suppression of {', '.join(sup.codes)} matched "
+                        f"no finding",
+                    )
+                )
+
+    if apply_baseline:
+        baseline = load_baseline(config)
+        if baseline:
+            survivors = [
+                f for f in survivors if f.baseline_key() not in baseline
+            ]
+    return sorted(survivors)

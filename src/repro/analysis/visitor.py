@@ -1,0 +1,168 @@
+"""The AST visitor framework under every rule pack.
+
+A :class:`SourceModule` is one parsed file: its AST, its import-alias
+table (so ``import random as rnd; rnd.random()`` still resolves to
+``random.random``), and its inline suppression comments.  Rule packs are
+plain functions ``(module, config) -> list[Finding]`` (file-scope) or
+``(project, config) -> list[Finding]`` (cross-file); nothing here ever
+imports the code under analysis.
+
+Suppression syntax, checked by the runner::
+
+    risky_call()  # repro-lint: disable=CODE -- measuring ingest rate
+
+The ``--`` justification is mandatory (LNT001 otherwise) and the comment
+must sit on the finding's first line, or alone on the line above it.  A
+suppression that matches no finding is itself reported (LNT002) so stale
+disables cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Finding
+from repro.errors import AnalysisError
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z]{3,4}\d{3}(?:\s*,\s*[A-Z]{3,4}\d{3})*)"
+    r"(?:\s+--\s*(\S.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One inline disable comment and its audit state."""
+
+    line: int
+    codes: tuple[str, ...]
+    justification: str | None
+    standalone: bool  # comment-only line: applies to the line below
+    used: bool = False
+
+    def covers(self, code: str, line: int) -> bool:
+        if code not in self.codes:
+            return False
+        return line == self.line or (self.standalone and line == self.line + 1)
+
+
+@dataclass
+class SourceModule:
+    """One file under analysis: source, AST, aliases, suppressions."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    aliases: dict[str, str] = field(default_factory=dict)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    @property
+    def display_path(self) -> str:
+        return self.path.as_posix()
+
+    def resolve_call(self, func: ast.expr) -> str | None:
+        """The dotted, alias-resolved name a ``Call.func`` refers to.
+
+        ``None`` for anything that is not a plain name/attribute chain
+        (subscripts, calls-of-calls, lambdas) — rules treat unresolvable
+        callees as out of scope rather than guessing.
+        """
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(self.aliases.get(node.id, node.id))
+        return ".".join(reversed(parts))
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether an in-scope disable comment covers ``finding``."""
+        for sup in self.suppressions:
+            if sup.covers(finding.code, finding.line):
+                sup.used = True
+                return True
+        return False
+
+
+def _import_aliases(tree: ast.Module) -> dict[str, str]:
+    """local name -> canonical dotted path, from every import statement."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                aliases[item.asname or item.name.split(".")[0]] = (
+                    item.name if item.asname else item.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                aliases[item.asname or item.name] = (
+                    f"{node.module}.{item.name}"
+                )
+    return aliases
+
+
+def _scan_suppressions(text: str) -> list[Suppression]:
+    out: list[Suppression] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = tuple(c.strip() for c in match.group(1).split(","))
+        justification = match.group(2)
+        out.append(
+            Suppression(
+                line=lineno,
+                codes=codes,
+                justification=(
+                    justification.strip() if justification else None
+                ),
+                standalone=line.lstrip().startswith("#"),
+            )
+        )
+    return out
+
+
+def parse_module(path: Path) -> SourceModule:
+    """Parse one file into a :class:`SourceModule` (no importing)."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {path}: {exc}") from exc
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}:{exc.lineno}: syntax error: {exc.msg}")
+    return SourceModule(
+        path=path,
+        text=text,
+        tree=tree,
+        aliases=_import_aliases(tree),
+        suppressions=_scan_suppressions(text),
+    )
+
+
+def collect_modules(paths: list[Path]) -> list[SourceModule]:
+    """Every ``*.py`` under the given files/directories, parsed, sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py" and path.is_file():
+            files.add(path)
+        else:
+            raise AnalysisError(f"not a python file or directory: {path}")
+    return [parse_module(p) for p in sorted(files)]
+
+
+def iter_functions(tree: ast.Module):
+    """Every (async) function definition in the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

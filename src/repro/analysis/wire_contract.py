@@ -1,0 +1,300 @@
+"""Wire-contract rule pack (WIRE001–WIRE004).
+
+The wire layer is a three-legged contract: every envelope kind is
+registered exactly once (``register_kind`` in :mod:`repro.wire.registry`),
+carries a symbolic size formula (an ``EnvelopeSpec`` in
+:mod:`repro.accounting.symbolic`), and is exercised by the byte-exact
+round-trip test.  Each leg lives in a different file, so nothing at
+runtime notices when a new kind lands with only one or two of them —
+the formula assertion simply never runs for the missing kind.  This
+pack cross-references the three legs statically, plus checks that every
+``register_wire_dataclass`` field annotation names a type the canonical
+codec can actually encode.
+
+Unlike the determinism/YOSO packs this one is *project-scope*: it sees
+all scanned modules at once and anchors each finding at the offending
+registration site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Finding
+from repro.analysis.visitor import SourceModule, parse_module
+
+#: Builtin annotation heads the canonical codec has a tag for.
+_ENCODABLE_BUILTINS = frozenset(
+    {"int", "str", "bytes", "bool", "None"}
+)
+
+#: Container heads whose element annotations are checked recursively.
+_ENCODABLE_CONTAINERS = frozenset(
+    {"tuple", "list", "dict", "Tuple", "List", "Dict",
+     "Optional", "Union", "Sequence"}
+)
+
+#: Non-dataclass leaf types with a dedicated codec branch.
+_ENCODABLE_SPECIAL = frozenset({"PaillierCiphertext"})
+
+
+@dataclass
+class _Registration:
+    """One ``register_kind``/``register_wire_dataclass`` call site."""
+
+    path: str
+    line: int
+    key: object  # kind name / object code
+    value: object  # kind id / class name
+
+
+@dataclass
+class _WireFacts:
+    """Everything the scan extracted from the module set."""
+
+    kinds: list[_Registration] = field(default_factory=list)
+    dataclass_codes: list[_Registration] = field(default_factory=list)
+    spec_kinds: set[str] = field(default_factory=set)
+    saw_spec_call: bool = False
+    #: class name -> (path, [(field, annotation, line), ...])
+    dataclasses: dict[str, tuple[str, list[tuple[str, ast.expr, int]]]] = (
+        field(default_factory=dict)
+    )
+
+
+def _int_constants(tree: ast.Module) -> dict[str, int]:
+    """Module-level ``NAME = <int literal>`` assignments."""
+    consts: dict[str, int] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if not (
+            isinstance(value, ast.Constant) and type(value.value) is int
+        ):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                consts[target.id] = value.value
+    return consts
+
+
+def _literal(node: ast.expr, consts: dict[str, int]) -> object | None:
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        return consts.get(node.id)
+    return None
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _scan_module(module: SourceModule, facts: _WireFacts) -> None:
+    consts = _int_constants(module.tree)
+    path = module.display_path
+
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+            fields = [
+                (stmt.target.id, stmt.annotation, stmt.lineno)
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ]
+            facts.dataclasses.setdefault(node.name, (path, fields))
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = module.resolve_call(node.func)
+        if name is None:
+            continue
+        tail = name.rpartition(".")[2]
+        if tail == "register_kind" and len(node.args) >= 2:
+            kind_name = _literal(node.args[0], consts)
+            kind_id = _literal(node.args[1], consts)
+            if isinstance(kind_name, str) and isinstance(kind_id, int):
+                facts.kinds.append(
+                    _Registration(path, node.lineno, kind_name, kind_id)
+                )
+        elif tail == "register_wire_dataclass" and len(node.args) >= 2:
+            code = _literal(node.args[0], consts)
+            cls = node.args[1]
+            if isinstance(code, int) and isinstance(cls, ast.Name):
+                facts.dataclass_codes.append(
+                    _Registration(path, node.lineno, code, cls.id)
+                )
+        elif tail == "EnvelopeSpec":
+            facts.saw_spec_call = True
+            if node.args and isinstance(node.args[0], ast.Constant):
+                if isinstance(node.args[0].value, str):
+                    facts.spec_kinds.add(node.args[0].value)
+
+
+def _duplicate_findings(
+    regs: list[_Registration], what: str, code: str = "WIRE001"
+) -> list[Finding]:
+    """WIRE001 for a key or value claimed twice with different partners."""
+    findings: list[Finding] = []
+    by_key: dict[object, _Registration] = {}
+    by_value: dict[object, _Registration] = {}
+    for reg in regs:
+        seen = by_key.get(reg.key)
+        if seen is not None and seen.value != reg.value:
+            findings.append(
+                Finding(
+                    reg.path, reg.line, code,
+                    f"{what} {reg.key!r} registered twice: here as "
+                    f"{reg.value!r}, at {seen.path}:{seen.line} as "
+                    f"{seen.value!r}",
+                )
+            )
+            continue
+        by_key.setdefault(reg.key, reg)
+        seen = by_value.get(reg.value)
+        if seen is not None and seen.key != reg.key:
+            findings.append(
+                Finding(
+                    reg.path, reg.line, code,
+                    f"{what} id {reg.value!r} claimed twice: here by "
+                    f"{reg.key!r}, at {seen.path}:{seen.line} by "
+                    f"{seen.key!r}",
+                )
+            )
+            continue
+        by_value.setdefault(reg.value, reg)
+    return findings
+
+
+def _annotation_encodable(
+    node: ast.expr, class_names: set[str]
+) -> bool:
+    """Whether an annotation names only codec-encodable types."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is Ellipsis:
+            return True
+        if isinstance(node.value, str):  # forward reference
+            return (
+                node.value in _ENCODABLE_BUILTINS
+                or node.value in _ENCODABLE_SPECIAL
+                or node.value in class_names
+            )
+        return False
+    if isinstance(node, ast.Name):
+        return (
+            node.id in _ENCODABLE_BUILTINS
+            or node.id in _ENCODABLE_SPECIAL
+            or node.id in class_names
+        )
+    if isinstance(node, ast.Attribute):
+        return _annotation_encodable(
+            ast.Name(id=node.attr), class_names
+        )
+    if isinstance(node, ast.Subscript):
+        head = node.value
+        head_name = (
+            head.id if isinstance(head, ast.Name)
+            else head.attr if isinstance(head, ast.Attribute)
+            else None
+        )
+        if head_name not in _ENCODABLE_CONTAINERS:
+            return False
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(
+            _annotation_encodable(e, class_names) for e in elements
+        )
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _annotation_encodable(
+            node.left, class_names
+        ) and _annotation_encodable(node.right, class_names)
+    return False
+
+
+def check_wire_contract(
+    modules: list[SourceModule], config: LintConfig
+) -> list[Finding]:
+    facts = _WireFacts()
+    for module in modules:
+        _scan_module(module, facts)
+
+    findings: list[Finding] = []
+    findings += _duplicate_findings(facts.kinds, "envelope kind")
+    findings += _duplicate_findings(
+        facts.dataclass_codes, "wire dataclass"
+    )
+
+    # WIRE002: every registered kind must carry a size formula.  Only
+    # meaningful when the scan actually saw the EnvelopeSpec table —
+    # linting a single file must not claim the whole contract is broken.
+    if facts.saw_spec_call:
+        for reg in facts.kinds:
+            if reg.key not in facts.spec_kinds:
+                findings.append(
+                    Finding(
+                        reg.path, reg.line, "WIRE002",
+                        f"envelope kind {reg.key!r} has no EnvelopeSpec "
+                        f"size formula in repro/accounting/symbolic.py",
+                    )
+                )
+
+    # WIRE003: every registered kind must appear (as a string constant)
+    # in the byte-exact round-trip test.  Skipped when the test file is
+    # not present, e.g. when linting an installed copy of the package.
+    test_path = config.roundtrip_test_path()
+    if test_path.is_file():
+        test_module = parse_module(test_path)
+        test_strings = {
+            node.value
+            for node in ast.walk(test_module.tree)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+        }
+        for reg in facts.kinds:
+            if reg.key not in test_strings:
+                findings.append(
+                    Finding(
+                        reg.path, reg.line, "WIRE003",
+                        f"envelope kind {reg.key!r} is not exercised by "
+                        f"{config.roundtrip_test}",
+                    )
+                )
+
+    # WIRE004: every field of a registered dataclass must annotate a
+    # codec-encodable type.
+    registered_class_names = {
+        str(reg.value) for reg in facts.dataclass_codes
+    }
+    for reg in facts.dataclass_codes:
+        defn = facts.dataclasses.get(str(reg.value))
+        if defn is None:
+            continue
+        cls_path, fields = defn
+        for field_name, annotation, line in fields:
+            if not _annotation_encodable(
+                annotation, registered_class_names
+            ):
+                findings.append(
+                    Finding(
+                        cls_path, line, "WIRE004",
+                        f"field {reg.value}.{field_name} annotates "
+                        f"{ast.unparse(annotation)!r}, which the wire "
+                        f"codec cannot encode",
+                    )
+                )
+    return findings

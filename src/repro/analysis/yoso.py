@@ -1,0 +1,248 @@
+"""YOSO-discipline rule pack (YOSO001–YOSO003).
+
+A YOSO role speaks exactly once and is erased (paper §2; the runtime
+enforces it dynamically in :mod:`repro.yoso.roles`).  These rules make
+the discipline visible at commit time by walking every function that
+posts to the bulletin — directly via ``<view>.speak(...)`` or through a
+module-local helper (a one-level call-graph walk) — and checking the
+*shape* of the program:
+
+* YOSO001 — some execution path performs two speak events;
+* YOSO002 — a speak event sits inside a loop (one post per iteration);
+* YOSO003 — statements follow the utterance in the same suite, i.e. the
+  role computes on state the model says was just erased.
+
+The analysis is per-function and structural: branches of an ``if`` are
+alternatives (``max``), statements in sequence add up, and exception
+handlers count as the worst live path.  Helpers that speak are treated
+as one speak event at their call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Finding
+from repro.analysis.visitor import SourceModule, iter_functions
+
+_SCOPES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+
+
+def _is_speak_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "speak"
+    )
+
+
+def _called_names(stmt: ast.stmt) -> set[str]:
+    """Simple-name callees in one statement (no nested scopes)."""
+    out: set[str] = set()
+    for node in _walk_statement(stmt):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            out.add(node.func.id)
+    return out
+
+
+def _walk_statement(stmt: ast.stmt):
+    """Every node of one statement, not descending into nested scopes."""
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, _SCOPES):
+                stack.append(child)
+
+
+@dataclass
+class _SpeakEvents:
+    """Speak events of one suite walk: path-max count and their lines."""
+
+    count: int = 0
+    lines: list[int] = field(default_factory=list)
+
+    def __add__(self, other: "_SpeakEvents") -> "_SpeakEvents":
+        return _SpeakEvents(self.count + other.count, self.lines + other.lines)
+
+    @staticmethod
+    def worst(*alternatives: "_SpeakEvents") -> "_SpeakEvents":
+        return max(alternatives, key=lambda e: e.count)
+
+
+class _FunctionAnalysis:
+    """Structural speak analysis of one function definition."""
+
+    def __init__(self, fn: ast.AST, speaking_helpers: set[str]):
+        self.fn = fn
+        self.speaking_helpers = speaking_helpers
+        self.loop_lines: list[int] = []
+        self.after_speak: list[int] = []
+        self.events = self._suite(fn.body, in_loop=False)
+
+    # -- event counting ------------------------------------------------------
+
+    def _statement_events(self, stmt: ast.stmt) -> _SpeakEvents:
+        """Speak events inside one statement's expressions."""
+        events = _SpeakEvents()
+        for node in _walk_statement(stmt):
+            if _is_speak_call(node):
+                events += _SpeakEvents(1, [node.lineno])
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self.speaking_helpers
+            ):
+                events += _SpeakEvents(1, [node.lineno])
+        return events
+
+    def _suite(self, body: list[ast.stmt], in_loop: bool) -> _SpeakEvents:
+        total = _SpeakEvents()
+        for index, stmt in enumerate(body):
+            events = self._stmt(stmt, in_loop)
+            if (
+                events.count
+                and isinstance(stmt, ast.Expr)
+                and _is_speak_call(stmt.value)
+            ):
+                self._flag_after_speak(body[index + 1:])
+            total += events
+        return total
+
+    def _flag_after_speak(self, rest: list[ast.stmt]) -> None:
+        for stmt in rest:
+            if isinstance(stmt, ast.Pass) or (
+                isinstance(stmt, ast.Return) and stmt.value is None
+            ):
+                continue
+            self.after_speak.append(stmt.lineno)
+            return
+
+    def _stmt(self, stmt: ast.stmt, in_loop: bool) -> _SpeakEvents:
+        if isinstance(stmt, _SCOPES):
+            return _SpeakEvents()
+        if isinstance(stmt, ast.If):
+            return (
+                self._statement_events_of_expr(stmt.test, in_loop)
+                + _SpeakEvents.worst(
+                    self._suite(stmt.body, in_loop),
+                    self._suite(stmt.orelse, in_loop),
+                )
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            inner = self._suite(stmt.body, in_loop=True)
+            if inner.count:
+                self.loop_lines.extend(inner.lines[:1])
+            return inner + self._suite(stmt.orelse, in_loop)
+        if isinstance(stmt, ast.While):
+            inner = self._suite(stmt.body, in_loop=True)
+            if inner.count:
+                self.loop_lines.extend(inner.lines[:1])
+            return inner + self._suite(stmt.orelse, in_loop)
+        if isinstance(stmt, ast.Try):
+            handled = _SpeakEvents.worst(
+                _SpeakEvents(),
+                *(self._suite(h.body, in_loop) for h in stmt.handlers),
+            )
+            return (
+                self._suite(stmt.body, in_loop)
+                + handled
+                + self._suite(stmt.orelse, in_loop)
+                + self._suite(stmt.finalbody, in_loop)
+            )
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            events = _SpeakEvents()
+            for item in stmt.items:
+                events += self._statement_events_of_expr(
+                    item.context_expr, in_loop
+                )
+            return events + self._suite(stmt.body, in_loop)
+        if isinstance(stmt, ast.Match):
+            subject = self._statement_events_of_expr(stmt.subject, in_loop)
+            return subject + _SpeakEvents.worst(
+                _SpeakEvents(),
+                *(self._suite(case.body, in_loop) for case in stmt.cases),
+            )
+        return self._statement_events(stmt)
+
+    def _statement_events_of_expr(
+        self, expr: ast.expr, in_loop: bool
+    ) -> _SpeakEvents:
+        return self._statement_events(ast.Expr(value=expr))
+
+
+def _direct_speak_count(fn: ast.AST) -> int:
+    count = 0
+    for stmt in fn.body:
+        for node in _walk_statement(stmt):
+            if _is_speak_call(node):
+                count += 1
+    # Nested suites are reached through _walk_statement on compound
+    # statements, so the loop above already covers the whole body.
+    return count
+
+
+def check_yoso_discipline(
+    module: SourceModule, config: LintConfig
+) -> list[Finding]:
+    path = module.display_path
+    functions = list(iter_functions(module.tree))
+    by_name: dict[str, ast.AST] = {fn.name: fn for fn in functions}
+
+    # One-level call-graph closure: which local functions speak,
+    # directly or through another local function they call.
+    speaks_direct = {
+        fn.name for fn in functions if _direct_speak_count(fn) > 0
+    }
+    speaking = set(speaks_direct)
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            if fn.name in speaking:
+                continue
+            callees = set()
+            for stmt in fn.body:
+                callees |= _called_names(stmt)
+            if callees & speaking:
+                speaking.add(fn.name)
+                changed = True
+
+    findings: list[Finding] = []
+    for fn in functions:
+        if fn.name not in speaking:
+            continue
+        helpers = (speaking - {fn.name}) & set(by_name)
+        analysis = _FunctionAnalysis(fn, helpers)
+        if not analysis.events.count and not analysis.loop_lines:
+            continue
+        for line in analysis.loop_lines:
+            findings.append(
+                Finding(
+                    path, line, "YOSO002",
+                    f"role program {fn.name!r} speaks inside a loop — one "
+                    f"post per iteration breaks speak-once",
+                )
+            )
+        if analysis.events.count > 1:
+            line = sorted(analysis.events.lines)[1]
+            findings.append(
+                Finding(
+                    path, line, "YOSO001",
+                    f"role program {fn.name!r} can perform "
+                    f"{analysis.events.count} speak events in one "
+                    f"activation",
+                )
+            )
+        for line in analysis.after_speak:
+            findings.append(
+                Finding(
+                    path, line, "YOSO003",
+                    f"role program {fn.name!r} keeps executing after its "
+                    f"single utterance (state is erased at speak)",
+                )
+            )
+    return findings

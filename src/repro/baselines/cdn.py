@@ -42,6 +42,7 @@ from repro.nizk.params import ProofParams
 from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
 from repro.paillier.paillier import PaillierCiphertext
 from repro.paillier.threshold import ThresholdPaillier, teval
+from repro.rng import fresh_rng
 from repro.wire.codec import KeyAnnouncement
 from repro.wire.registry import register_kind
 from repro.yoso.assignment import IdealRoleAssignment
@@ -99,7 +100,7 @@ class CdnYosoMpc:
         self.t = t
         self.te_bits = te_bits
         self.role_key_bits = role_key_bits
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_rng()
 
     def run(
         self, circuit: Circuit, inputs: Mapping[str, Sequence[int]]

@@ -24,6 +24,7 @@ from repro.circuits.circuit import Circuit, GateType
 from repro.circuits.layering import BatchPlan, plan_batches
 from repro.errors import ParameterError, ProtocolAbortError
 from repro.fields.ring import Zmod, ZmodElement
+from repro.rng import fresh_rng
 from repro.sharing.packed import PackedShamirScheme, PackedShare
 
 
@@ -67,7 +68,7 @@ class TurbopackSimulator:
         self.t = t
         self.k = k
         self.ring = Zmod(modulus)
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_rng()
         self.scheme = PackedShamirScheme(self.ring, n, k)
 
     # -- dealer -------------------------------------------------------------

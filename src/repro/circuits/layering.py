@@ -12,9 +12,9 @@ Batches shorter than ``k`` are padded implicitly: slot count is always
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
-from repro.circuits.circuit import Circuit, GateType
+from repro.circuits.circuit import Circuit
 from repro.errors import CircuitError
 
 

@@ -9,7 +9,6 @@ masked set membership, and random circuits for differential testing.
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.circuit import Circuit

@@ -12,6 +12,7 @@ Commands
 ``serve``        client-aided service: epochs of ingest → evaluate → reshare
 ``announce``     write the epoch-0 announcement a ``serve`` run will open
 ``submit``       build one client submission from an announcement file
+``lint``         protocol static analysis: determinism / YOSO / wire rules
 """
 
 from __future__ import annotations
@@ -27,7 +28,9 @@ from repro.accounting import (
     format_table,
     report_from_mpc_result,
 )
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.errors import ReproError, SortitionError
+from repro.rng import derive_rng, seeded_rng
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -394,13 +397,12 @@ def _summary_dict(summary) -> dict:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import glob
     import os
-    import random
 
     from repro.errors import ServiceOverloaded
     from repro.service import MpcService, ServiceClient
 
     svc = MpcService(_service_config(args))
-    client_rng = random.Random(args.seed + 1)
+    client_rng = derive_rng(args.seed, "clients")
     summaries = []
 
     def submit_with_backpressure(item):
@@ -485,8 +487,6 @@ def _cmd_announce(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    import random
-
     from repro.service import EpochAnnouncement, ServiceClient
     from repro.wire import WireCodec
 
@@ -497,7 +497,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"error: {args.announce} is not an epoch announcement",
               file=sys.stderr)
         return 1
-    rng = random.Random(args.seed) if args.seed is not None else None
+    rng = seeded_rng(args.seed) if args.seed is not None else None
     client = ServiceClient(args.client_id, announcement, rng=rng)
     payload = client.build_input(args.value)
     encoded = codec.encode(payload)
@@ -679,6 +679,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seed the client's randomness (for tests)")
     submit.add_argument("--out", required=True, metavar="FILE")
     submit.set_defaults(fn=_cmd_submit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="protocol static analysis: determinism / YOSO / wire rules",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(fn=run_lint)
 
     return parser
 

@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import BatchPlan, MultiplicationBatch
+from repro.circuits.layering import BatchPlan
 from repro.core.params import ProtocolParams
 from repro.core.reencrypt import (
     EncryptedPartial,
@@ -60,7 +60,6 @@ from repro.core.setup import (
     OFFLINE_DEC,
     OFFLINE_R,
     OFFLINE_REENC,
-    ONLINE_KEYS,
     SetupArtifacts,
     client_tag,
     mul_committee_name,
@@ -70,10 +69,10 @@ from repro.core.setup import (
 from repro.engine.batch import encrypt_many, scalar_mul_many, teval_many
 from repro.errors import ProtocolAbortError
 from repro.fields.lagrange import lagrange_basis_rows
-from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
+from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey
-from repro.paillier.threshold import ThresholdPaillier, teval
+from repro.paillier.threshold import teval
 from repro.sharing.packed import secret_slots
 from repro.wire.registry import register_kind
 from repro.yoso.committees import Committee

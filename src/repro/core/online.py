@@ -29,8 +29,8 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import BatchPlan, MultiplicationBatch
-from repro.core.offline import OfflineState, PACK_KINDS, _posts_by_index
+from repro.circuits.layering import BatchPlan
+from repro.core.offline import PACK_KINDS, OfflineState, _posts_by_index
 from repro.core.oracle import MuShareOracle
 from repro.core.reencrypt import (
     EncryptedPartial,
@@ -60,8 +60,8 @@ from repro.paillier.paillier import PaillierSecretKey
 from repro.sharing.packed import PackedShamirScheme, PackedShare
 from repro.wire.registry import register_kind
 from repro.yoso.committees import Committee
-from repro.yoso.roles import Role
 from repro.yoso.network import ProtocolEnvironment
+from repro.yoso.roles import Role
 
 #: Envelope kinds of the online phase's posts.
 register_kind(

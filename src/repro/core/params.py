@@ -13,7 +13,7 @@ The constraints tie together exactly as in the paper:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import ParameterError
 

@@ -16,7 +16,7 @@ sampled committees (so tests can corrupt specific roles) and returns the
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
@@ -34,11 +34,11 @@ from repro.core.params import ProtocolParams
 from repro.core.setup import ONLINE_KEYS, SetupArtifacts, run_setup
 from repro.engine import engine as _engine_mod
 from repro.engine.engine import CryptoEngine, make_engine
-from repro.errors import ParameterError
 from repro.observability import hooks as _hooks
 from repro.observability.tracer import KIND_PHASE, Tracer, maybe_span
+from repro.rng import fresh_rng
 from repro.wire.transport import Transport, make_transport
-from repro.yoso.adversary import Adversary, honest_adversary
+from repro.yoso.adversary import Adversary
 from repro.yoso.assignment import IdealRoleAssignment
 from repro.yoso.committees import Committee
 from repro.yoso.network import ProtocolEnvironment
@@ -109,7 +109,7 @@ class YosoMpc:
         quorum_timeout_s: float | None = None,
     ):
         self.params = params
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_rng()
         self.adversary_factory = adversary_factory
         self.tracer = tracer
         #: Transport selection: an instance, a spec string ("memory",

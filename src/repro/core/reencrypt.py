@@ -24,8 +24,8 @@ from repro.engine.batch import partial_decrypt_many
 from repro.engine.engine import CryptoEngine, active as active_engine
 from repro.errors import ProtocolAbortError
 from repro.nizk.params import ProofParams
-from repro.observability import hooks as _hooks
 from repro.nizk.sigma import PartialDecryptionProof
+from repro.observability import hooks as _hooks
 from repro.paillier.encoding import (
     chunk_integer,
     safe_chunk_bits,

@@ -29,13 +29,13 @@ from dataclasses import dataclass
 
 from repro.engine.engine import active as active_engine
 from repro.errors import ProtocolAbortError
-from repro.observability import hooks as _hooks
 from repro.nizk.composite import (
     verify_exponent_interpolates_share,
     verify_exponent_polynomial,
 )
 from repro.nizk.params import ProofParams
 from repro.nizk.sigma import PlaintextDlogEqualityProof
+from repro.observability import hooks as _hooks
 from repro.paillier.encoding import chunk_integer, safe_chunk_bits, unchunk_integer
 from repro.paillier.paillier import (
     PaillierCiphertext,

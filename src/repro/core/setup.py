@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.layering import BatchPlan

@@ -24,7 +24,7 @@ class NonInvertibleError(ReproError, ArithmeticError):
     ``gcd`` attribute carries the offending common divisor for diagnostics.
     """
 
-    def __init__(self, value: int, modulus: int, gcd: int):
+    def __init__(self, value: int, modulus: int, gcd: int) -> None:
         super().__init__(
             f"value {value} is not invertible modulo {modulus} (gcd={gcd})"
         )
@@ -87,6 +87,15 @@ class ProtocolAbortError(ReproError):
 
 class SortitionError(ReproError, ValueError):
     """The requested sortition parameters are infeasible (the ⊥ rows)."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis suite cannot run (bad config, unreadable file).
+
+    Distinct from a *finding* — findings are diagnostics the linter
+    reports and exits non-zero for; an :class:`AnalysisError` means the
+    lint run itself is invalid and nothing it printed should be trusted.
+    """
 
 
 class ServiceError(ReproError):

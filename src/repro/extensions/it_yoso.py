@@ -51,16 +51,15 @@ from typing import Any, Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
 from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import BatchPlan, MultiplicationBatch, plan_batches
+from repro.circuits.layering import MultiplicationBatch, plan_batches
 from repro.errors import ParameterError, ProtocolAbortError
 from repro.fields.lagrange import lagrange_coefficients
 from repro.fields.ring import Zmod, ZmodElement
+from repro.rng import fresh_rng
 from repro.sharing.packed import PackedShamirScheme, PackedShare, secret_slots
 from repro.wire.registry import register_kind
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
-from repro.yoso.bulletin import BulletinBoard
-from repro.yoso.committees import Committee
 from repro.yoso.network import ProtocolEnvironment
 
 #: Envelope kind of every IT-YOSO post ("It-P1", "It-P2", "It-input",
@@ -124,7 +123,7 @@ class ItYosoMpc:
         self.k = k
         self.d = t + k - 1
         self.ring = Zmod(modulus)
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_rng()
         self._honest = adversary is None
         self.adversary = adversary if adversary is not None else honest_adversary()
         self.scheme = PackedShamirScheme(self.ring, n, k)

@@ -8,7 +8,7 @@ heart of both standard and packed Shamir sharing).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 from repro.errors import InterpolationError, ParameterError, RingMismatchError
 from repro.fields.lagrange import lagrange_coefficients

@@ -14,7 +14,7 @@ from __future__ import annotations
 import secrets
 from dataclasses import dataclass
 
-from repro.errors import ParameterError, ProofError
+from repro.errors import ParameterError
 from repro.nizk.params import DEFAULT_PARAMS, ProofParams
 from repro.nizk.transcript import FiatShamirTranscript
 from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro.errors import EncryptionError, ParameterError
 from repro.observability import hooks as _hooks
-from repro.paillier.primes import is_probable_prime, random_prime, fixture_safe_prime_pair
+from repro.paillier.primes import fixture_safe_prime_pair, is_probable_prime, random_prime
 
 
 @dataclass(frozen=True)

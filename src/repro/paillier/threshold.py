@@ -45,11 +45,11 @@ from repro.errors import EncryptionError, ParameterError
 from repro.fields.lagrange import falling_factorial_delta, integer_lagrange_scaled
 from repro.observability import hooks as _hooks
 from repro.paillier.paillier import (
+    _L,
     PaillierCiphertext,
     PaillierPublicKey,
-    _L,
 )
-from repro.paillier.primes import random_safe_prime, fixture_safe_prime_pair
+from repro.paillier.primes import fixture_safe_prime_pair, random_safe_prime
 
 #: Statistical hiding parameter for integer secret sharing.
 STATISTICAL_SECURITY = 40

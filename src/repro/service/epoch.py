@@ -29,7 +29,6 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any
 
 from repro.core.resharing import (
     build_resharing,
@@ -43,6 +42,7 @@ from repro.nizk.params import ProofParams
 from repro.paillier.paillier import PaillierKeyPair, _keypair_from_primes
 from repro.paillier.primes import random_prime
 from repro.paillier.threshold import ThresholdPaillier
+from repro.rng import fresh_rng
 from repro.service.ingest import EpochLedger
 from repro.service.wire import (
     EpochAnnouncement,
@@ -122,7 +122,7 @@ class EpochCoordinator:
         self.n = n
         self.t = t
         self.role_key_bits = role_key_bits
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_rng()
         self.input_window = input_window
         self.inner_kwargs = dict(inner_kwargs or {})
         self.sender = sender

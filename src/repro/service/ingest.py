@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable
 
 from repro.engine.batch import verify_plaintext_knowledge_many
 from repro.errors import (

@@ -185,8 +185,9 @@ class MpcService:
         if self._pipeline is None:
             raise ServiceError("no open epoch; call open_epoch() first")
         pending = len(self.queue)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: disable=DET002 -- ingest-rate metric
         accepted = self._pipeline.drain(self.queue, self.config.batch_size)
+        # repro-lint: disable=DET002 -- ingest-rate metric, never on the wire
         self._ingest_seconds += time.perf_counter() - started
         self._ingest_processed += pending
         return accepted
@@ -207,12 +208,14 @@ class MpcService:
         if crash is not None:
             coordinator.crash(crash)
 
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: disable=DET002 -- phase timing metric
         result, inner = coordinator.evaluate(ledger, seed=seed)
+        # repro-lint: disable=DET002 -- phase timing metric, never on the wire
         evaluate_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro-lint: disable=DET002 -- phase timing metric
         reshare_contributors = coordinator.reshare()
+        # repro-lint: disable=DET002 -- phase timing metric, never on the wire
         reshare_seconds = time.perf_counter() - started
 
         self._pipeline = None

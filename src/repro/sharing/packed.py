@@ -23,9 +23,9 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.errors import ParameterError, ReconstructionError, SharingError
-from repro.fields import Polynomial, Zmod, ZmodElement, random_polynomial
-from repro.observability import hooks as _hooks
+from repro.fields import Zmod, ZmodElement, random_polynomial
 from repro.fields.polynomial import evaluate_from_points, interpolate
+from repro.observability import hooks as _hooks
 
 
 def secret_slots(k: int) -> list[int]:

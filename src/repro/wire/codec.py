@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, fields as dataclass_fields, is_dataclass
-from typing import Any, Callable
+from typing import Any
 
 from repro.errors import EncryptionError, WireDecodeError, WireEncodeError
 from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey
@@ -195,7 +195,7 @@ class KeyAnnouncement:
 
     modulus: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         PaillierPublicKey(self.modulus)  # validate: same rules as a real key
 
     def public_key(self) -> PaillierPublicKey:
@@ -231,7 +231,7 @@ def _ensure_domain_codecs() -> None:
 class WireCodec:
     """Encoder/decoder pair sharing one :class:`KeyRing`."""
 
-    def __init__(self, keyring: KeyRing | None = None):
+    def __init__(self, keyring: KeyRing | None = None) -> None:
         self.keyring = keyring if keyring is not None else KeyRing()
 
     # -- encoding ------------------------------------------------------------

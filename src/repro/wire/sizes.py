@@ -36,7 +36,7 @@ ENVELOPE_FIXED_BYTES = 7
 _sympy = None
 
 
-def _sym():
+def _sym() -> Any:
     """The sympy module (lazy; raises a clear error when unavailable)."""
     global _sympy
     if _sympy is None:
@@ -133,7 +133,7 @@ _VLEN_FN = None
 _DIGITSUM_FN = None
 
 
-def _vlen_function():
+def _vlen_function() -> Any:
     """The sympy ``Vlen`` function (evaluates on integer arguments)."""
     global _VLEN_FN
     if _VLEN_FN is None:
@@ -145,7 +145,7 @@ def _vlen_function():
             nargs = (1,)
 
             @classmethod
-            def eval(cls, x):
+            def eval(cls, x: Any) -> Any:
                 if getattr(x, "is_Integer", False):
                     return sympy.Integer(varint_len(int(x)))
                 return None
@@ -174,7 +174,7 @@ def digit_sum_expr(x: Any) -> Any:
     return _digitsum_function()(x)
 
 
-def _digitsum_function():
+def _digitsum_function() -> Any:
     global _DIGITSUM_FN
     if _DIGITSUM_FN is None:
         sympy = _sym()
@@ -185,7 +185,7 @@ def _digitsum_function():
             nargs = (1,)
 
             @classmethod
-            def eval(cls, x):
+            def eval(cls, x: Any) -> Any:
                 if getattr(x, "is_Integer", False):
                     return sympy.Integer(digit_sum(int(x)))
                 return None

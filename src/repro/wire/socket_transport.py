@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as connection_wait
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.errors import ParameterError, WireError
 from repro.observability import hooks as _hooks
@@ -96,13 +96,13 @@ def _reencode(codec: WireCodec, envelope: Envelope, raw: bytes) -> bytes:
 class _PipeChannel:
     """Frames over a duplex :func:`multiprocessing.Pipe` (self-framing)."""
 
-    def __init__(self, conn: Connection):
+    def __init__(self, conn: Connection) -> None:
         self.conn = conn
 
     def send_frame(self, frame: bytes) -> None:
         self.conn.send_bytes(frame)
 
-    def waitable(self):
+    def waitable(self) -> Any:
         return self.conn
 
     def recv_ready_frames(self) -> list[bytes]:
@@ -121,14 +121,14 @@ class _PipeChannel:
 class _SocketChannel:
     """Length-prefixed frames over a connected localhost TCP socket."""
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket) -> None:
         self.sock = sock
         self._buf = bytearray()
 
     def send_frame(self, frame: bytes) -> None:
         self.sock.sendall(len(frame).to_bytes(_LEN_BYTES, "big") + frame)
 
-    def waitable(self):
+    def waitable(self) -> Any:
         return self.sock
 
     def recv_ready_frames(self) -> list[bytes]:
@@ -288,7 +288,7 @@ class SocketTransport(Transport):
         mode: str = "auto",
         mute: frozenset[str] | Iterable[str] = frozenset(),
         reply_timeout_s: float = 30.0,
-    ):
+    ) -> None:
         super().__init__()
         if workers < 1:
             raise ParameterError(f"socket transport needs >= 1 worker, got {workers}")
@@ -337,7 +337,7 @@ class SocketTransport(Transport):
         if self._announced:
             self._broadcast_announce(self._announced)
 
-    def _start_tcp(self, ctx):
+    def _start_tcp(self, ctx: Any) -> None:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         procs: list = []
         try:
@@ -369,7 +369,7 @@ class SocketTransport(Transport):
             listener.close()
         return procs, channels
 
-    def _start_pipe(self, ctx):
+    def _start_pipe(self, ctx: Any) -> None:
         procs: list = []
         channels: list = []
         for index in range(self.workers):

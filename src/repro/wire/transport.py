@@ -112,7 +112,7 @@ class DropSpec:
     phase: str | None = None
     max_drops: int | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not 0.0 <= self.rate <= 1.0:
             raise ParameterError(f"drop rate must be in [0, 1], got {self.rate}")
 
@@ -147,7 +147,7 @@ class SimTransport(Transport):
         latency_s: float = 0.0,
         jitter_s: float = 0.0,
         bandwidth_bytes_per_s: float | None = None,
-    ):
+    ) -> None:
         super().__init__()
         if latency_s < 0 or jitter_s < 0:
             raise ParameterError("latency/jitter must be non-negative")

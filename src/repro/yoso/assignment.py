@@ -12,11 +12,11 @@ contract for the simulated network; the probabilistic analysis of
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from repro.errors import ParameterError
-from repro.paillier.paillier import PaillierKeyPair, generate_keypair, _keypair_from_primes
+from repro.paillier.paillier import PaillierKeyPair, _keypair_from_primes
 from repro.paillier.primes import random_prime
+from repro.rng import fresh_rng
 from repro.yoso.committees import Committee
 from repro.yoso.roles import Role, RoleId
 
@@ -33,7 +33,7 @@ class IdealRoleAssignment:
         if key_bits < 16:
             raise ParameterError("role keys need at least 16-bit moduli")
         self.key_bits = key_bits
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_rng()
 
     def _fresh_keypair(self) -> PaillierKeyPair:
         half = self.key_bits // 2

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.errors import ParameterError, YosoError
 from repro.paillier.paillier import PaillierPublicKey

@@ -21,7 +21,7 @@ These are *specification* objects — the realizations live in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.errors import YosoError

@@ -21,14 +21,15 @@ transform tests therefore run over ``memory``.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable
+from typing import Callable
 
 from repro.accounting.comm import CommMeter
 from repro.errors import YosoError
 from repro.observability.tracer import KIND_ROUND, Tracer, maybe_span
+from repro.rng import fresh_rng
+from repro.wire.transport import Transport
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
-from repro.wire.transport import Transport
 from repro.yoso.bulletin import BulletinBoard
 from repro.yoso.committees import Committee
 from repro.yoso.roles import Role, RoleView
@@ -50,7 +51,7 @@ class ProtocolEnvironment:
         transport: Transport | None = None,
         quorum_timeout_s: float | None = None,
     ):
-        self.rng = rng if rng is not None else random.Random()
+        self.rng = rng if rng is not None else fresh_rng()
         self.assignment = (
             assignment if assignment is not None else IdealRoleAssignment(rng=self.rng)
         )

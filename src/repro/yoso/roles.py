@@ -14,7 +14,7 @@ nothing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.errors import RoleAlreadySpokeError, YosoError

@@ -1,0 +1,325 @@
+"""The protocol static-analysis suite (``repro lint``).
+
+One deliberate-violation fixture per rule code, a clean negative, and
+the suppression mechanics (justified, unjustified, stale).  The last
+class pins the shipped tree itself: ``repro lint src/repro`` must stay
+at zero findings, which is what keeps the rule packs honest as code
+evolves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, Finding, LintConfig, format_finding, lint_paths
+from repro.analysis.runner import write_baseline
+from repro.cli import main
+from repro.errors import AnalysisError
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_sources(tmp_path: Path, sources: dict[str, str], **overrides) -> list[Finding]:
+    """Write fixture modules under ``tmp_path`` and lint them."""
+    for name, text in sources.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+    config = LintConfig(root=tmp_path, **overrides)
+    return lint_paths([tmp_path], config)
+
+
+def codes(findings: list[Finding]) -> list[str]:
+    return [f.code for f in findings]
+
+
+class TestDeterminismRules:
+    def test_det001_module_level_rng(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "import random\n"
+            "x = random.random()\n"
+        )})
+        assert codes(found) == ["DET001"]
+        assert found[0].line == 2
+
+    def test_det001_unseeded_random_instance(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "import random\n"
+            "rng = random.Random()\n"
+        )})
+        assert codes(found) == ["DET001"]
+
+    def test_det001_sees_through_import_alias(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "import random as rnd\n"
+            "x = rnd.shuffle([1, 2])\n"
+        )})
+        assert codes(found) == ["DET001"]
+
+    def test_det002_wall_clock(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "import time\n"
+            "stamp = time.time()\n"
+        )})
+        assert codes(found) == ["DET002"]
+
+    def test_det003_os_entropy(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "import os\n"
+            "import secrets\n"
+            "key = os.urandom(16)\n"
+            "tok = secrets.token_bytes(8)\n"
+        )})
+        assert codes(found) == ["DET003", "DET003"]
+
+    def test_det004_float_in_exact_scope(self, tmp_path):
+        found = lint_sources(
+            tmp_path,
+            {"fields/bad.py": (
+                "import math\n"
+                "HALF = 0.5\n"
+                "x = float(3)\n"
+                "y = math.sqrt(2)\n"
+            )},
+            float_scopes=("fields/*",),
+        )
+        assert codes(found) == ["DET004", "DET004", "DET004"]
+
+    def test_det004_silent_outside_float_scope(self, tmp_path):
+        found = lint_sources(
+            tmp_path,
+            {"metrics.py": "RATE = 0.5\n"},
+            float_scopes=("fields/*",),
+        )
+        assert found == []
+
+    def test_seeded_rng_is_clean(self, tmp_path):
+        found = lint_sources(tmp_path, {"good.py": (
+            "import random\n"
+            "def run(seed: int):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.randrange(10)\n"
+        )})
+        assert found == []
+
+    def test_allowlisted_file_is_clean(self, tmp_path):
+        found = lint_sources(
+            tmp_path,
+            {"keygen/sample.py": "import os\nseed = os.urandom(32)\n"},
+            allow={"DET003": ("keygen/*",)},
+        )
+        assert found == []
+
+
+class TestYosoRules:
+    def test_yoso001_double_speak(self, tmp_path):
+        found = lint_sources(tmp_path, {"role.py": (
+            "def program(view, payload):\n"
+            "    view.speak('tag-a', payload)\n"
+            "    view.speak('tag-b', payload)\n"
+        )})
+        assert "YOSO001" in codes(found)
+
+    def test_yoso001_through_local_helper(self, tmp_path):
+        found = lint_sources(tmp_path, {"role.py": (
+            "def post(view, payload):\n"
+            "    view.speak('tag', payload)\n"
+            "\n"
+            "def program(view, a, b):\n"
+            "    post(view, a)\n"
+            "    post(view, b)\n"
+        )})
+        assert "YOSO001" in codes(found)
+
+    def test_yoso002_speak_in_loop(self, tmp_path):
+        found = lint_sources(tmp_path, {"role.py": (
+            "def program(view, items):\n"
+            "    for item in items:\n"
+            "        view.speak('tag', item)\n"
+        )})
+        assert "YOSO002" in codes(found)
+
+    def test_yoso003_statement_after_speak(self, tmp_path):
+        found = lint_sources(tmp_path, {"role.py": (
+            "def program(view, payload, log):\n"
+            "    view.speak('tag', payload)\n"
+            "    log.append('spoke')\n"
+        )})
+        assert codes(found) == ["YOSO003"]
+
+    def test_single_speak_last_is_clean(self, tmp_path):
+        found = lint_sources(tmp_path, {"role.py": (
+            "def program(view, items):\n"
+            "    payload = {str(i): item for i, item in enumerate(items)}\n"
+            "    view.speak('tag', payload)\n"
+            "\n"
+            "def branchy(view, payload, fallback):\n"
+            "    if payload:\n"
+            "        view.speak('tag', payload)\n"
+            "    else:\n"
+            "        view.speak('tag', fallback)\n"
+        )})
+        assert found == []
+
+
+class TestWireRules:
+    def test_wire001_conflicting_kind_id(self, tmp_path):
+        found = lint_sources(tmp_path, {"kinds.py": (
+            "from repro.wire.registry import register_kind\n"
+            "register_kind('alpha', 40)\n"
+            "register_kind('beta', 40)\n"
+        )})
+        assert codes(found) == ["WIRE001"]
+        assert found[0].line == 3
+
+    def test_wire002_kind_without_formula(self, tmp_path):
+        found = lint_sources(tmp_path, {"kinds.py": (
+            "from repro.wire.registry import register_kind\n"
+            "from repro.accounting.symbolic import EnvelopeSpec\n"
+            "register_kind('alpha', 40)\n"
+            "register_kind('beta', 41)\n"
+            "SPEC = EnvelopeSpec('alpha', 'alpha', 'alpha bytes', None, None)\n"
+        )})
+        assert codes(found) == ["WIRE002"]
+        assert "beta" in found[0].message
+
+    def test_wire003_kind_missing_from_roundtrip_test(self, tmp_path):
+        found = lint_sources(
+            tmp_path,
+            {
+                "kinds.py": (
+                    "from repro.wire.registry import register_kind\n"
+                    "register_kind('alpha', 40)\n"
+                    "register_kind('beta', 41)\n"
+                ),
+                "test_roundtrip.py": "PAYLOADS = {'alpha': b''}\n",
+            },
+            roundtrip_test="test_roundtrip.py",
+        )
+        assert "WIRE003" in codes(found)
+        assert any("beta" in f.message for f in found)
+        assert not any("'alpha'" in f.message for f in found)
+
+    def test_wire004_unencodable_field(self, tmp_path):
+        found = lint_sources(tmp_path, {"payload.py": (
+            "from dataclasses import dataclass\n"
+            "from repro.wire.codec import register_wire_dataclass\n"
+            "@dataclass\n"
+            "class Reading:\n"
+            "    label: str\n"
+            "    value: float\n"
+            "register_wire_dataclass(90, Reading)\n"
+        )})
+        assert codes(found) == ["WIRE004"]
+        assert "Reading.value" in found[0].message
+
+    def test_wire004_encodable_fields_are_clean(self, tmp_path):
+        found = lint_sources(tmp_path, {"payload.py": (
+            "from dataclasses import dataclass\n"
+            "from repro.wire.codec import register_wire_dataclass\n"
+            "@dataclass\n"
+            "class Bundle:\n"
+            "    name: str\n"
+            "    values: tuple[int, ...]\n"
+            "    blob: bytes | None\n"
+            "@dataclass\n"
+            "class Nested:\n"
+            "    inner: Bundle\n"
+            "register_wire_dataclass(90, Bundle)\n"
+            "register_wire_dataclass(91, Nested)\n"
+        )})
+        assert found == []
+
+
+class TestSuppressions:
+    def test_justified_suppression_absorbs_finding(self, tmp_path):
+        found = lint_sources(tmp_path, {"ok.py": (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=DET002 -- metrics only\n"
+        )})
+        assert found == []
+
+    def test_standalone_suppression_covers_next_line(self, tmp_path):
+        found = lint_sources(tmp_path, {"ok.py": (
+            "import time\n"
+            "# repro-lint: disable=DET002 -- metrics only\n"
+            "t = time.time()\n"
+        )})
+        assert found == []
+
+    def test_lnt001_suppression_without_justification(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=DET002\n"
+        )})
+        assert codes(found) == ["LNT001"]
+
+    def test_lnt002_stale_suppression(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "x = 1  # repro-lint: disable=DET002 -- was a clock read once\n"
+        )})
+        assert codes(found) == ["LNT002"]
+
+    def test_suppression_only_covers_named_code(self, tmp_path):
+        found = lint_sources(tmp_path, {"bad.py": (
+            "import time\n"
+            "t = time.time()  # repro-lint: disable=DET001 -- wrong code\n"
+        )})
+        assert sorted(codes(found)) == ["DET002", "LNT002"]
+
+
+class TestBaseline:
+    def test_baseline_filters_recorded_findings(self, tmp_path):
+        source = {"bad.py": "import time\nt = time.time()\n"}
+        first = lint_sources(tmp_path, source)
+        assert codes(first) == ["DET002"]
+        write_baseline(first, tmp_path / "lint-baseline.json")
+        config = LintConfig(root=tmp_path, baseline="lint-baseline.json")
+        assert lint_paths([tmp_path], config) == []
+
+
+class TestCatalogAndCli:
+    def test_every_code_has_catalog_entry(self):
+        expected = {
+            "DET001", "DET002", "DET003", "DET004",
+            "YOSO001", "YOSO002", "YOSO003",
+            "WIRE001", "WIRE002", "WIRE003", "WIRE004",
+            "LNT001", "LNT002",
+        }
+        assert set(RULES) == expected
+
+    def test_format_finding_includes_hint(self):
+        finding = Finding("a.py", 3, "DET001", "boom")
+        text = format_finding(finding)
+        assert text.startswith("a.py:3: DET001 boom")
+        assert "fix:" in text
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(tmp_path / "bad.py")]) == 1
+        assert "DET002" in capsys.readouterr().out
+        (tmp_path / "good.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path / "good.py")]) == 0
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out and "WIRE004" in out
+
+    def test_cli_missing_path(self, capsys):
+        assert main(["lint", "definitely-not-here"]) == 2
+
+    def test_syntax_error_is_analysis_error(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        with pytest.raises(AnalysisError):
+            lint_paths([tmp_path], LintConfig(root=tmp_path))
+
+
+class TestShippedTree:
+    def test_repro_lint_src_is_clean(self):
+        from repro.analysis.config import load_config
+
+        config = load_config(REPO_ROOT)
+        assert lint_paths([REPO_ROOT / "src" / "repro"], config) == []

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.circuits import dot_product_circuit, dumps as dump_circuit
 from repro.cli import main

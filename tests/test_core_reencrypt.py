@@ -13,7 +13,7 @@ from repro.core.reencrypt import (
 )
 from repro.errors import ProtocolAbortError
 from repro.nizk import ProofParams
-from repro.paillier import ThresholdPaillier, generate_keypair
+from repro.paillier import generate_keypair
 
 PARAMS = ProofParams(challenge_bits=24)
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.circuits import dot_product_circuit, plan_batches
 from repro.core import ProtocolParams, client_tag, mul_committee_name, role_tag
-from repro.core.setup import KffEntry, run_setup, trivial_zero_ciphertext
+from repro.core.setup import run_setup, trivial_zero_ciphertext
 from repro.errors import ParameterError
 from repro.paillier import ThresholdPaillier
 from repro.yoso import IdealRoleAssignment, ProtocolEnvironment

@@ -8,7 +8,6 @@ from repro.paillier import (
     chunk_integer,
     decrypt_integer_chunked,
     encrypt_integer_chunked,
-    generate_keypair,
     unchunk_integer,
 )
 from repro.paillier.encoding import safe_chunk_bits

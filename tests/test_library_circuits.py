@@ -1,6 +1,5 @@
 """Tests for the circuit library (the example workloads)."""
 
-import random
 
 import pytest
 

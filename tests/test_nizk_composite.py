@@ -1,7 +1,5 @@
 """Tests for composite proofs and the public resharing exponent checks."""
 
-import dataclasses
-import random
 
 import pytest
 
@@ -12,7 +10,6 @@ from repro.nizk import (
     verify_exponent_polynomial,
 )
 from repro.paillier import ThresholdPaillier
-from repro.paillier.threshold import ResharingMessage
 
 
 @pytest.fixture(scope="module")

@@ -1,11 +1,10 @@
 """Unit tests for online-phase internals: μ tracking and state objects."""
 
-import random
 
 import pytest
 
-from repro.circuits import CircuitBuilder, dot_product_circuit, plan_batches
-from repro.core import ProtocolParams, run_mpc
+from repro.circuits import CircuitBuilder, dot_product_circuit
+from repro.core import run_mpc
 from repro.core.online import MuTracker
 from repro.core.setup import SetupArtifacts
 from repro.errors import ProtocolAbortError

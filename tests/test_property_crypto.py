@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.reencrypt import recover_reencrypted, reencrypt_contribution

@@ -4,7 +4,6 @@ at a time — pinpointing which defence catches which attack."""
 import dataclasses
 import random
 
-import pytest
 
 from repro.circuits import CircuitBuilder, dot_product_circuit
 from repro.core import ProtocolParams, YosoMpc

@@ -18,7 +18,6 @@ from repro.circuits import (
 )
 from repro.core import ProtocolParams, YosoMpc, run_mpc
 from repro.errors import ProtocolAbortError
-from repro.fields import Zmod
 
 
 @pytest.fixture(scope="module")

@@ -1,14 +1,13 @@
 """Tests for the Section 6 analysis, Table 1 regeneration, and Monte Carlo."""
 
-import math
 import random
 
 import pytest
 
 from repro.errors import ParameterError, SortitionError
 from repro.sortition import (
-    SecurityParameters,
     TABLE1_PAPER,
+    SecurityParameters,
     analyze,
     epsilon_one,
     epsilon_three_bounds,

@@ -1,6 +1,5 @@
 """Tests for the threshold Paillier scheme (TKGen/TPDec/TDec/TEval/TKRes/TKRec)."""
 
-import random
 
 import pytest
 

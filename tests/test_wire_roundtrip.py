@@ -12,25 +12,24 @@ import pytest
 
 # Importing the phase modules registers every envelope kind and every
 # payload dataclass — the same side effect a protocol run relies on.
+import repro.baselines.cdn  # noqa: F401
 import repro.core.offline  # noqa: F401
 import repro.core.online  # noqa: F401
 import repro.core.setup  # noqa: F401
-import repro.baselines.cdn  # noqa: F401
 import repro.extensions.it_yoso  # noqa: F401
 import repro.service.wire  # noqa: F401
 
+from repro.core.reencrypt import EncryptedPartial, PublicPartial
+from repro.core.resharing import EncryptedResharing, EncryptedSubshare
 from repro.errors import WireDecodeError, WireEncodeError
-from repro.paillier import generate_keypair
-from repro.paillier.paillier import PaillierCiphertext
-from repro.paillier.threshold import PartialDecryption
 from repro.nizk.sigma import (
     MultiplicationProof,
     PartialDecryptionProof,
     PlaintextDlogEqualityProof,
     PlaintextKnowledgeProof,
 )
-from repro.core.reencrypt import EncryptedPartial, PublicPartial
-from repro.core.resharing import EncryptedResharing, EncryptedSubshare
+from repro.paillier import generate_keypair
+from repro.paillier.threshold import PartialDecryption
 from repro.service.wire import ClientInput, EpochAnnouncement, EpochResult
 from repro.wire import (
     Envelope,
