@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test lint bench bench-engine bench-wire bench-service cost-atlas examples table1 trace-demo service-demo check all outputs
+.PHONY: install test lint bench bench-engine bench-wire bench-service bench-circuits cost-atlas examples table1 trace-demo service-demo check all outputs
 
 install:
 	pip install -e .
@@ -32,6 +32,11 @@ bench-wire:
 # latency under churn + crash) -> BENCH_service.json; see docs/SERVICE.md.
 bench-service:
 	python benchmarks/bench_service.py
+
+# Circuit-compiler experiment (compile gates/s, slot utilization, the
+# 10^4-gate packed inference run) -> BENCH_circuits.json; see docs/CIRCUITS.md.
+bench-circuits:
+	python benchmarks/bench_circuits.py
 
 # Re-render the extrapolation atlas embedded in docs/COSTMODEL.md from the
 # symbolic byte formulas (between the cost-atlas markers).

@@ -1,0 +1,252 @@
+"""Circuit-compiler bench: compile throughput, slot fill, 10⁴-gate inference.
+
+The compiled-program pipeline (``repro.circuits.program``) exists so
+evaluation survives tens of thousands of gates; this experiment pins the
+three numbers that claim rests on:
+
+* **Compile throughput** — gates/s of ``compile_circuit`` across workload
+  shapes, including a 10⁴-gate private-inference circuit (the lowering is
+  a handful of O(V+E) passes, so this should sit in the millions).
+* **Slot utilization** — the fraction of packed mul-batch slots carrying
+  a real gate, per workload and packing factor.  Wide inference layers
+  fill batches completely; the deep auction circuit shows the ragged
+  regime.
+* **End-to-end packed inference vs the CDN baseline** — the IT variant
+  (field-only, so 10⁴ gates run in seconds) evaluates the big MLP with
+  k-packed batches; the CDN baseline (k=1 by construction) runs the small
+  MLP, and the per-gate online-share count quantifies the k× win.
+
+Run as a script this writes ``BENCH_circuits.json``; ``--smoke`` shrinks
+every shape for CI.  Under pytest-benchmark it times compilation of the
+inference circuit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from repro.baselines.cdn import CdnYosoMpc
+from repro.circuits import (
+    Circuit,
+    compile_circuit,
+    dot_product_circuit,
+    flatten_model,
+    mlp_circuit,
+    second_price_auction_circuit,
+)
+from repro.extensions import ItYosoMpc
+
+
+def _fresh(circuit: Circuit) -> Circuit:
+    """A cache-free copy: same gates, no memoized programs."""
+    return Circuit(list(circuit.gates))
+
+
+def _random_model(sizes, rng):
+    weights = [
+        [[rng.randrange(7) for _ in range(fi)] for _ in range(fo)]
+        for fi, fo in zip(sizes, sizes[1:])
+    ]
+    biases = [[rng.randrange(7) for _ in range(fo)] for fo in sizes[1:]]
+    x = [rng.randrange(7) for _ in range(sizes[0])]
+    return weights, biases, x
+
+
+def _reference_scores(weights, biases, x):
+    act = list(x)
+    for i, (w, bias) in enumerate(zip(weights, biases)):
+        act = [
+            sum(wi * ai for wi, ai in zip(row, act)) + bb
+            for row, bb in zip(w, bias)
+        ]
+        if i != len(weights) - 1:
+            act = [v * v for v in act]
+    return act
+
+
+def compile_sweep(workloads, k):
+    """Compile-time and lowered-shape rows, one per workload."""
+    rows = []
+    for name, circuit in workloads:
+        circuit = _fresh(circuit)
+        started = time.perf_counter()
+        program = compile_circuit(circuit, k)
+        elapsed = time.perf_counter() - started
+        rows.append({
+            "workload": name,
+            "gates": program.n_gates,
+            "k": k,
+            "compile_ms": round(elapsed * 1e3, 2),
+            "gates_per_s": round(program.n_gates / elapsed),
+            "layers": program.n_layers,
+            "kind_runs": program.n_runs,
+            "mul_batches": len(program.plan.mul_batches),
+            "mul_depths": len(program.mul_depths),
+            "slot_utilization": round(program.slot_utilization(), 4),
+        })
+        print(f"  {name:24s} {program.n_gates:7,d} gates   "
+              f"compile {elapsed * 1e3:7.1f} ms "
+              f"({program.n_gates / elapsed / 1e6:5.2f} M gates/s)   "
+              f"{len(program.plan.mul_batches):5d} batches   "
+              f"fill {program.slot_utilization():6.1%}")
+    return rows
+
+
+def packed_inference(sizes, n, t, k, seed):
+    """End-to-end packed MLP inference under the IT variant."""
+    rng = random.Random(seed)
+    weights, biases, x = _random_model(sizes, rng)
+    circuit = mlp_circuit(sizes)
+    program = compile_circuit(circuit, k)
+    inputs = {
+        "model": flatten_model(weights, biases),
+        "subject": [int(v) for v in x],
+    }
+    started = time.perf_counter()
+    result = ItYosoMpc(n=n, t=t, k=k, rng=random.Random(seed)).run(
+        circuit, inputs
+    )
+    elapsed = time.perf_counter() - started
+    want = _reference_scores(weights, biases, x)
+    modulus = (1 << 61) - 1
+    assert result.outputs["subject"] == [v % modulus for v in want], \
+        "packed inference disagrees with the plaintext model"
+    n_muls = len(program.mul_wires)
+    row = {
+        "layer_sizes": list(sizes),
+        "gates": program.n_gates,
+        "mul_gates": n_muls,
+        "n": n, "t": t, "k": k,
+        "mul_batches": len(program.plan.mul_batches),
+        "slot_utilization": round(program.slot_utilization(), 4),
+        "wall_s": round(elapsed, 2),
+        "gates_per_s": round(program.n_gates / elapsed),
+        "online_mul_bytes_per_gate": round(
+            result.online_mul_bytes() / n_muls, 1
+        ),
+    }
+    print(f"  mlp{sizes}: {program.n_gates:,} gates "
+          f"({n_muls:,} muls, {len(program.plan.mul_batches)} batches, "
+          f"fill {program.slot_utilization():.1%}) in {elapsed:.2f} s "
+          f"— {row['online_mul_bytes_per_gate']} online B/gate")
+    return row
+
+
+def cdn_comparison(sizes, n, t, k, seed):
+    """Packed (k) vs CDN (k=1) on the same small MLP: the per-gate win."""
+    rng = random.Random(seed)
+    weights, biases, x = _random_model(sizes, rng)
+    inputs = {
+        "model": flatten_model(weights, biases),
+        "subject": [int(v) for v in x],
+    }
+    circuit = mlp_circuit(sizes)
+    program = compile_circuit(circuit, k)
+    n_muls = len(program.mul_wires)
+
+    started = time.perf_counter()
+    packed = ItYosoMpc(n=n, t=t, k=k, rng=random.Random(seed)).run(
+        circuit, inputs
+    )
+    packed_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    cdn = CdnYosoMpc(n=n, t=t, rng=random.Random(seed)).run(
+        _fresh(circuit), inputs
+    )
+    cdn_s = time.perf_counter() - started
+    assert packed.outputs["subject"] == cdn.outputs["subject"]
+
+    packed_gate = packed.online_mul_bytes() / n_muls
+    cdn_gate = cdn.online_mul_bytes() / n_muls
+    row = {
+        "layer_sizes": list(sizes),
+        "mul_gates": n_muls,
+        "n": n, "t": t, "k": k,
+        "packed_batches": len(program.plan.mul_batches),
+        "cdn_batches": n_muls,  # one sharing per gate, by construction
+        "packed_wall_s": round(packed_s, 2),
+        "cdn_wall_s": round(cdn_s, 2),
+        "packed_online_bytes_per_gate": round(packed_gate, 1),
+        "cdn_online_bytes_per_gate": round(cdn_gate, 1),
+        "batch_reduction": round(n_muls / len(program.plan.mul_batches), 2),
+    }
+    print(f"  mlp{sizes}: packed k={k} {len(program.plan.mul_batches)} batches "
+          f"vs CDN {n_muls} sharings "
+          f"({row['batch_reduction']}x fewer)   "
+          f"online B/gate {packed_gate:.1f} vs {cdn_gate:.1f}")
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized shapes (seconds, not minutes)")
+    parser.add_argument("--k", type=int, default=8, help="packing factor")
+    parser.add_argument("--out", default="BENCH_circuits.json")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        inference_sizes = [12, 12, 8]      # ~800 gates
+        comparison_sizes = [4, 4, 2]
+        auction = second_price_auction_circuit(6, ["a", "b", "c"])
+    else:
+        inference_sizes = [64, 48, 10]     # >= 10^4 gates
+        comparison_sizes = [8, 8, 4]
+        auction = second_price_auction_circuit(
+            10, [f"bidder{i}" for i in range(6)]
+        )
+
+    workloads = [
+        ("dot-product-64", dot_product_circuit(64)),
+        ("auction", auction),
+        ("mlp-inference", mlp_circuit(inference_sizes)),
+    ]
+
+    print(f"compile sweep (k={args.k}):")
+    report = {
+        "smoke": args.smoke,
+        "k": args.k,
+        "compile": compile_sweep(workloads, args.k),
+    }
+
+    # Committee sized for wall clock, not security margin: the IT variant's
+    # sharing interpolates degree-2d polynomials per batch, so n dominates
+    # runtime; n=11/k=5 keeps the 10^4-gate run in tens of seconds.
+    print("\npacked inference (IT variant, field-only):")
+    report["inference"] = packed_inference(
+        inference_sizes, n=11, t=1, k=5, seed=11
+    )
+    if not args.smoke:
+        assert report["inference"]["gates"] >= 10_000, \
+            "the full-size inference circuit must clear 10^4 gates"
+
+    print("\npacked vs CDN baseline (same circuit, same committee):")
+    report["vs_cdn"] = cdn_comparison(
+        comparison_sizes, n=9, t=2, k=2, seed=7
+    )
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+# --- pytest-benchmark entry point (`make bench`) -----------------------------
+
+def test_compile_inference_circuit_speed(benchmark):
+    circuit = mlp_circuit([16, 16, 10])
+
+    def compile_fresh():
+        return compile_circuit(_fresh(circuit), 8)
+
+    program = benchmark(compile_fresh)
+    assert program.slot_utilization() == 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,7 @@ from repro.nizk.params import ProofParams
 from repro.wire.sizes import cdiv, int_nominal, str_nominal
 
 if TYPE_CHECKING:  # avoid accounting -> core -> yoso -> accounting cycle
+    from repro.circuits.program import CircuitProgram
     from repro.core.params import ProtocolParams
 
 
@@ -65,6 +66,19 @@ class CircuitShape:
             n_batches=len(plan.mul_batches),
             n_depths=len({b.depth for b in plan.mul_batches}),
             n_input_clients=len(circuit.input_clients()),
+        )
+
+    @classmethod
+    def of_program(cls, program: "CircuitProgram") -> "CircuitShape":
+        """Shape of a compiled program (no re-planning, no rescans)."""
+        circuit = program.circuit
+        return cls(
+            n_inputs=circuit.n_inputs,
+            n_multiplications=circuit.n_multiplications,
+            n_outputs=circuit.n_outputs,
+            n_batches=len(program.plan.mul_batches),
+            n_depths=len(program.mul_depths),
+            n_input_clients=len(program.input_segments),
         )
 
 

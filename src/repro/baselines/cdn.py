@@ -21,6 +21,8 @@ from typing import Any, Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
 from repro.circuits.circuit import Circuit, GateType
+from repro.circuits.program import compile_circuit
+from repro.engine.batch import scalar_mul_many, teval_many
 from repro.core.reencrypt import (
     EncryptedPartial,
     PublicPartial,
@@ -125,12 +127,13 @@ class CdnYosoMpc:
         )
         env.bulletin.advance_round()
 
-        mul_wires = list(circuit.multiplication_wires)
-        depths = circuit.depths()
-        mul_depths = sorted({depths[w] for w in mul_wires})
-        by_depth = {
-            d: [w for w in mul_wires if depths[w] == d] for d in mul_depths
-        }
+        # The baseline is unpacked (k = 1), but the same compiled program
+        # drives its gate-by-gate evaluation: depth schedule, per-client
+        # segments, and the layer/run arrays the linear propagation walks.
+        program = compile_circuit(circuit, 1)
+        mul_wires = list(program.mul_wires)
+        mul_depths = list(program.mul_depths)
+        by_depth = {d: list(program.muls_by_depth[d]) for d in mul_depths}
 
         # Committee chain: triple-A (holds tsk) -> eval committees -> out.
         chain = ["Cdn-triple-A"] + [f"Cdn-eval-{d}" for d in mul_depths] + ["Cdn-out"]
@@ -242,15 +245,16 @@ class CdnYosoMpc:
 
         # Clients broadcast encrypted inputs with plaintext-knowledge proofs.
         client_roles = {
-            name: env.client(f"cdn-client:{name}")
-            for name in circuit.input_clients()
+            segment.client: env.client(f"cdn-client:{segment.client}")
+            for segment in program.input_segments
         }
         out_client_roles = {
-            name: env.client(f"cdn-client-out:{name}")
-            for name in circuit.output_clients()
+            segment.client: env.client(f"cdn-client-out:{segment.client}")
+            for segment in program.output_segments
         }
-        for client in circuit.input_clients():
-            wires = circuit.inputs_of_client(client)
+        for segment in program.input_segments:
+            client = segment.client
+            wires = list(segment.wires)
             supplied = list(inputs.get(client, []))
             if len(supplied) != len(wires):
                 raise ProtocolAbortError(
@@ -290,34 +294,53 @@ class CdnYosoMpc:
                     entry["ct"] if ok else tpk.encrypt(0, randomness=1)
                 )
 
+        constants = program.constants
+
         def propagate_linear() -> None:
-            for w, gate in enumerate(circuit.gates):
-                if w in wire_cipher:
-                    continue
-                if gate.kind is GateType.ADD:
-                    a, b = gate.inputs
-                    if a in wire_cipher and b in wire_cipher:
-                        wire_cipher[w] = teval(
-                            tpk, [wire_cipher[a], wire_cipher[b]], [1, 1]
+            # Layer-by-layer over the compiled program, one engine batch per
+            # (layer, kind) run.  Gates whose sources are not yet ciphertexts
+            # (operands behind an unopened multiplication) are skipped and
+            # picked up by the propagation after that depth's committee.
+            for layer in program.layers:
+                for run in layer.runs:
+                    kind = run.kind
+                    if kind is GateType.ADD or kind is GateType.SUB:
+                        coeffs = [1, 1] if kind is GateType.ADD else [1, -1]
+                        ready = [
+                            (w, a, b)
+                            for w, a, b in zip(run.wires, run.src0, run.src1)
+                            if w not in wire_cipher
+                            and a in wire_cipher and b in wire_cipher
+                        ]
+                        results = teval_many(tpk, [
+                            ([wire_cipher[a], wire_cipher[b]], coeffs)
+                            for _, a, b in ready
+                        ])
+                        for (w, _, _), ct in zip(ready, results):
+                            wire_cipher[w] = ct
+                    elif kind is GateType.CMUL:
+                        ready = [
+                            (w, a, ci)
+                            for w, a, ci in zip(
+                                run.wires, run.src0, run.const_index
+                            )
+                            if w not in wire_cipher and a in wire_cipher
+                        ]
+                        results = scalar_mul_many(
+                            [wire_cipher[a] for _, a, _ in ready],
+                            [constants[ci] for _, _, ci in ready],
                         )
-                elif gate.kind is GateType.SUB:
-                    a, b = gate.inputs
-                    if a in wire_cipher and b in wire_cipher:
-                        wire_cipher[w] = teval(
-                            tpk, [wire_cipher[a], wire_cipher[b]], [1, -1]
-                        )
-                elif gate.kind is GateType.CADD:
-                    (a,) = gate.inputs
-                    if a in wire_cipher:
-                        wire_cipher[w] = wire_cipher[a] + int(gate.constant)
-                elif gate.kind is GateType.CMUL:
-                    (a,) = gate.inputs
-                    if a in wire_cipher:
-                        wire_cipher[w] = wire_cipher[a] * int(gate.constant)
-                elif gate.kind is GateType.OUTPUT:
-                    (a,) = gate.inputs
-                    if a in wire_cipher:
-                        wire_cipher[w] = wire_cipher[a]
+                        for (w, _, _), ct in zip(ready, results):
+                            wire_cipher[w] = ct
+                    elif kind is GateType.CADD:
+                        # ct + const is one modular multiply — no engine win.
+                        for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                            if w not in wire_cipher and a in wire_cipher:
+                                wire_cipher[w] = wire_cipher[a] + constants[ci]
+                    elif kind is GateType.OUTPUT:
+                        for w, a in zip(run.wires, run.src0):
+                            if w not in wire_cipher and a in wire_cipher:
+                                wire_cipher[w] = wire_cipher[a]
 
         propagate_linear()
 

@@ -21,7 +21,7 @@ from typing import Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
 from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import BatchPlan, plan_batches
+from repro.circuits.program import CircuitProgram, compile_circuit
 from repro.errors import ParameterError, ProtocolAbortError
 from repro.fields.ring import Zmod, ZmodElement
 from repro.rng import fresh_rng
@@ -73,28 +73,33 @@ class TurbopackSimulator:
 
     # -- dealer -------------------------------------------------------------
 
-    def _deal(self, circuit: Circuit, plan: BatchPlan) -> _Preprocessing:
+    def _deal(self, program: CircuitProgram) -> _Preprocessing:
         prep = _Preprocessing()
         ring, rng = self.ring, self.rng
-        for w, gate in enumerate(circuit.gates):
+        # Draw the fresh masks in wire order (the dealer's historical rng
+        # stream: linear gates never draw), then propagate layer by layer.
+        for w, gate in enumerate(program.circuit.gates):
             if gate.kind in (GateType.INPUT, GateType.MUL):
                 prep.lambdas[w] = ring.random(rng)
-            elif gate.kind is GateType.ADD:
-                a, b = gate.inputs
-                prep.lambdas[w] = prep.lambdas[a] + prep.lambdas[b]
-            elif gate.kind is GateType.SUB:
-                a, b = gate.inputs
-                prep.lambdas[w] = prep.lambdas[a] - prep.lambdas[b]
-            elif gate.kind is GateType.CADD:
-                prep.lambdas[w] = prep.lambdas[gate.inputs[0]]
-            elif gate.kind is GateType.CMUL:
-                prep.lambdas[w] = prep.lambdas[gate.inputs[0]] * ring.element(
-                    gate.constant
-                )
-            elif gate.kind is GateType.OUTPUT:
-                prep.lambdas[w] = prep.lambdas[gate.inputs[0]]
+        lambdas = prep.lambdas
+        const_cache = [ring.element(c) for c in program.constants]
+        for layer in program.layers:
+            for run in layer.runs:
+                kind = run.kind
+                if kind is GateType.ADD:
+                    for w, a, b in zip(run.wires, run.src0, run.src1):
+                        lambdas[w] = lambdas[a] + lambdas[b]
+                elif kind is GateType.SUB:
+                    for w, a, b in zip(run.wires, run.src0, run.src1):
+                        lambdas[w] = lambdas[a] - lambdas[b]
+                elif kind is GateType.CMUL:
+                    for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                        lambdas[w] = lambdas[a] * const_cache[ci]
+                elif kind is GateType.CADD or kind is GateType.OUTPUT:
+                    for w, a in zip(run.wires, run.src0):
+                        lambdas[w] = lambdas[a]
         degree = self.t + self.k - 1
-        for batch in plan.mul_batches:
+        for batch in program.plan.mul_batches:
             pad = self.k - len(batch.gate_wires)
             left = [prep.lambdas[w] for w in batch.left_wires] + [ring.zero] * pad
             right = [prep.lambdas[w] for w in batch.right_wires] + [ring.zero] * pad
@@ -120,37 +125,49 @@ class TurbopackSimulator:
     def run(
         self, circuit: Circuit, inputs: Mapping[str, Sequence[int]]
     ) -> TurbopackResult:
-        plan = plan_batches(circuit, self.k)
-        prep = self._deal(circuit, plan)
+        program = compile_circuit(circuit, self.k)
+        prep = self._deal(program)
         meter = CommMeter()
         ring = self.ring
         mu: dict[int, ZmodElement] = {}
+        const_cache = [ring.element(c) for c in program.constants]
 
         # Input: each client learns λ (from the dealer) and broadcasts μ.
-        values = circuit.evaluate(ring, inputs).wire_values
+        values = program.evaluate(ring, inputs).wire_values
         for w in circuit.input_wires:
             mu[w] = values[w] - prep.lambdas[w]
             meter.record("online", f"client:{circuit.gates[w].client}", "input-mu", mu[w])
 
         def propagate() -> None:
-            for w, gate in enumerate(circuit.gates):
-                if w in mu:
-                    continue
-                if gate.kind is GateType.ADD and all(i in mu for i in gate.inputs):
-                    mu[w] = mu[gate.inputs[0]] + mu[gate.inputs[1]]
-                elif gate.kind is GateType.SUB and all(i in mu for i in gate.inputs):
-                    mu[w] = mu[gate.inputs[0]] - mu[gate.inputs[1]]
-                elif gate.kind is GateType.CADD and gate.inputs[0] in mu:
-                    mu[w] = mu[gate.inputs[0]] + ring.element(gate.constant)
-                elif gate.kind is GateType.CMUL and gate.inputs[0] in mu:
-                    mu[w] = mu[gate.inputs[0]] * ring.element(gate.constant)
-                elif gate.kind is GateType.OUTPUT and gate.inputs[0] in mu:
-                    mu[w] = mu[gate.inputs[0]]
+            for layer in program.layers:
+                for run in layer.runs:
+                    kind = run.kind
+                    if kind is GateType.ADD:
+                        for w, a, b in zip(run.wires, run.src0, run.src1):
+                            if w not in mu and a in mu and b in mu:
+                                mu[w] = mu[a] + mu[b]
+                    elif kind is GateType.SUB:
+                        for w, a, b in zip(run.wires, run.src0, run.src1):
+                            if w not in mu and a in mu and b in mu:
+                                mu[w] = mu[a] - mu[b]
+                    elif kind is GateType.CADD:
+                        for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                            if w not in mu and a in mu:
+                                mu[w] = mu[a] + const_cache[ci]
+                    elif kind is GateType.CMUL:
+                        for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                            if w not in mu and a in mu:
+                                mu[w] = mu[a] * const_cache[ci]
+                    elif kind is GateType.OUTPUT:
+                        for w, a in zip(run.wires, run.src0):
+                            if w not in mu and a in mu:
+                                mu[w] = mu[a]
 
         propagate()
 
         product_degree = self.t + 2 * (self.k - 1)
-        for depth, batches in sorted(plan.batches_by_depth().items()):
+        for depth in program.mul_depths:
+            batches = program.depth_batches[depth]
             for batch in batches:
                 pad = self.k - len(batch.gate_wires)
                 mu_left = [mu[w] for w in batch.left_wires] + [ring.zero] * pad

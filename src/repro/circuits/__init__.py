@@ -13,10 +13,27 @@ from repro.circuits.circuit import (
 )
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.layering import BatchPlan, MultiplicationBatch, InputBatch, plan_batches
+from repro.circuits.program import (
+    CircuitProgram,
+    GateRun,
+    InputSegment,
+    Layer,
+    OutputSegment,
+    compile_circuit,
+)
 from repro.circuits.bitwise import (
     comparison_circuit,
     maximum_circuit,
     second_price_auction_circuit,
+)
+from repro.circuits.linalg import (
+    bias_add,
+    matmul,
+    matmul_circuit,
+    matvec,
+    mlp_circuit,
+    relu_from_bits,
+    square_activation,
 )
 from repro.circuits.optimize import OptimizationResult, optimize
 from repro.circuits.stats import (
@@ -32,7 +49,11 @@ from repro.circuits.serialize import (
     circuit_to_dict,
     digest,
     dumps,
+    dumps_program,
     loads,
+    loads_program,
+    program_from_dict,
+    program_to_dict,
 )
 from repro.circuits.library import (
     dot_product_circuit,
@@ -46,9 +67,12 @@ from repro.circuits.library import (
 )
 from repro.circuits.workloads import (
     AuctionOutcome,
+    InferenceOutcome,
     StatisticsOutcome,
+    flatten_model,
     grouped_statistics_circuit,
     histogram_second_price_circuit,
+    run_private_inference,
     run_private_statistics,
     run_sealed_bid_auction,
 )
@@ -63,9 +87,22 @@ __all__ = [
     "MultiplicationBatch",
     "InputBatch",
     "plan_batches",
+    "CircuitProgram",
+    "GateRun",
+    "InputSegment",
+    "Layer",
+    "OutputSegment",
+    "compile_circuit",
     "comparison_circuit",
     "maximum_circuit",
     "second_price_auction_circuit",
+    "bias_add",
+    "matmul",
+    "matmul_circuit",
+    "matvec",
+    "mlp_circuit",
+    "relu_from_bits",
+    "square_activation",
     "OptimizationResult",
     "optimize",
     "BatchEfficiency",
@@ -78,7 +115,11 @@ __all__ = [
     "circuit_to_dict",
     "digest",
     "dumps",
+    "dumps_program",
     "loads",
+    "loads_program",
+    "program_from_dict",
+    "program_to_dict",
     "dot_product_circuit",
     "inner_product_sum_circuit",
     "linear_model_circuit",
@@ -88,9 +129,12 @@ __all__ = [
     "statistics_circuit",
     "random_circuit",
     "AuctionOutcome",
+    "InferenceOutcome",
     "StatisticsOutcome",
+    "flatten_model",
     "grouped_statistics_circuit",
     "histogram_second_price_circuit",
+    "run_private_inference",
     "run_private_statistics",
     "run_sealed_bid_auction",
 ]

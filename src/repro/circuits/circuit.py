@@ -23,10 +23,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.errors import CircuitError
 from repro.fields import Zmod, ZmodElement
+
+if TYPE_CHECKING:
+    from repro.circuits.program import CircuitProgram
 
 
 class GateType(enum.Enum):
@@ -139,6 +142,16 @@ class Circuit:
 
     def outputs_of_client(self, client: str) -> list[int]:
         return [w for w in self.output_wires if self.gates[w].client == client]
+
+    def program(self, k: int) -> "CircuitProgram":
+        """The compiled :class:`~repro.circuits.program.CircuitProgram`.
+
+        Memoized per instance and ``k`` (see
+        :func:`repro.circuits.program.compile_circuit`).
+        """
+        from repro.circuits.program import compile_circuit
+
+        return compile_circuit(self, k)
 
     def depths(self) -> list[int]:
         """Multiplicative depth of every wire (MUL gates increment)."""

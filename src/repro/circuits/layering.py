@@ -62,16 +62,28 @@ class BatchPlan:
 
 
 def plan_batches(circuit: Circuit, k: int) -> BatchPlan:
-    """Compute the packing layout: input batches per client, mul batches per depth."""
+    """Compute the packing layout: input batches per client, mul batches per depth.
+
+    Single pass over the gates, O(V+E): one traversal computes the
+    multiplicative depths, one bucket pass groups input wires per client
+    (first-appearance order) and multiplication wires per depth, and the
+    chunking emits each wire exactly once.  Only the *distinct* depth
+    values are sorted.  The layout is identical to the historical
+    per-client/per-depth rescan planner — batch ids, chunk contents, and
+    slot assignments are pinned by ``tests/test_layering.py``.
+    """
     if k < 1:
         raise CircuitError(f"packing factor must be >= 1, got {k}")
     depths = circuit.depths()
 
+    inputs_by_client: dict[str, list[int]] = {}
+    for w in circuit.input_wires:
+        inputs_by_client.setdefault(circuit.gates[w].client or "", []).append(w)
+
     input_batches: list[InputBatch] = []
     input_slot: dict[int, tuple[int, int]] = {}
     next_id = 0
-    for client in circuit.input_clients():
-        wires = circuit.inputs_of_client(client)
+    for client, wires in inputs_by_client.items():
         for start in range(0, len(wires), k):
             chunk = tuple(wires[start : start + k])
             for slot, w in enumerate(chunk):
@@ -79,18 +91,20 @@ def plan_batches(circuit: Circuit, k: int) -> BatchPlan:
             input_batches.append(InputBatch(next_id, client, chunk))
             next_id += 1
 
+    muls_by_depth: dict[int, list[int]] = {}
+    for w in circuit.multiplication_wires:
+        muls_by_depth.setdefault(depths[w], []).append(w)
+
     mul_batches: list[MultiplicationBatch] = []
     mul_slot: dict[int, tuple[int, int]] = {}
-    by_depth: dict[int, list[int]] = {}
-    for w in circuit.multiplication_wires:
-        by_depth.setdefault(depths[w], []).append(w)
+    gates = circuit.gates
     next_id = 0
-    for depth in sorted(by_depth):
-        wires = by_depth[depth]
+    for depth in sorted(muls_by_depth):
+        wires = muls_by_depth[depth]
         for start in range(0, len(wires), k):
             chunk = tuple(wires[start : start + k])
-            left = tuple(circuit.gates[w].inputs[0] for w in chunk)
-            right = tuple(circuit.gates[w].inputs[1] for w in chunk)
+            left = tuple(gates[w].inputs[0] for w in chunk)
+            right = tuple(gates[w].inputs[1] for w in chunk)
             for slot, w in enumerate(chunk):
                 mul_slot[w] = (next_id, slot)
             mul_batches.append(

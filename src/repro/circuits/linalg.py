@@ -1,0 +1,197 @@
+"""Linear-algebra circuit combinators: matmul, matvec, bias, activations.
+
+Neural-network inference is the canonical *wide* workload for packed
+secret-sharing: a single m×p·p×q matrix product contributes ``m·q·p``
+multiplications all at the **same multiplicative depth**, so batches of
+``k`` fill completely and the online cost per gate approaches the
+paper's O(1) bound.  This module builds such circuits from the
+:class:`~repro.circuits.builder.CircuitBuilder` primitives:
+
+* **Combinators** (``matmul``, ``matvec``, ``bias_add``,
+  ``square_activation``, ``relu_from_bits``) take a builder plus wire
+  handles and return wire handles, so layers compose like expressions.
+* **Circuit factories** (:func:`matmul_circuit`, :func:`mlp_circuit`)
+  wrap the combinators into complete two-party inference circuits: one
+  client holds the model (weights, biases), another the input vector.
+
+The default activation is the *square* (x ↦ x²), the standard
+MPC-friendly choice (one multiplication, no bit decomposition).  A true
+ReLU needs the sign of a value, which an arithmetic circuit can only see
+on bit-decomposed inputs — :func:`relu_from_bits` provides it on top of
+the existing bitwise gadgets for inputs supplied as bits.
+
+Wire handles are plain ``int``s; matrices are row-major
+``Sequence[Sequence[int]]``.  Everything here is pure circuit
+construction — no protocol, field, or randomness dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuits.bitwise import bit_not, from_bits
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+__all__ = [
+    "bias_add",
+    "matmul",
+    "matmul_circuit",
+    "matvec",
+    "mlp_circuit",
+    "relu_from_bits",
+    "square_activation",
+]
+
+
+def _check_matrix(name: str, matrix: Sequence[Sequence[int]]) -> int:
+    """Validate rectangularity; returns the column count."""
+    if not matrix or not matrix[0]:
+        raise CircuitError(f"{name}: matrix must be non-empty")
+    cols = len(matrix[0])
+    for i, row in enumerate(matrix):
+        if len(row) != cols:
+            raise CircuitError(
+                f"{name}: ragged matrix (row 0 has {cols} entries, "
+                f"row {i} has {len(row)})"
+            )
+    return cols
+
+
+def matvec(
+    b: CircuitBuilder, matrix: Sequence[Sequence[int]], vector: Sequence[int]
+) -> list[int]:
+    """``M·x``: one inner product per matrix row, all at equal depth."""
+    cols = _check_matrix("matvec", matrix)
+    if len(vector) != cols:
+        raise CircuitError(
+            f"matvec: matrix has {cols} columns, vector has {len(vector)}"
+        )
+    return [b.dot(row, vector) for row in matrix]
+
+
+def matmul(
+    b: CircuitBuilder,
+    left: Sequence[Sequence[int]],
+    right: Sequence[Sequence[int]],
+) -> list[list[int]]:
+    """``A·B`` for an m×p and a p×q wire matrix; returns m×q wires.
+
+    All m·q·p multiplications share one multiplicative depth, so for a
+    packing factor k the product occupies ⌈m·q·p / k⌉ completely filled
+    batches (up to the final one).
+    """
+    inner = _check_matrix("matmul: left", left)
+    if len(right) != inner:
+        raise CircuitError(
+            f"matmul: left has {inner} columns, right has {len(right)} rows"
+        )
+    q = _check_matrix("matmul: right", right)
+    columns = [[row[j] for row in right] for j in range(q)]
+    return [[b.dot(row, col) for col in columns] for row in left]
+
+
+def bias_add(
+    b: CircuitBuilder, values: Sequence[int], biases: Sequence[int]
+) -> list[int]:
+    """Elementwise ``values + biases`` over wire vectors (free: ADD gates)."""
+    if len(values) != len(biases):
+        raise CircuitError(
+            f"bias_add: length mismatch {len(values)} vs {len(biases)}"
+        )
+    return [b.add(v, bias) for v, bias in zip(values, biases)]
+
+
+def square_activation(b: CircuitBuilder, values: Sequence[int]) -> list[int]:
+    """Elementwise x² — the MPC-friendly nonlinearity (one MUL per unit)."""
+    return [b.square(v) for v in values]
+
+
+def relu_from_bits(b: CircuitBuilder, bits: Sequence[int]) -> int:
+    """ReLU of a value supplied as MSB-first sign-magnitude style bits.
+
+    ``bits[0]`` is the sign (1 = negative), the remainder the magnitude.
+    Output is ``(1 − sign) · value``: the recomposed non-negative value
+    when the sign bit is clear, zero otherwise.  Built from the existing
+    bitwise gadgets (:func:`~repro.circuits.bitwise.bit_not`,
+    :func:`~repro.circuits.bitwise.from_bits`); callers audit bitness
+    with :func:`~repro.circuits.bitwise.bitness_checks` as usual.
+    """
+    if len(bits) < 2:
+        raise CircuitError("relu_from_bits needs a sign bit plus magnitude bits")
+    keep = bit_not(b, bits[0])
+    return b.mul(keep, from_bits(b, bits[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Circuit factories
+# ---------------------------------------------------------------------------
+
+
+def matmul_circuit(
+    m: int,
+    p: int,
+    q: int,
+    left_client: str = "alice",
+    right_client: str = "bob",
+    recipient: str | None = None,
+) -> Circuit:
+    """``A·B`` with A (m×p) from one client and B (p×q) from another.
+
+    Outputs the product row-major to ``recipient`` (default: the right
+    client).  m·q·p multiplications at a single depth — the maximal-width
+    shape for slot utilization measurements.
+    """
+    if min(m, p, q) < 1:
+        raise CircuitError(f"matmul_circuit: bad shape ({m}, {p}, {q})")
+    b = CircuitBuilder()
+    left = [b.inputs(left_client, p) for _ in range(m)]
+    right = [b.inputs(right_client, q) for _ in range(p)]
+    target = recipient or right_client
+    for row in matmul(b, left, right):
+        for wire in row:
+            b.output(wire, target)
+    return b.build()
+
+
+def mlp_circuit(
+    layer_sizes: Sequence[int],
+    model_client: str = "model",
+    subject_client: str = "subject",
+    recipient: str | None = None,
+) -> Circuit:
+    """Private MLP inference: the model and the input are both secret.
+
+    ``layer_sizes = [d0, d1, ..., dL]`` describes a multi-layer
+    perceptron with input dimension d0 and L dense layers; layer ``i``
+    holds a d_i×d_{i-1} weight matrix and a d_i bias vector, all supplied
+    by ``model_client`` (row-major weights, then biases, layer by layer).
+    ``subject_client`` supplies the d0 input vector and receives the dL
+    output scores (default recipient).
+
+    Hidden layers apply the square activation; the final layer is linear
+    (scores, argmax taken by the recipient in the clear).  Each layer's
+    d_i·d_{i-1} products sit at one multiplicative depth, so the circuit
+    exercises exactly the wide-batch regime packed sharing targets.
+    """
+    if len(layer_sizes) < 2:
+        raise CircuitError("mlp_circuit needs an input and an output dimension")
+    if min(layer_sizes) < 1:
+        raise CircuitError(f"mlp_circuit: bad layer sizes {list(layer_sizes)}")
+    b = CircuitBuilder()
+    weights: list[list[list[int]]] = []
+    biases: list[list[int]] = []
+    for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+        weights.append([b.inputs(model_client, fan_in) for _ in range(fan_out)])
+        biases.append(b.inputs(model_client, fan_out))
+    activations = b.inputs(subject_client, layer_sizes[0])
+    last = len(weights) - 1
+    for i, (w, bias) in enumerate(zip(weights, biases)):
+        activations = bias_add(b, matvec(b, w, activations), bias)
+        if i != last:
+            activations = square_activation(b, activations)
+    target = recipient or subject_client
+    for wire in activations:
+        b.output(wire, target)
+    return b.build()

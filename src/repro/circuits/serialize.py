@@ -1,9 +1,22 @@
-"""Circuit (de)serialization to a stable JSON-compatible form.
+"""Circuit and compiled-program (de)serialization to a stable JSON form.
 
 Circuits are deployment artifacts in the YOSO setting — the *circuit-
 dependent* preprocessing (paper §3.1) means every participant must agree on
 the exact circuit long before inputs exist, so a canonical serialized form
 (and a digest of it) is part of the protocol's public parameters.
+
+Format version 2 adds an optional ``program`` section carrying the full
+:class:`~repro.circuits.program.CircuitProgram` lowering (layers, constant
+table, packing plan), so a coordinator can compile once and ship the
+compiled artifact to every participant instead of having each one re-plan
+a 10⁴-gate circuit.  Version-1 documents (circuit only) still load;
+documents from unknown future versions are rejected with
+:class:`~repro.errors.CircuitFormatError` so callers can distinguish
+"newer format" from "corrupt circuit".
+
+The :func:`digest` is computed over the *circuit* serialization only —
+the program is derived data, and the public circuit id must not depend
+on whether a document happens to carry the compiled form.
 """
 
 from __future__ import annotations
@@ -13,9 +26,38 @@ import json
 from typing import Any
 
 from repro.circuits.circuit import Circuit, Gate, GateType
-from repro.errors import CircuitError
+from repro.circuits.layering import BatchPlan, InputBatch, MultiplicationBatch
+from repro.circuits.program import (
+    _CACHE_ATTR,
+    CircuitProgram,
+    GateRun,
+    InputSegment,
+    Layer,
+    OutputSegment,
+)
+from repro.errors import CircuitError, CircuitFormatError
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this reader understands.  v1: circuit only.  v2: + program.
+_KNOWN_VERSIONS = (1, 2)
+
+
+def _check_version(data: Any) -> int:
+    if not isinstance(data, dict):
+        raise CircuitError("malformed circuit document: not an object")
+    version = data.get("version")
+    if version not in _KNOWN_VERSIONS:
+        raise CircuitFormatError(
+            f"unsupported circuit format version {version!r} "
+            f"(this reader knows {_KNOWN_VERSIONS})"
+        )
+    return int(version)
+
+
+# ---------------------------------------------------------------------------
+# Circuit documents
+# ---------------------------------------------------------------------------
 
 
 def circuit_to_dict(circuit: Circuit) -> dict[str, Any]:
@@ -35,12 +77,9 @@ def circuit_to_dict(circuit: Circuit) -> dict[str, Any]:
 
 def circuit_from_dict(data: dict[str, Any]) -> Circuit:
     """Rebuild a circuit; validates structure via the Circuit constructor."""
-    if not isinstance(data, dict) or "gates" not in data:
+    _check_version(data)
+    if "gates" not in data:
         raise CircuitError("malformed circuit document: no 'gates'")
-    if data.get("version") != FORMAT_VERSION:
-        raise CircuitError(
-            f"unsupported circuit format version {data.get('version')!r}"
-        )
     gates = []
     for i, entry in enumerate(data["gates"]):
         try:
@@ -74,5 +113,242 @@ def loads(text: str) -> Circuit:
 
 
 def digest(circuit: Circuit) -> str:
-    """SHA-256 of the canonical serialization — the public circuit id."""
+    """SHA-256 of the canonical circuit serialization — the public circuit id.
+
+    Deliberately excludes any compiled-program section: the id names the
+    *function*, not one packing of it.
+    """
     return hashlib.sha256(dumps(circuit).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Compiled-program documents (format v2)
+# ---------------------------------------------------------------------------
+
+
+def _run_to_dict(run: GateRun) -> dict[str, Any]:
+    entry: dict[str, Any] = {"kind": run.kind.value, "wires": list(run.wires)}
+    if run.src0:
+        entry["src0"] = list(run.src0)
+    if run.src1:
+        entry["src1"] = list(run.src1)
+    if run.const_index:
+        entry["const_index"] = list(run.const_index)
+    if run.clients:
+        entry["clients"] = list(run.clients)
+    return entry
+
+
+def program_to_dict(program: CircuitProgram) -> dict[str, Any]:
+    """The circuit document plus the full compiled lowering."""
+    doc = circuit_to_dict(program.circuit)
+    plan = program.plan
+    doc["program"] = {
+        "k": program.k,
+        "layers": [
+            [_run_to_dict(run) for run in layer.runs]
+            for layer in program.layers
+        ],
+        "level_of_wire": list(program.level_of_wire),
+        "constants": list(program.constants),
+        "input_segments": [
+            {"client": s.client, "wires": list(s.wires)}
+            for s in program.input_segments
+        ],
+        "output_segments": [
+            {"client": s.client, "wires": list(s.wires)}
+            for s in program.output_segments
+        ],
+        "input_batches": [
+            {"batch_id": b.batch_id, "client": b.client, "wires": list(b.wires)}
+            for b in plan.input_batches
+        ],
+        "mul_batches": [
+            {
+                "batch_id": b.batch_id,
+                "depth": b.depth,
+                "gate_wires": list(b.gate_wires),
+                "left_wires": list(b.left_wires),
+                "right_wires": list(b.right_wires),
+            }
+            for b in plan.mul_batches
+        ],
+    }
+    return doc
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CircuitError(f"malformed program document: {message}")
+
+
+def program_from_dict(data: dict[str, Any]) -> CircuitProgram:
+    """Rebuild a compiled program without re-running the compiler.
+
+    Validates the document structurally against the reconstructed circuit
+    (wire ranges, layer coverage, batch shapes), rebuilds the derived
+    indices (slot maps, per-depth views) exactly as the compiler would,
+    and installs the program in the circuit's compile cache so a later
+    ``compile_circuit(circuit, k)`` call is a hit.
+    """
+    if _check_version(data) < 2:
+        raise CircuitFormatError(
+            "format version 1 documents carry no compiled program; "
+            "re-serialize with program_to_dict or call compile_circuit"
+        )
+    circuit = circuit_from_dict(data)
+    raw = data.get("program")
+    if not isinstance(raw, dict):
+        raise CircuitError("malformed program document: no 'program' section")
+    n = len(circuit.gates)
+    try:
+        k = int(raw["k"])
+        level_of_wire = tuple(int(x) for x in raw["level_of_wire"])
+        constants = tuple(int(x) for x in raw["constants"])
+        layers = tuple(
+            Layer(
+                index=i,
+                runs=tuple(
+                    GateRun(
+                        kind=GateType(run["kind"]),
+                        wires=tuple(run["wires"]),
+                        src0=tuple(run.get("src0", ())),
+                        src1=tuple(run.get("src1", ())),
+                        const_index=tuple(run.get("const_index", ())),
+                        clients=tuple(run.get("clients", ())),
+                    )
+                    for run in runs
+                ),
+            )
+            for i, runs in enumerate(raw["layers"])
+        )
+        input_segments = tuple(
+            InputSegment(str(s["client"]), tuple(s["wires"]))
+            for s in raw["input_segments"]
+        )
+        output_segments = tuple(
+            OutputSegment(str(s["client"]), tuple(s["wires"]))
+            for s in raw["output_segments"]
+        )
+        input_batches = tuple(
+            InputBatch(int(b["batch_id"]), str(b["client"]), tuple(b["wires"]))
+            for b in raw["input_batches"]
+        )
+        mul_batches = tuple(
+            MultiplicationBatch(
+                int(b["batch_id"]),
+                int(b["depth"]),
+                tuple(b["gate_wires"]),
+                tuple(b["left_wires"]),
+                tuple(b["right_wires"]),
+            )
+            for b in raw["mul_batches"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CircuitError(f"malformed program document: {exc!r}") from exc
+
+    # -- structural validation against the circuit --------------------------
+    _require(k >= 1, f"packing factor must be >= 1, got {k}")
+    _require(
+        len(level_of_wire) == n,
+        f"level_of_wire has {len(level_of_wire)} entries for {n} gates",
+    )
+    seen = [False] * n
+    for layer in layers:
+        for run in layer.runs:
+            for w in run.wires:
+                _require(0 <= w < n, f"run wire {w} out of range")
+                _require(not seen[w], f"wire {w} appears in two runs")
+                seen[w] = True
+                _require(
+                    circuit.gates[w].kind is run.kind,
+                    f"wire {w} kind mismatch in layer {layer.index}",
+                )
+            for src in (run.src0, run.src1):
+                _require(
+                    len(src) in (0, len(run.wires)),
+                    f"ragged operand array in layer {layer.index}",
+                )
+            for ci in run.const_index:
+                _require(
+                    0 <= ci < len(constants), f"constant index {ci} out of range"
+                )
+    _require(all(seen), "layers do not cover every gate")
+    for batch in mul_batches:
+        _require(
+            len(batch.gate_wires) <= k
+            and len(batch.left_wires) == len(batch.gate_wires)
+            and len(batch.right_wires) == len(batch.gate_wires),
+            f"mul batch {batch.batch_id} has a bad shape",
+        )
+        for w in batch.gate_wires:
+            _require(
+                0 <= w < n and circuit.gates[w].kind is GateType.MUL,
+                f"mul batch {batch.batch_id} wire {w} is not a MUL gate",
+            )
+    batched = sorted(w for b in mul_batches for w in b.gate_wires)
+    _require(
+        batched == list(circuit.multiplication_wires),
+        "mul batches do not cover the circuit's multiplication gates",
+    )
+    # Committee draw order is *circuit* order, not the batches' depth-major
+    # order — take it from the circuit the document reconstructs.
+    mul_wires = circuit.multiplication_wires
+
+    # -- derived indices (reconstructed, never serialized) -------------------
+    input_slot = {
+        w: (b.batch_id, slot)
+        for b in input_batches
+        for slot, w in enumerate(b.wires)
+    }
+    mul_slot = {
+        w: (b.batch_id, slot)
+        for b in mul_batches
+        for slot, w in enumerate(b.gate_wires)
+    }
+    plan = BatchPlan(
+        k=k,
+        input_batches=input_batches,
+        mul_batches=mul_batches,
+        mul_slot_of_wire=mul_slot,
+        input_slot_of_wire=input_slot,
+    )
+    muls_by_depth: dict[int, list[int]] = {}
+    depth_batches: dict[int, list[MultiplicationBatch]] = {}
+    for batch in mul_batches:
+        depth_batches.setdefault(batch.depth, []).append(batch)
+        muls_by_depth.setdefault(batch.depth, []).extend(batch.gate_wires)
+
+    program = CircuitProgram(
+        circuit=circuit,
+        k=k,
+        plan=plan,
+        layers=layers,
+        level_of_wire=level_of_wire,
+        constants=constants,
+        input_segments=input_segments,
+        output_segments=output_segments,
+        mul_wires=mul_wires,
+        mask_wires=circuit.input_wires + mul_wires,
+        mul_depths=tuple(sorted(depth_batches)),
+        muls_by_depth={d: tuple(ws) for d, ws in muls_by_depth.items()},
+        depth_batches={d: tuple(bs) for d, bs in depth_batches.items()},
+    )
+    # Prime the compile cache: a later compile_circuit(circuit, k) is a hit.
+    circuit.__dict__.setdefault(_CACHE_ATTR, {})[k] = (circuit.gates, program)
+    return program
+
+
+def dumps_program(program: CircuitProgram) -> str:
+    """Canonical JSON text of the circuit plus its compiled lowering."""
+    return json.dumps(
+        program_to_dict(program), sort_keys=True, separators=(",", ":")
+    )
+
+
+def loads_program(text: str) -> CircuitProgram:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CircuitError(f"invalid program JSON: {exc}") from exc
+    return program_from_dict(data)

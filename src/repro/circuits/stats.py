@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import plan_batches
+from repro.circuits.program import compile_circuit
 
 if TYPE_CHECKING:
     from repro.core.params import ProtocolParams
@@ -80,12 +80,18 @@ class BatchEfficiency:
 
 
 def batch_efficiency(circuit: Circuit, k: int) -> BatchEfficiency:
-    """Measure padding waste for a packing factor (the width assumption)."""
-    plan = plan_batches(circuit, k)
+    """Measure padding waste for a packing factor (the width assumption).
+
+    Uses the memoized compiled program, so repeated queries (e.g. the
+    ``best_packing_factor`` sweep followed by a run at the chosen k) plan
+    each (circuit, k) pair once.
+    """
+    program = compile_circuit(circuit, k)
+    plan = program.plan
     n_batches = len(plan.mul_batches)
     slots = n_batches * k
     underfull = sum(1 for b in plan.mul_batches if len(b.gate_wires) < k)
-    fill = circuit.n_multiplications / slots if slots else 1.0
+    fill = program.slot_utilization() if slots else 1.0
     return BatchEfficiency(
         k=k, n_batches=n_batches, n_slots=slots,
         fill_ratio=fill, underfull_batches=underfull,
@@ -117,8 +123,8 @@ def estimate_phase_bytes(
     """Predicted offline/online bytes for running this circuit (cost model)."""
     from repro.accounting.costmodel import CircuitShape, CostModel
 
-    plan = plan_batches(circuit, params.k)
-    model = CostModel(params, CircuitShape.of(circuit, plan))
+    program = compile_circuit(circuit, params.k)
+    model = CostModel(params, CircuitShape.of_program(program))
     return {
         "offline": model.predict_offline().n_bytes,
         "online": model.predict_online().n_bytes,

@@ -31,13 +31,17 @@ from repro.circuits.bitwise import second_price_auction_circuit
 from repro.circuits.builder import CircuitBuilder
 from repro.circuits.circuit import Circuit
 from repro.circuits.library import statistics_circuit
+from repro.circuits.linalg import mlp_circuit
 from repro.errors import CircuitError
 
 __all__ = [
     "AuctionOutcome",
+    "InferenceOutcome",
     "StatisticsOutcome",
+    "flatten_model",
     "grouped_statistics_circuit",
     "histogram_second_price_circuit",
+    "run_private_inference",
     "run_private_statistics",
     "run_sealed_bid_auction",
     "to_bits",
@@ -122,6 +126,86 @@ def run_private_statistics(
     return StatisticsOutcome(
         s=s, q=q, mean=mean, variance=variance, result=result
     )
+
+
+# -- private inference --------------------------------------------------------
+
+@dataclass(frozen=True)
+class InferenceOutcome:
+    """Decoded MLP inference scores plus the underlying MPC run."""
+
+    scores: tuple[int, ...]
+    argmax: int
+    result: Any
+
+
+def flatten_model(
+    weights: Sequence[Sequence[Sequence[int]]],
+    biases: Sequence[Sequence[int]],
+) -> list[int]:
+    """The model client's input order for :func:`~repro.circuits.linalg.mlp_circuit`.
+
+    Layer by layer: the weight matrix row-major, then the bias vector —
+    exactly the order the circuit's INPUT gates consume.
+    """
+    if len(weights) != len(biases):
+        raise CircuitError(
+            f"model has {len(weights)} weight layers but {len(biases)} bias layers"
+        )
+    flat: list[int] = []
+    for w, bias in zip(weights, biases):
+        for row in w:
+            if len(row) != len(w[0]):
+                raise CircuitError("ragged weight matrix")
+        if len(bias) != len(w):
+            raise CircuitError(
+                f"layer has {len(w)} units but {len(bias)} biases"
+            )
+        for row in w:
+            flat.extend(int(x) for x in row)
+        flat.extend(int(x) for x in bias)
+    return flat
+
+
+def run_private_inference(
+    weights: Sequence[Sequence[Sequence[int]]],
+    biases: Sequence[Sequence[int]],
+    x: Sequence[int],
+    *,
+    n: int = 5,
+    epsilon: float = 0.25,
+    seed: int = 2026,
+    model_client: str = "model",
+    subject_client: str = "subject",
+    **run_kwargs: Any,
+) -> InferenceOutcome:
+    """Run private MLP inference: secret model, secret input, clear scores.
+
+    ``weights[i]`` is layer i's d_i×d_{i-1} matrix (rows = output units),
+    ``biases[i]`` its d_i bias vector, ``x`` the subject's d_0 input.
+    Hidden layers use the square activation (see
+    :func:`~repro.circuits.linalg.mlp_circuit`); the subject receives the
+    final-layer scores and takes the argmax in the clear.
+    """
+    if not weights:
+        raise CircuitError("model needs at least one layer")
+    layer_sizes = [len(weights[0][0])] + [len(w) for w in weights]
+    circuit = mlp_circuit(
+        layer_sizes, model_client=model_client, subject_client=subject_client
+    )
+    from repro.core import run_mpc
+
+    result = run_mpc(
+        circuit,
+        {
+            model_client: flatten_model(weights, biases),
+            subject_client: [int(v) for v in x],
+        },
+        n=n, epsilon=epsilon, seed=seed, **run_kwargs,
+    )
+    scores = tuple(result.outputs[subject_client])
+    best = max(range(len(scores)), key=lambda i: scores[i])
+    return InferenceOutcome(scores=scores, argmax=best, result=result)
 
 
 # -- service aggregate circuits -----------------------------------------------

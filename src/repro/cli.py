@@ -4,6 +4,7 @@ Commands
 --------
 ``table1``       regenerate the paper's Table 1 next to the published values
 ``plan C f``     committee planning for a deployment (gap, k, sizes)
+``circuit``      compile a circuit: layer counts, batches, slot utilization
 ``run``          execute the MPC protocol on a serialized circuit
 ``demo``         a self-contained dot-product run
 ``trace``        traced run: per-phase wall-clock + op counters + comm bytes
@@ -70,6 +71,91 @@ def _cmd_plan(args: argparse.Namespace) -> int:
           round(g.committee_size_no_gap), round(g.epsilon, 3),
           g.packing_factor)],
     ))
+    return 0
+
+
+def _shape_args(args: argparse.Namespace, default: list[int]) -> list[int]:
+    if not args.shape:
+        return default
+    return [int(x) for x in args.shape.split(",") if x]
+
+
+def _circuit_for_args(args: argparse.Namespace):
+    """The circuit a ``repro circuit`` invocation names (file or workload)."""
+    if args.circuit:
+        from repro.circuits import loads as load_circuit
+
+        with open(args.circuit) as fh:
+            return load_circuit(fh.read())
+    from repro.circuits import (
+        dot_product_circuit,
+        matmul_circuit,
+        mlp_circuit,
+        second_price_auction_circuit,
+        statistics_circuit,
+    )
+
+    if args.workload == "dot":
+        (width,) = _shape_args(args, [8])
+        return dot_product_circuit(width)
+    if args.workload == "auction":
+        bidders, bits = _shape_args(args, [4, 8])
+        return second_price_auction_circuit(
+            bits, [f"bidder{i}" for i in range(bidders)]
+        )
+    if args.workload == "statistics":
+        (parties,) = _shape_args(args, [8])
+        return statistics_circuit(parties)
+    if args.workload == "matmul":
+        m, p, q = _shape_args(args, [8, 8, 8])
+        return matmul_circuit(m, p, q)
+    # mlp
+    sizes = _shape_args(args, [8, 8, 4])
+    return mlp_circuit(sizes)
+
+
+def _cmd_circuit(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.circuits import compile_circuit, digest, dumps_program
+
+    circuit = _circuit_for_args(args)
+    started = time.perf_counter()
+    program = compile_circuit(circuit, args.k)
+    compile_ms = (time.perf_counter() - started) * 1e3
+
+    if args.action == "compile":
+        text = dumps_program(program)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(text)
+            print(f"program written to {args.out} ({len(text):,} B)",
+                  file=sys.stderr)
+        else:
+            print(text)
+        return 0
+
+    by_kind: dict[str, int] = {}
+    for gate in circuit.gates:
+        by_kind[gate.kind.value] = by_kind.get(gate.kind.value, 0) + 1
+    kinds = " ".join(f"{k}={v}" for k, v in sorted(by_kind.items()))
+    print(f"circuit     {len(circuit.gates):,} gates ({kinds})")
+    print(f"digest      {digest(circuit)[:16]}…")
+    print(f"compile     {compile_ms:.1f} ms at k={args.k} "
+          f"({program.n_layers} layers, {program.n_runs} kind-runs)")
+    print(f"packing     {len(program.plan.mul_batches)} mul batch(es) over "
+          f"{len(program.mul_depths)} depth(s), "
+          f"{len(program.plan.input_batches)} input batch(es)")
+    print(f"slots       {program.slot_utilization():.1%} utilization overall")
+    rows = []
+    for depth in program.mul_depths:
+        n_gates = len(program.muls_by_depth[depth])
+        n_batches = len(program.depth_batches[depth])
+        util = program.utilization_by_depth()[depth]
+        rows.append((depth, n_gates, n_batches, f"{util:.1%}"))
+    if rows:
+        print()
+        print(format_table(["depth", "mul gates", "batches", "slot util"], rows))
     return 0
 
 
@@ -187,6 +273,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"  offline     {offline.get('paillier.encrypt', 0) / gates:8.1f} "
         f"Paillier encryptions/gate      — grows with n (§5.2)"
     )
+    if result.program is not None:
+        util = result.program.slot_utilization()
+        print(
+            f"  packing     {util:8.1%} slot utilization               "
+            f"— {len(result.program.plan.mul_batches)} batch(es) of k="
+            f"{result.params.k}"
+        )
 
     if args.jsonl:
         text = dumps_trace_jsonl(
@@ -238,8 +331,7 @@ def _cost_catalog(args: argparse.Namespace) -> int:
 def _cost_evaluate(args: argparse.Namespace) -> int:
     from repro.accounting.costmodel import CircuitShape
     from repro.accounting.symbolic import SymbolicCostModel
-    from repro.circuits import dot_product_circuit
-    from repro.circuits.layering import plan_batches
+    from repro.circuits import compile_circuit, dot_product_circuit
     from repro.core.params import ProtocolParams
 
     params = ProtocolParams.from_gap(
@@ -247,7 +339,7 @@ def _cost_evaluate(args: argparse.Namespace) -> int:
         role_key_bits=args.role_key_bits,
     )
     circuit = dot_product_circuit(args.width)
-    shape = CircuitShape.of(circuit, plan_batches(circuit, params.k))
+    shape = CircuitShape.of_program(compile_circuit(circuit, params.k))
     model = SymbolicCostModel(params, shape)
     phases = [
         model.predict_setup(), model.predict_offline(),
@@ -565,6 +657,33 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--conservative", action="store_true",
                       help="use the validated Chernoff tail bound")
     plan.set_defaults(fn=_cmd_plan)
+
+    circuit = sub.add_parser(
+        "circuit",
+        help="compile a circuit: layers, batches, slot utilization",
+        description=(
+            "Lower a circuit to its CircuitProgram and report the compiled "
+            "shape (stats), or write the format-v2 circuit+program document "
+            "(compile).  Name the circuit with --circuit FILE or pick a "
+            "built-in workload with --workload/--shape."
+        ),
+    )
+    circuit.add_argument("action", choices=["stats", "compile"])
+    circuit.add_argument("--circuit", help="circuit JSON path")
+    circuit.add_argument(
+        "--workload", default="dot",
+        choices=["dot", "auction", "statistics", "matmul", "mlp"],
+        help="built-in workload (ignored with --circuit)",
+    )
+    circuit.add_argument(
+        "--shape",
+        help="comma-separated workload shape: dot WIDTH, auction "
+             "BIDDERS,BITS, statistics PARTIES, matmul M,P,Q, mlp D0,D1,...",
+    )
+    circuit.add_argument("--k", type=int, default=4, help="packing factor")
+    circuit.add_argument("--out", metavar="FILE",
+                         help="compile: write the program JSON here")
+    circuit.set_defaults(fn=_cmd_circuit)
 
     run = sub.add_parser("run", help="run the protocol on a circuit file")
     run.add_argument("--circuit", required=True, help="circuit JSON path")

@@ -37,8 +37,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import BatchPlan
+from repro.circuits.circuit import GateType
+from repro.circuits.program import CircuitProgram
 from repro.core.params import ProtocolParams
 from repro.core.reencrypt import (
     EncryptedPartial,
@@ -72,7 +72,6 @@ from repro.fields.lagrange import lagrange_basis_rows
 from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
 from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey
-from repro.paillier.threshold import teval
 from repro.sharing.packed import secret_slots
 from repro.wire.registry import register_kind
 from repro.yoso.committees import Committee
@@ -195,16 +194,22 @@ def sample_offline_committees(
 def run_offline(
     env: ProtocolEnvironment,
     setup: SetupArtifacts,
-    circuit: Circuit,
-    plan: BatchPlan,
+    program: CircuitProgram,
     rng: random.Random,
     committees: dict[str, Committee] | None = None,
 ) -> OfflineState:
-    """Execute Steps 1–4 (Beaver, masks, Γ, packing)."""
+    """Execute Steps 1–4 (Beaver, masks, Γ, packing).
+
+    ``program`` is the compiled circuit (:func:`compile_circuit`); its
+    flattened ``mul_wires``/``mask_wires`` views fix the committees' RNG
+    draw orders, and its layer/run arrays drive the public homomorphic
+    propagation one engine batch per (layer, kind) run.
+    """
     env.set_phase("offline")
     params = setup.params
     tpk = setup.tpk
     proof_params = setup.proof_params
+    gates = program.circuit.gates
 
     if committees is None:
         committees = sample_offline_committees(env, params)
@@ -215,8 +220,8 @@ def run_offline(
     for share in setup.tsk_shares:
         committees[OFFLINE_A].role(share.index).add_gift("tsk_share", share)
 
-    mul_wires = list(circuit.multiplication_wires)
-    mask_wires = list(circuit.input_wires) + mul_wires
+    mul_wires = list(program.mul_wires)
+    mask_wires = list(program.mask_wires)
     dec_pks = committees[OFFLINE_DEC].public_keys()
     reenc_pks = committees[OFFLINE_REENC].public_keys()
 
@@ -328,7 +333,7 @@ def run_offline(
 
     helper_keys = [
         (batch.batch_id, kind, h)
-        for batch in plan.mul_batches
+        for batch in program.plan.mul_batches
         for kind in PACK_KINDS
         for h in range(n_helpers)
     ]
@@ -404,16 +409,16 @@ def run_offline(
 
     # -- Step 3a: public mask propagation through linear gates ----------------
 
-    _propagate_linear_masks(setup, circuit, state)
+    _propagate_linear_masks(setup, program, state)
 
     # -- Step 3b: committee dec — open ε, δ for every multiplication ----------
 
     eps_cipher = dict(zip(mul_wires, teval_many(tpk, [
-        ([state.wire_cipher[circuit.gates[w].inputs[0]], beaver_a[w]], [1, 1])
+        ([state.wire_cipher[gates[w].inputs[0]], beaver_a[w]], [1, 1])
         for w in mul_wires
     ])))
     delta_cipher = dict(zip(mul_wires, teval_many(tpk, [
-        ([state.wire_cipher[circuit.gates[w].inputs[1]], beaver_b[w]], [1, 1])
+        ([state.wire_cipher[gates[w].inputs[1]], beaver_b[w]], [1, 1])
         for w in mul_wires
     ])))
 
@@ -474,7 +479,7 @@ def run_offline(
     gamma_groups = []
     for wire in mul_wires:
         eps, delta = state.epsilon_delta[wire]
-        right = circuit.gates[wire].inputs[1]
+        right = gates[wire].inputs[1]
         gamma_groups.append((
             [state.wire_cipher[right], beaver_a[wire], beaver_c[wire],
              state.wire_cipher[wire]],
@@ -485,7 +490,7 @@ def run_offline(
 
     # -- Step 4: public packing into encrypted packed shares ------------------
 
-    _pack_batches(setup, circuit, plan, state, helper_cipher, tracer=env.tracer)
+    _pack_batches(setup, program, state, helper_cipher, tracer=env.tracer)
 
     return state
 
@@ -494,8 +499,7 @@ def run_reencryption_bridge(
     env: ProtocolEnvironment,
     setup: SetupArtifacts,
     state: OfflineState,
-    circuit: Circuit,
-    plan: BatchPlan,
+    program: CircuitProgram,
     online_keys_pks: Sequence[PaillierPublicKey],
     rng: random.Random,
 ) -> None:
@@ -508,6 +512,7 @@ def run_reencryption_bridge(
     env.set_phase("offline")
     tpk = setup.tpk
     proof_params = setup.proof_params
+    circuit = program.circuit
     committee = state.committees[OFFLINE_REENC]
     resharings_dec = {
         i: p["tsk"]
@@ -524,7 +529,7 @@ def run_reencryption_bridge(
         for wire in circuit.input_wires
     }
     packed_targets = {}
-    for batch in plan.mul_batches:
+    for batch in program.plan.mul_batches:
         name = mul_committee_name(batch.depth)
         for i in range(1, setup.params.n + 1):
             for kind in PACK_KINDS:
@@ -600,70 +605,91 @@ def run_reencryption_bridge(
 
 
 def _propagate_linear_masks(
-    setup: SetupArtifacts, circuit: Circuit, state: OfflineState
+    setup: SetupArtifacts, program: CircuitProgram, state: OfflineState
 ) -> None:
-    """Extend c^λ from input/mul wires to every wire through linear gates."""
+    """Extend c^λ from input/mul wires to every wire through linear gates.
+
+    Layer-by-layer over the compiled program: each (layer, kind) run's
+    TEvals flatten into one engine batch (``teval_many`` is bit-identical
+    to a loop of single ``teval`` calls, so c^λ per wire — and therefore
+    every later transcript byte — is unchanged).
+    """
     tpk = setup.tpk
-    for w, gate in enumerate(circuit.gates):
-        if w in state.wire_cipher:
-            continue
-        if gate.kind is GateType.ADD:
-            a, b = gate.inputs
-            state.wire_cipher[w] = teval(
-                tpk, [state.wire_cipher[a], state.wire_cipher[b]], [1, 1]
-            )
-        elif gate.kind is GateType.SUB:
-            a, b = gate.inputs
-            state.wire_cipher[w] = teval(
-                tpk, [state.wire_cipher[a], state.wire_cipher[b]], [1, -1]
-            )
-        elif gate.kind is GateType.CADD:
-            # λ is unchanged by constant addition (the constant lands in μ).
-            state.wire_cipher[w] = state.wire_cipher[gate.inputs[0]]
-        elif gate.kind is GateType.CMUL:
-            state.wire_cipher[w] = teval(
-                tpk, [state.wire_cipher[gate.inputs[0]]], [gate.constant]
-            )
-        elif gate.kind is GateType.OUTPUT:
-            state.wire_cipher[w] = state.wire_cipher[gate.inputs[0]]
-        # INPUT/MUL wires were filled from committee R's contributions.
+    cipher = state.wire_cipher
+    constants = program.constants
+    for layer in program.layers:
+        for run in layer.runs:
+            kind = run.kind
+            if kind is GateType.ADD or kind is GateType.SUB:
+                coeffs = [1, 1] if kind is GateType.ADD else [1, -1]
+                results = teval_many(tpk, [
+                    ([cipher[a], cipher[b]], coeffs)
+                    for a, b in zip(run.src0, run.src1)
+                ])
+                for w, ct in zip(run.wires, results):
+                    cipher[w] = ct
+            elif kind is GateType.CMUL:
+                results = teval_many(tpk, [
+                    ([cipher[a]], [constants[ci]])
+                    for a, ci in zip(run.src0, run.const_index)
+                ])
+                for w, ct in zip(run.wires, results):
+                    cipher[w] = ct
+            elif kind is GateType.CADD or kind is GateType.OUTPUT:
+                # λ is unchanged by constant addition (the constant lands
+                # in μ) and OUTPUT merely exposes its source wire.
+                for w, a in zip(run.wires, run.src0):
+                    cipher[w] = cipher[a]
+            # INPUT/MUL wires were filled from committee R's contributions.
 
 
 def _pack_batches(
     setup: SetupArtifacts,
-    circuit: Circuit,
-    plan: BatchPlan,
+    program: CircuitProgram,
     state: OfflineState,
     helper_cipher: Mapping[tuple[int, str, int], PaillierCiphertext],
     tracer=None,
 ) -> None:
-    """Step 4: homomorphic Lagrange packing of masks and Γ per batch."""
+    """Step 4: homomorphic Lagrange packing of masks and Γ.
+
+    One engine batch per (depth layer, pack kind): every batch at a depth
+    contributes its n Lagrange rows to a single ``teval_many`` call of
+    ``batches·n`` groups — n·(k+t) exponentiations per batch, flattened.
+    The per-group values and coefficient rows are exactly the historical
+    per-batch ones, so the packed ciphertexts are bit-identical.
+    """
     params = setup.params
     tpk = setup.tpk
     k, t, n = params.k, params.t, params.n
     points = secret_slots(k) + list(range(1, t + 1))
     rows = lagrange_basis_rows(setup.ring, points, targets=list(range(1, n + 1)))
+    coeff_rows = [[int(c) for c in row] for row in rows]
     zero = trivial_zero_ciphertext(tpk)
 
-    for batch in plan.mul_batches:
+    for depth in program.mul_depths:
+        batches = program.depth_batches[depth]
         with maybe_span(
-            tracer, f"pack-batch-{batch.batch_id}", kind=KIND_BATCH,
-            phase="offline", batch=batch.batch_id, depth=batch.depth,
-            stage="pack", gates=len(batch.gate_wires),
+            tracer, f"pack-depth-{depth}", kind=KIND_BATCH,
+            phase="offline", depth=depth, stage="pack",
+            batches=len(batches),
+            gates=len(program.muls_by_depth[depth]),
         ):
-            sources = {
-                "left": [state.wire_cipher[w] for w in batch.left_wires],
-                "right": [state.wire_cipher[w] for w in batch.right_wires],
-                "gamma": [state.gamma_cipher[w] for w in batch.gate_wires],
-            }
             for kind in PACK_KINDS:
-                values = list(sources[kind])
-                values += [zero] * (k - len(values))  # pad short batches
-                values += [
-                    helper_cipher[(batch.batch_id, kind, h)] for h in range(t)
-                ]
-                # The packing workhorse: all n rows of one pack flatten into
-                # a single engine batch of n·(k+t) exponentiations.
-                state.packed_cipher[(batch.batch_id, kind)] = teval_many(
-                    tpk, [(values, [int(c) for c in row]) for row in rows]
-                )
+                groups = []
+                for batch in batches:
+                    if kind == "left":
+                        values = [state.wire_cipher[w] for w in batch.left_wires]
+                    elif kind == "right":
+                        values = [state.wire_cipher[w] for w in batch.right_wires]
+                    else:
+                        values = [state.gamma_cipher[w] for w in batch.gate_wires]
+                    values += [zero] * (k - len(values))  # pad short batches
+                    values += [
+                        helper_cipher[(batch.batch_id, kind, h)] for h in range(t)
+                    ]
+                    groups.extend((values, row) for row in coeff_rows)
+                packed = teval_many(tpk, groups)
+                for i, batch in enumerate(batches):
+                    state.packed_cipher[(batch.batch_id, kind)] = packed[
+                        i * n : (i + 1) * n
+                    ]

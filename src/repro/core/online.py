@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import BatchPlan
+from repro.circuits.program import CircuitProgram, compile_circuit
 from repro.core.offline import PACK_KINDS, OfflineState, _posts_by_index
 from repro.core.oracle import MuShareOracle
 from repro.core.reencrypt import (
@@ -83,51 +83,69 @@ register_kind(
 
 
 class MuTracker:
-    """Public μ bookkeeping: every observer can maintain this identically."""
+    """Public μ bookkeeping: every observer can maintain this identically.
 
-    def __init__(self, setup: SetupArtifacts, circuit: Circuit):
+    Backed by a wire-indexed array driven by the compiled program's
+    layer/run structure, so :meth:`propagate` is one tight loop per
+    (layer, kind) run rather than a per-gate dict walk.  Accepts a bare
+    :class:`Circuit` (compiled at k=1) for unit tests and tooling.
+    """
+
+    def __init__(self, setup: SetupArtifacts, circuit: Circuit | CircuitProgram):
         self.ring = setup.ring
-        self.circuit = circuit
-        self.mu: dict[int, ZmodElement] = {}
+        program = (
+            circuit if isinstance(circuit, CircuitProgram)
+            else compile_circuit(circuit, 1)
+        )
+        self.program = program
+        self.circuit = program.circuit
+        self._mu: list[ZmodElement | None] = [None] * program.n_gates
+        self._constants = [self.ring.element(c) for c in program.constants]
 
     def set(self, wire: int, value: int | ZmodElement) -> None:
-        self.mu[wire] = self.ring.element(value)
+        self._mu[wire] = self.ring.element(value)
 
     def known(self, wire: int) -> bool:
-        return wire in self.mu
+        return self._mu[wire] is not None
 
     def get(self, wire: int) -> ZmodElement:
-        if wire not in self.mu:
+        value = self._mu[wire]
+        if value is None:
             raise ProtocolAbortError(f"μ for wire {wire} not yet public")
-        return self.mu[wire]
+        return value
 
     def propagate(self) -> None:
         """Push μ through linear gates as far as currently possible."""
-        gates = self.circuit.gates
-        for w, gate in enumerate(gates):
-            if w in self.mu:
-                continue
-            if gate.kind is GateType.ADD:
-                a, b = gate.inputs
-                if a in self.mu and b in self.mu:
-                    self.mu[w] = self.mu[a] + self.mu[b]
-            elif gate.kind is GateType.SUB:
-                a, b = gate.inputs
-                if a in self.mu and b in self.mu:
-                    self.mu[w] = self.mu[a] - self.mu[b]
-            elif gate.kind is GateType.CADD:
-                (a,) = gate.inputs
-                if a in self.mu:
+        mu = self._mu
+        constants = self._constants
+        for layer in self.program.layers:
+            for run in layer.runs:
+                kind = run.kind
+                if kind is GateType.ADD:
+                    for w, a, b in zip(run.wires, run.src0, run.src1):
+                        if mu[w] is None:
+                            va, vb = mu[a], mu[b]
+                            if va is not None and vb is not None:
+                                mu[w] = va + vb
+                elif kind is GateType.SUB:
+                    for w, a, b in zip(run.wires, run.src0, run.src1):
+                        if mu[w] is None:
+                            va, vb = mu[a], mu[b]
+                            if va is not None and vb is not None:
+                                mu[w] = va - vb
+                elif kind is GateType.CADD:
                     # v+c − λ = μ + c: constants land in μ, λ is unchanged.
-                    self.mu[w] = self.mu[a] + self.ring.element(gate.constant)
-            elif gate.kind is GateType.CMUL:
-                (a,) = gate.inputs
-                if a in self.mu:
-                    self.mu[w] = self.mu[a] * self.ring.element(gate.constant)
-            elif gate.kind is GateType.OUTPUT:
-                (a,) = gate.inputs
-                if a in self.mu:
-                    self.mu[w] = self.mu[a]
+                    for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                        if mu[w] is None and mu[a] is not None:
+                            mu[w] = mu[a] + constants[ci]
+                elif kind is GateType.CMUL:
+                    for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                        if mu[w] is None and mu[a] is not None:
+                            mu[w] = mu[a] * constants[ci]
+                elif kind is GateType.OUTPUT:
+                    for w, a in zip(run.wires, run.src0):
+                        if mu[w] is None and mu[a] is not None:
+                            mu[w] = mu[a]
 
 
 @dataclass
@@ -153,27 +171,29 @@ class OnlineState:
 def sample_online_committees(
     env: ProtocolEnvironment,
     setup: SetupArtifacts,
-    circuit: Circuit,
+    program: Circuit | CircuitProgram,
 ) -> OnlineState:
     """Sample every online committee and client role (keys now known)."""
+    if isinstance(program, Circuit):
+        program = compile_circuit(program, setup.params.k)
     committees = {ONLINE_KEYS: env.sample_committee(ONLINE_KEYS, setup.params.n)}
     for depth in setup.mul_depths:
         name = mul_committee_name(depth)
         committees[name] = env.sample_committee(name, setup.params.n)
     committees[ONLINE_OUT] = env.sample_committee(ONLINE_OUT, setup.params.n)
     clients = {
-        name: env.client(client_tag(name))
-        for name in circuit.input_clients()
+        segment.client: env.client(client_tag(segment.client))
+        for segment in program.input_segments
     }
     out_clients = {
-        name: env.client(f"client-out:{name}")
-        for name in circuit.output_clients()
+        segment.client: env.client(f"client-out:{segment.client}")
+        for segment in program.output_segments
     }
     return OnlineState(
         committees=committees,
         client_roles=clients,
         output_client_roles=out_clients,
-        tracker=MuTracker(setup, circuit),
+        tracker=MuTracker(setup, program),
         oracle=MuShareOracle(),
     )
 
@@ -183,8 +203,7 @@ def run_online(
     setup: SetupArtifacts,
     offline: OfflineState,
     online: OnlineState,
-    circuit: Circuit,
-    plan: BatchPlan,
+    program: CircuitProgram,
     inputs: Mapping[str, Sequence[int]],
     rng: random.Random,
 ) -> dict[str, list[int]]:
@@ -193,6 +212,7 @@ def run_online(
     params = setup.params
     tpk = setup.tpk
     proof_params = setup.proof_params
+    circuit = program.circuit
 
     # ---- Future key distribution (committee Con-keys) -----------------------
 
@@ -204,8 +224,10 @@ def run_online(
         name = mul_committee_name(depth)
         for i in range(1, params.n + 1):
             kff_targets[role_tag(name, i)] = online.committees[name].role(i).public_key
-    for client in circuit.input_clients():
-        kff_targets[client_tag(client)] = online.client_roles[client].public_key
+    for segment in program.input_segments:
+        kff_targets[client_tag(segment.client)] = online.client_roles[
+            segment.client
+        ].public_key
 
     bridge_set = verified_contributors(
         tpk, offline.bridge_resharings, offline.verifications[2],
@@ -277,8 +299,9 @@ def run_online(
         ]
         return entry.recover_secret(unchunk_integer(limbs, chunk_bits))
 
-    for client in circuit.input_clients():
-        wires = circuit.inputs_of_client(client)
+    for segment in program.input_segments:
+        client = segment.client
+        wires = list(segment.wires)
         supplied = list(inputs.get(client, []))
         if len(supplied) != len(wires):
             raise ProtocolAbortError(
@@ -317,12 +340,11 @@ def run_online(
     # ---- Multiplication committees, one per depth -----------------------------
 
     scheme = PackedShamirScheme(setup.ring, params.n, params.k)
-    batches_by_depth = plan.batches_by_depth()
 
     for depth in setup.mul_depths:
         name = mul_committee_name(depth)
         committee = online.committees[name]
-        batches = batches_by_depth[depth]
+        batches = program.depth_batches[depth]
 
         def program_mul(view, name=name, batches=batches, depth=depth):
             kff_sk = recover_kff_secret(

@@ -22,7 +22,8 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.accounting.comm import CommMeter
 from repro.accounting.report import CommReport
 from repro.circuits.circuit import Circuit
-from repro.circuits.layering import BatchPlan, plan_batches
+from repro.circuits.layering import BatchPlan
+from repro.circuits.program import CircuitProgram, compile_circuit
 from repro.core.offline import (
     OfflineState,
     run_offline,
@@ -67,6 +68,9 @@ class MpcResult:
     #: The run's bulletin board — the delivered envelopes the symbolic
     #: cost model cross-checks byte-for-byte (repro.accounting.symbolic).
     bulletin: Any = None
+    #: The compiled program the evaluators executed (``plan`` is its
+    #: packing layout, kept as a separate field for existing consumers).
+    program: CircuitProgram | None = None
 
     def report(self, label: str = "yoso-mpc") -> CommReport:
         return CommReport.from_meter(
@@ -130,7 +134,7 @@ class YosoMpc:
         inputs: Mapping[str, Sequence[int]],
     ) -> MpcResult:
         """Execute setup + offline + online on ``circuit`` with ``inputs``."""
-        plan = plan_batches(circuit, self.params.k)
+        program = compile_circuit(circuit, self.params.k)
         assignment = IdealRoleAssignment(
             key_bits=self.params.role_key_bits, rng=self.rng
         )
@@ -150,9 +154,9 @@ class YosoMpc:
         try:
             with _hooks.activated(tracer), _engine_mod.activated(engine):
                 with maybe_span(tracer, "setup", kind=KIND_PHASE, phase="setup"):
-                    setup = run_setup(env, self.params, circuit, plan, self.rng)
+                    setup = run_setup(env, self.params, program, self.rng)
                     offline_committees = sample_offline_committees(env, self.params)
-                    online = sample_online_committees(env, setup, circuit)
+                    online = sample_online_committees(env, setup, program)
 
                 if self.adversary_factory is not None:
                     env.adversary = self.adversary_factory(
@@ -161,19 +165,19 @@ class YosoMpc:
 
                 with maybe_span(tracer, "offline", kind=KIND_PHASE, phase="offline"):
                     offline = run_offline(
-                        env, setup, circuit, plan, self.rng,
+                        env, setup, program, self.rng,
                         committees=offline_committees,
                     )
                 with maybe_span(
                     tracer, "reencryption-bridge", kind=KIND_PHASE, phase="offline"
                 ):
                     run_reencryption_bridge(
-                        env, setup, offline, circuit, plan,
+                        env, setup, offline, program,
                         online.committees[ONLINE_KEYS].public_keys(), self.rng,
                     )
                 with maybe_span(tracer, "online", kind=KIND_PHASE, phase="online"):
                     outputs = run_online(
-                        env, setup, offline, online, circuit, plan, inputs, self.rng
+                        env, setup, offline, online, program, inputs, self.rng
                     )
         finally:
             if owns_engine:
@@ -184,7 +188,7 @@ class YosoMpc:
             outputs=outputs,
             params=self.params,
             circuit=circuit,
-            plan=plan,
+            plan=program.plan,
             meter=env.meter,
             setup=setup,
             offline=offline,
@@ -192,6 +196,7 @@ class YosoMpc:
             trace=tracer,
             transport=transport,
             bulletin=env.bulletin,
+            program=program,
         )
         # Honest metered runs double as validation oracles: every envelope
         # on the board must match its closed-form size formula exactly.

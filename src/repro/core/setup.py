@@ -19,8 +19,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.circuits.circuit import Circuit
-from repro.circuits.layering import BatchPlan
+from repro.circuits.program import CircuitProgram
 from repro.core.params import ProtocolParams
 from repro.errors import ParameterError
 from repro.fields.ring import Zmod
@@ -116,11 +115,15 @@ class SetupArtifacts:
 def run_setup(
     env: ProtocolEnvironment,
     params: ProtocolParams,
-    circuit: Circuit,
-    plan: BatchPlan,
+    program: CircuitProgram,
     rng: random.Random,
 ) -> SetupArtifacts:
-    """Execute the setup functionality and publish its outputs."""
+    """Execute the setup functionality and publish its outputs.
+
+    ``program`` is the compiled circuit (:func:`compile_circuit` /
+    :meth:`Circuit.program`); setup reads its depth schedule and client
+    segments.
+    """
     env.set_phase("setup")
     proof_params = ProofParams.for_modulus_bits(
         min(params.te_bits, params.role_key_bits)
@@ -131,7 +134,7 @@ def run_setup(
     ring = Zmod(tpk.n, assume_prime=False)
     chunk_bits = safe_chunk_bits(tpk.n)
 
-    depths = tuple(sorted({b.depth for b in plan.mul_batches}))
+    depths = program.mul_depths
     kff: dict[str, KffEntry] = {}
 
     def make_kff(tag: str) -> None:
@@ -145,8 +148,8 @@ def run_setup(
     for depth in depths:
         for i in range(1, params.n + 1):
             make_kff(role_tag(mul_committee_name(depth), i))
-    for client in circuit.input_clients():
-        make_kff(client_tag(client))
+    for segment in program.input_segments:
+        make_kff(client_tag(segment.client))
 
     # Publish: tpk, verification keys, and the KFF registry (public parts +
     # tpk-encrypted secrets).  Posted by the setup functionality itself.

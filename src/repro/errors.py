@@ -61,6 +61,15 @@ class CircuitError(ReproError, ValueError):
     """Arithmetic-circuit construction or evaluation error."""
 
 
+class CircuitFormatError(CircuitError):
+    """A serialized circuit document has an unknown or malformed format.
+
+    Distinct from :class:`CircuitError` so deserializers can tell "this
+    document is from a future/unknown format version" apart from "this
+    circuit is structurally invalid".
+    """
+
+
 class YosoError(ReproError):
     """YOSO runtime invariant violated."""
 

@@ -51,7 +51,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.accounting.comm import CommMeter
 from repro.circuits.circuit import Circuit, GateType
-from repro.circuits.layering import MultiplicationBatch, plan_batches
+from repro.circuits.program import compile_circuit
 from repro.errors import ParameterError, ProtocolAbortError
 from repro.fields.lagrange import lagrange_coefficients
 from repro.fields.ring import Zmod, ZmodElement
@@ -148,15 +148,16 @@ class ItYosoMpc:
     def run(
         self, circuit: Circuit, inputs: Mapping[str, Sequence[int]]
     ) -> ItYosoResult:
-        plan = plan_batches(circuit, self.k)
+        program = compile_circuit(circuit, self.k)
         env = ProtocolEnvironment(
             assignment=IdealRoleAssignment(key_bits=32, rng=self.rng),
             adversary=self.adversary,
             rng=self.rng,
         )
         ring, scheme, n, k, d = self.ring, self.scheme, self.n, self.k, self.d
-        batches = list(plan.mul_batches)
-        depths = sorted({b.depth for b in batches})
+        batches = list(program.plan.mul_batches)
+        depths = list(program.mul_depths)
+        const_cache = [ring.element(c) for c in program.constants]
 
         p1 = env.sample_committee("It-P1", n)
         p2 = env.sample_committee("It-P2", n)
@@ -168,23 +169,30 @@ class ItYosoMpc:
         # ---- P1: mask contributions ------------------------------------------
 
         env.set_phase("offline")
-        mask_wires = list(circuit.input_wires) + list(circuit.multiplication_wires)
+        mask_wires = list(program.mask_wires)
 
         def propagate_contribution(contrib: dict[int, ZmodElement]) -> None:
-            """Extend one member's mask contributions through linear gates."""
-            for w, gate in enumerate(circuit.gates):
-                if w in contrib:
-                    continue
-                if gate.kind is GateType.ADD:
-                    contrib[w] = contrib[gate.inputs[0]] + contrib[gate.inputs[1]]
-                elif gate.kind is GateType.SUB:
-                    contrib[w] = contrib[gate.inputs[0]] - contrib[gate.inputs[1]]
-                elif gate.kind is GateType.CADD:
-                    contrib[w] = contrib[gate.inputs[0]]
-                elif gate.kind is GateType.CMUL:
-                    contrib[w] = contrib[gate.inputs[0]] * ring.element(gate.constant)
-                elif gate.kind is GateType.OUTPUT:
-                    contrib[w] = contrib[gate.inputs[0]]
+            """Extend one member's mask contributions through linear gates.
+
+            Every input/mul wire already has a contribution, so one pass over
+            the compiled layers resolves all remaining wires — tight loops
+            over the run arrays, no per-gate dispatch.
+            """
+            for layer in program.layers:
+                for run in layer.runs:
+                    kind = run.kind
+                    if kind is GateType.ADD:
+                        for w, a, b in zip(run.wires, run.src0, run.src1):
+                            contrib[w] = contrib[a] + contrib[b]
+                    elif kind is GateType.SUB:
+                        for w, a, b in zip(run.wires, run.src0, run.src1):
+                            contrib[w] = contrib[a] - contrib[b]
+                    elif kind is GateType.CMUL:
+                        for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                            contrib[w] = contrib[a] * const_cache[ci]
+                    elif kind is GateType.CADD or kind is GateType.OUTPUT:
+                        for w, a in zip(run.wires, run.src0):
+                            contrib[w] = contrib[a]
 
         def pad(values: list[ZmodElement]) -> list[ZmodElement]:
             return values + [ring.zero] * (k - len(values))
@@ -294,22 +302,35 @@ class ItYosoMpc:
         mu: dict[int, ZmodElement] = {}
 
         def propagate_mu() -> None:
-            for w, gate in enumerate(circuit.gates):
-                if w in mu:
-                    continue
-                if gate.kind is GateType.ADD and all(x in mu for x in gate.inputs):
-                    mu[w] = mu[gate.inputs[0]] + mu[gate.inputs[1]]
-                elif gate.kind is GateType.SUB and all(x in mu for x in gate.inputs):
-                    mu[w] = mu[gate.inputs[0]] - mu[gate.inputs[1]]
-                elif gate.kind is GateType.CADD and gate.inputs[0] in mu:
-                    mu[w] = mu[gate.inputs[0]] + ring.element(gate.constant)
-                elif gate.kind is GateType.CMUL and gate.inputs[0] in mu:
-                    mu[w] = mu[gate.inputs[0]] * ring.element(gate.constant)
-                elif gate.kind is GateType.OUTPUT and gate.inputs[0] in mu:
-                    mu[w] = mu[gate.inputs[0]]
+            # Availability-checked: wires behind an unopened multiplication
+            # stay unknown until that depth's committee reconstructs them.
+            for layer in program.layers:
+                for run in layer.runs:
+                    kind = run.kind
+                    if kind is GateType.ADD:
+                        for w, a, b in zip(run.wires, run.src0, run.src1):
+                            if w not in mu and a in mu and b in mu:
+                                mu[w] = mu[a] + mu[b]
+                    elif kind is GateType.SUB:
+                        for w, a, b in zip(run.wires, run.src0, run.src1):
+                            if w not in mu and a in mu and b in mu:
+                                mu[w] = mu[a] - mu[b]
+                    elif kind is GateType.CADD:
+                        for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                            if w not in mu and a in mu:
+                                mu[w] = mu[a] + const_cache[ci]
+                    elif kind is GateType.CMUL:
+                        for w, a, ci in zip(run.wires, run.src0, run.const_index):
+                            if w not in mu and a in mu:
+                                mu[w] = mu[a] * const_cache[ci]
+                    elif kind is GateType.OUTPUT:
+                        for w, a in zip(run.wires, run.src0):
+                            if w not in mu and a in mu:
+                                mu[w] = mu[a]
 
-        for client in circuit.input_clients():
-            wires = circuit.inputs_of_client(client)
+        for segment in program.input_segments:
+            client = segment.client
+            wires = list(segment.wires)
             supplied = list(inputs.get(client, []))
             if len(supplied) != len(wires):
                 raise ProtocolAbortError(
@@ -336,9 +357,7 @@ class ItYosoMpc:
         propagate_mu()
 
         product_degree = self.t + 2 * (self.k - 1)
-        by_depth: dict[int, list[MultiplicationBatch]] = {}
-        for batch in batches:
-            by_depth.setdefault(batch.depth, []).append(batch)
+        by_depth = program.depth_batches
 
         for depth in depths:
             committee = mul_committees[depth]

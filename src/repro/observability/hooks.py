@@ -55,6 +55,10 @@ WIRE_SOCKET_BYTES_IN = "wire.socket.bytes_in"      # bytes received back
 WIRE_SOCKET_TIMEOUTS = "wire.socket.timeouts"      # posts unresolved at deadline
 WIRE_SOCKET_WORKERS = "wire.socket.workers"        # worker processes started
 
+CIRCUIT_COMPILES = "circuit.compiles"              # programs lowered from circuits
+CIRCUIT_COMPILED_GATES = "circuit.compiled_gates"  # gates across those compiles
+CIRCUIT_COMPILE_CACHE_HITS = "circuit.compile_cache_hits"  # memoized programs served
+
 ENGINE_BATCHES = "engine.batches"          # pow_many calls, any engine
 ENGINE_JOBS = "engine.jobs"                # exponentiations routed through it
 ENGINE_POOL_BATCHES = "engine.pool_batches"  # batches dispatched to the pool

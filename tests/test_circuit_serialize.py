@@ -9,13 +9,20 @@ from hypothesis import given, settings, strategies as st
 from repro.circuits import (
     circuit_from_dict,
     circuit_to_dict,
+    compile_circuit,
     digest,
     dot_product_circuit,
     dumps,
+    dumps_program,
     loads,
+    loads_program,
+    program_from_dict,
+    program_to_dict,
     random_circuit,
+    second_price_auction_circuit,
 )
-from repro.errors import CircuitError
+from repro.circuits.program import _CACHE_ATTR
+from repro.errors import CircuitError, CircuitFormatError
 from repro.fields import Zmod
 
 F = Zmod((1 << 61) - 1)
@@ -80,6 +87,18 @@ class TestValidation:
         with pytest.raises(CircuitError):
             circuit_from_dict(doc)
 
+    def test_unknown_version_distinct_error(self):
+        doc = circuit_to_dict(dot_product_circuit(2))
+        doc["version"] = 99
+        with pytest.raises(CircuitFormatError):
+            circuit_from_dict(doc)
+
+    def test_version_1_still_loads(self):
+        doc = circuit_to_dict(dot_product_circuit(2))
+        doc["version"] = 1
+        rebuilt = circuit_from_dict(doc)
+        assert len(rebuilt.gates) == len(dot_product_circuit(2).gates)
+
     def test_unknown_gate_kind_rejected(self):
         doc = circuit_to_dict(dot_product_circuit(2))
         doc["gates"][0]["kind"] = "teleport"
@@ -94,6 +113,98 @@ class TestValidation:
         ]}
         with pytest.raises(CircuitError):
             circuit_from_dict(doc)
+
+
+class TestProgramDocuments:
+    def test_program_roundtrip_is_exact(self):
+        circuit = second_price_auction_circuit(6, ["a", "b", "c"])
+        program = compile_circuit(circuit, 3)
+        text = dumps_program(program)
+        rebuilt = loads_program(text)
+        assert rebuilt.k == program.k
+        assert rebuilt.layers == program.layers
+        assert rebuilt.constants == program.constants
+        assert rebuilt.level_of_wire == program.level_of_wire
+        assert rebuilt.plan.mul_batches == program.plan.mul_batches
+        assert rebuilt.plan.input_batches == program.plan.input_batches
+        assert rebuilt.mul_wires == program.mul_wires
+        assert rebuilt.mask_wires == program.mask_wires
+        assert rebuilt.input_segments == program.input_segments
+        assert rebuilt.output_segments == program.output_segments
+        assert dict(rebuilt.muls_by_depth) == dict(program.muls_by_depth)
+        assert dumps_program(rebuilt) == text
+
+    def test_loaded_program_primes_compile_cache(self):
+        program = compile_circuit(dot_product_circuit(4), 2)
+        rebuilt = loads_program(dumps_program(program))
+        cache = rebuilt.circuit.__dict__[_CACHE_ATTR]
+        assert cache[2][1] is rebuilt
+        assert compile_circuit(rebuilt.circuit, 2) is rebuilt
+
+    def test_loaded_program_evaluates_identically(self):
+        circuit = dot_product_circuit(3)
+        rebuilt = loads_program(dumps_program(compile_circuit(circuit, 2)))
+        inputs = {"alice": [1, 2, 3], "bob": [4, 5, 6]}
+        assert (
+            rebuilt.evaluate(F, inputs).outputs
+            == circuit.evaluate(F, inputs).outputs
+        )
+
+    def test_digest_excludes_program_section(self):
+        circuit = dot_product_circuit(3)
+        program = compile_circuit(circuit, 2)
+        rebuilt = loads_program(dumps_program(program))
+        assert digest(rebuilt.circuit) == digest(circuit)
+
+    def test_v1_document_has_no_program(self):
+        doc = circuit_to_dict(dot_product_circuit(2))
+        doc["version"] = 1
+        with pytest.raises(CircuitFormatError):
+            program_from_dict(doc)
+
+    def test_missing_program_section_rejected(self):
+        doc = circuit_to_dict(dot_product_circuit(2))
+        with pytest.raises(CircuitError):
+            program_from_dict(doc)
+
+    def test_tampered_layers_rejected(self):
+        doc = program_to_dict(compile_circuit(dot_product_circuit(3), 2))
+        doc["program"]["layers"][0][0]["wires"][0] = 999
+        with pytest.raises(CircuitError):
+            program_from_dict(doc)
+
+    def test_tampered_batches_rejected(self):
+        doc = program_to_dict(compile_circuit(dot_product_circuit(3), 2))
+        doc["program"]["mul_batches"][0]["gate_wires"] = [0]
+        with pytest.raises(CircuitError):
+            program_from_dict(doc)
+
+    def test_bad_program_json_rejected(self):
+        with pytest.raises(CircuitError):
+            loads_program("{broken")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1 << 30),
+    k=st.integers(min_value=1, max_value=4),
+)
+def test_program_roundtrip_property(seed, k):
+    rng = random.Random(seed)
+    circuit = random_circuit(rng, n_inputs=3, n_gates=15, n_clients=2)
+    program = compile_circuit(circuit, k)
+    text = dumps_program(program)
+    rebuilt = loads_program(text)
+    assert dumps_program(rebuilt) == text
+    inputs = {
+        f"client{i}": [
+            rng.randrange(50) for _ in circuit.inputs_of_client(f"client{i}")
+        ]
+        for i in range(2)
+    }
+    assert (
+        rebuilt.evaluate(F, inputs).outputs == circuit.evaluate(F, inputs).outputs
+    )
 
 
 @settings(max_examples=20, deadline=None)

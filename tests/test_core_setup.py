@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.circuits import dot_product_circuit, plan_batches
+from repro.circuits import compile_circuit, dot_product_circuit
 from repro.core import ProtocolParams, client_tag, mul_committee_name, role_tag
 from repro.core.setup import run_setup, trivial_zero_ciphertext
 from repro.errors import ParameterError
@@ -17,11 +17,11 @@ def setup_world():
     rng = random.Random(404)
     params = ProtocolParams.from_gap(5, 0.25)
     circuit = dot_product_circuit(3)
-    plan = plan_batches(circuit, params.k)
+    program = compile_circuit(circuit, params.k)
     env = ProtocolEnvironment(
         assignment=IdealRoleAssignment(key_bits=64, rng=rng), rng=rng
     )
-    setup = run_setup(env, params, circuit, plan, rng)
+    setup = run_setup(env, params, program, rng)
     return env, params, circuit, setup
 
 

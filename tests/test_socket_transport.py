@@ -137,13 +137,13 @@ class TestKeyRingBootstrap:
 
     def test_fresh_process_reencodes_setup_keys_identically(self, tmp_path):
         # Produce a real setup-keys envelope in *this* process.
-        from repro.circuits.layering import plan_batches
+        from repro.circuits.program import compile_circuit
         from repro.core.setup import run_setup
         from repro.yoso import ProtocolEnvironment
 
         params = ProtocolParams.from_gap(6, 0.25)
         env = ProtocolEnvironment(rng=random.Random(7))
-        run_setup(env, params, CIRCUIT, plan_batches(CIRCUIT, params.k),
+        run_setup(env, params, compile_circuit(CIRCUIT, params.k),
                   random.Random(7))
         posts = env.bulletin.with_tag("setup-keys")
         assert len(posts) == 1
