@@ -185,10 +185,13 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized shapes (seconds, not minutes)")
+    parser.add_argument("--xl", action="store_true",
+                        help="also run the 10^5-gate end-to-end inference")
     parser.add_argument("--k", type=int, default=8, help="packing factor")
     parser.add_argument("--out", default="BENCH_circuits.json")
     args = parser.parse_args(argv)
 
+    xl_sizes = [192, 160, 64, 10]          # >= 10^5 gates
     if args.smoke:
         inference_sizes = [12, 12, 8]      # ~800 gates
         comparison_sizes = [4, 4, 2]
@@ -205,6 +208,10 @@ def main(argv=None):
         ("auction", auction),
         ("mlp-inference", mlp_circuit(inference_sizes)),
     ]
+    if not args.smoke:
+        # The 10^5-gate shape always rides the compile sweep (lowering is
+        # O(V+E)); its end-to-end evaluation is opt-in via --xl.
+        workloads.append(("mlp-inference-xl", mlp_circuit(xl_sizes)))
 
     print(f"compile sweep (k={args.k}):")
     report = {
@@ -223,6 +230,14 @@ def main(argv=None):
     if not args.smoke:
         assert report["inference"]["gates"] >= 10_000, \
             "the full-size inference circuit must clear 10^4 gates"
+
+    if args.xl and not args.smoke:
+        print("\npacked inference, 10^5-gate configuration:")
+        report["inference_xl"] = packed_inference(
+            xl_sizes, n=11, t=1, k=5, seed=13
+        )
+        assert report["inference_xl"]["gates"] >= 100_000, \
+            "the xl inference circuit must clear 10^5 gates"
 
     print("\npacked vs CDN baseline (same circuit, same committee):")
     report["vs_cdn"] = cdn_comparison(

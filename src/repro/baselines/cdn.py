@@ -356,22 +356,16 @@ class CdnYosoMpc:
                 tpk, resharings, contributor_set
             )
             gates_here = by_depth[depth]
-            eps_cipher = {
-                w: teval(
-                    tpk,
-                    [wire_cipher[circuit.gates[w].inputs[0]], beaver_a[w]],
-                    [1, 1],
-                )
+            # One engine batch per masked-opening kind instead of a teval
+            # per gate (teval_many is value-identical to the teval loop).
+            eps_cipher = dict(zip(gates_here, teval_many(tpk, [
+                ([wire_cipher[circuit.gates[w].inputs[0]], beaver_a[w]], [1, 1])
                 for w in gates_here
-            }
-            delta_cipher = {
-                w: teval(
-                    tpk,
-                    [wire_cipher[circuit.gates[w].inputs[1]], beaver_b[w]],
-                    [1, 1],
-                )
+            ])))
+            delta_cipher = dict(zip(gates_here, teval_many(tpk, [
+                ([wire_cipher[circuit.gates[w].inputs[1]], beaver_b[w]], [1, 1])
                 for w in gates_here
-            }
+            ])))
             next_name = chain[chain.index(name) + 1]
             hop_pks = committees[next_name].public_keys()
             local_resharings = resharings
@@ -410,6 +404,7 @@ class CdnYosoMpc:
             }
             epoch += 1
 
+            opened: list[tuple[int, int, int]] = []
             for w in gates_here:
                 eps_list = [
                     p["partials"][w]["eps"]
@@ -432,13 +427,16 @@ class CdnYosoMpc:
                     tpk, delta_cipher[w], delta_list, verifications[epoch],
                     proof_params,
                 )
-                # z = εδ − ε·b − δ·a + c
-                wire_cipher[w] = teval(
-                    tpk,
-                    [tpk.encrypt(eps * delta % tpk.n, randomness=1),
-                     beaver_b[w], beaver_a[w], beaver_c[w]],
-                    [1, -eps, -delta, 1],
-                )
+                opened.append((w, eps, delta))
+            # z = εδ − ε·b − δ·a + c, one engine batch across the depth.
+            z_cts = teval_many(tpk, [
+                ([tpk.encrypt(eps * delta % tpk.n, randomness=1),
+                  beaver_b[w], beaver_a[w], beaver_c[w]],
+                 [1, -eps, -delta, 1])
+                for w, eps, delta in opened
+            ])
+            for (w, _, _), ct in zip(opened, z_cts):
+                wire_cipher[w] = ct
             propagate_linear()
 
         # ---- Output: Re-encrypt* each output ciphertext to its client -------

@@ -25,7 +25,7 @@ from repro.circuits.program import CircuitProgram, compile_circuit
 from repro.errors import ParameterError, ProtocolAbortError
 from repro.fields.ring import Zmod, ZmodElement
 from repro.rng import fresh_rng
-from repro.sharing.packed import PackedShamirScheme, PackedShare
+from repro.sharing.packed import PackedShare, packed_scheme
 
 
 @dataclass
@@ -69,7 +69,7 @@ class TurbopackSimulator:
         self.k = k
         self.ring = Zmod(modulus)
         self.rng = rng if rng is not None else fresh_rng()
-        self.scheme = PackedShamirScheme(self.ring, n, k)
+        self.scheme = packed_scheme(self.ring, n, k)
 
     # -- dealer -------------------------------------------------------------
 
@@ -99,6 +99,10 @@ class TurbopackSimulator:
                     for w, a in zip(run.wires, run.src0):
                         lambdas[w] = lambdas[a]
         degree = self.t + self.k - 1
+        # All (batch, kind) vectors share one batched dealing; the rng
+        # stream matches the historical left/right/gamma per-batch order.
+        keys: list[tuple[int, str]] = []
+        vectors: list[list[ZmodElement]] = []
         for batch in program.plan.mul_batches:
             pad = self.k - len(batch.gate_wires)
             left = [prep.lambdas[w] for w in batch.left_wires] + [ring.zero] * pad
@@ -109,15 +113,12 @@ class TurbopackSimulator:
                     batch.left_wires, batch.right_wires, batch.gate_wires
                 )
             ] + [ring.zero] * pad
-            prep.packed[(batch.batch_id, "left")] = self.scheme.share(
-                left, degree=degree, rng=rng
-            )
-            prep.packed[(batch.batch_id, "right")] = self.scheme.share(
-                right, degree=degree, rng=rng
-            )
-            prep.packed[(batch.batch_id, "gamma")] = self.scheme.share(
-                gamma, degree=degree, rng=rng
-            )
+            for kind, vector in (("left", left), ("right", right), ("gamma", gamma)):
+                keys.append((batch.batch_id, kind))
+                vectors.append(vector)
+        prep.packed.update(
+            zip(keys, self.scheme.share_many(vectors, degree=degree, rng=rng))
+        )
         return prep
 
     # -- online -------------------------------------------------------------
@@ -168,14 +169,20 @@ class TurbopackSimulator:
         product_degree = self.t + 2 * (self.k - 1)
         for depth in program.mul_depths:
             batches = program.depth_batches[depth]
+            bases: list[list[PackedShare]] = []
             for batch in batches:
                 pad = self.k - len(batch.gate_wires)
                 mu_left = [mu[w] for w in batch.left_wires] + [ring.zero] * pad
                 mu_right = [mu[w] for w in batch.right_wires] + [ring.zero] * pad
+                # One cached-matrix product gives every party's canonical
+                # μ shares at once (this used to interpolate 2n times).
+                ml_sharing, mr_sharing = self.scheme.canonical_many(
+                    [mu_left, mu_right]
+                )
                 shares = []
                 for i in range(1, self.n + 1):
-                    ml = self.scheme.canonical_share_for(mu_left, i)
-                    mr = self.scheme.canonical_share_for(mu_right, i)
+                    ml = ml_sharing[i - 1]
+                    mr = mr_sharing[i - 1]
                     ll = prep.packed[(batch.batch_id, "left")][i - 1]
                     rr = prep.packed[(batch.batch_id, "right")][i - 1]
                     gg = prep.packed[(batch.batch_id, "gamma")][i - 1]
@@ -191,9 +198,11 @@ class TurbopackSimulator:
                     shares.append(
                         PackedShare(i, value, product_degree, self.k)
                     )
-                reconstructed = self.scheme.reconstruct(
-                    shares[: product_degree + 1], degree=product_degree
-                )
+                bases.append(shares[: product_degree + 1])
+            for batch, reconstructed in zip(
+                batches,
+                self.scheme.reconstruct_many(bases, degree=product_degree),
+            ):
                 # P1 broadcasts the k reconstructed μ values.
                 meter.record("online", "party1", "mu-broadcast", reconstructed)
                 for slot, w in enumerate(batch.gate_wires):

@@ -68,11 +68,10 @@ from repro.core.setup import (
 )
 from repro.engine.batch import encrypt_many, scalar_mul_many, teval_many
 from repro.errors import ProtocolAbortError
-from repro.fields.lagrange import lagrange_basis_rows
 from repro.nizk.sigma import MultiplicationProof, PlaintextKnowledgeProof
 from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.paillier.paillier import PaillierCiphertext, PaillierPublicKey
-from repro.sharing.packed import secret_slots
+from repro.sharing.packed import packed_scheme, secret_slots
 from repro.wire.registry import register_kind
 from repro.yoso.committees import Committee
 from repro.yoso.network import ProtocolEnvironment
@@ -661,9 +660,14 @@ def _pack_batches(
     params = setup.params
     tpk = setup.tpk
     k, t, n = params.k, params.t, params.n
-    points = secret_slots(k) + list(range(1, t + 1))
-    rows = lagrange_basis_rows(setup.ring, points, targets=list(range(1, n + 1)))
-    coeff_rows = [[int(c) for c in row] for row in rows]
+    points = tuple(secret_slots(k) + list(range(1, t + 1)))
+    # The packing rows are the sharing kernel's evaluation matrix for this
+    # geometry — cached on the shared scheme, so repeated runs (the
+    # service's epochs) skip the Lagrange pass entirely.
+    rows = packed_scheme(setup.ring, n, k).evaluation_rows(
+        points, tuple(range(1, n + 1))
+    )
+    coeff_rows = [list(row) for row in rows]
     zero = trivial_zero_ciphertext(tpk)
 
     for depth in program.mul_depths:

@@ -57,7 +57,7 @@ from repro.fields.ring import ZmodElement
 from repro.observability.tracer import KIND_BATCH, maybe_span
 from repro.paillier.encoding import safe_chunk_bits, unchunk_integer
 from repro.paillier.paillier import PaillierSecretKey
-from repro.sharing.packed import PackedShamirScheme, PackedShare
+from repro.sharing.packed import PackedShare, packed_scheme
 from repro.wire.registry import register_kind
 from repro.yoso.committees import Committee
 from repro.yoso.network import ProtocolEnvironment
@@ -339,7 +339,9 @@ def run_online(
 
     # ---- Multiplication committees, one per depth -----------------------------
 
-    scheme = PackedShamirScheme(setup.ring, params.n, params.k)
+    # Memoized per (modulus, n, k): the service's epoch loop reuses the
+    # precomputed sharing matrices across inner MPC runs.
+    scheme = packed_scheme(setup.ring, params.n, params.k)
 
     for depth in setup.mul_depths:
         name = mul_committee_name(depth)
@@ -374,8 +376,14 @@ def run_online(
                         )
                     mu_left = _padded_mu(online.tracker, batch.left_wires, params.k)
                     mu_right = _padded_mu(online.tracker, batch.right_wires, params.k)
-                    mu_l_i = scheme.canonical_share_for(mu_left, view.index).value
-                    mu_r_i = scheme.canonical_share_for(mu_right, view.index).value
+                    # Cached canonical matrix row: no re-interpolation over
+                    # the 2048-bit ring per batch.
+                    mu_l_i, mu_r_i = (
+                        s.value
+                        for s in scheme.canonical_many(
+                            [mu_left, mu_right], index=view.index
+                        )
+                    )
                     value = (
                         mu_l_i * mu_r_i
                         + mu_l_i * lam["right"]
@@ -444,10 +452,10 @@ def run_online(
                             f"verified μ shares, need "
                             f"{params.reconstruction_threshold}"
                         )
-                    mu_gamma = scheme.reconstruct(
-                        collected[: params.reconstruction_threshold],
+                    mu_gamma = scheme.reconstruct_many(
+                        [collected[: params.reconstruction_threshold]],
                         degree=params.product_degree,
-                    )
+                    )[0]
                 for slot, wire in enumerate(batch.gate_wires):
                     online.tracker.set(wire, mu_gamma[slot])
         online.tracker.propagate()

@@ -53,10 +53,9 @@ from repro.accounting.comm import CommMeter
 from repro.circuits.circuit import Circuit, GateType
 from repro.circuits.program import compile_circuit
 from repro.errors import ParameterError, ProtocolAbortError
-from repro.fields.lagrange import lagrange_coefficients
 from repro.fields.ring import Zmod, ZmodElement
 from repro.rng import fresh_rng
-from repro.sharing.packed import PackedShamirScheme, PackedShare, secret_slots
+from repro.sharing.packed import PackedShare, packed_scheme, secret_slots
 from repro.wire.registry import register_kind
 from repro.yoso.adversary import Adversary, honest_adversary
 from repro.yoso.assignment import IdealRoleAssignment
@@ -126,7 +125,8 @@ class ItYosoMpc:
         self.rng = rng if rng is not None else fresh_rng()
         self._honest = adversary is None
         self.adversary = adversary if adversary is not None else honest_adversary()
-        self.scheme = PackedShamirScheme(self.ring, n, k)
+        # Memoized per geometry: the kernel matrices survive across runs.
+        self.scheme = packed_scheme(self.ring, n, k)
 
     # -- share-transfer helper (the IT re-encrypt-to-the-future) -----------
 
@@ -135,13 +135,13 @@ class ItYosoMpc:
 
         For a degree-``source_degree`` sharing known at points 1..D+1, the
         secret at slot s is Σ_i λ_i(s)·σ_i; member ``index`` contributes
-        σ_i·(λ_i(slot_0), ..., λ_i(slot_{k-1})).
+        σ_i·(λ_i(slot_0), ..., λ_i(slot_{k-1})).  The λ rows come from the
+        scheme's cached evaluation matrices (one Lagrange pass per degree,
+        shared by every member and every batch).
         """
-        points = list(range(1, source_degree + 2))
-        return [
-            lagrange_coefficients(self.ring, points, at=slot)[index - 1]
-            for slot in secret_slots(self.k)
-        ]
+        points = tuple(range(1, source_degree + 2))
+        rows = self.scheme.evaluation_rows(points, tuple(secret_slots(self.k)))
+        return [self.ring.element(row[index - 1]) for row in rows]
 
     # -- main entry ----------------------------------------------------------
 
@@ -202,19 +202,27 @@ class ItYosoMpc:
                 w: ring.random(view.rng) for w in mask_wires
             }
             propagate_contribution(contrib)
-            deals: dict[tuple[int, str], list[int]] = {}
+            # One batched dealing for all (batch, kind) vectors: the rng
+            # stream and the share values match the historical per-sharing
+            # loop exactly (degrees d, d, 2d interleave per batch).
+            keys: list[tuple[int, str]] = []
+            vectors: list[list[ZmodElement]] = []
+            degrees: list[int] = []
             for batch in batches:
-                vectors = {
-                    "left": pad([contrib[w] for w in batch.left_wires]),
-                    "right": pad([contrib[w] for w in batch.right_wires]),
-                    "out_2d": pad([contrib[w] for w in batch.gate_wires]),
-                }
-                for kind, vector in vectors.items():
-                    degree = 2 * d if kind == "out_2d" else d
-                    sharing = scheme.share(vector, degree=degree, rng=view.rng)
-                    deals[(batch.batch_id, kind)] = [
-                        int(s.value) for s in sharing
-                    ]
+                for kind, vector in (
+                    ("left", pad([contrib[w] for w in batch.left_wires])),
+                    ("right", pad([contrib[w] for w in batch.right_wires])),
+                    ("out_2d", pad([contrib[w] for w in batch.gate_wires])),
+                ):
+                    keys.append((batch.batch_id, kind))
+                    vectors.append(vector)
+                    degrees.append(2 * d if kind == "out_2d" else d)
+            deals: dict[tuple[int, str], list[int]] = {
+                key: [int(s.value) for s in sharing]
+                for key, sharing in zip(
+                    keys, scheme.share_many(vectors, degree=degrees, rng=view.rng)
+                )
+            }
             client_masks = {
                 w: int(contrib[w])
                 for w in list(circuit.input_wires) + list(circuit.output_wires)
@@ -252,7 +260,14 @@ class ItYosoMpc:
 
         def program_p2(view) -> None:
             i = view.index
-            transfers: dict[tuple[int, str], list[int]] = {}
+            # The member's λ rows depend only on (degree, i): hoist them out
+            # of the batch loop.
+            rows = {
+                deg: self._transfer_row(deg, i) if i <= deg + 1 else None
+                for deg in (d, 2 * d)
+            }
+            keys: list[tuple[int, str]] = []
+            vectors: list[list[ZmodElement]] = []
             for batch in batches:
                 left = p2_share(batch.batch_id, "left", i)
                 right = p2_share(batch.batch_id, "right", i)
@@ -263,14 +278,17 @@ class ItYosoMpc:
                     ("right", right, d),
                     ("gamma", gamma_share, 2 * d),
                 ):
-                    if i > source_degree + 1:
+                    row = rows[source_degree]
+                    if row is None:
                         continue  # only D+1 contributors are needed
-                    row = self._transfer_row(source_degree, i)
-                    vector = [sigma * c for c in row]
-                    sharing = scheme.share(vector, degree=d, rng=view.rng)
-                    transfers[(batch.batch_id, kind)] = [
-                        int(s.value) for s in sharing
-                    ]
+                    keys.append((batch.batch_id, kind))
+                    vectors.append([sigma * c for c in row])
+            transfers: dict[tuple[int, str], list[int]] = {
+                key: [int(s.value) for s in sharing]
+                for key, sharing in zip(
+                    keys, scheme.share_many(vectors, degree=d, rng=view.rng)
+                )
+            }
             view.speak("It-P2", {"transfers": transfers})
 
         env.run_committee(p2, program_p2)
@@ -364,12 +382,17 @@ class ItYosoMpc:
 
             def program_mul(view, depth=depth) -> None:
                 i = view.index
-                shares_out = {}
+                # Both canonical μ shares of every batch at this depth come
+                # out of one cached-matrix product.
+                mu_vectors: list[list[ZmodElement]] = []
                 for batch in by_depth[depth]:
-                    mu_left = pad([mu[w] for w in batch.left_wires])
-                    mu_right = pad([mu[w] for w in batch.right_wires])
-                    ml = scheme.canonical_share_for(mu_left, i).value
-                    mr = scheme.canonical_share_for(mu_right, i).value
+                    mu_vectors.append(pad([mu[w] for w in batch.left_wires]))
+                    mu_vectors.append(pad([mu[w] for w in batch.right_wires]))
+                canonical = scheme.canonical_many(mu_vectors, index=i)
+                shares_out = {}
+                for pos, batch in enumerate(by_depth[depth]):
+                    ml = canonical[2 * pos].value
+                    mr = canonical[2 * pos + 1].value
                     ll = online_share(batch.batch_id, "left", i)
                     rr = online_share(batch.batch_id, "right", i)
                     gg = online_share(batch.batch_id, "gamma", i)
@@ -380,6 +403,7 @@ class ItYosoMpc:
 
             env.run_committee(committee, program_mul)
             posts = env.bulletin.by_sender(committee.name)
+            bases: list[list[PackedShare]] = []
             for batch in by_depth[depth]:
                 collected = []
                 for role in committee:
@@ -399,9 +423,12 @@ class ItYosoMpc:
                         f"batch {batch.batch_id}: {len(collected)} shares < "
                         f"{product_degree + 1}"
                     )
-                reconstructed = scheme.reconstruct(
-                    collected[: product_degree + 1], degree=product_degree
-                )
+                bases.append(collected[: product_degree + 1])
+            # One matrix product reconstructs every batch of the depth.
+            for batch, reconstructed in zip(
+                by_depth[depth],
+                scheme.reconstruct_many(bases, degree=product_degree),
+            ):
                 for slot, w in enumerate(batch.gate_wires):
                     mu[w] = reconstructed[slot]
             propagate_mu()

@@ -142,6 +142,12 @@ class EpochCoordinator:
         self.epoch = 0
         self.state: EpochState | None = None
         self.announcement: EpochAnnouncement | None = None
+        # Workload circuits depend only on the population size; successive
+        # epochs with the same head-count reuse the built circuit (the
+        # inner MPC's compiled program and packed-sharing matrices are
+        # likewise reused via their own caches keyed on the circuit and
+        # the scheme geometry).
+        self._circuit_cache: dict[int, object] = {}
 
     # -- committee sampling ---------------------------------------------------
 
@@ -235,7 +241,10 @@ class EpochCoordinator:
         contributors, totals = self._threshold_decrypt(aggregates)
 
         population = len(accepted)
-        circuit = self.workload.circuit(population)
+        circuit = self._circuit_cache.get(population)
+        if circuit is None:
+            circuit = self.workload.circuit(population)
+            self._circuit_cache[population] = circuit
         inner = run_mpc(
             circuit,
             self.workload.panel_inputs(totals, population),

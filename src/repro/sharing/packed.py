@@ -24,8 +24,10 @@ from typing import Iterable, Sequence
 
 from repro.errors import ParameterError, ReconstructionError, SharingError
 from repro.fields import Zmod, ZmodElement, random_polynomial
+from repro.fields.lagrange import lagrange_coefficients
 from repro.fields.polynomial import evaluate_from_points, interpolate
 from repro.observability import hooks as _hooks
+from repro.sharing.kernel import matmul_mod, resolve_backend
 
 
 def secret_slots(k: int) -> list[int]:
@@ -100,6 +102,9 @@ class PackedShare:
 
 PackedSharing = list[PackedShare]
 
+#: Precomputed Lagrange rows as plain ints (reduced mod the scheme modulus).
+_IntRows = tuple[tuple[int, ...], ...]
+
 
 class PackedShamirScheme:
     """Packed Shamir sharing for ``n`` parties, packing factor ``k``.
@@ -129,6 +134,11 @@ class PackedShamirScheme:
             raise ParameterError(
                 f"default degree {self.default_degree} outside [{k-1}, {n-1}]"
             )
+        # Batched-kernel matrix caches (instance-level on purpose: a fresh
+        # scheme for a different (n, d, k) geometry starts empty, so stale
+        # matrices can never leak across geometries).
+        self._dealing_cache: dict[int, tuple[tuple[int, ...], "_IntRows"]] = {}
+        self._eval_cache: dict[tuple[tuple[int, ...], tuple[int, ...]], "_IntRows"] = {}
 
     # -- dealing --------------------------------------------------------------
 
@@ -168,6 +178,99 @@ class PackedShamirScheme:
         value = evaluate_from_points(self.ring, points, at=index)
         _hooks.note(_hooks.SHARING_CANONICAL)
         return PackedShare(index, value, self.k - 1, self.k)
+
+    # -- batched kernel APIs (ISSUE 10) --------------------------------------
+
+    def share_many(
+        self,
+        secret_vectors: Sequence[Sequence[int | ZmodElement]],
+        degree: int | Sequence[int] | None = None,
+        rng=None,
+    ) -> list[PackedSharing]:
+        """Deal many packed sharings through one cached dealing matrix.
+
+        ``degree`` is a single degree for every vector or one degree per
+        vector (protocols interleave degrees d and 2d in a single rng
+        stream, so per-vector degrees are needed to keep the stream
+        identical to sequential :meth:`share` calls).  Bit-for-bit
+        equivalent to ``[self.share(v, d, rng) for v, d in ...]`` on every
+        backend: the random coefficients are drawn per vector in dealing
+        order, then the shares come out of one matrix product per degree.
+        """
+        vectors = [self._check_secrets(v) for v in secret_vectors]
+        degrees = self._check_degrees(degree, len(vectors))
+        backend = self._backend()
+        if backend == "legacy":
+            return [
+                self.share(v, degree=d, rng=rng)
+                for v, d in zip(vectors, degrees)
+            ]
+        # Draw the random columns first, in vector order: this is exactly
+        # the rng consumption of sequential share() calls.
+        columns: list[list[int]] = []
+        for vec, d in zip(vectors, degrees):
+            free = d + 1 - self.k
+            columns.append(
+                [int(v) for v in vec]
+                + [int(self.ring.random(rng)) for _ in range(free)]
+            )
+        out: list[PackedSharing | None] = [None] * len(vectors)
+        by_degree: dict[int, list[int]] = {}
+        for pos, d in enumerate(degrees):
+            by_degree.setdefault(d, []).append(pos)
+        for d, positions in by_degree.items():
+            _, rows = self._dealing_matrix(d)
+            shares = matmul_mod(
+                rows, [columns[p] for p in positions], self.ring.modulus, backend
+            )
+            for pos, values in zip(positions, shares):
+                _hooks.note(_hooks.SHARING_DEALT)
+                out[pos] = [
+                    PackedShare(i, ZmodElement(self.ring, v), d, self.k)
+                    for i, v in enumerate(values, start=1)
+                ]
+        return [sharing for sharing in out if sharing is not None]
+
+    def canonical_many(
+        self,
+        public_vectors: Sequence[Sequence[int | ZmodElement]],
+        index: int | None = None,
+    ) -> list[PackedSharing] | list[PackedShare]:
+        """Canonical degree-(k-1) sharings of many public vectors at once.
+
+        With ``index`` the result is one :class:`PackedShare` per vector
+        (party ``index``'s canonical share, as :meth:`canonical_share_for`
+        returns); without it, full canonical sharings.  One cached k-column
+        matrix serves every call on this geometry.
+        """
+        vectors = [self._check_secrets(v) for v in public_vectors]
+        backend = self._backend()
+        if backend == "legacy":
+            if index is None:
+                return [self.canonical_sharing(v) for v in vectors]
+            return [self.canonical_share_for(v, index) for v in vectors]
+        _, rows = self._dealing_matrix(self.k - 1)
+        if index is not None:
+            if not 1 <= index <= self.n:
+                raise ParameterError(f"party index {index} outside 1..{self.n}")
+            rows = (rows[index - 1],)
+        columns = [[int(v) for v in vec] for vec in vectors]
+        values = matmul_mod(rows, columns, self.ring.modulus, backend)
+        if index is not None:
+            # Mirror canonical_share_for's per-share counter (the full-
+            # sharing path mirrors canonical_sharing, which notes nothing).
+            _hooks.note(_hooks.SHARING_CANONICAL, len(vectors))
+            return [
+                PackedShare(index, ZmodElement(self.ring, vals[0]), self.k - 1, self.k)
+                for vals in values
+            ]
+        return [
+            [
+                PackedShare(i, ZmodElement(self.ring, v), self.k - 1, self.k)
+                for i, v in enumerate(vals, start=1)
+            ]
+            for vals in values
+        ]
 
     # -- reconstruction ---------------------------------------------------------
 
@@ -235,6 +338,81 @@ class PackedShamirScheme:
         _hooks.note(_hooks.SHARING_ROBUST_RECONSTRUCTED)
         return [poly(slot) for slot in secret_slots(self.k)]
 
+    def reconstruct_many(
+        self,
+        sharings: Sequence[Iterable[PackedShare]],
+        degree: int | None = None,
+    ) -> list[list[ZmodElement]]:
+        """Reconstruct many sharings through cached slot-evaluation matrices.
+
+        Semantics per sharing are identical to :meth:`reconstruct` —
+        deduplication with conflict detection, degree/packing checks,
+        redundant shares verified against the interpolant of the first
+        ``degree+1`` — but the Lagrange rows are computed once per distinct
+        base-point tuple and applied as one matrix product per group.
+        Validation runs in two passes (all sharings are deduped and
+        shape-checked before any consistency check fires), so when several
+        sharings are bad, which one raises first can differ from a
+        sequential loop; the error types and messages are the same.
+        """
+        backend = self._backend()
+        if backend == "legacy":
+            return [self.reconstruct(s, degree=degree) for s in sharings]
+        slots = secret_slots(self.k)
+        prepared: list[tuple[list[PackedShare], list[PackedShare], int]] = []
+        for sharing in sharings:
+            share_list = _dedupe(sharing)
+            if not share_list:
+                raise ReconstructionError("no shares supplied")
+            d = degree if degree is not None else share_list[0].degree
+            for s in share_list:
+                if s.degree != d:
+                    raise ReconstructionError(
+                        f"mixed degrees in reconstruction: {s.degree} vs {d}"
+                    )
+                if s.k != self.k:
+                    raise ReconstructionError(
+                        f"share with k={s.k} in k={self.k} scheme"
+                    )
+            if len(share_list) < d + 1:
+                raise ReconstructionError(
+                    f"need {d + 1} shares for degree {d}, got {len(share_list)}"
+                )
+            prepared.append((share_list[: d + 1], share_list[d + 1 :], d))
+        # Group by base-point tuple: committees post in a fixed order, so
+        # in practice every sharing of a batch shares one matrix.
+        by_points: dict[tuple[int, ...], list[int]] = {}
+        for pos, (base, _, _) in enumerate(prepared):
+            by_points.setdefault(tuple(s.index for s in base), []).append(pos)
+        results: list[list[ZmodElement] | None] = [None] * len(prepared)
+        modulus = self.ring.modulus
+        for xs, positions in by_points.items():
+            columns = [
+                [int(s.value) for s in prepared[pos][0]] for pos in positions
+            ]
+            # Redundant shares: evaluate the base interpolant at the extra
+            # indices and compare (the matrix analogue of poly(s.index)).
+            extra_targets = sorted(
+                {s.index for pos in positions for s in prepared[pos][1]}
+            )
+            if extra_targets:
+                check_rows = self.evaluation_rows(xs, tuple(extra_targets))
+                predicted = matmul_mod(check_rows, columns, modulus, backend)
+                at_index = {x: r for r, x in enumerate(extra_targets)}
+                for pos, values in zip(positions, predicted):
+                    for s in prepared[pos][1]:
+                        if values[at_index[s.index]] != int(s.value):
+                            raise ReconstructionError(
+                                f"share of party {s.index} inconsistent "
+                                f"with the others"
+                            )
+            slot_rows = self.evaluation_rows(xs, tuple(slots))
+            opened = matmul_mod(slot_rows, columns, modulus, backend)
+            for pos, values in zip(positions, opened):
+                _hooks.note(_hooks.SHARING_RECONSTRUCTED)
+                results[pos] = [ZmodElement(self.ring, v) for v in values]
+        return [r for r in results if r is not None]
+
     # -- local operations ----------------------------------------------------
 
     def add(self, a: PackedSharing, b: PackedSharing) -> PackedSharing:
@@ -267,15 +445,96 @@ class PackedShamirScheme:
                 f"public_product needs degree <= n-k={self.n - self.k}, "
                 f"got {sharing[0].degree}"
             )
+        # One canonical sharing of the public vector serves every party
+        # (historically this re-interpolated per share).
+        canonical = {s.index: s for s in self.canonical_many([public])[0]}
         return [
-            self.canonical_share_for(public, s.index) * s
+            (
+                canonical[s.index]
+                if s.index in canonical
+                else self.canonical_share_for(public, s.index)
+            )
+            * s
             for s in sharing
         ]
 
     def scale(self, sharing: PackedSharing, scalar) -> PackedSharing:
         return [s.scale(scalar) for s in sharing]
 
+    # -- kernel matrices ------------------------------------------------------
+
+    def dealing_points(self, degree: int) -> list[int]:
+        """Interpolation points of a degree-``degree`` dealing, legacy order.
+
+        The ``k`` secret slots first, then the ``degree+1-k`` extra points
+        where :func:`~repro.fields.polynomial.random_polynomial` places the
+        random values — reproducing its candidate scan exactly, so the
+        matrix path consumes and positions randomness identically.
+        """
+        slots = secret_slots(self.k)
+        used = set(slots)
+        extras: list[int] = []
+        candidate = 1
+        while len(extras) < degree + 1 - self.k:
+            while candidate in used or -candidate in used:
+                candidate += 1
+            extras.append(candidate)
+            used.add(candidate)
+            candidate += 1
+        return slots + extras
+
+    def _dealing_matrix(self, degree: int) -> tuple[tuple[int, ...], "_IntRows"]:
+        """``(points, rows)``: share_i = Σ_c rows[i-1][c] · column[c].
+
+        ``column`` is the k secrets followed by the random extra values;
+        the rows are Lagrange basis evaluations at the party points 1..n,
+        built once per degree and cached on the scheme instance.
+        """
+        cached = self._dealing_cache.get(degree)
+        if cached is None:
+            points = tuple(self.dealing_points(degree))
+            rows = self.evaluation_rows(points, tuple(range(1, self.n + 1)))
+            cached = (points, rows)
+            self._dealing_cache[degree] = cached
+        else:
+            # Count the interpolations this matrix stands in for, so traced
+            # counter totals do not depend on whether the process-wide
+            # scheme cache happens to be warm (cross-run determinism).
+            _hooks.note(_hooks.LAGRANGE_INTERPOLATION, self.n)
+        return cached
+
+    def evaluation_rows(
+        self, points: tuple[int, ...], targets: tuple[int, ...]
+    ) -> "_IntRows":
+        """Cached matrix evaluating the interpolant of ``points`` at ``targets``.
+
+        Row ``r`` holds the Lagrange coefficients λ_i(targets[r]) as plain
+        ints — the shared currency of the dealing, reconstruction and
+        canonical kernels (and of the offline phase's homomorphic packing).
+        """
+        key = (points, targets)
+        rows = self._eval_cache.get(key)
+        if rows is None:
+            rows = tuple(
+                tuple(
+                    int(c)
+                    for c in lagrange_coefficients(self.ring, points, at=target)
+                )
+                for target in targets
+            )
+            self._eval_cache[key] = rows
+        else:
+            # Cache hits stand in for one coefficient vector per target;
+            # note them so counters are identical on warm and cold caches.
+            _hooks.note(_hooks.LAGRANGE_INTERPOLATION, len(targets))
+        return rows
+
     # -- internals -----------------------------------------------------------
+
+    def _backend(self) -> str:
+        # The widest matrix product on this geometry has inner dimension n
+        # (a degree-(n-1) dealing column, or a full reconstruction base).
+        return resolve_backend(self.ring.modulus, self.n)
 
     def _check_degree(self, d: int) -> None:
         if not (self.k - 1 <= d <= self.n - 1):
@@ -283,12 +542,51 @@ class PackedShamirScheme:
                 f"degree {d} outside valid range [{self.k - 1}, {self.n - 1}]"
             )
 
+    def _check_degrees(
+        self, degree: int | Sequence[int] | None, count: int
+    ) -> list[int]:
+        if degree is None:
+            degrees = [self.default_degree] * count
+        elif isinstance(degree, int):
+            degrees = [degree] * count
+        else:
+            degrees = [int(d) for d in degree]
+            if len(degrees) != count:
+                raise ParameterError(
+                    f"{len(degrees)} degrees for {count} secret vectors"
+                )
+        for d in degrees:
+            self._check_degree(d)
+        return degrees
+
     def _check_secrets(self, secrets: Sequence[int | ZmodElement]) -> list[ZmodElement]:
         if len(secrets) != self.k:
             raise ParameterError(
                 f"expected {self.k} packed secrets, got {len(secrets)}"
             )
         return [self.ring.element(s) for s in secrets]
+
+
+_SCHEME_CACHE: dict[tuple[int, int, int, int], PackedShamirScheme] = {}
+
+
+def packed_scheme(
+    ring: Zmod, n: int, k: int, default_degree: int | None = None
+) -> PackedShamirScheme:
+    """A process-wide memoized scheme for ``(modulus, n, k)``.
+
+    Schemes are stateless apart from their precomputed-matrix caches, so
+    repeated runs over the same geometry — every epoch of the client-aided
+    service, every resharing hop — reuse the kernels instead of rebuilding
+    them.  Distinct geometries get distinct instances (and therefore
+    distinct caches).
+    """
+    key = (ring.modulus, n, k, -1 if default_degree is None else default_degree)
+    scheme = _SCHEME_CACHE.get(key)
+    if scheme is None:
+        scheme = PackedShamirScheme(ring, n, k, default_degree)
+        _SCHEME_CACHE[key] = scheme
+    return scheme
 
 
 def _dedupe(shares: Iterable[PackedShare]) -> list[PackedShare]:

@@ -1,0 +1,271 @@
+"""Cross-path equivalence suite for the batched sharing kernel (ISSUE 10).
+
+Pins :meth:`share_many` / :meth:`canonical_many` / :meth:`reconstruct_many`
+on every backend (numpy limb kernel, blocked pure-int, legacy per-sharing)
+to the legacy path: identical share values for identical RNG streams, with
+the RNG left in the identical end state.  Geometries cover k=1, n<2k−1,
+minimum and maximum degrees; moduli straddle the 63-bit numpy cutover.
+"""
+
+import os
+import random
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError, ReconstructionError
+from repro.fields import Zmod
+from repro.sharing import (
+    BACKEND_ENV,
+    NUMPY_MODULUS_BITS,
+    PackedShamirScheme,
+    matmul_mod,
+    packed_scheme,
+    selected_backend,
+)
+from repro.sharing.kernel import numpy_available, numpy_supports
+
+P61 = (1 << 61) - 1  # the IT/Turbopack evaluators' Mersenne prime
+P63 = (1 << 63) - 25  # largest prime below 2**63: exactly at the cutover
+P127 = (1 << 127) - 1  # above the cutover: auto must fall back to int
+PSMALL = 10**6 + 3
+
+MODULI = [P61, P63, P127, PSMALL]
+
+#: (n, k) including k=1, n<2k−1, and the degenerate single-degree n=k.
+GEOMETRIES = [(11, 5), (9, 2), (5, 1), (4, 3), (7, 7)]
+
+
+@contextmanager
+def forced_backend(name):
+    old = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = name
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ[BACKEND_ENV]
+        else:
+            os.environ[BACKEND_ENV] = old
+
+
+def fast_backends(modulus: int, n: int) -> list[str]:
+    """The non-legacy backends valid for this modulus/geometry."""
+    backends = ["int"]
+    if numpy_available() and numpy_supports(modulus, n):
+        backends.append("numpy")
+    return backends
+
+
+def sample_case(n: int, k: int, modulus: int, seed: int):
+    """Derive a deterministic (degrees, vectors) workload from one seed."""
+    src = random.Random(seed)
+    count = src.randrange(1, 6)
+    # Min and max degree always present so the boundary cases never rotate
+    # out of a shrunk example.
+    degrees = [k - 1, n - 1] + [src.randrange(k - 1, n) for _ in range(count)]
+    vectors = [
+        [src.randrange(modulus) for _ in range(k)] for _ in degrees
+    ]
+    return degrees, vectors
+
+
+def as_values(sharings):
+    return [[(s.index, int(s.value), s.degree, s.k) for s in sh] for sh in sharings]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    geom=st.sampled_from(GEOMETRIES),
+    modulus=st.sampled_from(MODULI),
+    seed=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_share_many_matches_legacy(geom, modulus, seed):
+    n, k = geom
+    ring = Zmod(modulus)
+    degrees, vectors = sample_case(n, k, modulus, seed)
+    scheme = PackedShamirScheme(ring, n, k)
+    rng_legacy = random.Random(seed ^ 0x5EED)
+    with forced_backend("legacy"):
+        expected = scheme.share_many(vectors, degree=degrees, rng=rng_legacy)
+    for backend in fast_backends(modulus, n):
+        rng_fast = random.Random(seed ^ 0x5EED)
+        with forced_backend(backend):
+            got = scheme.share_many(vectors, degree=degrees, rng=rng_fast)
+        assert as_values(got) == as_values(expected), backend
+        # Same values is not enough: the batched path must consume the
+        # RNG stream identically, or every downstream draw diverges.
+        assert rng_fast.getstate() == rng_legacy.getstate(), backend
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    geom=st.sampled_from(GEOMETRIES),
+    modulus=st.sampled_from(MODULI),
+    seed=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_canonical_many_matches_legacy(geom, modulus, seed):
+    n, k = geom
+    ring = Zmod(modulus)
+    _, vectors = sample_case(n, k, modulus, seed)
+    scheme = PackedShamirScheme(ring, n, k)
+    index = random.Random(seed).randrange(1, n + 1)
+    with forced_backend("legacy"):
+        expected_full = scheme.canonical_many(vectors)
+        expected_one = scheme.canonical_many(vectors, index=index)
+    for backend in fast_backends(modulus, n):
+        with forced_backend(backend):
+            got_full = scheme.canonical_many(vectors)
+            got_one = scheme.canonical_many(vectors, index=index)
+        assert as_values(got_full) == as_values(expected_full), backend
+        assert as_values([got_one]) == as_values([expected_one]), backend
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    geom=st.sampled_from(GEOMETRIES),
+    modulus=st.sampled_from(MODULI),
+    seed=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_reconstruct_many_matches_legacy(geom, modulus, seed):
+    n, k = geom
+    ring = Zmod(modulus)
+    degrees, vectors = sample_case(n, k, modulus, seed)
+    scheme = PackedShamirScheme(ring, n, k)
+    with forced_backend("legacy"):
+        sharings = scheme.share_many(
+            vectors, degree=degrees, rng=random.Random(seed)
+        )
+        expected = scheme.reconstruct_many(sharings)
+    for backend in fast_backends(modulus, n):
+        with forced_backend(backend):
+            got = scheme.reconstruct_many(sharings)
+        assert [
+            [int(v) for v in row] for row in got
+        ] == [[int(v) for v in row] for row in expected], backend
+        for row, vec in zip(got, vectors):
+            assert [int(v) for v in row] == [v % modulus for v in vec]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=6),
+    inner=st.integers(min_value=1, max_value=6),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1 << 30),
+    modulus=st.sampled_from([P61, P63, PSMALL]),
+)
+def test_matmul_mod_numpy_matches_int(rows, inner, cols, seed, modulus):
+    """The limb-split numpy product is exact right up to the 63-bit cutover."""
+    if not numpy_available():
+        pytest.skip("numpy not installed")
+    src = random.Random(seed)
+    matrix = tuple(
+        tuple(src.randrange(modulus) for _ in range(inner)) for _ in range(rows)
+    )
+    vectors = [[src.randrange(modulus) for _ in range(inner)] for _ in range(cols)]
+    assert matmul_mod(matrix, vectors, modulus, "numpy") == matmul_mod(
+        matrix, vectors, modulus, "int"
+    )
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with forced_backend("vectorised"):
+            with pytest.raises(ParameterError):
+                selected_backend()
+
+    def test_numpy_forced_above_cutover_raises(self):
+        scheme = PackedShamirScheme(Zmod(P127), 8, 3)
+        with forced_backend("numpy"):
+            if not numpy_available():
+                pytest.skip("numpy not installed")
+            with pytest.raises(ParameterError):
+                scheme.share_many([[1, 2, 3]], rng=random.Random(0))
+
+    def test_cutover_rule(self):
+        # <= 63 bits: numpy eligible; above: auto must pick the int path.
+        assert P63.bit_length() == NUMPY_MODULUS_BITS
+        if numpy_available():
+            assert numpy_supports(P63, 64)
+        assert not numpy_supports(P127, 64)
+
+    def test_auto_is_default(self):
+        with forced_backend("auto"):
+            assert selected_backend() == "auto"
+
+
+class TestBatchedErrors:
+    def test_conflicting_duplicate_detected(self, rng):
+        scheme = PackedShamirScheme(Zmod(P61), 8, 2, default_degree=3)
+        [sharing] = scheme.share_many([[1, 2]], rng=rng)
+        forged = sharing + [
+            type(sharing[0])(
+                sharing[0].index,
+                sharing[0].value + Zmod(P61)(1),
+                sharing[0].degree,
+                2,
+            )
+        ]
+        with pytest.raises(ReconstructionError, match="conflicting"):
+            scheme.reconstruct_many([forged])
+
+    def test_redundant_share_checked(self, rng):
+        scheme = PackedShamirScheme(Zmod(P61), 8, 2, default_degree=3)
+        [sharing] = scheme.share_many([[5, 6]], rng=rng)
+        bad_last = sharing[:-1] + [
+            type(sharing[-1])(
+                sharing[-1].index,
+                sharing[-1].value + Zmod(P61)(1),
+                sharing[-1].degree,
+                2,
+            )
+        ]
+        with pytest.raises(ReconstructionError, match="inconsistent"):
+            scheme.reconstruct_many([bad_last])
+
+    def test_degree_list_length_checked(self, rng):
+        scheme = PackedShamirScheme(Zmod(P61), 8, 2)
+        with pytest.raises(ParameterError):
+            scheme.share_many([[1, 2], [3, 4]], degree=[3], rng=rng)
+
+
+class TestMatrixCaches:
+    """Fresh geometry ⇒ fresh matrices — no stale-cache reuse across shapes.
+
+    Mirrors tests/test_program.py's cache-revalidation test: the thing that
+    must never happen is an (n, d, k) change silently served by matrices of
+    the old shape.
+    """
+
+    def test_fresh_scheme_has_empty_caches(self, rng):
+        ring = Zmod(P61)
+        a = PackedShamirScheme(ring, 8, 3)
+        a.share_many([[1, 2, 3]], rng=rng)
+        assert a._dealing_cache and a._eval_cache
+        b = PackedShamirScheme(ring, 9, 3)
+        assert not b._dealing_cache and not b._eval_cache
+
+    def test_new_geometry_matrices_have_new_shape(self, rng):
+        ring = Zmod(P61)
+        a = PackedShamirScheme(ring, 8, 3)
+        b = PackedShamirScheme(ring, 9, 3)
+        _, rows_a = a._dealing_matrix(a.default_degree)
+        _, rows_b = b._dealing_matrix(b.default_degree)
+        assert len(rows_a) == 8 and len(rows_b) == 9
+        # Both geometries still round-trip correctly.
+        for scheme in (a, b):
+            [sharing] = scheme.share_many([[7, 8, 9]], rng=rng)
+            assert [
+                int(v) for v in scheme.reconstruct_many([sharing])[0]
+            ] == [7, 8, 9]
+
+    def test_packed_scheme_memoizes_per_geometry(self):
+        ring = Zmod(P61)
+        s1 = packed_scheme(ring, 8, 3)
+        assert packed_scheme(ring, 8, 3) is s1
+        assert packed_scheme(ring, 9, 3) is not s1
+        assert packed_scheme(ring, 8, 2) is not s1
+        assert packed_scheme(Zmod(P63), 8, 3) is not s1
+        assert packed_scheme(ring, 8, 3, default_degree=4) is not s1

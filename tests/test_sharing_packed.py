@@ -151,6 +151,55 @@ class TestMultiplication:
             scheme.public_product([1, 1, 1], sharing)
 
 
+class TestRobustReconstruct:
+    def test_duplicate_but_consistent_shares_accepted(self, rng):
+        # A party's share posted twice (e.g. relayed on two channels) must
+        # dedupe silently — only *conflicting* duplicates are an error.
+        n, k, d = 9, 2, 3
+        scheme = PackedShamirScheme(F, n, k, default_degree=d)
+        sharing = scheme.share(F.elements([3, 4]), rng=rng)
+        doubled = sharing + sharing[:3]
+        assert scheme.robust_reconstruct(doubled, max_errors=2) == F.elements([3, 4])
+        assert scheme.reconstruct(doubled) == F.elements([3, 4])
+        assert scheme.reconstruct_many([doubled])[0] == F.elements([3, 4])
+
+    def test_duplicate_conflicting_share_rejected(self, rng):
+        scheme = PackedShamirScheme(F, 9, 2, default_degree=3)
+        sharing = scheme.share(F.elements([3, 4]), rng=rng)
+        forged = sharing + [
+            PackedShare(1, sharing[0].value + F(1), sharing[0].degree, 2)
+        ]
+        with pytest.raises(ReconstructionError, match="conflicting"):
+            scheme.robust_reconstruct(forged, max_errors=2)
+        with pytest.raises(ReconstructionError, match="conflicting"):
+            scheme.reconstruct_many([forged])
+
+
+class TestPublicProductBoundary:
+    def test_exactly_degree_n_minus_k_accepted(self, rng):
+        # d = n−k is the edge of multiplication-friendliness: the product
+        # has degree n−1, still reconstructable from all n shares.
+        n, k = 9, 3
+        scheme = PackedShamirScheme(F, n, k)
+        sharing = scheme.share(F.elements([2, 3, 4]), degree=n - k, rng=rng)
+        result = scheme.public_product([5, 6, 7], sharing)
+        assert result[0].degree == n - 1
+        assert scheme.reconstruct(result) == F.elements([10, 18, 28])
+
+    def test_product_matches_per_party_canonical(self, rng):
+        # The batched canonical sharing inside public_product must agree
+        # with the per-party interpolation it replaced.
+        n, k = 10, 3
+        scheme = PackedShamirScheme(F, n, k)
+        public = [4, 5, 6]
+        sharing = scheme.share(F.elements([1, 2, 3]), degree=n - k, rng=rng)
+        result = scheme.public_product(public, sharing)
+        for share, original in zip(result, sharing):
+            expected = scheme.canonical_share_for(public, share.index) * original
+            assert share.value == expected.value
+            assert share.degree == expected.degree
+
+
 class TestCanonicalSharing:
     def test_canonical_is_deterministic(self):
         scheme = PackedShamirScheme(F, 8, 3)
